@@ -1,0 +1,26 @@
+//! `simba-baselines` — the delivery strategies SIMBA is compared against.
+//!
+//! The paper motivates delivery modes by contrast (§2.3, §3.1):
+//!
+//! * **email-only** — how most 2001 alert services delivered: cheap, one
+//!   message, but unbounded latency and silent loss;
+//! * **blind redundancy** — old Aladdin "by default sends all alerts as
+//!   two emails and two cell phone SMS messages. However, such heavy use
+//!   of redundancy has not worked well": still no guarantee, and four
+//!   messages per alert are "irritating and cumbersome";
+//! * **SIMBA** — IM-with-ack first, fall back only on failure: one message
+//!   in the common case, bounded time to escalation.
+//!
+//! [`trial`] provides the single-alert evaluator used by the A1 ablation:
+//! it plays one alert against a user-presence timeline and the channel
+//! latency models and reports when a *human* first saw the alert and how
+//! many messages it cost ("the irritability factor").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod trial;
+
+pub use strategy::Strategy;
+pub use trial::{TrialOutcome, TrialSetup};

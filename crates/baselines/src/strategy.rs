@@ -1,0 +1,67 @@
+//! The delivery strategies under comparison.
+
+use simba_sim::SimDuration;
+
+/// A way of delivering one alert to one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// One email to the user's registered address. The 2001 default.
+    EmailOnly,
+    /// Blind redundancy: `emails` duplicate emails plus `sms` duplicate
+    /// SMS messages, all fired at once (old Aladdin used 2 + 2).
+    Blind {
+        /// Number of duplicate emails.
+        emails: u32,
+        /// Number of duplicate SMS messages.
+        sms: u32,
+    },
+    /// Direct single-channel delivery to the user's SMS address with no
+    /// MyAlertBuddy in between — what a user gets when they hand their
+    /// phone number straight to a service.
+    DirectSms,
+    /// SIMBA: IM with acknowledgement, falling back to SMS and then email
+    /// when no ack arrives within the timeout.
+    SimbaImFallback {
+        /// Ack window per block.
+        ack_timeout: SimDuration,
+    },
+}
+
+impl Strategy {
+    /// The old-Aladdin configuration from §2.3.
+    pub fn aladdin_blind() -> Self {
+        Strategy::Blind { emails: 2, sms: 2 }
+    }
+
+    /// The SIMBA flagship with the default 60 s ack window.
+    pub fn simba_default() -> Self {
+        Strategy::SimbaImFallback {
+            ack_timeout: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Short display label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::EmailOnly => "email-only".to_string(),
+            Strategy::Blind { emails, sms } => format!("blind-{emails}EM+{sms}SMS"),
+            Strategy::DirectSms => "direct-sms".to_string(),
+            Strategy::SimbaImFallback { ack_timeout } => {
+                format!("simba-im-fallback({}s)", ack_timeout.as_secs())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_stable() {
+        assert_eq!(Strategy::EmailOnly.label(), "email-only");
+        assert_eq!(Strategy::aladdin_blind().label(), "blind-2EM+2SMS");
+        assert_eq!(Strategy::DirectSms.label(), "direct-sms");
+        assert_eq!(Strategy::simba_default().label(), "simba-im-fallback(60s)");
+    }
+}

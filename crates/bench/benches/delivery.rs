@@ -1,0 +1,155 @@
+//! Microbenchmarks for the SIMBA core hot paths: delivery-mode execution,
+//! the MyAlertBuddy pipeline, classification, WAL appends, and the
+//! Soft-State Store.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use simba_bench::harness::standard_config;
+use simba_core::alert::IncomingAlert;
+use simba_core::delivery::{DeliveryEvent, DeliveryProcess};
+use simba_core::mab::{MabEvent, MyAlertBuddy};
+use simba_core::wal::{InMemoryWal, WriteAheadLog};
+use simba_sim::{SimDuration, SimRng, SimTime};
+use simba_sources::sss::{SoftStateStore, StoreId};
+
+fn sensor_alert(i: u64) -> IncomingAlert {
+    IncomingAlert::from_im("aladdin-gw", format!("Sensor event {i} ON"), SimTime::from_secs(i))
+}
+
+fn bench_mab_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mab");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ingest_classify_route_one_alert", |b| {
+        let mut mab = MyAlertBuddy::new(standard_config(), InMemoryWal::new(), SimTime::ZERO);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            mab.handle(MabEvent::AlertByIm(sensor_alert(i)), SimTime::from_secs(i))
+        });
+    });
+    group.bench_function("classifier_only", |b| {
+        let config = standard_config();
+        let alert = sensor_alert(1);
+        b.iter(|| config.classifier.classify(&alert).expect("accepted source"));
+    });
+    group.finish();
+}
+
+fn bench_delivery_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delivery");
+    let config = standard_config();
+    let user = simba_core::subscription::UserId::new("alice");
+    let profile = config.registry.user(&user).expect("alice registered");
+    let mode = profile.mode("Critical").expect("mode defined").clone();
+    let book = profile.address_book.clone();
+    let alert = simba_core::alert::Alert {
+        id: simba_core::alert::AlertId(1),
+        source: "aladdin-gw".into(),
+        category: "Home.Security".into(),
+        text: "Basement Water Sensor ON".into(),
+        origin_timestamp: SimTime::ZERO,
+        received_at: SimTime::ZERO,
+        urgency: simba_core::alert::Urgency::Critical,
+    };
+    group.bench_function("start_and_ack_first_block", |b| {
+        b.iter(|| {
+            let (mut p, cmds) = DeliveryProcess::start(alert.clone(), mode.clone(), &book, SimTime::ZERO);
+            let attempt = p.attempts()[0].attempt;
+            let _ = cmds;
+            p.handle(DeliveryEvent::SendAccepted { attempt }, &book, SimTime::from_secs(1));
+            p.handle(DeliveryEvent::Acked { attempt }, &book, SimTime::from_secs(2));
+            p
+        });
+    });
+    group.bench_function("full_fallback_chain", |b| {
+        b.iter(|| {
+            let (mut p, _) = DeliveryProcess::start(alert.clone(), mode.clone(), &book, SimTime::ZERO);
+            // Fail every attempt so all three blocks fire.
+            loop {
+                let pending: Vec<_> = p
+                    .attempts()
+                    .iter()
+                    .filter(|a| matches!(a.outcome, simba_core::delivery::AttemptOutcome::Pending))
+                    .map(|a| a.attempt)
+                    .collect();
+                if pending.is_empty() {
+                    break;
+                }
+                for attempt in pending {
+                    p.handle(
+                        DeliveryEvent::SendFailed {
+                            attempt,
+                            failure: simba_core::delivery::SendFailure::ChannelDown,
+                        },
+                        &book,
+                        SimTime::from_secs(1),
+                    );
+                }
+            }
+            p
+        });
+    });
+    group.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("in_memory_append_mark", |b| {
+        let mut wal = InMemoryWal::new();
+        let alert = sensor_alert(1);
+        b.iter(|| {
+            let id = wal.append(&alert, SimTime::ZERO).expect("in-memory append");
+            wal.mark_processed(id).expect("just appended");
+        });
+    });
+    group.finish();
+}
+
+fn bench_sss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sss");
+    group.bench_function("write_and_replicate", |b| {
+        b.iter_batched(
+            || {
+                let mut a = SoftStateStore::new(StoreId(1));
+                let mut g = SoftStateStore::new(StoreId(2));
+                for s in [&mut a, &mut g] {
+                    s.define_type("binary-sensor", "ON|OFF");
+                }
+                a.create_var("sensor.x", "binary-sensor", "OFF", SimDuration::from_secs(60), 3, SimTime::ZERO)
+                    .expect("fresh");
+                a.take_outbound();
+                (a, g, 0u64)
+            },
+            |(mut a, mut g, mut i)| {
+                for _ in 0..100 {
+                    i += 1;
+                    let value = if i % 2 == 0 { "ON" } else { "OFF" };
+                    a.write("sensor.x", value, SimTime::from_secs(i)).expect("exists");
+                    for u in a.take_outbound() {
+                        g.apply_update(u);
+                    }
+                }
+                (a, g, i)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_rng_fork(c: &mut Criterion) {
+    c.bench_function("rng_fork", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| rng.fork(42));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mab_pipeline,
+    bench_delivery_process,
+    bench_wal,
+    bench_sss,
+    bench_rng_fork
+);
+criterion_main!(benches);

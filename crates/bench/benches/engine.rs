@@ -1,0 +1,59 @@
+//! Microbenchmarks for the simulation substrate: event throughput and the
+//! distribution samplers every channel model draws from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use simba_sim::{Engine, SimDuration, SimRng, SimTime, Trace};
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    const EVENTS: u64 = 100_000;
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("self_rescheduling_events_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = Engine::new(0u64, 7)
+                    .with_trace(Trace::disabled())
+                    .with_event_limit(EVENTS);
+                engine.schedule_in(SimDuration::ZERO, ());
+                engine
+            },
+            |mut engine| {
+                engine.run_until(SimTime::MAX, |count, ctx, ()| {
+                    *count += 1;
+                    ctx.schedule_in(SimDuration::from_millis(1), ());
+                });
+                engine
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("wide_queue_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = Engine::new(0u64, 7).with_trace(Trace::disabled());
+                for i in 0..EVENTS {
+                    engine.schedule_in(SimDuration::from_millis(i % 1_000), ());
+                }
+                engine
+            },
+            |mut engine| {
+                engine.run_until(SimTime::MAX, |count, _, ()| *count += 1);
+                engine
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    let mut rng = SimRng::new(1);
+    group.bench_function("lognormal", |b| b.iter(|| rng.lognormal(0.4, 0.35)));
+    group.bench_function("exponential", |b| b.iter(|| rng.exponential(5.0)));
+    group.bench_function("pareto", |b| b.iter(|| rng.pareto(8.0, 1.1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_samplers);
+criterion_main!(benches);

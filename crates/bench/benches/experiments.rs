@@ -1,0 +1,163 @@
+//! One criterion bench per paper experiment (E1–E5) and ablation (A1–A6),
+//! each running a reduced-scale version of the exact code path the
+//! experiment binary uses. `cargo bench` therefore exercises every
+//! table-regenerating pipeline; the binaries produce the full-scale
+//! numbers recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simba_baselines::strategy::Strategy;
+use simba_baselines::trial::{run_trial, TrialSetup};
+use simba_bench::faultlog::{run_campaign, CampaignOptions};
+use simba_bench::harness::{build, handle, Ev, PipelineOptions};
+use simba_core::alert::IncomingAlert;
+use simba_net::presence::{PresenceTimeline, UserContext};
+use simba_sim::{SimRng, SimTime};
+
+/// E1/E2-shaped pipeline slice: 50 alerts through the full world.
+fn bench_pipeline_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(20);
+    group.bench_function("e1_e2_pipeline_50_alerts", |b| {
+        b.iter(|| {
+            let horizon = SimTime::from_hours(2);
+            let mut engine = build(PipelineOptions::new(7, horizon));
+            for i in 0..50u64 {
+                let at = SimTime::from_secs(30 + i * 120);
+                let alert = IncomingAlert::from_im("aladdin-gw", format!("Sensor {i} ON"), at);
+                engine.schedule_at(at, Ev::Emit { tag: i, alert });
+            }
+            engine.run_until(horizon, handle);
+            engine.world().tracks.len()
+        });
+    });
+    group.finish();
+}
+
+/// E3: the Aladdin in-home chain.
+fn bench_e3_chain(c: &mut Criterion) {
+    use simba_sources::aladdin::{AladdinHome, HomeNetwork, HopLatencies, Sensor};
+    let mut group = c.benchmark_group("experiments");
+    group.bench_function("e3_aladdin_chain", |b| {
+        let mut home = AladdinHome::new("aladdin-gw", HopLatencies::default());
+        home.add_sensor(
+            Sensor {
+                id: "remote".into(),
+                name: "Remote".into(),
+                network: HomeNetwork::Rf,
+                critical: true,
+                heartbeat: simba_sim::SimDuration::from_mins(10),
+                max_missing: 10_000,
+            },
+            SimTime::ZERO,
+        );
+        let mut rng = SimRng::new(3);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            home.trigger_sensor("remote", i % 2 == 0, SimTime::from_secs(i * 60), &mut rng)
+        });
+    });
+    group.finish();
+}
+
+/// E4: a WISH measurement + report.
+fn bench_e4_wish(c: &mut Criterion) {
+    use simba_sources::wish::{
+        AccessPoint, LocationSubscription, LocationTrigger, Point, RadioModel, WishClient, WishServer,
+    };
+    let mut group = c.benchmark_group("experiments");
+    group.bench_function("e4_wish_measure_report", |b| {
+        let aps = vec![
+            AccessPoint {
+                id: "ap-1".into(),
+                position: Point { x: 0.0, y: 0.0 },
+                building: "B31".into(),
+                area: "west".into(),
+            },
+            AccessPoint {
+                id: "ap-2".into(),
+                position: Point { x: 300.0, y: 0.0 },
+                building: "B40".into(),
+                area: "lobby".into(),
+            },
+        ];
+        let mut server = WishServer::new("wish-svc", aps.clone(), RadioModel::default());
+        server.subscribe(LocationSubscription {
+            tracked: "bob".into(),
+            watcher: "alice".into(),
+            trigger: LocationTrigger::Enter("B31".into()),
+        });
+        let client = WishClient { user: "bob".into(), report_every: simba_sim::SimDuration::from_secs(10) };
+        let model = RadioModel::default();
+        let mut rng = SimRng::new(4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let pos = if i % 2 == 0 { Point { x: 5.0, y: 1.0 } } else { Point { x: 295.0, y: 1.0 } };
+            let m = client
+                .measure(pos, &aps, &model, "active", SimTime::from_secs(i * 30), &mut rng)
+                .expect("in range");
+            server.report(&m)
+        });
+    });
+    group.finish();
+}
+
+/// E5: a compressed (3-day) fault campaign through the same code path.
+fn bench_e5_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("e5_campaign_month", |b| {
+        b.iter(|| run_campaign(&CampaignOptions { alerts_per_day: 8, ..CampaignOptions::default() }));
+    });
+    group.finish();
+}
+
+/// A1: the strategy trial evaluator.
+fn bench_a1_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    let setup = TrialSetup::with_defaults(PresenceTimeline::constant(
+        UserContext::AtDesk,
+        SimTime::from_days(1),
+    ));
+    for strategy in [
+        Strategy::EmailOnly,
+        Strategy::aladdin_blind(),
+        Strategy::simba_default(),
+    ] {
+        group.bench_function(format!("a1_trial_{}", strategy.label()), |b| {
+            let mut rng = SimRng::new(5);
+            b.iter(|| run_trial(&setup, strategy, SimTime::from_secs(60), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+/// A2–A6 hot paths come down to the MAB pipeline and the managers, covered
+/// by `delivery.rs`; here we keep one representative end-to-end ablation.
+fn bench_a3_watchdog_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("a3_watchdog_day", |b| {
+        b.iter(|| {
+            let horizon = SimTime::from_days(1);
+            let mut options = PipelineOptions::new(11, horizon);
+            options.mab_hang_mtbf = Some(simba_sim::SimDuration::from_hours(4));
+            let mut engine = build(options);
+            engine.run_until(horizon, handle);
+            engine.world().mdc.restarts()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_slice,
+    bench_e3_chain,
+    bench_e4_wish,
+    bench_e5_campaign,
+    bench_a1_trials,
+    bench_a3_watchdog_point
+);
+criterion_main!(benches);

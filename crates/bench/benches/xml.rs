@@ -1,0 +1,66 @@
+//! Microbenchmarks for the XML subset parser/writer on the two SIMBA
+//! document shapes (§4.1): address books and delivery modes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simba_core::address::{Address, AddressBook, CommType};
+use simba_core::mode::{Block, DeliveryMode};
+use simba_sim::SimDuration;
+
+fn book() -> AddressBook {
+    let mut book = AddressBook::new();
+    for i in 0..10 {
+        let ty = match i % 3 {
+            0 => CommType::Im,
+            1 => CommType::Sms,
+            _ => CommType::Email,
+        };
+        book.add(Address::new(format!("addr-{i}"), ty, format!("value:{i}")))
+            .expect("unique names");
+    }
+    book
+}
+
+fn mode() -> DeliveryMode {
+    DeliveryMode::new(
+        "Critical & <escalating>",
+        vec![
+            Block::acked(vec!["addr-0".into(), "addr-1".into()], SimDuration::from_secs(60)),
+            Block::acked(vec!["addr-2".into()], SimDuration::from_secs(120)),
+            Block::fire_and_forget(vec!["addr-3".into(), "addr-4".into()]),
+        ],
+    )
+    .expect("valid mode")
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml");
+    let book_xml = book().to_xml();
+    let mode_xml = mode().to_xml();
+    group.throughput(Throughput::Bytes(book_xml.len() as u64));
+    group.bench_function("address_book_parse", |b| {
+        b.iter(|| AddressBook::from_xml(&book_xml).expect("round-trip"));
+    });
+    group.bench_function("address_book_write", |b| {
+        let book = book();
+        b.iter(|| book.to_xml());
+    });
+    group.throughput(Throughput::Bytes(mode_xml.len() as u64));
+    group.bench_function("delivery_mode_parse", |b| {
+        b.iter(|| DeliveryMode::from_xml(&mode_xml).expect("round-trip"));
+    });
+    group.bench_function("delivery_mode_write", |b| {
+        let mode = mode();
+        b.iter(|| mode.to_xml());
+    });
+    group.bench_function("raw_parse_figure4", |b| {
+        let xml = r#"<DeliveryMode name="Urgent">
+            <Block ackTimeoutSecs="60"><Action address="MSN IM"/><Action address="Cell SMS"/></Block>
+            <Block><Action address="Work email"/></Block>
+        </DeliveryMode>"#;
+        b.iter(|| simba_xml::parse(xml).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xml);
+criterion_main!(benches);

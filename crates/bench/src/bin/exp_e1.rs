@@ -1,0 +1,9 @@
+//! Runs experiment E1 and prints its tables. See `DESIGN.md` §5.
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    simba_bench::experiments::e1_im_latency::run(seed).print();
+}

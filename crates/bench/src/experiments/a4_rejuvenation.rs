@@ -1,0 +1,212 @@
+//! A4 — nightly software rejuvenation vs letting leaks accumulate.
+//!
+//! §4.2.1: "Rejuvenation is a technique that gracefully terminates an
+//! application and immediately restarts it at a clean internal state ...
+//! Every night at 11:30 PM, MyAlertBuddy requests an orderly shutdown."
+//! The rationale: "memory leaks in rarely executed branch of code or in
+//! third-party software" accumulate until the process dies at an arbitrary
+//! (bad) moment. This ablation models a leaky MyAlertBuddy and compares
+//! scheduled rejuvenation against crash-driven restarts.
+
+use crate::experiments::ExperimentOutput;
+use crate::report::Table;
+use simba_core::rejuvenate::RejuvenationPolicy;
+use simba_core::stabilize::{check_invariants, Correction, HealthSnapshot, StabilizationConfig};
+use simba_sim::{SimDuration, SimRng, SimTime};
+
+/// Days simulated per arm.
+pub const DAYS: u64 = 30;
+
+/// Leak per processed alert, KB.
+pub const LEAK_PER_ALERT_KB: u64 = 400;
+
+/// Background leak per hour, KB.
+pub const LEAK_PER_HOUR_KB: u64 = 2_000;
+
+/// Hard crash threshold, KB (the process dies here).
+pub const CRASH_AT_KB: u64 = 400_000;
+
+/// Result of one arm.
+#[derive(Debug, Clone, Copy)]
+pub struct A4Arm {
+    /// Nightly rejuvenation + stabilization memory checks enabled.
+    pub rejuvenation: bool,
+    /// Graceful restarts performed.
+    pub graceful_restarts: u64,
+    /// Hard crashes suffered.
+    pub crashes: u64,
+    /// Fraction of time the buddy was up.
+    pub availability: f64,
+    /// Alerts that arrived while the buddy was down.
+    pub alerts_missed: u64,
+    /// Peak resident memory, KB.
+    pub peak_memory_kb: u64,
+}
+
+fn run_arm(seed: u64, rejuvenation: bool) -> A4Arm {
+    let mut rng = SimRng::new(seed ^ 0xA4);
+    let policy = RejuvenationPolicy::default();
+    let stabilization = StabilizationConfig::default(); // 150 MB soft limit
+    let horizon = SimTime::from_days(DAYS);
+
+    let graceful_downtime = SimDuration::from_secs(12);
+    let crash_downtime = SimDuration::from_mins(5); // MDC detect + restart
+
+    let mut memory_kb = 60_000u64;
+    let mut peak = memory_kb;
+    let mut down_until = SimTime::ZERO;
+    let mut downtime = SimDuration::ZERO;
+    let mut graceful = 0u64;
+    let mut crashes = 0u64;
+    let mut missed = 0u64;
+
+    let mut next_nightly = policy.next_nightly(SimTime::ZERO).expect("nightly on");
+    let mut next_alert = SimTime::from_secs_f64_checked(rng.exponential(360.0));
+    let mut last_hour = 0u64;
+    let mut stabilize_tick = SimTime::ZERO + stabilization.health_interval;
+
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        // Advance to the next event among: alert, nightly, stabilization.
+        t = next_alert.min(next_nightly).min(stabilize_tick);
+        if t >= horizon {
+            break;
+        }
+        // Background leak accrues per elapsed hour.
+        let hour = t.as_secs() / 3_600;
+        if hour > last_hour {
+            memory_kb += (hour - last_hour) * LEAK_PER_HOUR_KB;
+            last_hour = hour;
+        }
+
+        let up = t >= down_until;
+        if t == next_alert {
+            next_alert = t + SimDuration::from_secs_f64(rng.exponential(360.0));
+            if up {
+                memory_kb += LEAK_PER_ALERT_KB;
+            } else {
+                missed += 1;
+            }
+        }
+        if t == next_nightly {
+            next_nightly = policy.next_nightly(t).expect("nightly on");
+            if rejuvenation && up {
+                graceful += 1;
+                memory_kb = 60_000;
+                down_until = t + graceful_downtime;
+                downtime += graceful_downtime;
+            }
+        }
+        if t == stabilize_tick {
+            stabilize_tick = t + stabilization.health_interval;
+            if rejuvenation && up {
+                let snapshot = HealthSnapshot {
+                    memory_kb,
+                    last_progress_at: t,
+                    threads_alive: true,
+                    ..HealthSnapshot::default()
+                };
+                let violations = check_invariants(&stabilization, &snapshot, t);
+                if violations.iter().any(|(_, c)| *c == Correction::Rejuvenate) {
+                    graceful += 1;
+                    memory_kb = 60_000;
+                    down_until = t + graceful_downtime;
+                    downtime += graceful_downtime;
+                }
+            }
+        }
+
+        peak = peak.max(memory_kb);
+        if memory_kb >= CRASH_AT_KB && t >= down_until {
+            crashes += 1;
+            memory_kb = 60_000;
+            down_until = t + crash_downtime;
+            downtime += crash_downtime;
+        }
+    }
+
+    A4Arm {
+        rejuvenation,
+        graceful_restarts: graceful,
+        crashes,
+        availability: 1.0 - downtime.as_secs_f64() / horizon.as_secs_f64(),
+        alerts_missed: missed,
+        peak_memory_kb: peak,
+    }
+}
+
+// SimTime helper local to this experiment.
+trait FromSecsF64 {
+    fn from_secs_f64_checked(secs: f64) -> SimTime;
+}
+impl FromSecsF64 for SimTime {
+    fn from_secs_f64_checked(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Runs both arms.
+pub fn measure(seed: u64) -> (A4Arm, A4Arm, Vec<Table>) {
+    let on = run_arm(seed, true);
+    let off = run_arm(seed, false);
+
+    let mut t = Table::new(
+        "A4: nightly rejuvenation under a leaking MyAlertBuddy (30 days)",
+        &[
+            "arm",
+            "graceful restarts",
+            "hard crashes",
+            "availability",
+            "alerts missed",
+            "peak memory",
+        ],
+    );
+    for arm in [&on, &off] {
+        t.row(&[
+            if arm.rejuvenation { "rejuvenation on (paper)" } else { "rejuvenation off" }.to_string(),
+            arm.graceful_restarts.to_string(),
+            arm.crashes.to_string(),
+            format!("{:.4} %", arm.availability * 100.0),
+            arm.alerts_missed.to_string(),
+            format!("{} MB", arm.peak_memory_kb / 1_000),
+        ]);
+    }
+
+    (on, off, vec![t])
+}
+
+/// Runs A4 and packages the result.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let (on, off, tables) = measure(seed);
+    ExperimentOutput {
+        id: "A4",
+        title: "Software rejuvenation vs crash-driven restarts",
+        paper_claim: "nightly 11:30 PM rejuvenation plus stabilization checks keep the buddy at a clean state",
+        tables,
+        notes: vec![format!(
+            "rejuvenation converts {} hard crashes into {} scheduled restarts",
+            off.crashes, on.graceful_restarts
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a4_rejuvenation_prevents_crashes() {
+        let (on, off, _) = measure(42);
+        assert_eq!(on.crashes, 0, "rejuvenated buddy must not hit the hard limit");
+        assert!(off.crashes > 5, "leaky buddy crashes: {}", off.crashes);
+        assert!(on.availability > off.availability);
+        assert!(on.peak_memory_kb < off.peak_memory_kb);
+        assert!(on.alerts_missed <= off.alerts_missed);
+        // Roughly one graceful restart per night.
+        assert!(
+            (25..=70).contains(&(on.graceful_restarts as i64)),
+            "graceful {}",
+            on.graceful_restarts
+        );
+    }
+}

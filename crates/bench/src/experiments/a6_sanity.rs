@@ -1,0 +1,204 @@
+//! A6 — Communication Manager sanity-check interval sweep.
+//!
+//! §4.2.1: "the sanity checking APIs are invoked every minute". The check
+//! is what notices a silently logged-out IM client and re-logs it in; the
+//! sweep measures how the interval trades logged-out time (during which
+//! incoming IM alerts bounce to the slow email path) against check volume.
+
+use crate::experiments::ExperimentOutput;
+use crate::report::Table;
+use simba_client::im_manager::ImManager;
+use simba_net::im::{ImHandle, ImService};
+use simba_sim::{SimDuration, SimRng, SimTime, Summary};
+
+/// The sweep points.
+pub const INTERVALS_SECS: [u64; 5] = [15, 60, 300, 1_200, 3_600];
+
+/// Days simulated per point.
+pub const DAYS: u64 = 30;
+
+/// Mean time between forced logouts.
+pub const LOGOUT_MTBF_HOURS: f64 = 6.0;
+
+/// Result of one sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct A6Point {
+    /// Sanity-check interval.
+    pub interval: SimDuration,
+    /// Logouts injected.
+    pub logouts: u64,
+    /// Mean logged-out episode length, seconds.
+    pub outage_mean: f64,
+    /// Fraction of total time spent logged out.
+    pub logged_out_fraction: f64,
+    /// Fraction of incoming alerts that found the buddy logged out.
+    pub alerts_bounced: f64,
+    /// Sanity checks performed.
+    pub checks: u64,
+}
+
+fn run_point(seed: u64, interval: SimDuration) -> A6Point {
+    let mut rng = SimRng::new(seed ^ 0xA6);
+    let horizon = SimTime::from_days(DAYS);
+
+    let mut service = ImService::new(rng.fork(1));
+    let mab = ImHandle::new("mab-im");
+    service.register(mab.clone());
+    let mut manager = ImManager::new(mab.clone());
+    manager.start(&mut service, SimTime::ZERO).expect("service up");
+
+    // Pre-draw logout times and alert arrival times.
+    let draw_times = |mtbf_secs: f64, rng: &mut SimRng| {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            t = t + SimDuration::from_secs_f64(rng.exponential(mtbf_secs));
+            if t >= horizon {
+                return out;
+            }
+            out.push(t);
+        }
+    };
+    let logouts = draw_times(LOGOUT_MTBF_HOURS * 3_600.0, &mut rng);
+    let alerts = draw_times(1_800.0, &mut rng); // an alert every 30 min
+
+    // Walk sanity ticks; between ticks, replay the logout/alert streams.
+    let mut outage = Summary::new();
+    let mut logged_out_total = SimDuration::ZERO;
+    let mut bounced = 0u64;
+    let mut checks = 0u64;
+    let mut li = 0usize;
+    let mut ai = 0usize;
+    let mut logged_out_since: Option<SimTime> = None;
+    let mut tick = SimTime::ZERO + interval;
+    while tick <= horizon + interval {
+        // Events before this tick, in time order.
+        loop {
+            let next_logout = logouts.get(li).copied().unwrap_or(SimTime::MAX);
+            let next_alert = alerts.get(ai).copied().unwrap_or(SimTime::MAX);
+            let next = next_logout.min(next_alert);
+            if next > tick || next >= horizon {
+                break;
+            }
+            if next == next_logout {
+                li += 1;
+                if logged_out_since.is_none() {
+                    service.force_logout(&mab);
+                    logged_out_since = Some(next);
+                }
+            } else {
+                ai += 1;
+                if logged_out_since.is_some() {
+                    bounced += 1;
+                }
+            }
+        }
+        if tick >= horizon {
+            break;
+        }
+        // The sanity check repairs any logout.
+        checks += 1;
+        let report = manager.sanity_check(&mut service, tick);
+        if let Some(since) = logged_out_since.take() {
+            assert!(
+                report
+                    .repairs
+                    .contains(&simba_client::manager::RepairAction::ReLogon),
+                "sanity check must re-logon"
+            );
+            let episode = tick - since;
+            outage.observe(episode.as_secs_f64());
+            logged_out_total += episode;
+        }
+        tick = tick + interval;
+    }
+
+    A6Point {
+        interval,
+        logouts: logouts.len() as u64,
+        outage_mean: outage.mean(),
+        logged_out_fraction: logged_out_total.as_secs_f64() / horizon.as_secs_f64(),
+        alerts_bounced: bounced as f64 / alerts.len().max(1) as f64,
+        checks,
+    }
+}
+
+/// Runs the sweep.
+pub fn measure(seed: u64) -> (Vec<A6Point>, Vec<Table>) {
+    let points: Vec<A6Point> = INTERVALS_SECS
+        .iter()
+        .map(|&secs| run_point(seed, SimDuration::from_secs(secs)))
+        .collect();
+
+    let mut t = Table::new(
+        "A6: sanity-check interval sweep (forced logouts, MTBF 6 h, 30 days)",
+        &[
+            "check interval",
+            "logouts",
+            "episode mean",
+            "logged-out time",
+            "alerts bounced",
+            "checks",
+        ],
+    );
+    for p in &points {
+        t.row(&[
+            format!("{}", p.interval),
+            p.logouts.to_string(),
+            format!("{:.0} s", p.outage_mean),
+            format!("{:.3} %", p.logged_out_fraction * 100.0),
+            format!("{:.2} %", p.alerts_bounced * 100.0),
+            p.checks.to_string(),
+        ]);
+    }
+
+    (points, vec![t])
+}
+
+/// Runs A6 and packages the result.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let (points, tables) = measure(seed);
+    let paper_point = points
+        .iter()
+        .find(|p| p.interval == SimDuration::from_mins(1))
+        .expect("1 min is in the sweep");
+    ExperimentOutput {
+        id: "A6",
+        title: "Sanity-check interval sweep",
+        paper_claim: "the sanity checking APIs are invoked every minute",
+        tables,
+        notes: vec![format!(
+            "at the paper's 1 min interval a logout costs {:.0} s and {:.2} % of alerts bounce",
+            paper_point.outage_mean,
+            paper_point.alerts_bounced * 100.0
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a6_logged_out_time_scales_with_interval() {
+        let (points, _) = measure(42);
+        assert!(points[0].logouts > 50);
+        // Mean episode ≈ half the interval.
+        for p in &points {
+            let expected = p.interval.as_secs_f64() / 2.0;
+            assert!(
+                (p.outage_mean - expected).abs() < expected.mul_add(0.5, 5.0),
+                "interval {} mean {}",
+                p.interval,
+                p.outage_mean
+            );
+        }
+        // Bounced alerts grow with the interval.
+        assert!(points[0].alerts_bounced < points[4].alerts_bounced);
+        assert!(
+            points[4].alerts_bounced < 0.15,
+            "hourly checks bounce {}",
+            points[4].alerts_bounced
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! E3 — Aladdin end-to-end: remote control → powerline → SSS →
+//! multicast → gateway → IM alert.
+//!
+//! Paper (§5): "From the time the button on the remote control was pushed
+//! to the time an IM popped up on the user's screen, the end-to-end
+//! delivery took an average of 11 seconds."
+
+use crate::experiments::ExperimentOutput;
+use crate::harness::{build, handle, Ev, PipelineOptions};
+use crate::report::{dist, secs, Table};
+use simba_sim::{SimDuration, SimRng, SimTime, Summary};
+use simba_sources::aladdin::{AladdinHome, HomeNetwork, HopLatencies, Sensor};
+use std::collections::BTreeMap;
+
+/// Number of button presses simulated.
+pub const PRESSES: u64 = 500;
+
+/// Measured numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct E3Numbers {
+    /// Mean button→user-screen latency, seconds (paper: 11).
+    pub end_to_end_mean: f64,
+    /// Mean in-home chain latency (button → home server), seconds.
+    pub chain_mean: f64,
+}
+
+/// Runs E3.
+pub fn measure(seed: u64) -> (E3Numbers, Vec<Table>) {
+    let mut rng = SimRng::new(seed ^ 0xE3);
+    let mut home = AladdinHome::new("aladdin-gw", HopLatencies::default());
+    home.add_sensor(
+        Sensor {
+            id: "security-disarm".into(),
+            name: "Security Disarm".into(),
+            network: HomeNetwork::Rf,
+            critical: true,
+            heartbeat: SimDuration::from_mins(10),
+            max_missing: 5_000, // heartbeats not exercised here
+        },
+        SimTime::ZERO,
+    );
+
+    // Walk the in-home chain for each press; collect per-hop stats and the
+    // alert to feed the SIMBA pipeline.
+    let mut chain = Summary::new();
+    let mut hop_sums: BTreeMap<&'static str, Summary> = BTreeMap::new();
+    let mut emissions = Vec::new();
+    for i in 0..PRESSES {
+        let pressed_at = SimTime::from_secs(60 + i * 120);
+        let result = home.trigger_sensor("security-disarm", i % 2 == 0, pressed_at, &mut rng);
+        chain.observe(result.total.as_secs_f64());
+        for (name, d) in &result.hops {
+            hop_sums.entry(name).or_default().observe(d.as_secs_f64());
+        }
+        let alert = result.alert.expect("critical sensor state change alerts");
+        emissions.push((pressed_at + result.total, pressed_at, alert));
+    }
+
+    let horizon = emissions.last().expect("presses generated").0 + SimDuration::from_hours(1);
+    let mut engine = build(PipelineOptions::new(seed, horizon));
+    let mut press_times: BTreeMap<u64, SimTime> = BTreeMap::new();
+    for (tag, (emit_at, pressed_at, alert)) in emissions.into_iter().enumerate() {
+        press_times.insert(tag as u64, pressed_at);
+        engine.schedule_at(emit_at, Ev::Emit { tag: tag as u64, alert });
+    }
+    engine.run_until(horizon, handle);
+    let (world, _) = engine.into_parts();
+
+    // End-to-end = button press → alert reaches the user's screen.
+    let mut end_to_end = Summary::new();
+    for (tag, track) in &world.tracks {
+        if let (Some(pressed), Some(reached)) = (press_times.get(tag), track.reached_user_at) {
+            end_to_end.observe((reached - *pressed).as_secs_f64());
+        }
+    }
+
+    let mut t = Table::new(
+        "E3: Aladdin security-disarm scenario, button → user's screen",
+        &["stage", "measured mean/p50/p95", "paper"],
+    );
+    for (name, summary) in &hop_sums {
+        t.row(&[format!("  hop: {name}"), dist(summary), "—".to_string()]);
+    }
+    t.row(&[
+        "in-home chain (button → home server)".to_string(),
+        dist(&chain),
+        "—".to_string(),
+    ]);
+    t.row(&[
+        "end-to-end (button → IM on screen)".to_string(),
+        dist(&end_to_end),
+        "11 s average".to_string(),
+    ]);
+
+    (
+        E3Numbers {
+            end_to_end_mean: end_to_end.mean(),
+            chain_mean: chain.mean(),
+        },
+        vec![t],
+    )
+}
+
+/// Runs E3 and packages the result.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let (numbers, tables) = measure(seed);
+    ExperimentOutput {
+        id: "E3",
+        title: "Aladdin home-networking end-to-end delivery",
+        paper_claim: "remote-control button to IM popup averaged 11 seconds",
+        tables,
+        notes: vec![format!(
+            "the in-home chain contributes {} of the total; the rest is SIMBA routing",
+            secs(numbers.chain_mean)
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_end_to_end_near_eleven_seconds() {
+        let (n, _) = measure(42);
+        assert!(
+            (9.0..13.0).contains(&n.end_to_end_mean),
+            "end-to-end {} (paper 11)",
+            n.end_to_end_mean
+        );
+        assert!(n.chain_mean > 6.0 && n.chain_mean < n.end_to_end_mean);
+    }
+}

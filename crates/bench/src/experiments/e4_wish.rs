@@ -1,0 +1,187 @@
+//! E4 — WISH location alert end-to-end.
+//!
+//! Paper (§5): "From the time the laptop sends out the information
+//! wirelessly to the time the subscriber gets notified by an IM alert, the
+//! average delivery time was measured to be 5 seconds."
+
+use crate::experiments::ExperimentOutput;
+use crate::harness::{build, handle, Ev, PipelineOptions};
+use crate::report::{dist, Table};
+use simba_sim::{SimDuration, SimRng, SimTime, Summary};
+use simba_sources::wish::{
+    AccessPoint, LocationSubscription, LocationTrigger, Measurement, Point, RadioModel, WishClient,
+    WishServer,
+};
+use std::collections::BTreeMap;
+
+/// Number of building transitions simulated.
+pub const TRANSITIONS: u64 = 400;
+
+/// Server-side processing before the alert leaves WISH: wireless uplink +
+/// server location estimation + Soft-State-Store update + alert-service
+/// matching. Median seconds, drawn log-normally.
+pub const WISH_PROCESSING_MEDIAN_SECS: f64 = 1.6;
+
+/// Measured numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct E4Numbers {
+    /// Mean laptop-send→subscriber-notified latency, seconds (paper: 5).
+    pub end_to_end_mean: f64,
+    /// Location alerts fired.
+    pub alerts: u64,
+    /// Mean estimate confidence on accepted updates, percent.
+    pub mean_confidence: f64,
+}
+
+fn campus() -> Vec<AccessPoint> {
+    vec![
+        AccessPoint {
+            id: "ap-b31-w".into(),
+            position: Point { x: 0.0, y: 0.0 },
+            building: "B31".into(),
+            area: "1F-west".into(),
+        },
+        AccessPoint {
+            id: "ap-b31-e".into(),
+            position: Point { x: 60.0, y: 0.0 },
+            building: "B31".into(),
+            area: "1F-east".into(),
+        },
+        AccessPoint {
+            id: "ap-b40".into(),
+            position: Point { x: 400.0, y: 300.0 },
+            building: "B40".into(),
+            area: "lobby".into(),
+        },
+    ]
+}
+
+/// Runs E4.
+pub fn measure(seed: u64) -> (E4Numbers, Vec<Table>) {
+    let mut rng = SimRng::new(seed ^ 0xE4);
+    let mut server = WishServer::new("wish-svc", campus(), RadioModel::default());
+    server.subscribe(LocationSubscription {
+        tracked: "bob".into(),
+        watcher: "alice".into(),
+        trigger: LocationTrigger::Enter("B31".into()),
+    });
+    server.subscribe(LocationSubscription {
+        tracked: "bob".into(),
+        watcher: "alice".into(),
+        trigger: LocationTrigger::Leave("B31".into()),
+    });
+    let client = WishClient {
+        user: "bob".into(),
+        report_every: SimDuration::from_secs(10),
+    };
+
+    // Bob shuttles between B31 and B40; each arrival generates a client
+    // measurement whose report fires Enter/Leave alerts.
+    let mut confidence = Summary::new();
+    let mut emissions = Vec::new();
+    let aps = campus();
+    let model = *server.model();
+    for i in 0..TRANSITIONS {
+        let send_at = SimTime::from_secs(30 + i * 90);
+        let position = if i % 2 == 0 {
+            Point { x: 10.0, y: 2.0 } // inside B31 west
+        } else {
+            Point { x: 398.0, y: 301.0 } // inside B40
+        };
+        let Some(measurement) = client.measure(position, &aps, &model, "active", send_at, &mut rng)
+        else {
+            continue;
+        };
+        let m = Measurement { taken_at: send_at, ..measurement };
+        let (estimate, alerts) = server.report(&m);
+        confidence.observe(estimate.confidence);
+        // WISH-side processing before SIMBA sees the alert.
+        let processing =
+            SimDuration::from_secs_f64(rng.lognormal(WISH_PROCESSING_MEDIAN_SECS, 0.3));
+        for alert in alerts {
+            emissions.push((send_at + processing, send_at, alert));
+        }
+    }
+
+    let alerts_fired = emissions.len() as u64;
+    let horizon = emissions.last().expect("transitions fired").0 + SimDuration::from_hours(1);
+    let mut engine = build(PipelineOptions::new(seed, horizon));
+    let mut send_times: BTreeMap<u64, SimTime> = BTreeMap::new();
+    for (tag, (emit_at, send_at, mut alert)) in emissions.into_iter().enumerate() {
+        send_times.insert(tag as u64, send_at);
+        // The harness classifier keys on the body text, which carries the
+        // transition verb ("entered"/"left").
+        alert.source = "wish-svc".into();
+        engine.schedule_at(emit_at, Ev::Emit { tag: tag as u64, alert });
+    }
+    engine.run_until(horizon, handle);
+    let (world, _) = engine.into_parts();
+
+    let mut end_to_end = Summary::new();
+    for (tag, track) in &world.tracks {
+        if let (Some(sent), Some(reached)) = (send_times.get(tag), track.reached_user_at) {
+            end_to_end.observe((reached - *sent).as_secs_f64());
+        }
+    }
+
+    let mut t = Table::new(
+        "E4: WISH location alert, laptop send → subscriber notified",
+        &["metric", "measured mean/p50/p95", "paper"],
+    );
+    t.row(&[
+        "end-to-end delivery".to_string(),
+        dist(&end_to_end),
+        "5 s average".to_string(),
+    ]);
+    t.row(&[
+        "estimate confidence (%)".to_string(),
+        dist(&confidence),
+        "\"confidence percentage with each estimate\"".to_string(),
+    ]);
+    t.row(&[
+        "location alerts fired".to_string(),
+        format!("{alerts_fired}"),
+        format!("{TRANSITIONS} transitions injected"),
+    ]);
+
+    (
+        E4Numbers {
+            end_to_end_mean: end_to_end.mean(),
+            alerts: alerts_fired,
+            mean_confidence: confidence.mean(),
+        },
+        vec![t],
+    )
+}
+
+/// Runs E4 and packages the result.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let (_, tables) = measure(seed);
+    ExperimentOutput {
+        id: "E4",
+        title: "WISH wireless location alert end-to-end",
+        paper_claim: "laptop send to subscriber IM notification averaged 5 seconds",
+        tables,
+        notes: vec![format!(
+            "WISH-side processing modelled log-normally with median {WISH_PROCESSING_MEDIAN_SECS} s (uplink + estimation + SSS + subscription match)"
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_end_to_end_near_five_seconds() {
+        let (n, _) = measure(42);
+        assert!(
+            (3.8..6.5).contains(&n.end_to_end_mean),
+            "end-to-end {} (paper 5)",
+            n.end_to_end_mean
+        );
+        // Every transition fires Enter or Leave for B31.
+        assert!(n.alerts >= TRANSITIONS - 4, "alerts {}", n.alerts);
+        assert!(n.mean_confidence > 50.0, "confidence {}", n.mean_confidence);
+    }
+}

@@ -1,0 +1,79 @@
+//! One module per experiment; each reproduces one measured claim from the
+//! paper's §5 (E1–E5) or one design-choice ablation (A1–A6). See
+//! `DESIGN.md` §5 for the index and `EXPERIMENTS.md` for recorded results.
+
+pub mod a1_strategies;
+pub mod a2_wal;
+pub mod a3_watchdog;
+pub mod a4_rejuvenation;
+pub mod a5_dialogs;
+pub mod a6_sanity;
+pub mod e1_im_latency;
+pub mod e2_proxy;
+pub mod e3_aladdin;
+pub mod e4_wish;
+pub mod e5_faultlog;
+
+use crate::report::Table;
+
+/// The output of one experiment run.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// Short id, e.g. `"E1"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The paper's reported value(s), quoted.
+    pub paper_claim: &'static str,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Free-form observations appended to the report.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Prints the experiment as aligned text to stdout.
+    pub fn print(&self) {
+        println!("================================================================");
+        println!("{} — {}", self.id, self.title);
+        println!("paper: {}", self.paper_claim);
+        println!("================================================================");
+        for t in &self.tables {
+            t.print();
+        }
+        for n in &self.notes {
+            println!("note: {n}");
+        }
+        println!();
+    }
+
+    /// Renders the experiment as markdown (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n*Paper:* {}\n\n", self.id, self.title, self.paper_claim);
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("*Note:* {n}\n\n"));
+        }
+        out
+    }
+}
+
+/// Runs every experiment with the default seed, in order.
+pub fn run_all(seed: u64) -> Vec<ExperimentOutput> {
+    vec![
+        e1_im_latency::run(seed),
+        e2_proxy::run(seed),
+        e3_aladdin::run(seed),
+        e4_wish::run(seed),
+        e5_faultlog::run(seed),
+        a1_strategies::run(seed),
+        a2_wal::run(seed),
+        a3_watchdog::run(seed),
+        a4_rejuvenation::run(seed),
+        a5_dialogs::run(seed),
+        a6_sanity::run(seed),
+    ]
+}

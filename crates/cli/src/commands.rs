@@ -1,0 +1,477 @@
+//! The subcommand implementations.
+
+use crate::Outcome;
+use simba_core::address::AddressBook;
+use simba_core::alert::{Alert, AlertId, Urgency};
+use simba_core::delivery::{
+    AttemptOutcome, DeliveryCommand, DeliveryEvent, DeliveryProcess, SendFailure,
+};
+use simba_core::mode::DeliveryMode;
+use simba_core::wal::{FileWal, WriteAheadLog};
+use simba_sim::SimTime;
+use std::fmt::Write as _;
+
+fn read_file(path: &str) -> Result<String, Outcome> {
+    std::fs::read_to_string(path)
+        .map_err(|e| Outcome::error(format!("cannot read {path}: {e}\n")))
+}
+
+/// `validate addresses|mode|registry <file>`.
+pub fn validate(args: &[String]) -> Outcome {
+    let [kind, path] = args else {
+        return Outcome::usage("validate takes a document kind and a file");
+    };
+    let content = match read_file(path) {
+        Ok(c) => c,
+        Err(o) => return o,
+    };
+    match kind.as_str() {
+        "addresses" => match AddressBook::from_xml(&content) {
+            Ok(book) => {
+                let enabled = book.enabled().count();
+                Outcome::ok(format!(
+                    "OK: {} addresses ({} enabled)\n",
+                    book.len(),
+                    enabled
+                ))
+            }
+            Err(e) => Outcome::error(format!("INVALID address book: {e}\n")),
+        },
+        "mode" => match DeliveryMode::from_xml(&content) {
+            Ok(mode) => Outcome::ok(format!(
+                "OK: delivery mode {:?} with {} block(s)\n",
+                mode.name,
+                mode.len()
+            )),
+            Err(e) => Outcome::error(format!("INVALID delivery mode: {e}\n")),
+        },
+        "registry" => match simba_core::registry_from_xml(&content) {
+            Ok(reg) => Outcome::ok(format!(
+                "OK: {} user(s), {} categor(ies)\n",
+                reg.users().count(),
+                reg.categories().count()
+            )),
+            Err(e) => Outcome::error(format!("INVALID registry: {e}\n")),
+        },
+        other => Outcome::usage(&format!("unknown document kind {other:?}")),
+    }
+}
+
+/// `explain --addresses f --mode f [--disable n]... [--fail n]... [--ack n]`.
+pub fn explain(args: &[String]) -> Outcome {
+    let mut addresses_path = None;
+    let mut mode_path = None;
+    let mut disabled = Vec::new();
+    let mut failing = Vec::new();
+    let mut acked = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| Outcome::usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--addresses" => addresses_path = Some(value()),
+            "--mode" => mode_path = Some(value()),
+            "--disable" => disabled.push(value()),
+            "--fail" => failing.push(value()),
+            "--ack" => acked = Some(value()),
+            other => return Outcome::usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    let unwrap2 = |v: Option<Result<String, Outcome>>, name: &str| match v {
+        Some(Ok(s)) => Ok(s),
+        Some(Err(o)) => Err(o),
+        None => Err(Outcome::usage(&format!("--{name} is required"))),
+    };
+    let addresses_path = match unwrap2(addresses_path, "addresses") {
+        Ok(p) => p,
+        Err(o) => return o,
+    };
+    let mode_path = match unwrap2(mode_path, "mode") {
+        Ok(p) => p,
+        Err(o) => return o,
+    };
+    let disabled: Vec<String> = match disabled.into_iter().collect() {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    let failing: Vec<String> = match failing.into_iter().collect() {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    let acked: Option<String> = match acked.transpose() {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+
+    let book_xml = match read_file(&addresses_path) {
+        Ok(c) => c,
+        Err(o) => return o,
+    };
+    let mode_xml = match read_file(&mode_path) {
+        Ok(c) => c,
+        Err(o) => return o,
+    };
+    let mut book = match AddressBook::from_xml(&book_xml) {
+        Ok(b) => b,
+        Err(e) => return Outcome::error(format!("INVALID address book: {e}\n")),
+    };
+    let mode = match DeliveryMode::from_xml(&mode_xml) {
+        Ok(m) => m,
+        Err(e) => return Outcome::error(format!("INVALID delivery mode: {e}\n")),
+    };
+    for name in &disabled {
+        if !book.set_enabled(name, false) {
+            return Outcome::error(format!("--disable: no address named {name:?}\n"));
+        }
+    }
+
+    Outcome::ok(explain_cascade(&mode, &book, &failing, acked.as_deref()))
+}
+
+/// Dry-runs the mode and renders the cascade.
+pub fn explain_cascade(
+    mode: &DeliveryMode,
+    book: &AddressBook,
+    failing: &[String],
+    acked: Option<&str>,
+) -> String {
+    let alert = Alert {
+        id: AlertId(0),
+        source: "dry-run".into(),
+        category: "dry-run".into(),
+        text: "dry-run alert".into(),
+        origin_timestamp: SimTime::ZERO,
+        received_at: SimTime::ZERO,
+        urgency: Urgency::Normal,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "delivery mode {:?} against {} address(es):", mode.name, book.len());
+
+    let (mut process, mut commands) = DeliveryProcess::start(alert, mode.clone(), book, SimTime::ZERO);
+    let mut now = SimTime::ZERO;
+    let mut guard = 0;
+    while !commands.is_empty() {
+        guard += 1;
+        if guard > 50 {
+            let _ = writeln!(out, "  ... (cascade truncated)");
+            break;
+        }
+        let mut next = Vec::new();
+        for command in commands {
+            match command {
+                DeliveryCommand::Send { attempt, comm_type, address_name, .. } => {
+                    if failing.contains(&address_name) {
+                        let _ = writeln!(out, "  [{now}] send {comm_type} via {address_name:?} → FAILS");
+                        next.extend(process.handle(
+                            DeliveryEvent::SendFailed { attempt, failure: SendFailure::RecipientUnreachable },
+                            book,
+                            now,
+                        ));
+                    } else {
+                        let _ = writeln!(out, "  [{now}] send {comm_type} via {address_name:?} → accepted");
+                        next.extend(process.handle(DeliveryEvent::SendAccepted { attempt }, book, now));
+                        if acked == Some(address_name.as_str()) {
+                            let _ = writeln!(out, "  [{now}] user acknowledges via {address_name:?}");
+                            next.extend(process.handle(DeliveryEvent::Acked { attempt }, book, now));
+                        }
+                    }
+                }
+                DeliveryCommand::StartTimer { timer, after } => {
+                    // Fast-forward: if the process is still waiting when the
+                    // window expires, the timer drives the fallback.
+                    now = now + after;
+                    let _ = writeln!(out, "  [{now}] ack window of {after} expires");
+                    next.extend(process.handle(DeliveryEvent::TimerFired { timer }, book, now));
+                }
+            }
+        }
+        commands = next;
+    }
+
+    let _ = writeln!(out, "outcome: {:?}", process.status());
+    let _ = writeln!(out, "attempts:");
+    for a in process.attempts() {
+        let verdict = match a.outcome {
+            AttemptOutcome::Pending => "pending".to_string(),
+            AttemptOutcome::Accepted => "accepted".to_string(),
+            AttemptOutcome::Failed(f) => format!("failed: {f}"),
+            AttemptOutcome::Acked(at) => format!("acknowledged at {at}"),
+        };
+        let _ = writeln!(
+            out,
+            "  block {} {:>5} via {:<12} {}",
+            a.block + 1,
+            a.comm_type.to_string(),
+            format!("{:?}", a.address_name),
+            verdict
+        );
+    }
+    out
+}
+
+/// `wal inspect <file>`.
+pub fn wal(args: &[String]) -> Outcome {
+    let [action, path] = args else {
+        return Outcome::usage("wal takes an action and a file");
+    };
+    if action != "inspect" {
+        return Outcome::usage(&format!("unknown wal action {action:?}"));
+    }
+    match FileWal::open_tolerant(path) {
+        Ok(wal) => {
+            let unprocessed = wal.unprocessed();
+            let mut out = format!(
+                "{}: {} record(s), {} unprocessed\n",
+                path,
+                wal.len(),
+                unprocessed.len()
+            );
+            for r in unprocessed {
+                let _ = writeln!(
+                    out,
+                    "  #{} received {} from {:?}: {}",
+                    r.id,
+                    r.received_at,
+                    r.alert.source,
+                    summary_line(&r.alert.body)
+                );
+            }
+            Outcome::ok(out)
+        }
+        Err(e) => Outcome::error(format!("cannot open log: {e}\n")),
+    }
+}
+
+fn summary_line(body: &str) -> String {
+    let one_line: String = body.chars().map(|c| if c == '\n' { ' ' } else { c }).collect();
+    if one_line.chars().count() > 60 {
+        let prefix: String = one_line.chars().take(57).collect();
+        format!("{prefix}...")
+    } else {
+        one_line
+    }
+}
+
+/// `demo pipeline|faultlog [...]`.
+pub fn demo(args: &[String]) -> Outcome {
+    let Some(which) = args.first() else {
+        return Outcome::usage("demo takes a scenario name");
+    };
+    let mut seed = 42u64;
+    let mut alerts = 50u64;
+    let mut fixes = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return Outcome::usage("--seed needs a number"),
+            },
+            "--alerts" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => alerts = v,
+                None => return Outcome::usage("--alerts needs a number"),
+            },
+            "--fixes" => fixes = true,
+            other => return Outcome::usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    match which.as_str() {
+        "pipeline" => Outcome::ok(demo_pipeline(seed, alerts)),
+        "faultlog" => Outcome::ok(demo_faultlog(seed, fixes)),
+        other => Outcome::usage(&format!("unknown demo {other:?}")),
+    }
+}
+
+fn demo_pipeline(seed: u64, alerts: u64) -> String {
+    use simba_bench::harness::{build, handle, Ev, PipelineOptions};
+    use simba_core::alert::IncomingAlert;
+
+    let horizon = SimTime::from_secs(120 + alerts * 60);
+    let mut engine = build(PipelineOptions::new(seed, horizon));
+    for i in 0..alerts {
+        let at = SimTime::from_secs(30 + i * 60);
+        let alert = IncomingAlert::from_im("aladdin-gw", format!("Sensor demo {i} ON"), at);
+        engine.schedule_at(at, Ev::Emit { tag: i, alert });
+    }
+    engine.run_until(horizon, handle);
+    let world = engine.world();
+    let seen = world
+        .tracks
+        .values()
+        .filter(|t| t.emitted_at.is_some() && t.seen_at.is_some())
+        .count();
+    let mut out = format!("pipeline demo: {alerts} alerts, seed {seed}\n");
+    let _ = writeln!(out, "  seen by the user: {seen}/{alerts}");
+    for name in ["im.one_way", "source.ack_rtt", "user.seen_latency"] {
+        if let Some(s) = world.metrics.summary(name) {
+            let _ = writeln!(out, "  {name}: {s}");
+        }
+    }
+    out
+}
+
+fn demo_faultlog(seed: u64, fixes: bool) -> String {
+    use simba_bench::faultlog::{run_campaign, CampaignOptions};
+    let result = run_campaign(&CampaignOptions {
+        seed,
+        with_fixes: fixes,
+        ..CampaignOptions::default()
+    });
+    let mut out = format!(
+        "fault-log demo: 30 simulated days, seed {seed}, fixes {}\n",
+        if fixes { "applied" } else { "not applied" }
+    );
+    let _ = writeln!(out, "  IM downtimes:        {}", result.im_downtimes);
+    let _ = writeln!(out, "  re-logons:           {}", result.relogons);
+    let _ = writeln!(out, "  client restarts:     {}", result.client_restarts);
+    let _ = writeln!(out, "  MDC restarts:        {}", result.mdc_restarts);
+    let _ = writeln!(out, "  unrecovered:         {}", result.unrecovered);
+    let _ = writeln!(
+        out,
+        "  delivery rate:       {:.1} %",
+        result.delivery_rate() * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_core::address::{Address, CommType};
+    use simba_core::mode::Block;
+    use simba_sim::SimDuration;
+
+    fn tmp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("simba-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn strings(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn validate_good_and_bad_documents() {
+        let good = tmp(
+            "good-book.xml",
+            r#"<Addresses><Address name="IM" type="IM" value="im:a"/></Addresses>"#,
+        );
+        let out = validate(&strings(&["addresses", &good]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("OK: 1 addresses"));
+
+        let bad = tmp("bad-book.xml", "<Addresses><Address/></Addresses>");
+        let out = validate(&strings(&["addresses", &bad]));
+        assert_eq!(out.code, 1);
+        assert!(out.output.contains("INVALID"));
+
+        let mode = tmp(
+            "mode.xml",
+            r#"<DeliveryMode name="M"><Block><Action address="IM"/></Block></DeliveryMode>"#,
+        );
+        assert_eq!(validate(&strings(&["mode", &mode])).code, 0);
+        assert_eq!(validate(&strings(&["registry", &mode])).code, 1);
+        assert_eq!(validate(&strings(&["nonsense", &mode])).code, 2);
+        assert_eq!(validate(&strings(&["addresses", "/no/such/file"])).code, 1);
+    }
+
+    #[test]
+    fn explain_happy_and_fallback_paths() {
+        let book = {
+            let mut b = AddressBook::new();
+            b.add(Address::new("IM", CommType::Im, "im:a")).unwrap();
+            b.add(Address::new("EM", CommType::Email, "a@b")).unwrap();
+            b
+        };
+        let mode = DeliveryMode::new(
+            "Urgent",
+            vec![
+                Block::acked(vec!["IM".into()], SimDuration::from_secs(60)),
+                Block::fire_and_forget(vec!["EM".into()]),
+            ],
+        )
+        .unwrap();
+
+        // Acked on the first block.
+        let text = explain_cascade(&mode, &book, &[], Some("IM"));
+        assert!(text.contains("user acknowledges"), "{text}");
+        assert!(text.contains("Acked"), "{text}");
+
+        // No ack: window expires, email fires.
+        let text = explain_cascade(&mode, &book, &[], None);
+        assert!(text.contains("ack window of 1.0min"), "{text}");
+        assert!(text.contains("via \"EM\""), "{text}");
+        assert!(text.contains("Unconfirmed"), "{text}");
+
+        // IM fails synchronously.
+        let text = explain_cascade(&mode, &book, &["IM".to_string()], None);
+        assert!(text.contains("FAILS"), "{text}");
+    }
+
+    #[test]
+    fn explain_cli_flag_errors() {
+        assert_eq!(explain(&strings(&["--mode"])).code, 2);
+        assert_eq!(explain(&strings(&["--bogus", "x"])).code, 2);
+        assert_eq!(explain(&strings(&[])).code, 2); // missing required flags
+    }
+
+    #[test]
+    fn wal_inspect_round_trip() {
+        use simba_core::alert::IncomingAlert;
+        let dir = std::env::temp_dir().join(format!("simba-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inspect.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut w = FileWal::open(&path).unwrap();
+        let id = w
+            .append(
+                &IncomingAlert::from_im("aladdin-gw", "Sensor ON", SimTime::from_secs(9)),
+                SimTime::from_secs(10),
+            )
+            .unwrap();
+        w.append(
+            &IncomingAlert::from_im("aladdin-gw", "Sensor OFF", SimTime::from_secs(19)),
+            SimTime::from_secs(20),
+        )
+        .unwrap();
+        w.mark_processed(id).unwrap();
+        drop(w);
+
+        let out = wal(&strings(&["inspect", path.to_string_lossy().as_ref()]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("2 record(s), 1 unprocessed"));
+        assert!(out.output.contains("Sensor OFF"));
+        assert!(!out.output.contains("Sensor ON\n")); // processed: not listed
+        std::fs::remove_file(&path).unwrap();
+
+        assert_eq!(wal(&strings(&["inspect"])).code, 2);
+        assert_eq!(wal(&strings(&["scrub", "x"])).code, 2);
+    }
+
+    #[test]
+    fn demo_pipeline_prints_summary() {
+        let out = demo(&strings(&["pipeline", "--seed", "7", "--alerts", "5"]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("seen by the user: 5/5"), "{}", out.output);
+        assert_eq!(demo(&strings(&["pipeline", "--seed", "NaN"])).code, 2);
+        assert_eq!(demo(&strings(&["nonsense"])).code, 2);
+        assert_eq!(demo(&strings(&[])).code, 2);
+    }
+
+    #[test]
+    fn summary_line_truncates() {
+        assert_eq!(summary_line("short"), "short");
+        assert_eq!(summary_line("a\nb"), "a b");
+        let long = "x".repeat(100);
+        let s = summary_line(&long);
+        assert_eq!(s.chars().count(), 60);
+        assert!(s.ends_with("..."));
+    }
+}

@@ -1,0 +1,107 @@
+//! `simba-cli` — the operator tool for SIMBA deployments.
+//!
+//! Subcommands (see [`run`] and `simba-cli help`):
+//!
+//! * `validate addresses|mode|registry <file>` — check the §4.1 XML
+//!   documents before installing them;
+//! * `explain` — dry-run a delivery mode against an address book and print
+//!   the block cascade under chosen failure assumptions;
+//! * `wal inspect <file>` — print a pessimistic log's records (tolerating
+//!   a torn tail, as a restarting MyAlertBuddy would);
+//! * `demo pipeline|faultlog` — run the simulated deployment and print the
+//!   summary tables.
+//!
+//! All command logic lives here (testable); `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+
+use std::fmt::Write as _;
+
+/// A command outcome: what to print and the process exit code.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Text for stdout.
+    pub output: String,
+    /// Process exit code (0 = success, 1 = user error, 2 = usage error).
+    pub code: i32,
+}
+
+impl Outcome {
+    fn ok(output: impl Into<String>) -> Self {
+        Outcome { output: output.into(), code: 0 }
+    }
+
+    fn error(output: impl Into<String>) -> Self {
+        Outcome { output: output.into(), code: 1 }
+    }
+
+    fn usage(extra: &str) -> Self {
+        let mut output = String::new();
+        if !extra.is_empty() {
+            let _ = writeln!(output, "error: {extra}\n");
+        }
+        output.push_str(USAGE);
+        Outcome { output, code: 2 }
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+simba-cli — operate a SIMBA alert-delivery deployment
+
+USAGE:
+  simba-cli validate addresses <file.xml>
+  simba-cli validate mode <file.xml>
+  simba-cli validate registry <file.xml>
+  simba-cli explain --addresses <file.xml> --mode <file.xml>
+            [--disable <name>]... [--fail <name>]... [--ack <name>]
+  simba-cli wal inspect <file.wal>
+  simba-cli demo pipeline  [--seed <n>] [--alerts <n>]
+  simba-cli demo faultlog  [--seed <n>] [--fixes]
+  simba-cli help
+
+`explain` fires the delivery mode against the address book and reports the
+block cascade: --disable turns an address off first, --fail makes a send
+to that address fail synchronously, --ack names the address whose send the
+user acknowledges (default: nothing is acknowledged, so every ack window
+expires).
+";
+
+/// Dispatches a command line (without the program name).
+pub fn run(args: &[String]) -> Outcome {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help" | "--help" | "-h") => Outcome::ok(USAGE),
+        Some("validate") => commands::validate(&args[1..]),
+        Some("explain") => commands::explain(&args[1..]),
+        Some("wal") => commands::wal(&args[1..]),
+        Some("demo") => commands::demo(&args[1..]),
+        Some(other) => Outcome::usage(&format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(run(&[]).code, 0);
+        assert_eq!(run(&args(&["help"])).code, 0);
+        assert!(run(&args(&["--help"])).output.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let out = run(&args(&["frobnicate"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("unknown command"));
+    }
+}

@@ -1,0 +1,8 @@
+//! The `simba-cli` binary: a thin shim over [`simba_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = simba_cli::run(&args);
+    print!("{}", outcome.output);
+    std::process::exit(outcome.code);
+}

@@ -1,0 +1,172 @@
+//! Dialog boxes and the caption→button rule registry.
+//!
+//! "Each Communication Manager maintains a 'monkey thread', whose only job
+//! is to look for dialog boxes with matching captions and 'click' on the
+//! appropriate buttons" (§4.1.1). Rules come in three layers: system-generic
+//! pairs, client-software-specific pairs, and pairs registered at runtime
+//! through the manager API — the paper's fix for the two unknown dialog
+//! boxes that escaped recovery in the one-month log (§5).
+
+use simba_sim::SimTime;
+
+/// A dialog box popped by the client software or "other parts of the system".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DialogBox {
+    /// Window caption, the key the monkey thread matches on.
+    pub caption: String,
+    /// Buttons the dialog offers, e.g. `["OK"]` or `["Retry", "Cancel"]`.
+    pub buttons: Vec<String>,
+    /// Whether the dialog blocks the client from making progress while open.
+    pub blocking: bool,
+    /// When it appeared.
+    pub popped_at: SimTime,
+}
+
+impl DialogBox {
+    /// A blocking single-button dialog (the common irritant).
+    pub fn blocking(caption: impl Into<String>, button: impl Into<String>, popped_at: SimTime) -> Self {
+        DialogBox {
+            caption: caption.into(),
+            buttons: vec![button.into()],
+            blocking: true,
+            popped_at,
+        }
+    }
+}
+
+/// A caption→button dismissal rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DialogRule {
+    caption: String,
+    button: String,
+}
+
+/// The layered rule registry consulted by the monkey thread.
+#[derive(Debug, Clone, Default)]
+pub struct DialogRegistry {
+    rules: Vec<DialogRule>,
+}
+
+impl DialogRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DialogRegistry::default()
+    }
+
+    /// The system-generic rules every manager ships with.
+    pub fn system_generic() -> Self {
+        let mut r = DialogRegistry::new();
+        for (caption, button) in [
+            ("End Program", "End Now"),
+            ("Application Error", "OK"),
+            ("Low Disk Space", "OK"),
+            ("Connection Lost", "Retry"),
+        ] {
+            r.register(caption, button);
+        }
+        r
+    }
+
+    /// Registers one caption→button pair. Later registrations win over
+    /// earlier ones for the same caption (so operators can override the
+    /// shipped defaults).
+    pub fn register(&mut self, caption: impl Into<String>, button: impl Into<String>) {
+        self.rules.push(DialogRule {
+            caption: caption.into(),
+            button: button.into(),
+        });
+    }
+
+    /// The button to click for `caption`, if any rule matches.
+    ///
+    /// Matching is exact on the caption, which is how the paper's monkey
+    /// thread worked; a dialog with an unanticipated caption is exactly the
+    /// "previously unknown dialog box" failure class.
+    pub fn button_for(&self, caption: &str) -> Option<&str> {
+        self.rules
+            .iter()
+            .rev()
+            .find(|r| r.caption == caption)
+            .map(|r| r.button.as_str())
+    }
+
+    /// Number of registered rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Attempts to dismiss `dialog`: returns the clicked button, or `None`
+    /// if no rule matches or the dialog does not offer the ruled button.
+    pub fn dismiss(&self, dialog: &DialogBox) -> Option<String> {
+        let button = self.button_for(&dialog.caption)?;
+        dialog
+            .buttons
+            .iter()
+            .find(|b| b.as_str() == button)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_caption_match_only() {
+        let mut r = DialogRegistry::new();
+        r.register("Sign-in failed", "OK");
+        assert_eq!(r.button_for("Sign-in failed"), Some("OK"));
+        assert_eq!(r.button_for("Sign-in failed!"), None);
+        assert_eq!(r.button_for("sign-in failed"), None);
+    }
+
+    #[test]
+    fn later_registration_overrides() {
+        let mut r = DialogRegistry::new();
+        r.register("Connection Lost", "Cancel");
+        r.register("Connection Lost", "Retry");
+        assert_eq!(r.button_for("Connection Lost"), Some("Retry"));
+    }
+
+    #[test]
+    fn system_generic_covers_common_captions() {
+        let r = DialogRegistry::system_generic();
+        assert!(!r.is_empty());
+        assert_eq!(r.button_for("Application Error"), Some("OK"));
+        assert_eq!(r.button_for("Totally Novel Dialog"), None);
+    }
+
+    #[test]
+    fn dismiss_requires_button_to_exist_on_dialog() {
+        let mut r = DialogRegistry::new();
+        r.register("Update Available", "Later");
+        let d = DialogBox {
+            caption: "Update Available".into(),
+            buttons: vec!["Install".into(), "Later".into()],
+            blocking: true,
+            popped_at: SimTime::ZERO,
+        };
+        assert_eq!(r.dismiss(&d), Some("Later".to_string()));
+
+        let d2 = DialogBox {
+            caption: "Update Available".into(),
+            buttons: vec!["Install".into()], // ruled button missing
+            blocking: true,
+            popped_at: SimTime::ZERO,
+        };
+        assert_eq!(r.dismiss(&d2), None);
+    }
+
+    #[test]
+    fn blocking_constructor() {
+        let d = DialogBox::blocking("X", "OK", SimTime::from_secs(5));
+        assert!(d.blocking);
+        assert_eq!(d.buttons, vec!["OK".to_string()]);
+        assert_eq!(d.popped_at, SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,184 @@
+//! Fault-injection processes for the client software.
+//!
+//! Rates are calibrated so that a 30-day run reproduces the *shape* of the
+//! paper's one-month fault log (§5): a handful of forced logouts a month,
+//! a similar number of client hangs, occasional dialog boxes — mostly from
+//! a known repertoire, rarely a previously-unknown one — and rare client
+//! crashes.
+
+use simba_sim::{SimDuration, SimRng};
+
+/// A kind of injected client-software anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The client is silently logged out (network blip, server recovery).
+    /// A simple re-logon fixes it — 9 instances in the paper's month.
+    Logout,
+    /// The client wedges; it must be killed and restarted — 9 instances.
+    Hang,
+    /// The client process dies on its own.
+    Crash,
+    /// A dialog box from the known repertoire pops.
+    KnownDialog,
+    /// A dialog box nobody anticipated pops (2 instances in the month,
+    /// initially unrecoverable).
+    UnknownDialog,
+}
+
+impl FaultKind {
+    /// All kinds, for iteration in tests and reports.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Logout,
+        FaultKind::Hang,
+        FaultKind::Crash,
+        FaultKind::KnownDialog,
+        FaultKind::UnknownDialog,
+    ];
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::Logout => "logout",
+            FaultKind::Hang => "hang",
+            FaultKind::Crash => "crash",
+            FaultKind::KnownDialog => "known-dialog",
+            FaultKind::UnknownDialog => "unknown-dialog",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Mean time between faults, per kind. `None` disables the kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientFaultModel {
+    /// MTBF for silent logouts.
+    pub logout_mtbf: Option<SimDuration>,
+    /// MTBF for hangs.
+    pub hang_mtbf: Option<SimDuration>,
+    /// MTBF for spontaneous crashes.
+    pub crash_mtbf: Option<SimDuration>,
+    /// MTBF for known dialog boxes.
+    pub known_dialog_mtbf: Option<SimDuration>,
+    /// MTBF for unknown dialog boxes.
+    pub unknown_dialog_mtbf: Option<SimDuration>,
+}
+
+impl ClientFaultModel {
+    /// A model with every fault disabled.
+    pub fn none() -> Self {
+        ClientFaultModel {
+            logout_mtbf: None,
+            hang_mtbf: None,
+            crash_mtbf: None,
+            known_dialog_mtbf: None,
+            unknown_dialog_mtbf: None,
+        }
+    }
+
+    /// The month-calibration: ≈9 logouts, ≈9 hangs, ≈1 crash, ≈6 known
+    /// dialogs and ≈2 unknown dialogs per 30 days — matching §5.
+    pub fn paper_month() -> Self {
+        ClientFaultModel {
+            logout_mtbf: Some(SimDuration::from_days(30) .div_f(9.0)),
+            hang_mtbf: Some(SimDuration::from_days(30).div_f(9.0)),
+            crash_mtbf: Some(SimDuration::from_days(30)),
+            known_dialog_mtbf: Some(SimDuration::from_days(5)),
+            unknown_dialog_mtbf: Some(SimDuration::from_days(15)),
+        }
+    }
+
+    /// Draws the delay until the next fault of each enabled kind and
+    /// returns the soonest `(delay, kind)`, or `None` if all disabled.
+    ///
+    /// Competing exponentials: equivalent to a merged Poisson process with
+    /// kind chosen proportionally to rate — and resampling after each fault
+    /// keeps the process memoryless.
+    pub fn next_fault(&self, rng: &mut SimRng) -> Option<(SimDuration, FaultKind)> {
+        let mut best: Option<(SimDuration, FaultKind)> = None;
+        for (mtbf, kind) in [
+            (self.logout_mtbf, FaultKind::Logout),
+            (self.hang_mtbf, FaultKind::Hang),
+            (self.crash_mtbf, FaultKind::Crash),
+            (self.known_dialog_mtbf, FaultKind::KnownDialog),
+            (self.unknown_dialog_mtbf, FaultKind::UnknownDialog),
+        ] {
+            if let Some(mtbf) = mtbf {
+                let d = SimDuration::from_secs_f64(rng.exponential(mtbf.as_secs_f64()));
+                if best.map_or(true, |(bd, _)| d < bd) {
+                    best = Some((d, kind));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Helper: divide a duration by a float factor.
+trait DivF {
+    fn div_f(self, f: f64) -> SimDuration;
+}
+impl DivF for SimDuration {
+    fn div_f(self, f: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() / f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn none_yields_no_faults() {
+        let mut rng = SimRng::new(1);
+        assert_eq!(ClientFaultModel::none().next_fault(&mut rng), None);
+    }
+
+    #[test]
+    fn single_kind_always_wins() {
+        let model = ClientFaultModel {
+            hang_mtbf: Some(SimDuration::from_hours(1)),
+            ..ClientFaultModel::none()
+        };
+        let mut rng = SimRng::new(2);
+        for _ in 0..50 {
+            let (_, kind) = model.next_fault(&mut rng).unwrap();
+            assert_eq!(kind, FaultKind::Hang);
+        }
+    }
+
+    #[test]
+    fn paper_month_rates_have_right_proportions() {
+        // Simulate the competing process for 30 simulated days, many times,
+        // and check per-kind counts land near the calibration targets.
+        let model = ClientFaultModel::paper_month();
+        let mut rng = SimRng::new(3);
+        let mut counts: HashMap<FaultKind, u32> = HashMap::new();
+        let runs = 40;
+        for _ in 0..runs {
+            let mut t = SimDuration::ZERO;
+            let month = SimDuration::from_days(30);
+            loop {
+                let (d, kind) = model.next_fault(&mut rng).unwrap();
+                t += d;
+                if t >= month {
+                    break;
+                }
+                *counts.entry(kind).or_default() += 1;
+            }
+        }
+        let avg = |k: FaultKind| *counts.get(&k).unwrap_or(&0) as f64 / runs as f64;
+        assert!((6.0..12.0).contains(&avg(FaultKind::Logout)), "logouts {}", avg(FaultKind::Logout));
+        assert!((6.0..12.0).contains(&avg(FaultKind::Hang)), "hangs {}", avg(FaultKind::Hang));
+        assert!((0.3..2.5).contains(&avg(FaultKind::Crash)), "crashes {}", avg(FaultKind::Crash));
+        assert!((4.0..9.0).contains(&avg(FaultKind::KnownDialog)), "known {}", avg(FaultKind::KnownDialog));
+        assert!((1.0..3.5).contains(&avg(FaultKind::UnknownDialog)), "unknown {}", avg(FaultKind::UnknownDialog));
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        let names: Vec<String> = FaultKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, ["logout", "hang", "crash", "known-dialog", "unknown-dialog"]);
+    }
+}

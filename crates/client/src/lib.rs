@@ -1,0 +1,41 @@
+//! `simba-client` — simulated third-party client software and the
+//! Communication Managers that drive it.
+//!
+//! SIMBA deliberately sends and receives alerts through the *same*
+//! GUI-centric IM and email client software a human would use, via
+//! automation interfaces (§4.1.1). Those interfaces "do not model and
+//! simulate human operations in case of exceptions" — so SIMBA's
+//! Communication Managers add **exception-handling automation**: the three
+//! APIs a daemon needs to keep flaky desktop software alive forever.
+//!
+//! This crate provides:
+//!
+//! * [`process`] — a simulated client-software process with the §4.1.1/§5
+//!   anomaly repertoire: hangs, crashes, forced logouts, popped dialog
+//!   boxes (known and previously-unknown), stale automation pointers after
+//!   restart, and memory leaks;
+//! * [`faults`] — the fault-injection processes that generate those
+//!   anomalies at calibrated rates;
+//! * [`dialogs`] — dialog boxes and the caption→button rule registry the
+//!   "monkey thread" consults;
+//! * [`manager`] — the three exception-handling APIs (sanity checking,
+//!   shutdown/restart, dialog-box handling) shared by both managers;
+//! * [`im_manager`] / [`email_manager`] — the concrete managers that drive
+//!   the IM and email clients against `simba-net`'s simulated services.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dialogs;
+pub mod email_manager;
+pub mod faults;
+pub mod im_manager;
+pub mod manager;
+pub mod process;
+
+pub use dialogs::{DialogBox, DialogRegistry};
+pub use email_manager::EmailManager;
+pub use faults::{ClientFaultModel, FaultKind};
+pub use im_manager::ImManager;
+pub use manager::{Anomaly, RepairAction, SanityReport};
+pub use process::{AutomationPointer, ClientProcess, ProcessStatus};

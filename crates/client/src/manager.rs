@@ -1,0 +1,366 @@
+//! The shared core of the Communication Managers: the three
+//! exception-handling-automation APIs of §4.1.1.
+//!
+//! 1. **Sanity Checking** — "checks if the process of the client software
+//!    is still running and if the pointers to the client software are still
+//!    valid", then application-specific checks (supplied by the concrete
+//!    manager);
+//! 2. **Shutdown/Restart** — "terminates the currently running instance,
+//!    restarts another instance, and refreshes all its pointers";
+//! 3. **Dialog-box Handling** — the "monkey thread" that clicks matching
+//!    caption-button pairs, plus the API "for specifying additional
+//!    caption-button pairs".
+
+use crate::dialogs::{DialogBox, DialogRegistry};
+use crate::process::{AutomationPointer, ClientProcess, ProcessStatus};
+use simba_sim::SimTime;
+
+/// An anomaly discovered by a sanity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Anomaly {
+    /// The client process is not running (killed or crashed).
+    ProcessDown,
+    /// The client process is hung.
+    ProcessHung,
+    /// The manager's automation pointer references a dead instance.
+    StalePointer,
+    /// The client is no longer logged on to its service.
+    LoggedOut,
+    /// The service itself is unavailable.
+    ServiceUnavailable,
+    /// A blocking dialog box is open that no rule can dismiss.
+    UnhandledDialog(
+        /// Caption of the stuck dialog.
+        String,
+    ),
+    /// The process has grown past the memory threshold (leak suspected).
+    MemoryBloat(
+        /// Current resident KB.
+        u64,
+    ),
+}
+
+/// What the manager did about an anomaly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Re-logged the client on; no restart needed (§5: "nine instances
+    /// where ... simple re-logon attempts worked").
+    ReLogon,
+    /// Killed and restarted the client instance (§5: "the hanging IM client
+    /// had to be killed and restarted").
+    Restart,
+    /// Clicked a dialog button.
+    DialogDismissed {
+        /// Caption of the dismissed dialog.
+        caption: String,
+        /// Button clicked.
+        button: String,
+    },
+    /// Nothing could be done at this layer (escalate to rejuvenation/MDC).
+    Unrepairable(Anomaly),
+}
+
+/// The outcome of one sanity-check pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SanityReport {
+    /// Anomalies found (empty means healthy).
+    pub anomalies: Vec<Anomaly>,
+    /// Repairs performed during the pass.
+    pub repairs: Vec<RepairAction>,
+}
+
+impl SanityReport {
+    /// Whether the pass found the client healthy or left it healthy: every
+    /// discovered anomaly has a matching repair and none were unrepairable.
+    pub fn healthy(&self) -> bool {
+        self.repairs.len() >= self.anomalies.len()
+            && !self
+                .repairs
+                .iter()
+                .any(|r| matches!(r, RepairAction::Unrepairable(_)))
+    }
+}
+
+/// Shared state and behaviour of a Communication Manager.
+#[derive(Debug)]
+pub struct ManagerCore {
+    process: ClientProcess,
+    pointer: Option<AutomationPointer>,
+    registry: DialogRegistry,
+    /// Restart the client when resident memory exceeds this many KB.
+    pub memory_limit_kb: u64,
+}
+
+impl ManagerCore {
+    /// Creates a manager core around `process` with the system-generic
+    /// dialog rules installed.
+    pub fn new(process: ClientProcess, memory_limit_kb: u64) -> Self {
+        ManagerCore {
+            process,
+            pointer: None,
+            registry: DialogRegistry::system_generic(),
+            memory_limit_kb,
+        }
+    }
+
+    /// The managed process.
+    pub fn process(&self) -> &ClientProcess {
+        &self.process
+    }
+
+    /// Mutable access for fault injection in tests and campaigns.
+    pub fn process_mut(&mut self) -> &mut ClientProcess {
+        &mut self.process
+    }
+
+    /// The current automation pointer, if the client was ever started.
+    pub fn pointer(&self) -> Option<AutomationPointer> {
+        self.pointer
+    }
+
+    /// Registers an additional caption→button pair (the third API).
+    pub fn register_dialog_rule(&mut self, caption: impl Into<String>, button: impl Into<String>) {
+        self.registry.register(caption, button);
+    }
+
+    /// The dialog registry (for inspection).
+    pub fn registry(&self) -> &DialogRegistry {
+        &self.registry
+    }
+
+    /// Ensures the client process is running, starting it if necessary.
+    /// Returns `true` if a (re)start happened.
+    pub fn ensure_started(&mut self, now: SimTime) -> bool {
+        if self.process.status() == ProcessStatus::Running && self.pointer.is_some() {
+            return false;
+        }
+        self.pointer = Some(self.process.start(now));
+        true
+    }
+
+    /// The Shutdown/Restart API: kill, start a fresh instance, refresh the
+    /// pointer.
+    pub fn shutdown_restart(&mut self, now: SimTime) {
+        self.process.kill();
+        self.pointer = Some(self.process.start(now));
+    }
+
+    /// The monkey thread's scan: dismiss every dialog a rule matches.
+    /// Returns the dismissals performed and the captions left stuck.
+    pub fn pump_dialogs(&mut self) -> (Vec<RepairAction>, Vec<String>) {
+        let mut dismissed = Vec::new();
+        let mut stuck = Vec::new();
+        let mut idx = 0;
+        while idx < self.process.dialogs().len() {
+            let dialog: &DialogBox = &self.process.dialogs()[idx];
+            match self.registry.dismiss(dialog) {
+                Some(button) => {
+                    let d = self.process.close_dialog(idx);
+                    dismissed.push(RepairAction::DialogDismissed {
+                        caption: d.caption,
+                        button,
+                    });
+                }
+                None => {
+                    stuck.push(dialog.caption.clone());
+                    idx += 1;
+                }
+            }
+        }
+        (dismissed, stuck)
+    }
+
+    /// The generic half of the Sanity Checking API: process liveness,
+    /// pointer validity, stuck dialogs, memory bloat. Repairs what it can
+    /// (restart for down/hung/stale/bloat); reports stuck dialogs as
+    /// unrepairable at this layer.
+    pub fn base_sanity_check(&mut self, now: SimTime) -> SanityReport {
+        let mut report = SanityReport::default();
+
+        // Dialog pass first: a dismissible blocking dialog should not force
+        // a restart.
+        let (dismissed, stuck) = self.pump_dialogs();
+        report.repairs.extend(dismissed);
+
+        match self.process.status() {
+            ProcessStatus::NotRunning | ProcessStatus::Crashed => {
+                report.anomalies.push(Anomaly::ProcessDown);
+                self.shutdown_restart(now);
+                report.repairs.push(RepairAction::Restart);
+            }
+            ProcessStatus::Hung => {
+                report.anomalies.push(Anomaly::ProcessHung);
+                self.shutdown_restart(now);
+                report.repairs.push(RepairAction::Restart);
+            }
+            ProcessStatus::Running => {
+                let stale = self.pointer.map_or(true, |p| !self.process.pointer_valid(p));
+                if stale {
+                    report.anomalies.push(Anomaly::StalePointer);
+                    self.shutdown_restart(now);
+                    report.repairs.push(RepairAction::Restart);
+                } else if self.process.memory_kb() > self.memory_limit_kb {
+                    report
+                        .anomalies
+                        .push(Anomaly::MemoryBloat(self.process.memory_kb()));
+                    self.shutdown_restart(now);
+                    report.repairs.push(RepairAction::Restart);
+                }
+            }
+        }
+
+        for caption in stuck {
+            // A restart above cleared dialogs; only report ones still open.
+            if self
+                .process
+                .dialogs()
+                .iter()
+                .any(|d| d.caption == caption)
+            {
+                report.anomalies.push(Anomaly::UnhandledDialog(caption.clone()));
+                report
+                    .repairs
+                    .push(RepairAction::Unrepairable(Anomaly::UnhandledDialog(caption)));
+            }
+        }
+        report
+    }
+
+    /// Runs one automation operation through the process gate, surfacing
+    /// the process error if the client is unhealthy.
+    pub fn automation_op(&mut self) -> Result<(), crate::process::ProcessError> {
+        match self.pointer {
+            Some(ptr) => self.process.automation_op(ptr),
+            None => Err(crate::process::ProcessError::NotRunning),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialogs::DialogBox;
+
+    fn core() -> ManagerCore {
+        ManagerCore::new(ClientProcess::new("im-client", 10_000, 0), 50_000)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn ensure_started_is_idempotent() {
+        let mut m = core();
+        assert!(m.ensure_started(t(0)));
+        assert!(!m.ensure_started(t(1)));
+        assert_eq!(m.process().status(), ProcessStatus::Running);
+    }
+
+    #[test]
+    fn sanity_check_healthy_client_reports_nothing() {
+        let mut m = core();
+        m.ensure_started(t(0));
+        let r = m.base_sanity_check(t(1));
+        assert!(r.anomalies.is_empty());
+        assert!(r.repairs.is_empty());
+        assert!(r.healthy());
+    }
+
+    #[test]
+    fn sanity_check_restarts_down_client() {
+        let mut m = core();
+        m.ensure_started(t(0));
+        m.process_mut().inject_crash();
+        let r = m.base_sanity_check(t(5));
+        assert_eq!(r.anomalies, vec![Anomaly::ProcessDown]);
+        assert_eq!(r.repairs, vec![RepairAction::Restart]);
+        assert_eq!(m.process().status(), ProcessStatus::Running);
+        assert!(m.automation_op().is_ok());
+    }
+
+    #[test]
+    fn sanity_check_restarts_hung_client() {
+        let mut m = core();
+        m.ensure_started(t(0));
+        m.process_mut().inject_hang();
+        let r = m.base_sanity_check(t(5));
+        assert_eq!(r.anomalies, vec![Anomaly::ProcessHung]);
+        assert_eq!(m.process().status(), ProcessStatus::Running);
+        assert!(r.healthy());
+    }
+
+    #[test]
+    fn sanity_check_restarts_on_memory_bloat() {
+        let mut m = ManagerCore::new(ClientProcess::new("leaky", 10_000, 100), 10_500);
+        m.ensure_started(t(0));
+        for _ in 0..10 {
+            let _ = m.automation_op();
+        }
+        assert!(m.process().memory_kb() > 10_500);
+        let r = m.base_sanity_check(t(5));
+        assert!(matches!(r.anomalies[0], Anomaly::MemoryBloat(_)));
+        assert_eq!(m.process().memory_kb(), 10_000); // fresh instance
+    }
+
+    #[test]
+    fn known_dialog_is_dismissed_without_restart() {
+        let mut m = core();
+        m.ensure_started(t(0));
+        m.register_dialog_rule("Sign-in failed", "OK");
+        m.process_mut()
+            .inject_dialog(DialogBox::blocking("Sign-in failed", "OK", t(1)));
+        assert!(m.automation_op().is_err()); // blocked
+        let r = m.base_sanity_check(t(2));
+        assert!(r.anomalies.is_empty());
+        assert_eq!(
+            r.repairs,
+            vec![RepairAction::DialogDismissed {
+                caption: "Sign-in failed".into(),
+                button: "OK".into()
+            }]
+        );
+        assert!(m.automation_op().is_ok());
+    }
+
+    #[test]
+    fn unknown_dialog_is_reported_unrepairable() {
+        // The §5 failure class: "two were caused by previously unknown
+        // dialog boxes".
+        let mut m = core();
+        m.ensure_started(t(0));
+        m.process_mut()
+            .inject_dialog(DialogBox::blocking("Totally Novel Error", "Details", t(1)));
+        let r = m.base_sanity_check(t(2));
+        assert_eq!(
+            r.anomalies,
+            vec![Anomaly::UnhandledDialog("Totally Novel Error".into())]
+        );
+        assert!(!r.healthy());
+        assert!(m.automation_op().is_err());
+
+        // The paper's fix: register the pair, next pass recovers.
+        m.register_dialog_rule("Totally Novel Error", "Details");
+        let r2 = m.base_sanity_check(t(3));
+        assert!(r2.anomalies.is_empty());
+        assert!(m.automation_op().is_ok());
+    }
+
+    #[test]
+    fn shutdown_restart_refreshes_pointer() {
+        let mut m = core();
+        m.ensure_started(t(0));
+        let old = m.pointer().unwrap();
+        m.shutdown_restart(t(1));
+        let new = m.pointer().unwrap();
+        assert_ne!(old, new);
+        assert!(m.process().pointer_valid(new));
+        assert!(!m.process().pointer_valid(old));
+    }
+
+    #[test]
+    fn automation_op_without_start_fails() {
+        let mut m = core();
+        assert!(m.automation_op().is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! A simulated GUI client-software process.
+//!
+//! The anomaly repertoire mirrors §4.1.1 and the §5 fault log: the process
+//! can hang ("the only thing the user can do is to kill and restart the
+//! software"), crash, pop dialog boxes that block all progress, leak
+//! memory, and — critically for automation — invalidate every automation
+//! pointer when a new instance starts.
+
+use crate::dialogs::DialogBox;
+use simba_sim::SimTime;
+
+/// Lifecycle state of the client process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessStatus {
+    /// Not started or killed.
+    NotRunning,
+    /// Running and responsive.
+    Running,
+    /// Running but wedged: automation calls stall/fail until killed.
+    Hung,
+    /// Terminated abnormally on its own.
+    Crashed,
+}
+
+/// An opaque automation handle into a specific process *instance*.
+///
+/// Pointers obtained from instance N are invalid for instance N+1 — the
+/// reason the Shutdown/Restart API must "refresh all its pointers to point
+/// to the new instance" (§4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutomationPointer {
+    instance: u64,
+}
+
+/// The simulated client software process.
+#[derive(Debug)]
+pub struct ClientProcess {
+    name: &'static str,
+    status: ProcessStatus,
+    instance: u64,
+    dialogs: Vec<DialogBox>,
+    memory_kb: u64,
+    baseline_memory_kb: u64,
+    leak_kb_per_op: u64,
+    started_at: SimTime,
+}
+
+/// Why an automation operation against the process failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessError {
+    /// The process is not running (never started, killed, or crashed).
+    NotRunning,
+    /// The process is hung; calls do not return usefully.
+    Hung,
+    /// The supplied automation pointer references a dead instance.
+    StalePointer,
+    /// A blocking dialog box prevents the operation.
+    BlockedByDialog,
+}
+
+impl std::fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProcessError::NotRunning => "client process not running",
+            ProcessError::Hung => "client process hung",
+            ProcessError::StalePointer => "automation pointer references a dead instance",
+            ProcessError::BlockedByDialog => "blocking dialog box open",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ProcessError {}
+
+impl ClientProcess {
+    /// Creates a process definition (not yet running).
+    pub fn new(name: &'static str, baseline_memory_kb: u64, leak_kb_per_op: u64) -> Self {
+        ClientProcess {
+            name,
+            status: ProcessStatus::NotRunning,
+            instance: 0,
+            dialogs: Vec::new(),
+            memory_kb: baseline_memory_kb,
+            baseline_memory_kb,
+            leak_kb_per_op,
+            started_at: SimTime::ZERO,
+        }
+    }
+
+    /// The software's name (for traces).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> ProcessStatus {
+        self.status
+    }
+
+    /// Starts a fresh instance and returns an automation pointer into it.
+    /// Any previous instance's pointers become stale.
+    pub fn start(&mut self, now: SimTime) -> AutomationPointer {
+        self.instance += 1;
+        self.status = ProcessStatus::Running;
+        self.dialogs.clear();
+        self.memory_kb = self.baseline_memory_kb;
+        self.started_at = now;
+        AutomationPointer { instance: self.instance }
+    }
+
+    /// Kills the process (watchdog/manager action). Idempotent.
+    pub fn kill(&mut self) {
+        self.status = ProcessStatus::NotRunning;
+        self.dialogs.clear();
+    }
+
+    /// Fault injection: the process wedges.
+    pub fn inject_hang(&mut self) {
+        if self.status == ProcessStatus::Running {
+            self.status = ProcessStatus::Hung;
+        }
+    }
+
+    /// Fault injection: the process dies on its own.
+    pub fn inject_crash(&mut self) {
+        if matches!(self.status, ProcessStatus::Running | ProcessStatus::Hung) {
+            self.status = ProcessStatus::Crashed;
+        }
+    }
+
+    /// Fault injection: a dialog box pops.
+    pub fn inject_dialog(&mut self, dialog: DialogBox) {
+        if matches!(self.status, ProcessStatus::Running | ProcessStatus::Hung) {
+            self.dialogs.push(dialog);
+        }
+    }
+
+    /// Whether `ptr` still references the live instance.
+    pub fn pointer_valid(&self, ptr: AutomationPointer) -> bool {
+        self.status == ProcessStatus::Running && ptr.instance == self.instance
+    }
+
+    /// Whether a blocking dialog is open.
+    pub fn has_blocking_dialog(&self) -> bool {
+        self.dialogs.iter().any(|d| d.blocking)
+    }
+
+    /// Open dialogs, oldest first.
+    pub fn dialogs(&self) -> &[DialogBox] {
+        &self.dialogs
+    }
+
+    /// Removes and returns the dialog at `index` (the monkey thread's click).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn close_dialog(&mut self, index: usize) -> DialogBox {
+        self.dialogs.remove(index)
+    }
+
+    /// Resident memory in KB (grows with use if the software leaks).
+    pub fn memory_kb(&self) -> u64 {
+        self.memory_kb
+    }
+
+    /// When the live instance started.
+    pub fn started_at(&self) -> SimTime {
+        self.started_at
+    }
+
+    /// Performs one automation operation against the process. This is the
+    /// gate every manager call goes through: it validates liveness, pointer
+    /// freshness, and dialog state, and applies the per-op memory leak.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corresponding [`ProcessError`] if the process is not
+    /// running, hung, the pointer is stale, or a blocking dialog is open.
+    pub fn automation_op(&mut self, ptr: AutomationPointer) -> Result<(), ProcessError> {
+        match self.status {
+            ProcessStatus::NotRunning | ProcessStatus::Crashed => {
+                return Err(ProcessError::NotRunning)
+            }
+            ProcessStatus::Hung => return Err(ProcessError::Hung),
+            ProcessStatus::Running => {}
+        }
+        if ptr.instance != self.instance {
+            return Err(ProcessError::StalePointer);
+        }
+        if self.has_blocking_dialog() {
+            return Err(ProcessError::BlockedByDialog);
+        }
+        self.memory_kb += self.leak_kb_per_op;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc() -> ClientProcess {
+        ClientProcess::new("im-client", 10_000, 4)
+    }
+
+    #[test]
+    fn lifecycle_start_kill() {
+        let mut p = proc();
+        assert_eq!(p.status(), ProcessStatus::NotRunning);
+        let ptr = p.start(SimTime::from_secs(1));
+        assert_eq!(p.status(), ProcessStatus::Running);
+        assert!(p.pointer_valid(ptr));
+        assert_eq!(p.started_at(), SimTime::from_secs(1));
+        p.kill();
+        assert_eq!(p.status(), ProcessStatus::NotRunning);
+        assert!(!p.pointer_valid(ptr));
+    }
+
+    #[test]
+    fn restart_invalidates_old_pointers() {
+        let mut p = proc();
+        let old = p.start(SimTime::ZERO);
+        p.kill();
+        let fresh = p.start(SimTime::from_secs(5));
+        assert!(!p.pointer_valid(old));
+        assert!(p.pointer_valid(fresh));
+        assert_eq!(p.automation_op(old), Err(ProcessError::StalePointer));
+        assert_eq!(p.automation_op(fresh), Ok(()));
+    }
+
+    #[test]
+    fn hang_blocks_operations_until_restart() {
+        let mut p = proc();
+        let ptr = p.start(SimTime::ZERO);
+        p.inject_hang();
+        assert_eq!(p.status(), ProcessStatus::Hung);
+        assert_eq!(p.automation_op(ptr), Err(ProcessError::Hung));
+        p.kill();
+        let ptr = p.start(SimTime::ZERO);
+        assert_eq!(p.automation_op(ptr), Ok(()));
+    }
+
+    #[test]
+    fn crash_reports_not_running() {
+        let mut p = proc();
+        let ptr = p.start(SimTime::ZERO);
+        p.inject_crash();
+        assert_eq!(p.status(), ProcessStatus::Crashed);
+        assert_eq!(p.automation_op(ptr), Err(ProcessError::NotRunning));
+    }
+
+    #[test]
+    fn blocking_dialog_blocks_everything_nonblocking_does_not() {
+        let mut p = proc();
+        let ptr = p.start(SimTime::ZERO);
+        p.inject_dialog(DialogBox {
+            caption: "FYI".into(),
+            buttons: vec!["OK".into()],
+            blocking: false,
+            popped_at: SimTime::ZERO,
+        });
+        assert_eq!(p.automation_op(ptr), Ok(()));
+        p.inject_dialog(DialogBox::blocking("Sign-in failed", "OK", SimTime::ZERO));
+        assert_eq!(p.automation_op(ptr), Err(ProcessError::BlockedByDialog));
+        assert!(p.has_blocking_dialog());
+        // Click it away (index 1 — the blocking one).
+        let closed = p.close_dialog(1);
+        assert_eq!(closed.caption, "Sign-in failed");
+        assert_eq!(p.automation_op(ptr), Ok(()));
+    }
+
+    #[test]
+    fn memory_leaks_per_op_and_resets_on_restart() {
+        let mut p = proc();
+        let ptr = p.start(SimTime::ZERO);
+        let base = p.memory_kb();
+        for _ in 0..100 {
+            p.automation_op(ptr).unwrap();
+        }
+        assert_eq!(p.memory_kb(), base + 400);
+        p.kill();
+        p.start(SimTime::ZERO);
+        assert_eq!(p.memory_kb(), base);
+    }
+
+    #[test]
+    fn dialogs_cleared_on_start_and_kill() {
+        let mut p = proc();
+        p.start(SimTime::ZERO);
+        p.inject_dialog(DialogBox::blocking("X", "OK", SimTime::ZERO));
+        p.kill();
+        assert!(p.dialogs().is_empty());
+        p.start(SimTime::ZERO);
+        assert!(p.dialogs().is_empty());
+    }
+
+    #[test]
+    fn faults_ignored_when_not_running() {
+        let mut p = proc();
+        p.inject_hang();
+        p.inject_crash();
+        p.inject_dialog(DialogBox::blocking("X", "OK", SimTime::ZERO));
+        assert_eq!(p.status(), ProcessStatus::NotRunning);
+        assert!(p.dialogs().is_empty());
+    }
+}

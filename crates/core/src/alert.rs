@@ -1,0 +1,188 @@
+//! Alerts: the unit of information SIMBA delivers.
+
+use simba_sim::SimTime;
+
+/// Unique id assigned by MyAlertBuddy when an alert enters the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AlertId(pub u64);
+
+impl std::fmt::Display for AlertId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "alert-{}", self.0)
+    }
+}
+
+/// How urgent the *source* considers the alert. MyAlertBuddy's category →
+/// delivery-mode mapping, not this field, decides how it is delivered —
+/// urgency is advisory input to filtering/sub-categorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Urgency {
+    /// Informational, no timeliness requirement.
+    Low,
+    /// Normal alert traffic.
+    #[default]
+    Normal,
+    /// Time-critical, high-importance (basement flooding, outbid with
+    /// minutes left).
+    Critical,
+}
+
+impl std::fmt::Display for Urgency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Urgency::Low => "low",
+            Urgency::Normal => "normal",
+            Urgency::Critical => "critical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A raw alert as it arrives at MyAlertBuddy, before classification.
+///
+/// The fields mirror what the two transport channels carry: IM alerts are a
+/// body tagged with the sender handle; email alerts additionally carry a
+/// sender display name and subject — the two fields the classifier's
+/// per-source keyword rules read (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncomingAlert {
+    /// Source identifier: the sending IM handle or email address.
+    pub source: String,
+    /// Sender display name (email) or empty (IM).
+    pub sender_name: String,
+    /// Subject line (email) or empty (IM).
+    pub subject: String,
+    /// Alert text.
+    pub body: String,
+    /// The source's own timestamp, used for duplicate detection at the
+    /// user (§4.2.1: "We use timestamps to allow the user to detect and
+    /// discard duplicates").
+    pub origin_timestamp: SimTime,
+    /// Source-declared urgency.
+    pub urgency: Urgency,
+}
+
+impl IncomingAlert {
+    /// Creates an IM-style incoming alert (no sender name / subject).
+    pub fn from_im(source: impl Into<String>, body: impl Into<String>, origin: SimTime) -> Self {
+        IncomingAlert {
+            source: source.into(),
+            sender_name: String::new(),
+            subject: String::new(),
+            body: body.into(),
+            origin_timestamp: origin,
+            urgency: Urgency::Normal,
+        }
+    }
+
+    /// Creates an email-style incoming alert.
+    pub fn from_email(
+        source: impl Into<String>,
+        sender_name: impl Into<String>,
+        subject: impl Into<String>,
+        body: impl Into<String>,
+        origin: SimTime,
+    ) -> Self {
+        IncomingAlert {
+            source: source.into(),
+            sender_name: sender_name.into(),
+            subject: subject.into(),
+            body: body.into(),
+            origin_timestamp: origin,
+            urgency: Urgency::Normal,
+        }
+    }
+
+    /// Sets the urgency, builder style.
+    #[must_use]
+    pub fn with_urgency(mut self, urgency: Urgency) -> Self {
+        self.urgency = urgency;
+        self
+    }
+}
+
+/// A classified alert flowing through MyAlertBuddy's routing stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// Pipeline-assigned id.
+    pub id: AlertId,
+    /// Source identifier.
+    pub source: String,
+    /// The personal category the classifier assigned.
+    pub category: String,
+    /// Display text delivered to the user.
+    pub text: String,
+    /// The source's own timestamp (for dedup).
+    pub origin_timestamp: SimTime,
+    /// When MyAlertBuddy accepted it.
+    pub received_at: SimTime,
+    /// Source-declared urgency.
+    pub urgency: Urgency,
+}
+
+impl Alert {
+    /// The key used for timestamp-based duplicate detection at the user:
+    /// two alerts with the same source, category, and origin timestamp are
+    /// duplicates (a retransmission after an unmarked WAL replay).
+    pub fn dedup_key(&self) -> (String, String, SimTime) {
+        (
+            self.source.clone(),
+            self.category.clone(),
+            self.origin_timestamp,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urgency_orders_low_to_critical() {
+        assert!(Urgency::Low < Urgency::Normal);
+        assert!(Urgency::Normal < Urgency::Critical);
+        assert_eq!(Urgency::default(), Urgency::Normal);
+    }
+
+    #[test]
+    fn constructors_fill_channel_fields() {
+        let im = IncomingAlert::from_im("aladdin-gw", "Basement Water Sensor ON", SimTime::ZERO);
+        assert!(im.sender_name.is_empty());
+        assert!(im.subject.is_empty());
+        assert_eq!(im.body, "Basement Water Sensor ON");
+
+        let em = IncomingAlert::from_email(
+            "alerts@yahoo",
+            "Yahoo! Stocks",
+            "MSFT crossed 80",
+            "details",
+            SimTime::from_secs(5),
+        )
+        .with_urgency(Urgency::Critical);
+        assert_eq!(em.sender_name, "Yahoo! Stocks");
+        assert_eq!(em.urgency, Urgency::Critical);
+        assert_eq!(em.origin_timestamp, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn dedup_key_matches_same_origin() {
+        let mk = |id: u64, received: u64| Alert {
+            id: AlertId(id),
+            source: "aladdin".into(),
+            category: "Home.Security".into(),
+            text: "x".into(),
+            origin_timestamp: SimTime::from_secs(100),
+            received_at: SimTime::from_secs(received),
+            urgency: Urgency::Critical,
+        };
+        // Same alert re-sent after a crash: different id and receive time,
+        // same dedup key.
+        assert_eq!(mk(1, 101).dedup_key(), mk(2, 160).dedup_key());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(AlertId(7).to_string(), "alert-7");
+        assert_eq!(Urgency::Critical.to_string(), "critical");
+    }
+}

@@ -1,0 +1,650 @@
+//! MyAlertBuddy: the per-user personal alert router (§3.3, §4.2).
+//!
+//! Pipeline on every incoming alert: **pessimistic log → acknowledge →
+//! classify → aggregate/filter → route** — then mark the log record
+//! processed. The ordering is the §4.2.1 crash-safety protocol: the log
+//! write precedes the ack, so an acknowledged alert always survives a
+//! crash (it is replayed from the log on restart), and a crash before the
+//! ack makes the *sender's* delivery mode fall back instead.
+//!
+//! [`MyAlertBuddy`] is a state machine like [`DeliveryProcess`]: events in
+//! ([`MabEvent`]), commands out ([`MabCommand`]). Crash points can be
+//! injected at every pipeline stage, which is how the WAL-safety property
+//! tests exercise "MyAlertBuddy may crash or get terminated due to some
+//! anomaly" at arbitrary moments.
+
+use crate::alert::{Alert, AlertId, IncomingAlert};
+use crate::classify::Classifier;
+use crate::delivery::{DeliveryCommand, DeliveryEvent, DeliveryProcess, DeliveryStatus};
+use crate::rejuvenate::{RejuvenationPolicy, RejuvenationTrigger};
+use crate::subscription::{SubscriptionRegistry, UserId};
+use crate::wal::{WalRecord, WriteAheadLog};
+use simba_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Identifies one in-flight delivery inside MyAlertBuddy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeliveryId(pub u64);
+
+/// Configuration that survives MyAlertBuddy restarts (in the real system
+/// this lives on disk; in the simulation the harness clones it into each
+/// incarnation).
+#[derive(Debug, Clone, Default)]
+pub struct MabConfig {
+    /// The alert classifier (accepted sources, keyword → category maps).
+    pub classifier: Classifier,
+    /// Users, address books, modes, and subscriptions.
+    pub registry: SubscriptionRegistry,
+    /// Rejuvenation policy.
+    pub rejuvenation: RejuvenationPolicy,
+}
+
+/// An occurrence fed into MyAlertBuddy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MabEvent {
+    /// An alert arrived over the IM channel (will be acknowledged).
+    AlertByIm(IncomingAlert),
+    /// An alert arrived over the email channel (no acknowledgement).
+    AlertByEmail(IncomingAlert),
+    /// A channel/timer event for an in-flight delivery.
+    Delivery {
+        /// Which delivery.
+        id: DeliveryId,
+        /// What happened.
+        event: DeliveryEvent,
+    },
+}
+
+/// An instruction from MyAlertBuddy to the harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MabCommand {
+    /// Send the application-level IM acknowledgement back to `to`.
+    AckIm {
+        /// Source handle to acknowledge.
+        to: String,
+        /// The log id backing the ack (for tracing).
+        wal_id: u64,
+    },
+    /// Execute a delivery-layer command for `delivery` on behalf of `user`.
+    Channel {
+        /// Which delivery the command belongs to.
+        delivery: DeliveryId,
+        /// The subscriber being delivered to.
+        user: UserId,
+        /// The channel command.
+        command: DeliveryCommand,
+    },
+    /// Gracefully terminate for rejuvenation; the MDC will restart us.
+    Rejuvenate(
+        /// Why.
+        RejuvenationTrigger,
+    ),
+}
+
+/// Where to crash, for fault-injection tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash before the pessimistic log write (sender gets no ack).
+    BeforeLog,
+    /// Crash after the log write but before the ack (sender gets no ack;
+    /// the alert will be replayed — a possible duplicate).
+    AfterLogBeforeAck,
+    /// Crash after the ack but before routing (the §4.2.1 scenario the log
+    /// exists for: without it the alert would be silently lost).
+    AfterAckBeforeRoute,
+    /// Crash after routing but before the processed mark (replay causes a
+    /// duplicate delivery; timestamp dedup discards it at the user).
+    AfterRouteBeforeMark,
+}
+
+/// Running totals for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MabStats {
+    /// Alerts received over IM.
+    pub received_im: u64,
+    /// Alerts received over email.
+    pub received_email: u64,
+    /// IM acknowledgements sent.
+    pub acked: u64,
+    /// Alerts rejected by the classifier.
+    pub rejected: u64,
+    /// Alerts routed to at least one subscriber.
+    pub routed: u64,
+    /// Alerts whose category had no active subscription.
+    pub unsubscribed: u64,
+    /// Delivery processes started.
+    pub deliveries_started: u64,
+    /// Alerts replayed from the log on restart.
+    pub replayed: u64,
+    /// Remote rejuvenation commands honoured.
+    pub remote_commands: u64,
+}
+
+/// The MyAlertBuddy daemon state machine.
+#[derive(Debug)]
+pub struct MyAlertBuddy<W> {
+    config: MabConfig,
+    wal: W,
+    deliveries: BTreeMap<DeliveryId, (UserId, DeliveryProcess)>,
+    next_delivery: u64,
+    next_alert: u64,
+    stats: MabStats,
+    crash_point: Option<CrashPoint>,
+    crashed: bool,
+    hung: bool,
+    last_progress_at: SimTime,
+}
+
+impl<W: WriteAheadLog> MyAlertBuddy<W> {
+    /// Launches MyAlertBuddy over an existing (possibly non-empty) log.
+    /// Call [`MyAlertBuddy::recover`] next — the paper's restart protocol
+    /// replays unprocessed alerts "before accepting new alerts".
+    pub fn new(config: MabConfig, wal: W, now: SimTime) -> Self {
+        MyAlertBuddy {
+            config,
+            wal,
+            deliveries: BTreeMap::new(),
+            next_delivery: 0,
+            next_alert: 0,
+            stats: MabStats::default(),
+            crash_point: None,
+            crashed: false,
+            hung: false,
+            last_progress_at: now,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MabConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (runtime re-customization: §3.3's
+    /// "she only needs to update MyAlertBuddy").
+    pub fn config_mut(&mut self) -> &mut MabConfig {
+        &mut self.config
+    }
+
+    /// Running totals.
+    pub fn stats(&self) -> MabStats {
+        self.stats
+    }
+
+    /// Access to the log (for health snapshots).
+    pub fn wal(&self) -> &W {
+        &self.wal
+    }
+
+    /// Tears the buddy down, releasing the log for the next incarnation.
+    pub fn into_wal(self) -> W {
+        self.wal
+    }
+
+    /// Arms a one-shot crash at the given pipeline stage.
+    pub fn inject_crash_at(&mut self, point: CrashPoint) {
+        self.crash_point = Some(point);
+    }
+
+    /// Wedges the main loop (AreYouWorking() will stop responding).
+    pub fn inject_hang(&mut self) {
+        self.hung = true;
+    }
+
+    /// Whether the process is crashed (terminated).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The watchdog's non-blocking health probe.
+    pub fn are_you_working(&self) -> bool {
+        !self.crashed && !self.hung
+    }
+
+    /// When the pipeline last made progress.
+    pub fn last_progress_at(&self) -> SimTime {
+        self.last_progress_at
+    }
+
+    /// In-flight delivery count.
+    pub fn in_flight(&self) -> usize {
+        self.deliveries
+            .values()
+            .filter(|(_, p)| !p.status().is_terminal())
+            .count()
+    }
+
+    /// Status of a specific delivery.
+    pub fn delivery_status(&self, id: DeliveryId) -> Option<DeliveryStatus> {
+        self.deliveries.get(&id).map(|(_, p)| p.status())
+    }
+
+    /// All deliveries and their owners (for reporting).
+    pub fn deliveries(&self) -> impl Iterator<Item = (DeliveryId, &UserId, &DeliveryProcess)> {
+        self.deliveries.iter().map(|(id, (u, p))| (*id, u, p))
+    }
+
+    /// Replays unprocessed log records (the restart protocol). Returns the
+    /// commands to execute; acks are *not* re-sent.
+    pub fn recover(&mut self, now: SimTime) -> Vec<MabCommand> {
+        let mut cmds = Vec::new();
+        let backlog: Vec<WalRecord> = self.wal.unprocessed();
+        for record in backlog {
+            self.stats.replayed += 1;
+            self.route_logged(record, now, &mut cmds);
+        }
+        cmds
+    }
+
+    /// Feeds one event through the pipeline.
+    ///
+    /// A crashed or hung buddy processes nothing (events are effectively
+    /// dropped, exactly like a dead process — senders see missing acks and
+    /// fall back).
+    pub fn handle(&mut self, event: MabEvent, now: SimTime) -> Vec<MabCommand> {
+        if self.crashed || self.hung {
+            return Vec::new();
+        }
+        self.last_progress_at = now;
+        let mut cmds = Vec::new();
+        match event {
+            MabEvent::AlertByIm(alert) => {
+                self.stats.received_im += 1;
+                self.ingest(alert, true, now, &mut cmds);
+            }
+            MabEvent::AlertByEmail(alert) => {
+                self.stats.received_email += 1;
+                self.ingest(alert, false, now, &mut cmds);
+            }
+            MabEvent::Delivery { id, event } => {
+                if let Some((user, process)) = self.deliveries.get_mut(&id) {
+                    let book = self
+                        .config
+                        .registry
+                        .user(user)
+                        .map(|p| p.address_book.clone())
+                        .unwrap_or_default();
+                    let user = user.clone();
+                    for command in process.handle(event, &book, now) {
+                        cmds.push(MabCommand::Channel {
+                            delivery: id,
+                            user: user.clone(),
+                            command,
+                        });
+                    }
+                }
+            }
+        }
+        cmds
+    }
+
+    fn crash_if(&mut self, point: CrashPoint) -> bool {
+        if self.crash_point == Some(point) {
+            self.crash_point = None;
+            self.crashed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The §4.2.1 receive pipeline.
+    fn ingest(&mut self, alert: IncomingAlert, ack: bool, now: SimTime, cmds: &mut Vec<MabCommand>) {
+        if self.crash_if(CrashPoint::BeforeLog) {
+            return;
+        }
+        // (1) Pessimistic log, before anything observable.
+        let Ok(wal_id) = self.wal.append(&alert, now) else {
+            // Persistence failed: do not ack; the sender will fall back.
+            self.crashed = true;
+            return;
+        };
+        if self.crash_if(CrashPoint::AfterLogBeforeAck) {
+            return;
+        }
+        // (2) Acknowledge (IM channel only).
+        if ack {
+            self.stats.acked += 1;
+            cmds.push(MabCommand::AckIm {
+                to: alert.source.clone(),
+                wal_id,
+            });
+        }
+        if self.crash_if(CrashPoint::AfterAckBeforeRoute) {
+            return;
+        }
+        // (3..) Classify and route.
+        let record = WalRecord {
+            id: wal_id,
+            received_at: now,
+            alert,
+            processed: false,
+        };
+        self.route_logged(record, now, cmds);
+    }
+
+    /// Classification + routing + processed-mark for a logged alert.
+    fn route_logged(&mut self, record: WalRecord, now: SimTime, cmds: &mut Vec<MabCommand>) {
+        let alert = &record.alert;
+
+        // Remote administration check precedes classification: the command
+        // keyword is not an alert.
+        if let Some(trigger) = self.config.rejuvenation.remote_trigger(&alert.body) {
+            self.stats.remote_commands += 1;
+            let _ = self.wal.mark_processed(record.id);
+            cmds.push(MabCommand::Rejuvenate(trigger));
+            return;
+        }
+
+        match self.config.classifier.classify(alert) {
+            Ok(category) => {
+                let subs: Vec<(UserId, String)> = self
+                    .config
+                    .registry
+                    .active_subscriptions(&category, now)
+                    .into_iter()
+                    .map(|s| (s.user.clone(), s.mode_name.clone()))
+                    .collect();
+                if subs.is_empty() {
+                    self.stats.unsubscribed += 1;
+                } else {
+                    self.stats.routed += 1;
+                }
+                for (user, mode_name) in subs {
+                    let Some(profile) = self.config.registry.user(&user) else {
+                        continue;
+                    };
+                    let Some(mode) = profile.mode(&mode_name) else {
+                        continue;
+                    };
+                    let alert_out = Alert {
+                        id: AlertId(self.next_alert),
+                        source: alert.source.clone(),
+                        category: category.clone(),
+                        text: display_text(alert),
+                        origin_timestamp: alert.origin_timestamp,
+                        received_at: now,
+                        urgency: alert.urgency,
+                    };
+                    self.next_alert += 1;
+                    let (process, commands) = DeliveryProcess::start(
+                        alert_out,
+                        mode.clone(),
+                        &profile.address_book,
+                        now,
+                    );
+                    let id = DeliveryId(self.next_delivery);
+                    self.next_delivery += 1;
+                    self.stats.deliveries_started += 1;
+                    for command in commands {
+                        cmds.push(MabCommand::Channel {
+                            delivery: id,
+                            user: user.clone(),
+                            command,
+                        });
+                    }
+                    self.deliveries.insert(id, (user, process));
+                }
+            }
+            Err(_) => {
+                self.stats.rejected += 1;
+            }
+        }
+
+        if self.crash_if(CrashPoint::AfterRouteBeforeMark) {
+            return;
+        }
+        // (4) Mark processed.
+        let _ = self.wal.mark_processed(record.id);
+    }
+}
+
+/// The text shown to the user: subject line if the channel had one,
+/// otherwise the body.
+fn display_text(alert: &IncomingAlert) -> String {
+    if alert.subject.is_empty() {
+        alert.body.clone()
+    } else {
+        format!("{}: {}", alert.subject, alert.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::{Address, AddressBook, CommType};
+    use crate::classify::KeywordField;
+    use crate::mode::DeliveryMode;
+    use crate::wal::InMemoryWal;
+    use simba_sim::SimDuration;
+
+    fn config() -> MabConfig {
+        let mut classifier = Classifier::new();
+        classifier.accept_source("aladdin-gw", KeywordField::Body, "config");
+        classifier.map_keyword("Sensor", "Home.Security");
+        classifier.accept_source("alerts@yahoo", KeywordField::SenderName, "web");
+        classifier.map_keyword("Stocks", "Investment");
+
+        let mut registry = SubscriptionRegistry::new();
+        let alice = UserId::new("alice");
+        let profile = registry.register_user(alice.clone());
+        let mut book = AddressBook::new();
+        book.add(Address::new("IM", CommType::Im, "im:alice")).unwrap();
+        book.add(Address::new("EM", CommType::Email, "alice@work")).unwrap();
+        profile.address_book = book;
+        profile.define_mode(DeliveryMode::im_then_email(
+            "Urgent",
+            "IM",
+            "EM",
+            SimDuration::from_secs(60),
+        ));
+        registry.subscribe("Home.Security", alice.clone(), "Urgent").unwrap();
+        registry.subscribe("Investment", alice, "Urgent").unwrap();
+
+        MabConfig {
+            classifier,
+            registry,
+            rejuvenation: RejuvenationPolicy::default(),
+        }
+    }
+
+    fn mab() -> MyAlertBuddy<InMemoryWal> {
+        MyAlertBuddy::new(config(), InMemoryWal::new(), SimTime::ZERO)
+    }
+
+    fn sensor_alert(secs: u64) -> IncomingAlert {
+        IncomingAlert::from_im("aladdin-gw", "Basement Water Sensor ON", SimTime::from_secs(secs))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn im_alert_logged_acked_and_routed() {
+        let mut m = mab();
+        let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(1)), t(1));
+        // Command order is the pipeline order: ack first, then the send.
+        assert!(matches!(&cmds[0], MabCommand::AckIm { to, .. } if to == "aladdin-gw"));
+        assert!(cmds.iter().any(|c| matches!(
+            c,
+            MabCommand::Channel { command: DeliveryCommand::Send { comm_type: CommType::Im, .. }, .. }
+        )));
+        assert_eq!(m.stats().acked, 1);
+        assert_eq!(m.stats().routed, 1);
+        assert_eq!(m.stats().deliveries_started, 1);
+        assert_eq!(m.in_flight(), 1);
+        // The log record is already marked processed.
+        assert!(m.wal().unprocessed().is_empty());
+        assert_eq!(m.wal().len(), 1);
+    }
+
+    #[test]
+    fn email_alert_not_acked_but_routed() {
+        let mut m = mab();
+        let alert = IncomingAlert::from_email("alerts@yahoo", "Yahoo! Stocks", "MSFT", "b", t(0));
+        let cmds = m.handle(MabEvent::AlertByEmail(alert), t(1));
+        assert!(!cmds.iter().any(|c| matches!(c, MabCommand::AckIm { .. })));
+        assert_eq!(m.stats().acked, 0);
+        assert_eq!(m.stats().routed, 1);
+    }
+
+    #[test]
+    fn rejected_source_counted_and_marked_processed() {
+        let mut m = mab();
+        let cmds = m.handle(
+            MabEvent::AlertByIm(IncomingAlert::from_im("spammer", "junk", t(0))),
+            t(1),
+        );
+        // Ack still goes out (receipt ≠ acceptance), but nothing routes.
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(cmds[0], MabCommand::AckIm { .. }));
+        assert_eq!(m.stats().rejected, 1);
+        assert!(m.wal().unprocessed().is_empty());
+    }
+
+    #[test]
+    fn crash_after_ack_before_route_replays_on_recovery() {
+        // The scenario pessimistic logging exists for.
+        let mut m = mab();
+        m.inject_crash_at(CrashPoint::AfterAckBeforeRoute);
+        let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(5)), t(5));
+        // The ack went out...
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(cmds[0], MabCommand::AckIm { .. }));
+        assert!(m.is_crashed());
+        // ...but nothing was routed. The log still holds the alert.
+        let wal = m.into_wal();
+        assert_eq!(wal.unprocessed().len(), 1);
+
+        // MDC restarts a fresh incarnation over the same log.
+        let mut m2 = MyAlertBuddy::new(config(), wal, t(10));
+        let cmds = m2.recover(t(10));
+        assert!(cmds.iter().any(|c| matches!(c, MabCommand::Channel { .. })));
+        assert_eq!(m2.stats().replayed, 1);
+        assert!(m2.wal().unprocessed().is_empty());
+    }
+
+    #[test]
+    fn crash_before_log_loses_nothing_durable_and_sends_no_ack() {
+        let mut m = mab();
+        m.inject_crash_at(CrashPoint::BeforeLog);
+        let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(5)), t(5));
+        assert!(cmds.is_empty()); // no ack: sender falls back
+        let wal = m.into_wal();
+        assert_eq!(wal.len(), 0);
+    }
+
+    #[test]
+    fn crash_after_route_before_mark_causes_replayable_duplicate() {
+        let mut m = mab();
+        m.inject_crash_at(CrashPoint::AfterRouteBeforeMark);
+        let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(5)), t(5));
+        // Routed once...
+        assert!(cmds.iter().any(|c| matches!(c, MabCommand::Channel { .. })));
+        let wal = m.into_wal();
+        // ...but unmarked, so recovery routes it again (duplicate; the
+        // user-side timestamp dedup discards it).
+        assert_eq!(wal.unprocessed().len(), 1);
+        let mut m2 = MyAlertBuddy::new(config(), wal, t(10));
+        let replay = m2.recover(t(10));
+        assert!(replay.iter().any(|c| matches!(c, MabCommand::Channel { .. })));
+    }
+
+    #[test]
+    fn crashed_buddy_processes_nothing() {
+        let mut m = mab();
+        m.inject_crash_at(CrashPoint::BeforeLog);
+        m.handle(MabEvent::AlertByIm(sensor_alert(1)), t(1));
+        assert!(m.is_crashed());
+        assert!(!m.are_you_working());
+        assert!(m.handle(MabEvent::AlertByIm(sensor_alert(2)), t(2)).is_empty());
+        assert_eq!(m.wal().len(), 0);
+    }
+
+    #[test]
+    fn hung_buddy_fails_health_probe_but_keeps_state() {
+        let mut m = mab();
+        m.handle(MabEvent::AlertByIm(sensor_alert(1)), t(1));
+        m.inject_hang();
+        assert!(!m.are_you_working());
+        assert!(!m.is_crashed());
+        assert!(m.handle(MabEvent::AlertByIm(sensor_alert(2)), t(2)).is_empty());
+        assert_eq!(m.wal().len(), 1); // only the pre-hang alert
+    }
+
+    #[test]
+    fn delivery_events_drive_fallback_through_mab() {
+        let mut m = mab();
+        let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(1)), t(1));
+        let (id, attempt) = cmds
+            .iter()
+            .find_map(|c| match c {
+                MabCommand::Channel {
+                    delivery,
+                    command: DeliveryCommand::Send { attempt, .. },
+                    ..
+                } => Some((*delivery, *attempt)),
+                _ => None,
+            })
+            .unwrap();
+        // IM send fails synchronously → email fallback command emerges.
+        let cmds2 = m.handle(
+            MabEvent::Delivery {
+                id,
+                event: DeliveryEvent::SendFailed {
+                    attempt,
+                    failure: crate::delivery::SendFailure::RecipientUnreachable,
+                },
+            },
+            t(2),
+        );
+        assert!(cmds2.iter().any(|c| matches!(
+            c,
+            MabCommand::Channel { command: DeliveryCommand::Send { comm_type: CommType::Email, .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn remote_rejuvenation_command_recognized() {
+        let mut m = mab();
+        let cmds = m.handle(
+            MabEvent::AlertByIm(IncomingAlert::from_im("aladdin-gw", "SIMBA-REJUVENATE", t(0))),
+            t(1),
+        );
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, MabCommand::Rejuvenate(RejuvenationTrigger::RemoteCommand))));
+        assert_eq!(m.stats().remote_commands, 1);
+        assert_eq!(m.stats().routed, 0);
+        assert!(m.wal().unprocessed().is_empty());
+    }
+
+    #[test]
+    fn unsubscribed_category_counted() {
+        let mut m = mab();
+        m.config_mut()
+            .registry
+            .set_enabled("Home.Security", &UserId::new("alice"), false);
+        m.handle(MabEvent::AlertByIm(sensor_alert(1)), t(1));
+        assert_eq!(m.stats().unsubscribed, 1);
+        assert_eq!(m.stats().deliveries_started, 0);
+    }
+
+    #[test]
+    fn subject_prefixes_display_text() {
+        let mut m = mab();
+        let alert = IncomingAlert::from_email("alerts@yahoo", "Yahoo! Stocks", "MSFT at 80", "details", t(0));
+        let cmds = m.handle(MabEvent::AlertByEmail(alert), t(1));
+        let text = cmds
+            .iter()
+            .find_map(|c| match c {
+                MabCommand::Channel {
+                    command: DeliveryCommand::Send { text, .. },
+                    ..
+                } => Some(text.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(text, "MSFT at 80: details");
+    }
+}

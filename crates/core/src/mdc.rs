@@ -1,0 +1,251 @@
+//! The Master Daemon Controller (MDC): SIMBA's watchdog (§4.2.1).
+//!
+//! "MyAlertBuddy is always launched by a watchdog process called Master
+//! Daemon Controller (MDC), which monitors MyAlertBuddy and restarts it
+//! upon detecting its termination. The MDC also periodically invokes a
+//! non-blocking AreYouWorking() function call and restarts MyAlertBuddy if
+//! it is hung and fails to respond ... If the number of failed restarts
+//! exceeds a threshold, the MDC reboots the machine."
+//!
+//! Modelled as a pure state machine over timer/reply events; the harness
+//! owns the schedule. The paper's deployment used a 3-minute ping interval.
+
+use simba_sim::{SimDuration, SimTime};
+
+/// MDC tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdcConfig {
+    /// How often AreYouWorking() is invoked (paper: 3 minutes).
+    pub ping_interval: SimDuration,
+    /// How long to wait for the reply event before declaring a hang.
+    pub reply_timeout: SimDuration,
+    /// Consecutive failed restarts (no successful health check between)
+    /// after which the machine is rebooted.
+    pub reboot_threshold: u32,
+}
+
+impl Default for MdcConfig {
+    fn default() -> Self {
+        MdcConfig {
+            ping_interval: SimDuration::from_mins(3),
+            reply_timeout: SimDuration::from_secs(30),
+            reboot_threshold: 5,
+        }
+    }
+}
+
+/// An action the MDC instructs the harness to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdcAction {
+    /// Deliver an AreYouWorking() ping to MyAlertBuddy; if it is healthy
+    /// the harness must call [`MasterDaemonController::on_reply`] before
+    /// the deadline event.
+    Ping {
+        /// When to fire the reply-deadline event.
+        deadline: SimTime,
+    },
+    /// Terminate (if needed) and relaunch MyAlertBuddy.
+    RestartMab,
+    /// Reboot the whole machine (restart storm).
+    RebootMachine,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MdcState {
+    Idle,
+    AwaitingReply {
+        deadline: SimTime,
+    },
+}
+
+/// The watchdog state machine.
+#[derive(Debug)]
+pub struct MasterDaemonController {
+    config: MdcConfig,
+    state: MdcState,
+    consecutive_failures: u32,
+    restarts: u64,
+    reboots: u64,
+    pings: u64,
+}
+
+impl MasterDaemonController {
+    /// Creates a watchdog with the given configuration.
+    pub fn new(config: MdcConfig) -> Self {
+        MasterDaemonController {
+            config,
+            state: MdcState::Idle,
+            consecutive_failures: 0,
+            restarts: 0,
+            reboots: 0,
+            pings: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> MdcConfig {
+        self.config
+    }
+
+    /// When the next periodic ping should fire, measured from `now`.
+    pub fn ping_interval(&self) -> SimDuration {
+        self.config.ping_interval
+    }
+
+    /// Total MyAlertBuddy restarts performed (the paper's month saw 36).
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Total machine reboots performed.
+    pub fn reboots(&self) -> u64 {
+        self.reboots
+    }
+
+    /// Total pings issued.
+    pub fn pings(&self) -> u64 {
+        self.pings
+    }
+
+    /// The periodic ping timer fired: issue an AreYouWorking() call.
+    /// The harness must schedule a deadline event at the returned
+    /// [`MdcAction::Ping::deadline`].
+    pub fn on_ping_timer(&mut self, now: SimTime) -> MdcAction {
+        self.pings += 1;
+        let deadline = now + self.config.reply_timeout;
+        self.state = MdcState::AwaitingReply { deadline };
+        MdcAction::Ping { deadline }
+    }
+
+    /// MyAlertBuddy answered the ping: healthy. Resets the failure streak.
+    pub fn on_reply(&mut self, _now: SimTime) {
+        self.state = MdcState::Idle;
+        self.consecutive_failures = 0;
+    }
+
+    /// The reply deadline fired. Returns the recovery action if the reply
+    /// never came (or `None` if it did and this is a stale deadline).
+    pub fn on_reply_deadline(&mut self, now: SimTime) -> Option<MdcAction> {
+        match self.state {
+            MdcState::AwaitingReply { deadline } if deadline <= now => {
+                self.state = MdcState::Idle;
+                Some(self.fail_and_decide())
+            }
+            _ => None,
+        }
+    }
+
+    /// The harness detected MyAlertBuddy terminating (crash or clean
+    /// rejuvenation exit). Returns the recovery action.
+    pub fn on_mab_terminated(&mut self, _now: SimTime) -> MdcAction {
+        self.state = MdcState::Idle;
+        self.fail_and_decide()
+    }
+
+    fn fail_and_decide(&mut self) -> MdcAction {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures > self.config.reboot_threshold {
+            self.consecutive_failures = 0;
+            self.reboots += 1;
+            MdcAction::RebootMachine
+        } else {
+            self.restarts += 1;
+            MdcAction::RestartMab
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn mdc() -> MasterDaemonController {
+        MasterDaemonController::new(MdcConfig {
+            ping_interval: SimDuration::from_mins(3),
+            reply_timeout: SimDuration::from_secs(30),
+            reboot_threshold: 3,
+        })
+    }
+
+    #[test]
+    fn healthy_ping_reply_cycle() {
+        let mut m = mdc();
+        let action = m.on_ping_timer(t(0));
+        assert_eq!(action, MdcAction::Ping { deadline: t(30) });
+        m.on_reply(t(1));
+        // Deadline later: stale, no action.
+        assert_eq!(m.on_reply_deadline(t(30)), None);
+        assert_eq!(m.restarts(), 0);
+        assert_eq!(m.pings(), 1);
+    }
+
+    #[test]
+    fn missed_reply_restarts() {
+        let mut m = mdc();
+        m.on_ping_timer(t(0));
+        assert_eq!(m.on_reply_deadline(t(30)), Some(MdcAction::RestartMab));
+        assert_eq!(m.restarts(), 1);
+    }
+
+    #[test]
+    fn early_deadline_event_is_ignored() {
+        let mut m = mdc();
+        let MdcAction::Ping { deadline } = m.on_ping_timer(t(0)) else {
+            panic!("expected ping")
+        };
+        // An (erroneous) early check is a no-op.
+        assert_eq!(m.on_reply_deadline(t(10)), None);
+        assert_eq!(m.on_reply_deadline(deadline), Some(MdcAction::RestartMab));
+    }
+
+    #[test]
+    fn termination_restarts_immediately() {
+        let mut m = mdc();
+        assert_eq!(m.on_mab_terminated(t(5)), MdcAction::RestartMab);
+        assert_eq!(m.restarts(), 1);
+    }
+
+    #[test]
+    fn restart_storm_trips_reboot_exactly_at_threshold() {
+        let mut m = mdc();
+        // Threshold 3: failures 1..=3 restart, the 4th consecutive reboots.
+        for i in 1..=3 {
+            assert_eq!(m.on_mab_terminated(t(i)), MdcAction::RestartMab, "failure {i}");
+        }
+        assert_eq!(m.on_mab_terminated(t(4)), MdcAction::RebootMachine);
+        assert_eq!(m.restarts(), 3);
+        assert_eq!(m.reboots(), 1);
+        // Counter reset after reboot: next failure restarts again.
+        assert_eq!(m.on_mab_terminated(t(5)), MdcAction::RestartMab);
+    }
+
+    #[test]
+    fn successful_health_check_resets_streak() {
+        let mut m = mdc();
+        m.on_mab_terminated(t(1));
+        m.on_mab_terminated(t(2));
+        // A ping answered in time clears the streak.
+        m.on_ping_timer(t(3));
+        m.on_reply(t(4));
+        for i in 5..=7 {
+            assert_eq!(m.on_mab_terminated(t(i)), MdcAction::RestartMab);
+        }
+        assert_eq!(m.reboots(), 0);
+    }
+
+    #[test]
+    fn hang_then_recovery_full_sequence() {
+        let mut m = mdc();
+        // MAB hangs: ping, no reply, restart. Next ping round-trips.
+        m.on_ping_timer(t(0));
+        assert_eq!(m.on_reply_deadline(t(30)), Some(MdcAction::RestartMab));
+        m.on_ping_timer(t(180));
+        m.on_reply(t(181));
+        assert_eq!(m.restarts(), 1);
+        assert_eq!(m.pings(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Software rejuvenation policy (§4.2.1).
+//!
+//! "We perform three kinds of rejuvenation tasks in MyAlertBuddy: (1)
+//! whenever MyAlertBuddy catches an exception that cannot be handled or any
+//! of the self-stabilization checks reveals invariant violations that
+//! cannot be rectified ... (2) Every night at 11:30 PM ... (3) to
+//! facilitate remote administration, SIMBA allows users to send IMs or
+//! emails with special keywords to explicitly trigger rejuvenation."
+
+use simba_sim::{SimDuration, SimTime};
+
+/// Why a rejuvenation was initiated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejuvenationTrigger {
+    /// An exception that could not be handled.
+    UnhandledException,
+    /// A self-stabilization invariant violation that could not be
+    /// rectified in place.
+    InvariantViolation,
+    /// The nightly scheduled restart.
+    Nightly,
+    /// A remote-administration command arrived by IM or email.
+    RemoteCommand,
+}
+
+impl std::fmt::Display for RejuvenationTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RejuvenationTrigger::UnhandledException => "unhandled-exception",
+            RejuvenationTrigger::InvariantViolation => "invariant-violation",
+            RejuvenationTrigger::Nightly => "nightly",
+            RejuvenationTrigger::RemoteCommand => "remote-command",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The rejuvenation policy knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejuvenationPolicy {
+    /// Minute-of-day for the nightly restart (paper: 11:30 PM), or `None`
+    /// to disable nightly rejuvenation (the A4 ablation).
+    pub nightly_minute: Option<u32>,
+    /// The magic keyword recognized in IM/email bodies.
+    pub remote_keyword: String,
+}
+
+impl Default for RejuvenationPolicy {
+    fn default() -> Self {
+        RejuvenationPolicy {
+            nightly_minute: Some(23 * 60 + 30),
+            remote_keyword: "SIMBA-REJUVENATE".to_string(),
+        }
+    }
+}
+
+impl RejuvenationPolicy {
+    /// A policy with nightly rejuvenation disabled.
+    pub fn without_nightly() -> Self {
+        RejuvenationPolicy {
+            nightly_minute: None,
+            ..RejuvenationPolicy::default()
+        }
+    }
+
+    /// The next nightly rejuvenation instant strictly after `now`, if
+    /// nightly rejuvenation is enabled.
+    pub fn next_nightly(&self, now: SimTime) -> Option<SimTime> {
+        let minute = self.nightly_minute?;
+        let target_ms = u64::from(minute) * 60_000;
+        let today = SimTime::from_days(now.day_index()) + SimDuration::from_millis(target_ms);
+        Some(if today > now {
+            today
+        } else {
+            today + SimDuration::from_days(1)
+        })
+    }
+
+    /// Inspects a message body for the remote rejuvenation command.
+    pub fn remote_trigger(&self, body: &str) -> Option<RejuvenationTrigger> {
+        if body.contains(&self.remote_keyword) {
+            Some(RejuvenationTrigger::RemoteCommand)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nightly_is_2330_by_default() {
+        let p = RejuvenationPolicy::default();
+        let morning = SimTime::from_hours(9);
+        let next = p.next_nightly(morning).unwrap();
+        assert_eq!(next, SimTime::from_hours(23) + SimDuration::from_mins(30));
+    }
+
+    #[test]
+    fn nightly_after_2330_rolls_to_tomorrow() {
+        let p = RejuvenationPolicy::default();
+        let late = SimTime::from_hours(23) + SimDuration::from_mins(45);
+        let next = p.next_nightly(late).unwrap();
+        assert_eq!(next.day_index(), 1);
+        assert_eq!(next.millis_of_day(), (23 * 60 + 30) * 60_000);
+    }
+
+    #[test]
+    fn nightly_exactly_at_2330_schedules_tomorrow() {
+        let p = RejuvenationPolicy::default();
+        let at = SimTime::from_hours(23) + SimDuration::from_mins(30);
+        let next = p.next_nightly(at).unwrap();
+        assert!(next > at);
+        assert_eq!(next.day_index(), 1);
+    }
+
+    #[test]
+    fn nightly_disabled() {
+        let p = RejuvenationPolicy::without_nightly();
+        assert_eq!(p.next_nightly(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn nightly_works_across_many_days() {
+        let p = RejuvenationPolicy::default();
+        let mut now = SimTime::ZERO;
+        for day in 0..5 {
+            let next = p.next_nightly(now).unwrap();
+            assert_eq!(next.day_index(), day);
+            assert_eq!(next.millis_of_day(), (23 * 60 + 30) * 60_000);
+            now = next + SimDuration::from_millis(1);
+        }
+    }
+
+    #[test]
+    fn remote_keyword_detection() {
+        let p = RejuvenationPolicy::default();
+        assert_eq!(
+            p.remote_trigger("please SIMBA-REJUVENATE now"),
+            Some(RejuvenationTrigger::RemoteCommand)
+        );
+        assert_eq!(p.remote_trigger("ordinary alert text"), None);
+        // Case-sensitive on purpose: it is a command, not prose.
+        assert_eq!(p.remote_trigger("simba-rejuvenate"), None);
+    }
+
+    #[test]
+    fn trigger_display_names() {
+        assert_eq!(RejuvenationTrigger::Nightly.to_string(), "nightly");
+        assert_eq!(
+            RejuvenationTrigger::UnhandledException.to_string(),
+            "unhandled-exception"
+        );
+    }
+}

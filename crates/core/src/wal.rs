@@ -1,0 +1,584 @@
+//! Pessimistic logging (§4.2.1).
+//!
+//! "Upon receiving an IM, MyAlertBuddy instructs the SIMBA library to save
+//! a copy to a log file **before** sending the acknowledgement. After
+//! processing the IM, MyAlertBuddy marks the saved copy as 'Processed'.
+//! Every time MyAlertBuddy is restarted, it first checks the log file for
+//! unprocessed IMs before accepting new alerts."
+//!
+//! The invariant this buys (property-tested in `tests/wal_safety.rs`): an
+//! alert that was acknowledged to its sender is never lost, at any crash
+//! point. Crash before append ⇒ no ack ⇒ the sender's delivery mode falls
+//! back. Crash after append ⇒ replayed on restart (possibly causing a
+//! duplicate, which timestamp dedup discards at the user).
+
+use crate::alert::{IncomingAlert, Urgency};
+use simba_sim::SimTime;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// One logged alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log-assigned id (monotonic).
+    pub id: u64,
+    /// When MyAlertBuddy received the alert.
+    pub received_at: SimTime,
+    /// The raw alert payload.
+    pub alert: IncomingAlert,
+    /// Whether routing completed.
+    pub processed: bool,
+}
+
+/// Errors from a write-ahead log.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failed (file backend).
+    Io(std::io::Error),
+    /// A persisted line could not be parsed during recovery.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// `mark_processed` named an id that was never appended.
+    UnknownId(
+        /// The offending id.
+        u64,
+    ),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::Corrupt { line, reason } => write!(f, "wal corrupt at line {line}: {reason}"),
+            WalError::UnknownId(id) => write!(f, "wal id {id} unknown"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// The pessimistic-logging interface used by MyAlertBuddy.
+pub trait WriteAheadLog {
+    /// Persists an alert *before* it is acknowledged. Returns the log id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if persistence failed — in that case the
+    /// caller must NOT acknowledge the alert.
+    fn append(&mut self, alert: &IncomingAlert, received_at: SimTime) -> Result<u64, WalError>;
+
+    /// Marks a logged alert as processed (routing completed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::UnknownId`] for ids never appended.
+    fn mark_processed(&mut self, id: u64) -> Result<(), WalError>;
+
+    /// All records still unprocessed, in append order — the restart replay
+    /// set.
+    fn unprocessed(&self) -> Vec<WalRecord>;
+
+    /// Total records in the log.
+    fn len(&self) -> usize;
+
+    /// Whether the log holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-memory log for simulation harnesses: the harness owns the log so
+/// it survives a simulated MyAlertBuddy crash.
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryWal {
+    records: BTreeMap<u64, WalRecord>,
+    next_id: u64,
+}
+
+impl InMemoryWal {
+    /// An empty log.
+    pub fn new() -> Self {
+        InMemoryWal::default()
+    }
+}
+
+impl WriteAheadLog for InMemoryWal {
+    fn append(&mut self, alert: &IncomingAlert, received_at: SimTime) -> Result<u64, WalError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.records.insert(
+            id,
+            WalRecord {
+                id,
+                received_at,
+                alert: alert.clone(),
+                processed: false,
+            },
+        );
+        Ok(id)
+    }
+
+    fn mark_processed(&mut self, id: u64) -> Result<(), WalError> {
+        match self.records.get_mut(&id) {
+            Some(r) => {
+                r.processed = true;
+                Ok(())
+            }
+            None => Err(WalError::UnknownId(id)),
+        }
+    }
+
+    fn unprocessed(&self) -> Vec<WalRecord> {
+        self.records.values().filter(|r| !r.processed).cloned().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// A file-backed log: one line per event, flushed on every append
+/// (pessimistic). Reopening the file replays it, reconstructing the
+/// unprocessed set — that *is* the §4.2.1 restart protocol.
+#[derive(Debug)]
+pub struct FileWal {
+    path: PathBuf,
+    file: File,
+    records: BTreeMap<u64, WalRecord>,
+    next_id: u64,
+}
+
+impl FileWal {
+    /// Opens (creating if missing) the log at `path` and replays it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a corrupt line.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut records = BTreeMap::new();
+        let mut next_id = 0u64;
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            for (lineno, line) in reader.lines().enumerate() {
+                let line = line?;
+                if line.is_empty() {
+                    continue;
+                }
+                parse_line(&line, lineno + 1, &mut records)?;
+            }
+            next_id = records.keys().next_back().map_or(0, |id| id + 1);
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(FileWal {
+            path,
+            file,
+            records,
+            next_id,
+        })
+    }
+
+    /// Opens the log, tolerating a torn tail: a crash in the middle of an
+    /// append leaves a partial last line, which this constructor discards
+    /// (truncating the file to the last complete record) instead of
+    /// failing. Corruption anywhere *before* the tail is still an error —
+    /// that is not a crash artifact but real damage.
+    ///
+    /// The discarded record was, by the §4.2.1 protocol, never
+    /// acknowledged (the ack follows the durable append), so dropping it
+    /// is exactly the "crash before log" case: the sender falls back.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or non-tail corruption.
+    pub fn open_tolerant(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            let content = std::fs::read_to_string(&path)?;
+            let mut valid_len = 0usize;
+            let mut scratch = BTreeMap::new();
+            let mut lines = content.split_inclusive('\n').enumerate().peekable();
+            while let Some((lineno, line)) = lines.next() {
+                let is_last = lines.peek().is_none();
+                let complete = line.ends_with('\n');
+                let trimmed = line.trim_end_matches('\n');
+                if trimmed.is_empty() {
+                    valid_len += line.len();
+                    continue;
+                }
+                match parse_line(trimmed, lineno + 1, &mut scratch) {
+                    Ok(()) if complete => valid_len += line.len(),
+                    Ok(()) => break, // complete-looking but unterminated tail: drop it
+                    Err(e) if is_last => {
+                        // Torn tail: discard.
+                        let _ = e;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if valid_len < content.len() {
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(valid_len as u64)?;
+                file.sync_data()?;
+            }
+        }
+        FileWal::open(path)
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Simulates a crash-restart: drops all in-memory state and replays
+    /// the file from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileWal::open`].
+    pub fn reopen(self) -> Result<Self, WalError> {
+        let path = self.path.clone();
+        drop(self);
+        FileWal::open(path)
+    }
+}
+
+fn parse_line(
+    line: &str,
+    lineno: usize,
+    records: &mut BTreeMap<u64, WalRecord>,
+) -> Result<(), WalError> {
+    let corrupt = |reason: &str| WalError::Corrupt {
+        line: lineno,
+        reason: reason.to_string(),
+    };
+    let mut fields = line.split('\t');
+    let tag = fields.next().ok_or_else(|| corrupt("empty line"))?;
+    match tag {
+        "R" => {
+            let id: u64 = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| corrupt("bad id"))?;
+            let received_ms: u64 = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| corrupt("bad received timestamp"))?;
+            let origin_ms: u64 = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| corrupt("bad origin timestamp"))?;
+            let urgency = match fields.next() {
+                Some("low") => Urgency::Low,
+                Some("normal") => Urgency::Normal,
+                Some("critical") => Urgency::Critical,
+                _ => return Err(corrupt("bad urgency")),
+            };
+            let mut unescape_next = || -> Result<String, WalError> {
+                fields.next().map(unescape).ok_or_else(|| corrupt("missing field"))
+            };
+            let source = unescape_next()?;
+            let sender_name = unescape_next()?;
+            let subject = unescape_next()?;
+            let body = unescape_next()?;
+            records.insert(
+                id,
+                WalRecord {
+                    id,
+                    received_at: SimTime::from_millis(received_ms),
+                    alert: IncomingAlert {
+                        source,
+                        sender_name,
+                        subject,
+                        body,
+                        origin_timestamp: SimTime::from_millis(origin_ms),
+                        urgency,
+                    },
+                    processed: false,
+                },
+            );
+            Ok(())
+        }
+        "P" => {
+            let id: u64 = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| corrupt("bad id"))?;
+            // A 'P' for an unknown id means the 'R' line was lost — that
+            // cannot happen with append-order writes, so treat as corrupt.
+            let rec = records
+                .get_mut(&id)
+                .ok_or_else(|| corrupt("processed mark for unknown record"))?;
+            rec.processed = true;
+            Ok(())
+        }
+        other => Err(corrupt(&format!("unknown tag {other:?}"))),
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+impl WriteAheadLog for FileWal {
+    fn append(&mut self, alert: &IncomingAlert, received_at: SimTime) -> Result<u64, WalError> {
+        let id = self.next_id;
+        let line = format!(
+            "R\t{id}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            received_at.as_millis(),
+            alert.origin_timestamp.as_millis(),
+            alert.urgency,
+            escape(&alert.source),
+            escape(&alert.sender_name),
+            escape(&alert.subject),
+            escape(&alert.body),
+        );
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.next_id += 1;
+        self.records.insert(
+            id,
+            WalRecord {
+                id,
+                received_at,
+                alert: alert.clone(),
+                processed: false,
+            },
+        );
+        Ok(id)
+    }
+
+    fn mark_processed(&mut self, id: u64) -> Result<(), WalError> {
+        if !self.records.contains_key(&id) {
+            return Err(WalError::UnknownId(id));
+        }
+        self.file.write_all(format!("P\t{id}\n").as_bytes())?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.records.get_mut(&id).expect("checked").processed = true;
+        Ok(())
+    }
+
+    fn unprocessed(&self) -> Vec<WalRecord> {
+        self.records.values().filter(|r| !r.processed).cloned().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(body: &str, origin_secs: u64) -> IncomingAlert {
+        IncomingAlert::from_im("aladdin-gw", body, SimTime::from_secs(origin_secs))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn in_memory_append_mark_replay() {
+        let mut wal = InMemoryWal::new();
+        let a = wal.append(&alert("one", 1), t(1)).unwrap();
+        let b = wal.append(&alert("two", 2), t(2)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(wal.len(), 2);
+        assert_eq!(wal.unprocessed().len(), 2);
+        wal.mark_processed(a).unwrap();
+        let un = wal.unprocessed();
+        assert_eq!(un.len(), 1);
+        assert_eq!(un[0].alert.body, "two");
+        assert!(matches!(wal.mark_processed(99), Err(WalError::UnknownId(99))));
+    }
+
+    #[test]
+    fn file_wal_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("simba-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("survives_reopen.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let mut wal = FileWal::open(&path).unwrap();
+        let a = wal.append(&alert("critical: basement", 10), t(11)).unwrap();
+        let _b = wal.append(&alert("second", 20), t(21)).unwrap();
+        wal.mark_processed(a).unwrap();
+
+        // Crash + restart.
+        let wal = wal.reopen().unwrap();
+        assert_eq!(wal.len(), 2);
+        let un = wal.unprocessed();
+        assert_eq!(un.len(), 1);
+        assert_eq!(un[0].alert.body, "second");
+        assert_eq!(un[0].alert.origin_timestamp, t(20));
+        assert_eq!(un[0].received_at, t(21));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_wal_new_ids_continue_after_reopen() {
+        let dir = std::env::temp_dir().join(format!("simba-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ids_continue.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let mut wal = FileWal::open(&path).unwrap();
+        let a = wal.append(&alert("x", 1), t(1)).unwrap();
+        let mut wal = wal.reopen().unwrap();
+        let b = wal.append(&alert("y", 2), t(2)).unwrap();
+        assert!(b > a);
+        assert_eq!(wal.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_wal_escaping_round_trips_awkward_text() {
+        let dir = std::env::temp_dir().join(format!("simba-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("escaping.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let mut nasty = IncomingAlert::from_email(
+            "src\twith\ttabs",
+            "name\nwith\nnewlines",
+            "subject \\ backslash",
+            "body\r\nmixed\tall",
+            t(5),
+        );
+        nasty.urgency = Urgency::Critical;
+        let mut wal = FileWal::open(&path).unwrap();
+        wal.append(&nasty, t(6)).unwrap();
+        let wal = wal.reopen().unwrap();
+        assert_eq!(wal.unprocessed()[0].alert, nasty);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("simba-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.wal");
+        std::fs::write(&path, "R\tnot-a-number\n").unwrap();
+        assert!(matches!(FileWal::open(&path), Err(WalError::Corrupt { line: 1, .. })));
+        std::fs::write(&path, "P\t42\n").unwrap();
+        assert!(matches!(FileWal::open(&path), Err(WalError::Corrupt { .. })));
+        std::fs::write(&path, "Z\n").unwrap();
+        assert!(matches!(FileWal::open(&path), Err(WalError::Corrupt { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tolerant_open_discards_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("simba-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn_tail.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let mut wal = FileWal::open(&path).unwrap();
+        wal.append(&alert("complete record", 1), t(1)).unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: a partial line at the tail.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"R\t1\t2000\t20").unwrap(); // truncated record, no newline
+        }
+        // Strict open rejects it; tolerant open recovers the prefix.
+        assert!(matches!(FileWal::open(&path), Err(WalError::Corrupt { .. })));
+        let wal = FileWal::open_tolerant(&path).unwrap();
+        assert_eq!(wal.len(), 1);
+        assert_eq!(wal.unprocessed()[0].alert.body, "complete record");
+        // The file was truncated, so a subsequent strict open also works.
+        let mut wal = wal.reopen().unwrap();
+        assert_eq!(wal.len(), 1);
+        // And appending continues cleanly.
+        wal.append(&alert("after recovery", 2), t(2)).unwrap();
+        assert_eq!(wal.reopen().unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tolerant_open_still_rejects_mid_file_corruption() {
+        let dir = std::env::temp_dir().join(format!("simba-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid_corrupt.wal");
+        std::fs::write(&path, "GARBAGE LINE\nP\t0\n").unwrap();
+        assert!(matches!(
+            FileWal::open_tolerant(&path),
+            Err(WalError::Corrupt { line: 1, .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tolerant_open_of_clean_or_missing_file_is_plain_open() {
+        let dir = std::env::temp_dir().join(format!("simba-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = FileWal::open_tolerant(&path).unwrap();
+        assert!(wal.is_empty());
+        wal.append(&alert("x", 1), t(1)).unwrap();
+        drop(wal);
+        let wal = FileWal::open_tolerant(&path).unwrap();
+        assert_eq!(wal.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn escape_unescape_inverse() {
+        for s in ["plain", "a\tb", "a\nb", "a\\b", "\\t literal", "", "trailing\\"] {
+            assert_eq!(unescape(&escape(s)), s, "for {s:?}");
+        }
+    }
+}

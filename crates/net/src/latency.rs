@@ -1,0 +1,170 @@
+//! Delay distributions for message transit times.
+
+use simba_sim::{SimDuration, SimRng};
+
+/// A distribution over transit delays.
+///
+/// Calibration targets come from the paper (§3.1, §5): IM is sub-second
+/// with a mild tail; email and SMS range "from seconds to days".
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Always exactly this long.
+    Constant(SimDuration),
+    /// Uniform between the two bounds (inclusive of `lo`, exclusive of `hi`).
+    Uniform {
+        /// Lower bound.
+        lo: SimDuration,
+        /// Upper bound.
+        hi: SimDuration,
+    },
+    /// Log-normal, parameterized by median seconds and log-space sigma.
+    /// The workhorse for IM delivery ("typically less than one second").
+    LogNormal {
+        /// Median delay in seconds.
+        median_secs: f64,
+        /// Log-space standard deviation (≈ tail weight).
+        sigma: f64,
+    },
+    /// A minimum transit time plus a Pareto tail, capped. The email/SMS
+    /// shape: most messages arrive in seconds, some take hours.
+    ParetoTail {
+        /// Minimum transit time in seconds (also the Pareto scale).
+        min_secs: f64,
+        /// Pareto shape; smaller = heavier tail.
+        alpha: f64,
+        /// Hard cap in seconds (a mail server's retry give-up horizon).
+        cap_secs: f64,
+    },
+}
+
+impl LatencyModel {
+    /// The paper's IM channel: median ≈ 0.4 s, overwhelmingly under 1 s.
+    pub fn consumer_im() -> Self {
+        LatencyModel::LogNormal {
+            median_secs: 0.4,
+            sigma: 0.35,
+        }
+    }
+
+    /// The paper's email channel: seconds to hours, heavy-tailed.
+    pub fn store_and_forward_email() -> Self {
+        LatencyModel::ParetoTail {
+            min_secs: 8.0,
+            alpha: 1.1,
+            cap_secs: 2.0 * 86_400.0, // give up after two days
+        }
+    }
+
+    /// The paper's cell SMS channel: "a similar range of unpredictability"
+    /// to email (§3.1), slightly faster body.
+    pub fn carrier_sms() -> Self {
+        LatencyModel::ParetoTail {
+            min_secs: 5.0,
+            alpha: 1.3,
+            cap_secs: 86_400.0,
+        }
+    }
+
+    /// Draws one transit delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    SimDuration::from_millis(rng.range(lo.as_millis(), hi.as_millis()))
+                }
+            }
+            LatencyModel::LogNormal { median_secs, sigma } => {
+                SimDuration::from_secs_f64(rng.lognormal(median_secs, sigma))
+            }
+            LatencyModel::ParetoTail {
+                min_secs,
+                alpha,
+                cap_secs,
+            } => SimDuration::from_secs_f64(rng.pareto(min_secs, alpha).min(cap_secs)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xFEED)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(SimDuration::from_millis(250));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), SimDuration::from_millis(250));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::Uniform {
+            lo: SimDuration::from_millis(100),
+            hi: SimDuration::from_millis(200),
+        };
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let d = m.sample(&mut r);
+            assert!((100..=200).contains(&d.as_millis()));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let m = LatencyModel::Uniform {
+            lo: SimDuration::from_secs(5),
+            hi: SimDuration::from_secs(5),
+        };
+        assert_eq!(m.sample(&mut rng()), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn consumer_im_is_mostly_subsecond() {
+        // Reproduces the calibration behind experiment E1: "one-way IM
+        // delivery time ... is typically less than one second".
+        let m = LatencyModel::consumer_im();
+        let mut r = rng();
+        let n = 10_000;
+        let subsecond = (0..n)
+            .filter(|_| m.sample(&mut r) < SimDuration::from_secs(1))
+            .count();
+        assert!(
+            subsecond as f64 / n as f64 > 0.95,
+            "only {subsecond}/{n} under 1 s"
+        );
+    }
+
+    #[test]
+    fn email_tail_reaches_minutes_but_respects_cap() {
+        let m = LatencyModel::store_and_forward_email();
+        let mut r = rng();
+        let draws: Vec<SimDuration> = (0..20_000).map(|_| m.sample(&mut r)).collect();
+        assert!(draws.iter().all(|d| d.as_secs() >= 8));
+        assert!(draws.iter().all(|d| d.as_secs() <= 2 * 86_400));
+        // Heavy tail: some deliveries take more than 10 minutes.
+        assert!(draws.iter().any(|d| d.as_mins() > 10));
+        // But the median stays in tens of seconds.
+        let mut sorted = draws.clone();
+        sorted.sort();
+        assert!(sorted[draws.len() / 2].as_secs() < 60);
+    }
+
+    #[test]
+    fn sms_slower_than_im_faster_body_than_email() {
+        let mut r = rng();
+        let sms = LatencyModel::carrier_sms();
+        let mean_sms: f64 = (0..5_000).map(|_| sms.sample(&mut r).as_secs_f64()).sum::<f64>() / 5_000.0;
+        let im = LatencyModel::consumer_im();
+        let mean_im: f64 = (0..5_000).map(|_| im.sample(&mut r).as_secs_f64()).sum::<f64>() / 5_000.0;
+        assert!(mean_sms > 5.0 * mean_im, "sms {mean_sms} vs im {mean_im}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Message-drop processes.
+
+use simba_sim::SimRng;
+
+/// A (possibly stateful) message-loss process. `roll` returns `true` when
+/// the message is lost.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LossModel {
+    /// Never loses messages.
+    None,
+    /// Independent loss with probability `p` per message.
+    Bernoulli(
+        /// Per-message loss probability.
+        f64,
+    ),
+    /// Gilbert–Elliott two-state burst loss: long good periods with rare
+    /// loss, punctuated by bad bursts where most messages drop. Models the
+    /// "corporate proxy server unavailability, network connection problems"
+    /// the paper's fault log attributes downtime to (§5).
+    Burst {
+        /// Probability of entering the bad state per message while good.
+        p_enter: f64,
+        /// Probability of leaving the bad state per message while bad.
+        p_exit: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+        /// Current state.
+        bad: bool,
+    },
+}
+
+impl LossModel {
+    /// A fresh Gilbert–Elliott model starting in the good state.
+    pub fn burst(p_enter: f64, p_exit: f64, loss_good: f64, loss_bad: f64) -> Self {
+        LossModel::Burst {
+            p_enter,
+            p_exit,
+            loss_good,
+            loss_bad,
+            bad: false,
+        }
+    }
+
+    /// Rolls the process for one message; `true` means the message is lost.
+    pub fn roll(&mut self, rng: &mut SimRng) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli(p) => rng.chance(*p),
+            LossModel::Burst {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+                bad,
+            } => {
+                // Transition first, then roll loss in the (new) state.
+                if *bad {
+                    if rng.chance(*p_exit) {
+                        *bad = false;
+                    }
+                } else if rng.chance(*p_enter) {
+                    *bad = true;
+                }
+                let p = if *bad { *loss_bad } else { *loss_good };
+                rng.chance(p)
+            }
+        }
+    }
+
+    /// Whether a burst model is currently in its bad state (always `false`
+    /// for stateless models). Exposed for tests and trace annotations.
+    pub fn in_burst(&self) -> bool {
+        matches!(self, LossModel::Burst { bad: true, .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_loses() {
+        let mut m = LossModel::None;
+        let mut r = SimRng::new(1);
+        assert!((0..1_000).all(|_| !m.roll(&mut r)));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_calibrated() {
+        let mut m = LossModel::Bernoulli(0.1);
+        let mut r = SimRng::new(2);
+        let losses = (0..20_000).filter(|_| m.roll(&mut r)).count();
+        assert!((1_800..2_200).contains(&losses), "losses = {losses}");
+    }
+
+    #[test]
+    fn burst_clusters_losses() {
+        let mut m = LossModel::burst(0.002, 0.05, 0.001, 0.9);
+        let mut r = SimRng::new(3);
+        let rolls: Vec<bool> = (0..50_000).map(|_| m.roll(&mut r)).collect();
+        let total = rolls.iter().filter(|&&l| l).count();
+        assert!(total > 100, "expected bursty losses, got {total}");
+
+        // Losses must be clustered: the probability that a loss directly
+        // follows another loss should far exceed the base rate.
+        let pairs = rolls.windows(2).filter(|w| w[0] && w[1]).count();
+        let p_loss = total as f64 / rolls.len() as f64;
+        let p_loss_after_loss = pairs as f64 / total as f64;
+        assert!(
+            p_loss_after_loss > 5.0 * p_loss,
+            "no clustering: {p_loss_after_loss} vs {p_loss}"
+        );
+    }
+
+    #[test]
+    fn burst_state_transitions_are_visible() {
+        let mut m = LossModel::burst(1.0, 0.0, 0.0, 1.0);
+        let mut r = SimRng::new(4);
+        assert!(!m.in_burst());
+        assert!(m.roll(&mut r)); // enters bad immediately, loses everything
+        assert!(m.in_burst());
+    }
+}

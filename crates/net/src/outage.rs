@@ -1,0 +1,206 @@
+//! Service up/down schedules.
+//!
+//! The paper's one-month log (§5) recorded "five extended IM downtimes
+//! lasting from 4 to 103 minutes". [`OutageSchedule`] reproduces that class
+//! of failure: downtime windows, either fixed (for unit tests) or generated
+//! by a Poisson process with log-uniform durations (for the fault-injection
+//! campaign, experiment E5).
+
+use simba_sim::{SimDuration, SimRng, SimTime};
+
+/// A set of half-open downtime windows `[start, end)` over the simulation
+/// horizon. Windows are non-overlapping and sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutageSchedule {
+    windows: Vec<(SimTime, SimTime)>,
+}
+
+impl OutageSchedule {
+    /// A schedule with no outages.
+    pub fn always_up() -> Self {
+        OutageSchedule::default()
+    }
+
+    /// Builds a schedule from explicit windows.
+    ///
+    /// Overlapping or touching windows are merged; zero-length windows are
+    /// dropped.
+    pub fn from_windows(mut windows: Vec<(SimTime, SimTime)>) -> Self {
+        windows.retain(|(s, e)| e > s);
+        windows.sort();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(windows.len());
+        for (s, e) in windows {
+            match merged.last_mut() {
+                Some((_, last_end)) if s <= *last_end => {
+                    if e > *last_end {
+                        *last_end = e;
+                    }
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        OutageSchedule { windows: merged }
+    }
+
+    /// Generates outages over `[0, horizon)` by a Poisson process.
+    ///
+    /// * `mean_between` — mean up-time between outage starts,
+    /// * `min_len ..= max_len` — outage durations, drawn log-uniformly so
+    ///   short outages dominate but long ones occur (4–103 min in §5).
+    pub fn generate(
+        horizon: SimTime,
+        mean_between: SimDuration,
+        min_len: SimDuration,
+        max_len: SimDuration,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(min_len <= max_len, "min_len must not exceed max_len");
+        assert!(min_len > SimDuration::ZERO, "outages must have positive length");
+        let mut windows = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let gap = SimDuration::from_secs_f64(rng.exponential(mean_between.as_secs_f64()));
+            let start = t + gap;
+            if start >= horizon {
+                break;
+            }
+            // Log-uniform duration in [min_len, max_len].
+            let ln_lo = (min_len.as_millis() as f64).ln();
+            let ln_hi = (max_len.as_millis() as f64).ln();
+            let len_ms = rng.range_f64(ln_lo, ln_hi.max(ln_lo + f64::EPSILON)).exp();
+            let len = SimDuration::from_millis(len_ms.round() as u64).max(min_len);
+            let end = start + len;
+            t = end;
+            windows.push((start, end));
+        }
+        OutageSchedule::from_windows(windows)
+    }
+
+    /// Whether the service is down at `at`.
+    pub fn is_down(&self, at: SimTime) -> bool {
+        self.windows.iter().any(|&(s, e)| s <= at && at < e)
+    }
+
+    /// The end of the outage containing `at`, if any.
+    pub fn outage_end(&self, at: SimTime) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .find(|&&(s, e)| s <= at && at < e)
+            .map(|&(_, e)| e)
+    }
+
+    /// The start of the first outage at or after `at`, if any.
+    pub fn next_outage_start(&self, at: SimTime) -> Option<SimTime> {
+        self.windows.iter().map(|&(s, _)| s).find(|&s| s >= at)
+    }
+
+    /// All windows, sorted.
+    pub fn windows(&self) -> &[(SimTime, SimTime)] {
+        &self.windows
+    }
+
+    /// Number of outage windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the schedule has no outages.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total downtime across all windows.
+    pub fn total_downtime(&self) -> SimDuration {
+        self.windows
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(s, e)| acc + (e - s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn always_up_is_never_down() {
+        let s = OutageSchedule::always_up();
+        assert!(!s.is_down(SimTime::ZERO));
+        assert!(!s.is_down(SimTime::from_days(30)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn window_membership_is_half_open() {
+        let s = OutageSchedule::from_windows(vec![(t(10), t(20))]);
+        assert!(!s.is_down(t(9)));
+        assert!(s.is_down(t(10)));
+        assert!(s.is_down(t(19)));
+        assert!(!s.is_down(t(20)));
+    }
+
+    #[test]
+    fn windows_merge_and_sort() {
+        let s = OutageSchedule::from_windows(vec![
+            (t(30), t(40)),
+            (t(10), t(20)),
+            (t(15), t(25)), // overlaps the second
+            (t(25), t(26)), // touches the merged window
+            (t(50), t(50)), // zero-length, dropped
+        ]);
+        assert_eq!(s.windows(), &[(t(10), t(26)), (t(30), t(40))]);
+        assert_eq!(s.total_downtime(), SimDuration::from_secs(26));
+    }
+
+    #[test]
+    fn outage_end_and_next_start() {
+        let s = OutageSchedule::from_windows(vec![(t(10), t(20)), (t(40), t(45))]);
+        assert_eq!(s.outage_end(t(15)), Some(t(20)));
+        assert_eq!(s.outage_end(t(5)), None);
+        assert_eq!(s.next_outage_start(t(0)), Some(t(10)));
+        assert_eq!(s.next_outage_start(t(25)), Some(t(40)));
+        assert_eq!(s.next_outage_start(t(46)), None);
+    }
+
+    #[test]
+    fn generate_respects_bounds_and_horizon() {
+        let mut rng = SimRng::new(42);
+        let horizon = SimTime::from_days(30);
+        let s = OutageSchedule::generate(
+            horizon,
+            SimDuration::from_days(6),
+            SimDuration::from_mins(4),
+            SimDuration::from_mins(103),
+            &mut rng,
+        );
+        for &(start, end) in s.windows() {
+            assert!(start < horizon);
+            let len = end - start;
+            assert!(len >= SimDuration::from_mins(4), "too short: {len}");
+            // Merging can exceed max_len only if windows collided; with a
+            // 6-day gap mean that is effectively impossible at this seed.
+            assert!(len <= SimDuration::from_mins(104), "too long: {len}");
+        }
+        // Roughly monthly cadence with 6-day mean gap: expect ~5 outages.
+        assert!((2..=9).contains(&s.len()), "got {} outages", s.len());
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut rng = SimRng::new(seed);
+            OutageSchedule::generate(
+                SimTime::from_days(30),
+                SimDuration::from_days(3),
+                SimDuration::from_mins(4),
+                SimDuration::from_mins(103),
+                &mut rng,
+            )
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+}

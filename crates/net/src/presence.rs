@@ -1,0 +1,372 @@
+//! Where the user is, and whether a message that reached a device is
+//! actually *seen and acknowledged* by the human.
+//!
+//! The paper defines dependability as the end-to-end user experience, and
+//! its delivery modes exist precisely because the user moves between
+//! contexts — at the desk (sees IM), mobile inside coverage (sees SMS),
+//! mobile outside coverage, or away from everything (§3.3). This module
+//! provides a semi-Markov timeline over those contexts plus a human
+//! reaction model, so experiments can measure "time until a human actually
+//! saw the alert", not just "time until some queue accepted it".
+
+use simba_sim::{SimDuration, SimRng, SimTime};
+
+/// The user's context at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UserContext {
+    /// At the primary desktop: IM popups are seen quickly.
+    AtDesk,
+    /// Away from the desk, phone in coverage: SMS reaches the user.
+    MobileCovered,
+    /// Away from the desk, phone out of coverage or off.
+    MobileUncovered,
+    /// Asleep / unreachable by any device.
+    Away,
+}
+
+impl UserContext {
+    /// Whether an IM that popped up on the desktop would be seen.
+    pub fn sees_im(self) -> bool {
+        matches!(self, UserContext::AtDesk)
+    }
+
+    /// Whether an SMS that reached the handset would be seen.
+    pub fn sees_sms(self) -> bool {
+        matches!(self, UserContext::AtDesk | UserContext::MobileCovered)
+    }
+
+    /// Whether the user is reading email (only at the desk, and lazily).
+    pub fn sees_email(self) -> bool {
+        matches!(self, UserContext::AtDesk)
+    }
+}
+
+/// Mean dwell times per context, the knobs of the timeline generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DwellProfile {
+    /// Mean time spent at the desk per visit.
+    pub at_desk: SimDuration,
+    /// Mean time mobile-with-coverage per excursion.
+    pub mobile_covered: SimDuration,
+    /// Mean time mobile-without-coverage per excursion.
+    pub mobile_uncovered: SimDuration,
+    /// Mean time fully away (nights, meetings-without-phone).
+    pub away: SimDuration,
+}
+
+impl Default for DwellProfile {
+    /// An office-worker profile: hours at the desk, short excursions,
+    /// nightly absence.
+    fn default() -> Self {
+        DwellProfile {
+            at_desk: SimDuration::from_mins(90),
+            mobile_covered: SimDuration::from_mins(45),
+            mobile_uncovered: SimDuration::from_mins(10),
+            away: SimDuration::from_hours(8),
+        }
+    }
+}
+
+/// A precomputed, deterministic timeline of user contexts over a horizon.
+#[derive(Debug, Clone)]
+pub struct PresenceTimeline {
+    /// `(start, context)`, sorted by start; first entry starts at t = 0.
+    segments: Vec<(SimTime, UserContext)>,
+    horizon: SimTime,
+}
+
+impl PresenceTimeline {
+    /// A user pinned to one context forever (unit-test helper).
+    pub fn constant(context: UserContext, horizon: SimTime) -> Self {
+        PresenceTimeline {
+            segments: vec![(SimTime::ZERO, context)],
+            horizon,
+        }
+    }
+
+    /// Builds a timeline from explicit segments. The first segment must
+    /// start at t = 0 and starts must be strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment list is empty or malformed — timelines are
+    /// experiment fixtures, so malformed input is a programming error.
+    pub fn from_segments(segments: Vec<(SimTime, UserContext)>, horizon: SimTime) -> Self {
+        assert!(!segments.is_empty(), "timeline needs at least one segment");
+        assert_eq!(segments[0].0, SimTime::ZERO, "first segment must start at 0");
+        assert!(
+            segments.windows(2).all(|w| w[0].0 < w[1].0),
+            "segment starts must be strictly increasing"
+        );
+        PresenceTimeline { segments, horizon }
+    }
+
+    /// Generates a semi-Markov timeline: exponential dwell in each context,
+    /// then a transition weighted toward the realistic day pattern
+    /// (desk ↔ mobile, with occasional full absence).
+    pub fn generate(horizon: SimTime, profile: DwellProfile, rng: &mut SimRng) -> Self {
+        let mut segments = Vec::new();
+        let mut t = SimTime::ZERO;
+        let mut ctx = UserContext::AtDesk;
+        while t < horizon {
+            segments.push((t, ctx));
+            let mean = match ctx {
+                UserContext::AtDesk => profile.at_desk,
+                UserContext::MobileCovered => profile.mobile_covered,
+                UserContext::MobileUncovered => profile.mobile_uncovered,
+                UserContext::Away => profile.away,
+            };
+            let dwell = SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()))
+                .max(SimDuration::from_secs(30));
+            t = t + dwell;
+            ctx = match ctx {
+                UserContext::AtDesk => {
+                    if rng.chance(0.6) {
+                        UserContext::MobileCovered
+                    } else if rng.chance(0.5) {
+                        UserContext::Away
+                    } else {
+                        UserContext::MobileUncovered
+                    }
+                }
+                UserContext::MobileCovered => {
+                    if rng.chance(0.65) {
+                        UserContext::AtDesk
+                    } else if rng.chance(0.5) {
+                        UserContext::MobileUncovered
+                    } else {
+                        UserContext::Away
+                    }
+                }
+                UserContext::MobileUncovered => {
+                    if rng.chance(0.7) {
+                        UserContext::MobileCovered
+                    } else {
+                        UserContext::AtDesk
+                    }
+                }
+                UserContext::Away => {
+                    if rng.chance(0.8) {
+                        UserContext::AtDesk
+                    } else {
+                        UserContext::MobileCovered
+                    }
+                }
+            };
+        }
+        PresenceTimeline { segments, horizon }
+    }
+
+    /// The context at instant `at` (clamped to the last segment beyond the
+    /// horizon).
+    pub fn context_at(&self, at: SimTime) -> UserContext {
+        match self.segments.binary_search_by(|(s, _)| s.cmp(&at)) {
+            Ok(i) => self.segments[i].1,
+            Err(0) => self.segments[0].1,
+            Err(i) => self.segments[i - 1].1,
+        }
+    }
+
+    /// The next instant at or after `at` when the context changes, if any.
+    pub fn next_change(&self, at: SimTime) -> Option<SimTime> {
+        self.segments.iter().map(|&(s, _)| s).find(|&s| s > at)
+    }
+
+    /// The generation horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// All segments (for reporting).
+    pub fn segments(&self) -> &[(SimTime, UserContext)] {
+        &self.segments
+    }
+
+    /// Fraction of `[0, horizon)` spent in `context`.
+    pub fn fraction_in(&self, context: UserContext) -> f64 {
+        if self.horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let mut total = SimDuration::ZERO;
+        for (i, &(start, ctx)) in self.segments.iter().enumerate() {
+            if ctx != context {
+                continue;
+            }
+            let end = self
+                .segments
+                .get(i + 1)
+                .map(|&(s, _)| s)
+                .unwrap_or(self.horizon)
+                .min(self.horizon);
+            total += end - start;
+        }
+        total.as_secs_f64() / self.horizon.as_secs_f64()
+    }
+}
+
+/// Human reaction-time model: once a message is *visible*, how long until
+/// the user reads and (for IM) acknowledges it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HumanModel {
+    /// Median reaction to an IM popup at the desk.
+    pub im_reaction_median_secs: f64,
+    /// Median reaction to an SMS buzz while mobile.
+    pub sms_reaction_median_secs: f64,
+    /// Median until the user next polls email at the desk.
+    pub email_poll_median_secs: f64,
+    /// Log-space sigma shared by all three.
+    pub sigma: f64,
+}
+
+impl Default for HumanModel {
+    fn default() -> Self {
+        HumanModel {
+            im_reaction_median_secs: 8.0,
+            sms_reaction_median_secs: 40.0,
+            email_poll_median_secs: 900.0,
+            sigma: 0.6,
+        }
+    }
+}
+
+impl HumanModel {
+    /// Reaction delay to a visible IM popup.
+    pub fn im_reaction(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.lognormal(self.im_reaction_median_secs, self.sigma))
+    }
+
+    /// Reaction delay to a visible SMS.
+    pub fn sms_reaction(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.lognormal(self.sms_reaction_median_secs, self.sigma))
+    }
+
+    /// Delay until the next email poll.
+    pub fn email_poll(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.lognormal(self.email_poll_median_secs, self.sigma))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn context_visibility_matrix() {
+        assert!(UserContext::AtDesk.sees_im());
+        assert!(UserContext::AtDesk.sees_sms());
+        assert!(UserContext::AtDesk.sees_email());
+        assert!(!UserContext::MobileCovered.sees_im());
+        assert!(UserContext::MobileCovered.sees_sms());
+        assert!(!UserContext::MobileUncovered.sees_sms());
+        assert!(!UserContext::Away.sees_im());
+        assert!(!UserContext::Away.sees_sms());
+        assert!(!UserContext::Away.sees_email());
+    }
+
+    #[test]
+    fn constant_timeline() {
+        let tl = PresenceTimeline::constant(UserContext::AtDesk, t(1_000));
+        assert_eq!(tl.context_at(t(0)), UserContext::AtDesk);
+        assert_eq!(tl.context_at(t(999_999)), UserContext::AtDesk);
+        assert_eq!(tl.next_change(t(0)), None);
+        assert!((tl.fraction_in(UserContext::AtDesk) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_lookup() {
+        let tl = PresenceTimeline::from_segments(
+            vec![
+                (t(0), UserContext::AtDesk),
+                (t(100), UserContext::MobileCovered),
+                (t(200), UserContext::Away),
+            ],
+            t(300),
+        );
+        assert_eq!(tl.context_at(t(0)), UserContext::AtDesk);
+        assert_eq!(tl.context_at(t(99)), UserContext::AtDesk);
+        assert_eq!(tl.context_at(t(100)), UserContext::MobileCovered);
+        assert_eq!(tl.context_at(t(150)), UserContext::MobileCovered);
+        assert_eq!(tl.context_at(t(250)), UserContext::Away);
+        assert_eq!(tl.next_change(t(0)), Some(t(100)));
+        assert_eq!(tl.next_change(t(100)), Some(t(200)));
+        assert_eq!(tl.next_change(t(200)), None);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let tl = PresenceTimeline::from_segments(
+            vec![
+                (t(0), UserContext::AtDesk),
+                (t(100), UserContext::MobileCovered),
+                (t(200), UserContext::Away),
+            ],
+            t(400),
+        );
+        let sum = tl.fraction_in(UserContext::AtDesk)
+            + tl.fraction_in(UserContext::MobileCovered)
+            + tl.fraction_in(UserContext::MobileUncovered)
+            + tl.fraction_in(UserContext::Away);
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        assert!((tl.fraction_in(UserContext::Away) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "first segment must start at 0")]
+    fn from_segments_validates_start() {
+        PresenceTimeline::from_segments(vec![(t(10), UserContext::AtDesk)], t(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_segments_validates_order() {
+        PresenceTimeline::from_segments(
+            vec![(t(0), UserContext::AtDesk), (t(0), UserContext::Away)],
+            t(100),
+        );
+    }
+
+    #[test]
+    fn generated_timeline_covers_horizon_and_visits_contexts() {
+        let mut rng = SimRng::new(99);
+        let tl = PresenceTimeline::generate(SimTime::from_days(7), DwellProfile::default(), &mut rng);
+        assert_eq!(tl.segments()[0].0, SimTime::ZERO);
+        // A week of office life should include all four contexts.
+        for ctx in [
+            UserContext::AtDesk,
+            UserContext::MobileCovered,
+            UserContext::MobileUncovered,
+            UserContext::Away,
+        ] {
+            assert!(tl.fraction_in(ctx) > 0.0, "never visited {ctx:?}");
+        }
+        // Desk and away should dominate for the default profile.
+        assert!(tl.fraction_in(UserContext::AtDesk) > 0.15);
+        assert!(tl.fraction_in(UserContext::Away) > 0.15);
+    }
+
+    #[test]
+    fn generated_timeline_is_deterministic() {
+        let mk = |seed| {
+            let mut rng = SimRng::new(seed);
+            PresenceTimeline::generate(SimTime::from_days(3), DwellProfile::default(), &mut rng)
+                .segments()
+                .to_vec()
+        };
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
+    }
+
+    #[test]
+    fn human_model_draws_positive_ordered_medians() {
+        let hm = HumanModel::default();
+        let mut rng = SimRng::new(3);
+        let im: f64 = (0..500).map(|_| hm.im_reaction(&mut rng).as_secs_f64()).sum::<f64>() / 500.0;
+        let sms: f64 = (0..500).map(|_| hm.sms_reaction(&mut rng).as_secs_f64()).sum::<f64>() / 500.0;
+        let email: f64 = (0..500).map(|_| hm.email_poll(&mut rng).as_secs_f64()).sum::<f64>() / 500.0;
+        assert!(im > 0.0 && im < sms && sms < email, "im={im} sms={sms} email={email}");
+    }
+}

@@ -1,0 +1,223 @@
+//! A simulated SMS gateway.
+//!
+//! Models the §3.3 failure scenarios that motivate address enable/disable
+//! and delivery-mode fallback: "When the user's cell phone runs out of
+//! battery power or when the carrier does not cover the area of the user's
+//! location" — plus the §3.1 observation that SMS delivery time from a
+//! large carrier shows the same seconds-to-days unpredictability as email.
+
+use crate::latency::LatencyModel;
+use crate::loss::LossModel;
+use simba_sim::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// A phone number addressable by SMS. The paper notes the SMS email address
+/// "typically contains the corresponding cell phone number" — the privacy
+/// leak MyAlertBuddy exists to prevent.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SmsNumber(pub String);
+
+impl SmsNumber {
+    /// Convenience constructor.
+    pub fn new(s: impl Into<String>) -> Self {
+        SmsNumber(s.into())
+    }
+}
+
+impl std::fmt::Display for SmsNumber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Unique id of one SMS message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SmsId(pub u64);
+
+/// A short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmsMessage {
+    /// Unique message id.
+    pub id: SmsId,
+    /// Destination number.
+    pub to: SmsNumber,
+    /// Message text (truncated to 160 characters by the gateway).
+    pub text: String,
+    /// Submission time.
+    pub sent_at: SimTime,
+}
+
+/// State of a phone as the gateway sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhoneState {
+    /// Whether the phone is inside carrier coverage.
+    pub in_coverage: bool,
+    /// Whether the phone has battery.
+    pub battery_ok: bool,
+}
+
+impl PhoneState {
+    /// A reachable phone.
+    pub fn reachable() -> Self {
+        PhoneState { in_coverage: true, battery_ok: true }
+    }
+
+    /// Whether a message delivered now would reach the handset.
+    pub fn can_receive(self) -> bool {
+        self.in_coverage && self.battery_ok
+    }
+}
+
+/// Result of an SMS submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmsTransit {
+    /// The accepted message.
+    pub message: SmsMessage,
+    /// Carrier queueing + radio delay.
+    pub delay: SimDuration,
+    /// Whether the carrier silently dropped the message.
+    pub lost: bool,
+}
+
+/// The simulated SMS gateway.
+///
+/// Note the asymmetry with IM: submission almost always succeeds (the
+/// carrier happily queues messages for unreachable phones) and failures are
+/// discovered only by the *absence* of a human response — which is why SMS
+/// cannot serve as the synchronous, acknowledged channel (§3.1).
+#[derive(Debug)]
+pub struct SmsGateway {
+    phones: BTreeMap<SmsNumber, PhoneState>,
+    latency: LatencyModel,
+    loss: LossModel,
+    next_id: u64,
+    rng: SimRng,
+}
+
+impl SmsGateway {
+    /// Creates a gateway with carrier-calibrated latency and 1 % silent loss.
+    pub fn new(rng: SimRng) -> Self {
+        SmsGateway {
+            phones: BTreeMap::new(),
+            latency: LatencyModel::carrier_sms(),
+            loss: LossModel::Bernoulli(0.01),
+            next_id: 0,
+            rng,
+        }
+    }
+
+    /// Overrides the latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the loss model.
+    #[must_use]
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Registers a phone in the given state.
+    pub fn register(&mut self, number: SmsNumber, state: PhoneState) {
+        self.phones.insert(number, state);
+    }
+
+    /// Updates a phone's reachability (mobility / battery events).
+    pub fn set_state(&mut self, number: &SmsNumber, state: PhoneState) {
+        self.phones.insert(number.clone(), state);
+    }
+
+    /// Current state of `number` (unregistered phones are unreachable).
+    pub fn state(&self, number: &SmsNumber) -> PhoneState {
+        self.phones.get(number).copied().unwrap_or_default()
+    }
+
+    /// Submits a message. The gateway truncates to 160 characters.
+    pub fn send(&mut self, to: &SmsNumber, text: &str, now: SimTime) -> SmsTransit {
+        let id = SmsId(self.next_id);
+        self.next_id += 1;
+        let text: String = text.chars().take(160).collect();
+        let message = SmsMessage {
+            id,
+            to: to.clone(),
+            text,
+            sent_at: now,
+        };
+        let delay = self.latency.sample(&mut self.rng);
+        let lost = self.loss.roll(&mut self.rng);
+        SmsTransit { message, delay, lost }
+    }
+
+    /// Attempts final delivery to the handset. Returns `true` if the phone
+    /// could receive at this moment.
+    pub fn deliver(&mut self, message: &SmsMessage) -> bool {
+        self.state(&message.to).can_receive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gw() -> SmsGateway {
+        SmsGateway::new(SimRng::new(1))
+            .with_latency(LatencyModel::Constant(SimDuration::from_secs(6)))
+            .with_loss(LossModel::None)
+    }
+
+    #[test]
+    fn submission_always_succeeds_even_for_unreachable_phone() {
+        let mut g = gw();
+        let n = SmsNumber::new("+1-555-0100");
+        // Never registered — the carrier still queues it.
+        let transit = g.send(&n, "basement water sensor ON", SimTime::ZERO);
+        assert!(!transit.lost);
+        // ...but final delivery fails.
+        assert!(!g.deliver(&transit.message));
+    }
+
+    #[test]
+    fn delivery_depends_on_coverage_and_battery() {
+        let mut g = gw();
+        let n = SmsNumber::new("+1-555-0100");
+        g.register(n.clone(), PhoneState::reachable());
+        let t = g.send(&n, "x", SimTime::ZERO);
+        assert!(g.deliver(&t.message));
+
+        g.set_state(&n, PhoneState { in_coverage: false, battery_ok: true });
+        assert!(!g.deliver(&t.message));
+
+        g.set_state(&n, PhoneState { in_coverage: true, battery_ok: false });
+        assert!(!g.deliver(&t.message));
+
+        g.set_state(&n, PhoneState::reachable());
+        assert!(g.deliver(&t.message));
+    }
+
+    #[test]
+    fn text_truncated_to_160_chars() {
+        let mut g = gw();
+        let long = "x".repeat(500);
+        let t = g.send(&SmsNumber::new("+1"), &long, SimTime::ZERO);
+        assert_eq!(t.message.text.chars().count(), 160);
+    }
+
+    #[test]
+    fn loss_model_applies() {
+        let mut g = gw().with_loss(LossModel::Bernoulli(1.0));
+        let t = g.send(&SmsNumber::new("+1"), "x", SimTime::ZERO);
+        assert!(t.lost);
+    }
+
+    #[test]
+    fn ids_unique() {
+        let mut g = gw();
+        let n = SmsNumber::new("+1");
+        let a = g.send(&n, "1", SimTime::ZERO);
+        let b = g.send(&n, "2", SimTime::ZERO);
+        assert_ne!(a.message.id, b.message.id);
+    }
+}

@@ -1,0 +1,120 @@
+//! Channel adapters for the live runtime.
+
+use simba_core::address::CommType;
+use simba_core::delivery::SendFailure;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// What a channel did with a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Accepted; no acknowledgement will follow (SMS, email).
+    Accepted,
+    /// Accepted; an end-to-end acknowledgement will arrive after roughly
+    /// this long (IM to a present user). The service turns this into a
+    /// delayed `Acked` event.
+    AcceptedWithAck(Duration),
+    /// Rejected synchronously.
+    Failed(SendFailure),
+}
+
+/// A pluggable set of outbound channels.
+///
+/// Implementations must be cheap and non-blocking: transit time is
+/// expressed through [`SendOutcome::AcceptedWithAck`] or simply by the
+/// receiving side, never by blocking the service loop.
+pub trait Channels: Send + 'static {
+    /// Submits `text` to `address` over `comm_type`.
+    fn send(&mut self, comm_type: CommType, address: &str, text: &str) -> SendOutcome;
+}
+
+/// An in-process adapter for demos and tests: per-address scripted
+/// behaviour with a configurable default.
+#[derive(Debug)]
+pub struct LoopbackChannels {
+    default: SendOutcome,
+    per_address: HashMap<String, SendOutcome>,
+    sent: Vec<(CommType, String, String)>,
+}
+
+impl LoopbackChannels {
+    /// Every send is accepted; IM sends ack after `ack_after`.
+    pub fn always_ack(ack_after: Duration) -> Self {
+        LoopbackChannels {
+            default: SendOutcome::AcceptedWithAck(ack_after),
+            per_address: HashMap::new(),
+            sent: Vec::new(),
+        }
+    }
+
+    /// Every send is accepted with no acks (fire-and-forget world).
+    pub fn accept_all() -> Self {
+        LoopbackChannels {
+            default: SendOutcome::Accepted,
+            per_address: HashMap::new(),
+            sent: Vec::new(),
+        }
+    }
+
+    /// Scripts the outcome for a specific address.
+    pub fn script(&mut self, address: impl Into<String>, outcome: SendOutcome) {
+        self.per_address.insert(address.into(), outcome);
+    }
+
+    /// Everything sent so far, in order: `(channel, address, text)`.
+    pub fn sent(&self) -> &[(CommType, String, String)] {
+        &self.sent
+    }
+}
+
+impl Channels for LoopbackChannels {
+    fn send(&mut self, comm_type: CommType, address: &str, text: &str) -> SendOutcome {
+        self.sent
+            .push((comm_type, address.to_string(), text.to_string()));
+        let outcome = self
+            .per_address
+            .get(address)
+            .copied()
+            .unwrap_or(self.default);
+        match (comm_type, outcome) {
+            // Only IM can carry acknowledgements (§3.1); a scripted ack on
+            // an ack-less channel degrades to plain acceptance.
+            (CommType::Im, o) => o,
+            (_, SendOutcome::AcceptedWithAck(_)) => SendOutcome::Accepted,
+            (_, o) => o,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_scripted_outcomes() {
+        let mut c = LoopbackChannels::always_ack(Duration::from_millis(100));
+        c.script("im:broken", SendOutcome::Failed(SendFailure::RecipientUnreachable));
+        assert_eq!(
+            c.send(CommType::Im, "im:alice", "hi"),
+            SendOutcome::AcceptedWithAck(Duration::from_millis(100))
+        );
+        assert_eq!(
+            c.send(CommType::Im, "im:broken", "hi"),
+            SendOutcome::Failed(SendFailure::RecipientUnreachable)
+        );
+        assert_eq!(c.sent().len(), 2);
+    }
+
+    #[test]
+    fn non_im_channels_never_ack() {
+        let mut c = LoopbackChannels::always_ack(Duration::from_millis(100));
+        assert_eq!(c.send(CommType::Email, "a@b", "hi"), SendOutcome::Accepted);
+        assert_eq!(c.send(CommType::Sms, "+1", "hi"), SendOutcome::Accepted);
+    }
+
+    #[test]
+    fn accept_all_has_no_acks() {
+        let mut c = LoopbackChannels::accept_all();
+        assert_eq!(c.send(CommType::Im, "im:x", "hi"), SendOutcome::Accepted);
+    }
+}

@@ -1,0 +1,46 @@
+//! `simba-runtime` — a tokio-based live runtime for SIMBA.
+//!
+//! The deterministic simulation in `simba-sim` drives the evaluation; this
+//! crate drives the *same* core state machines ([`simba_core::MyAlertBuddy`],
+//! [`simba_core::DeliveryProcess`]) against real time: a long-running MAB
+//! service task, channel adapters, tokio timers for delivery ack windows,
+//! and a watchdog task playing the MDC role.
+//!
+//! Nothing in `simba-core` knows about tokio — the service here simply
+//! maps wall-clock instants onto [`simba_sim::SimTime`] through
+//! [`RuntimeClock`] and feeds events in. That is the architectural payoff
+//! of keeping the core event-driven: one implementation, two drivers.
+//!
+//! ```no_run
+//! use simba_runtime::{LoopbackChannels, MabService, RuntimeNotice};
+//! use simba_core::{IncomingAlert, MabConfig};
+//! use simba_sim::SimTime;
+//!
+//! # async fn demo(config: MabConfig) {
+//! let channels = LoopbackChannels::always_ack(std::time::Duration::from_millis(400));
+//! let (service, handle, mut notices) = MabService::new(config, channels);
+//! tokio::spawn(service.run());
+//! handle
+//!     .submit_im_alert(IncomingAlert::from_im("aladdin-gw", "Basement Water Sensor ON", SimTime::ZERO))
+//!     .await;
+//! while let Some(notice) = notices.recv().await {
+//!     if let RuntimeNotice::DeliveryFinished { status, .. } = notice {
+//!         println!("delivered: {status:?}");
+//!         break;
+//!     }
+//! }
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channels;
+mod clock;
+mod service;
+mod watchdog;
+
+pub use channels::{Channels, LoopbackChannels, SendOutcome};
+pub use clock::RuntimeClock;
+pub use service::{MabHandle, MabService, RuntimeNotice};
+pub use watchdog::{run_watchdog, WatchdogReport};

@@ -1,0 +1,415 @@
+//! The live MyAlertBuddy service task.
+
+use crate::channels::{Channels, SendOutcome};
+use crate::clock::RuntimeClock;
+use simba_core::alert::IncomingAlert;
+use simba_core::delivery::{AttemptId, DeliveryCommand, DeliveryEvent, DeliveryStatus};
+use simba_core::mab::{DeliveryId, MabCommand, MabEvent, MabStats, MyAlertBuddy};
+use simba_core::rejuvenate::RejuvenationTrigger;
+use simba_core::wal::{InMemoryWal, WriteAheadLog};
+use simba_core::MabConfig;
+use std::time::Duration;
+use tokio::sync::mpsc;
+
+/// Something the service reports to its observer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeNotice {
+    /// The buddy acknowledged an incoming IM alert back to `source`.
+    AckSent {
+        /// The acknowledged source.
+        source: String,
+    },
+    /// A delivery reached a terminal state.
+    DeliveryFinished {
+        /// Which delivery.
+        delivery: DeliveryId,
+        /// Its terminal status.
+        status: DeliveryStatus,
+    },
+    /// The buddy requested rejuvenation; the service loop exits after this.
+    Rejuvenating(
+        /// Why.
+        RejuvenationTrigger,
+    ),
+}
+
+#[derive(Debug)]
+enum Inbound {
+    ImAlert(IncomingAlert),
+    EmailAlert(IncomingAlert),
+    Ack {
+        delivery: DeliveryId,
+        attempt: AttemptId,
+    },
+    Timer {
+        delivery: DeliveryId,
+        timer: simba_core::delivery::TimerId,
+    },
+    AreYouWorking(tokio::sync::oneshot::Sender<bool>),
+}
+
+/// A cloneable handle for feeding the service.
+#[derive(Debug, Clone)]
+pub struct MabHandle {
+    tx: mpsc::Sender<Inbound>,
+}
+
+impl MabHandle {
+    /// Submits an alert that arrived over IM (will be acked).
+    pub async fn submit_im_alert(&self, alert: IncomingAlert) {
+        let _ = self.tx.send(Inbound::ImAlert(alert)).await;
+    }
+
+    /// Submits an alert that arrived over email.
+    pub async fn submit_email_alert(&self, alert: IncomingAlert) {
+        let _ = self.tx.send(Inbound::EmailAlert(alert)).await;
+    }
+
+    /// Reports a user acknowledgement for a delivery attempt (e.g. the
+    /// user clicked the IM toast).
+    pub async fn ack(&self, delivery: DeliveryId, attempt: AttemptId) {
+        let _ = self.tx.send(Inbound::Ack { delivery, attempt }).await;
+    }
+
+    /// The watchdog probe: resolves `true` when the service loop is alive
+    /// and processing. Resolves `false` if the service is gone.
+    pub async fn are_you_working(&self) -> bool {
+        let (reply_tx, reply_rx) = tokio::sync::oneshot::channel();
+        if self
+            .tx
+            .send(Inbound::AreYouWorking(reply_tx))
+            .await
+            .is_err()
+        {
+            return false;
+        }
+        reply_rx.await.unwrap_or(false)
+    }
+}
+
+/// The live service wrapping a [`MyAlertBuddy`].
+#[derive(Debug)]
+pub struct MabService<C, W = InMemoryWal> {
+    mab: MyAlertBuddy<W>,
+    channels: C,
+    clock: RuntimeClock,
+    rx: mpsc::Receiver<Inbound>,
+    self_tx: mpsc::Sender<Inbound>,
+    notices: mpsc::UnboundedSender<RuntimeNotice>,
+    /// attempt → delivery, for routing acks.
+    attempt_owner: std::collections::HashMap<AttemptId, DeliveryId>,
+}
+
+impl<C: Channels> MabService<C, InMemoryWal> {
+    /// Builds the service over a fresh in-memory log; returns it plus the
+    /// submit handle and the notice stream.
+    pub fn new(
+        config: MabConfig,
+        channels: C,
+    ) -> (Self, MabHandle, mpsc::UnboundedReceiver<RuntimeNotice>) {
+        MabService::with_wal(config, channels, InMemoryWal::new())
+    }
+}
+
+impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
+    /// Builds the service over an existing (possibly non-empty) log —
+    /// e.g. a [`simba_core::wal::FileWal`] for a durable daemon. The
+    /// restart protocol runs on the first loop turn: unprocessed records
+    /// are replayed before new alerts are accepted.
+    pub fn with_wal(
+        config: MabConfig,
+        channels: C,
+        wal: W,
+    ) -> (Self, MabHandle, mpsc::UnboundedReceiver<RuntimeNotice>) {
+        let clock = RuntimeClock::start();
+        let (tx, rx) = mpsc::channel(256);
+        let (notice_tx, notice_rx) = mpsc::unbounded_channel();
+        let mab = MyAlertBuddy::new(config, wal, clock.now());
+        let service = MabService {
+            mab,
+            channels,
+            clock,
+            rx,
+            self_tx: tx.clone(),
+            notices: notice_tx,
+            attempt_owner: std::collections::HashMap::new(),
+        };
+        (service, MabHandle { tx }, notice_rx)
+    }
+
+    /// Runs until all handles are dropped or a rejuvenation triggers.
+    /// Returns the final stats.
+    pub async fn run(mut self) -> MabStats {
+        // The §4.2.1 restart protocol: replay unprocessed log records
+        // before accepting new alerts.
+        let now = self.clock.now();
+        let recovery = self.mab.recover(now);
+        if self.execute(recovery).await {
+            return self.mab.stats();
+        }
+        while let Some(inbound) = self.rx.recv().await {
+            let now = self.clock.now();
+            let mut finished_check = None;
+            let commands = match inbound {
+                Inbound::ImAlert(alert) => self.mab.handle(MabEvent::AlertByIm(alert), now),
+                Inbound::EmailAlert(alert) => self.mab.handle(MabEvent::AlertByEmail(alert), now),
+                Inbound::Ack { delivery, attempt } => {
+                    finished_check = Some(delivery);
+                    self.mab.handle(
+                        MabEvent::Delivery {
+                            id: delivery,
+                            event: DeliveryEvent::Acked { attempt },
+                        },
+                        now,
+                    )
+                }
+                Inbound::Timer { delivery, timer } => {
+                    finished_check = Some(delivery);
+                    self.mab.handle(
+                        MabEvent::Delivery {
+                            id: delivery,
+                            event: DeliveryEvent::TimerFired { timer },
+                        },
+                        now,
+                    )
+                }
+                Inbound::AreYouWorking(reply) => {
+                    let _ = reply.send(self.mab.are_you_working());
+                    continue;
+                }
+            };
+            if self.execute(commands).await {
+                break; // rejuvenating
+            }
+            if let Some(delivery) = finished_check {
+                self.notify_if_finished(delivery);
+            }
+        }
+        self.mab.stats()
+    }
+
+    /// Executes MAB commands; returns `true` when the loop should exit.
+    async fn execute(&mut self, commands: Vec<MabCommand>) -> bool {
+        let mut queue = commands;
+        while !queue.is_empty() {
+            let mut follow_ups = Vec::new();
+            for command in queue {
+                match command {
+                    MabCommand::AckIm { to, .. } => {
+                        let _ = self.notices.send(RuntimeNotice::AckSent { source: to });
+                    }
+                    MabCommand::Rejuvenate(trigger) => {
+                        let _ = self.notices.send(RuntimeNotice::Rejuvenating(trigger));
+                        return true;
+                    }
+                    MabCommand::Channel {
+                        delivery,
+                        command,
+                        ..
+                    } => match command {
+                        DeliveryCommand::Send {
+                            attempt,
+                            comm_type,
+                            address_value,
+                            text,
+                            ..
+                        } => {
+                            self.attempt_owner.insert(attempt, delivery);
+                            let outcome = self.channels.send(comm_type, &address_value, &text);
+                            let event = match outcome {
+                                SendOutcome::Accepted => DeliveryEvent::SendAccepted { attempt },
+                                SendOutcome::AcceptedWithAck(after) => {
+                                    self.spawn_ack(delivery, attempt, after);
+                                    DeliveryEvent::SendAccepted { attempt }
+                                }
+                                SendOutcome::Failed(failure) => {
+                                    DeliveryEvent::SendFailed { attempt, failure }
+                                }
+                            };
+                            let now = self.clock.now();
+                            follow_ups.extend(self.mab.handle(
+                                MabEvent::Delivery { id: delivery, event },
+                                now,
+                            ));
+                            self.notify_if_finished(delivery);
+                        }
+                        DeliveryCommand::StartTimer { timer, after } => {
+                            let tx = self.self_tx.clone();
+                            tokio::spawn(async move {
+                                tokio::time::sleep(Duration::from_millis(after.as_millis())).await;
+                                let _ = tx.send(Inbound::Timer { delivery, timer }).await;
+                            });
+                        }
+                    },
+                }
+            }
+            queue = follow_ups;
+        }
+        false
+    }
+
+    fn spawn_ack(&self, delivery: DeliveryId, attempt: AttemptId, after: Duration) {
+        let tx = self.self_tx.clone();
+        tokio::spawn(async move {
+            tokio::time::sleep(after).await;
+            let _ = tx.send(Inbound::Ack { delivery, attempt }).await;
+        });
+    }
+
+    fn notify_if_finished(&self, delivery: DeliveryId) {
+        if let Some(status) = self.mab.delivery_status(delivery) {
+            if status.is_terminal() {
+                let _ = self
+                    .notices
+                    .send(RuntimeNotice::DeliveryFinished { delivery, status });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_core::address::{Address, AddressBook, CommType};
+    use simba_core::classify::{Classifier, KeywordField};
+    use simba_core::delivery::SendFailure;
+    use simba_core::mode::DeliveryMode;
+    use simba_core::rejuvenate::RejuvenationPolicy;
+    use simba_core::subscription::{SubscriptionRegistry, UserId};
+    use simba_sim::{SimDuration, SimTime};
+
+    fn config() -> MabConfig {
+        let mut classifier = Classifier::new();
+        classifier.accept_source("aladdin-gw", KeywordField::Body, "cfg");
+        classifier.map_keyword("Sensor", "Home");
+        let mut registry = SubscriptionRegistry::new();
+        let alice = UserId::new("alice");
+        let profile = registry.register_user(alice.clone());
+        let mut book = AddressBook::new();
+        book.add(Address::new("IM", CommType::Im, "im:alice")).unwrap();
+        book.add(Address::new("EM", CommType::Email, "alice@work")).unwrap();
+        profile.address_book = book;
+        profile.define_mode(DeliveryMode::im_then_email(
+            "Urgent",
+            "IM",
+            "EM",
+            SimDuration::from_secs(60),
+        ));
+        registry.subscribe("Home", alice, "Urgent").unwrap();
+        MabConfig {
+            classifier,
+            registry,
+            rejuvenation: RejuvenationPolicy::default(),
+        }
+    }
+
+    fn sensor_alert() -> IncomingAlert {
+        IncomingAlert::from_im("aladdin-gw", "Basement Water Sensor ON", SimTime::ZERO)
+    }
+
+    async fn next_finished(
+        notices: &mut mpsc::UnboundedReceiver<RuntimeNotice>,
+    ) -> DeliveryStatus {
+        loop {
+            match notices.recv().await.expect("service alive") {
+                RuntimeNotice::DeliveryFinished { status, .. } => return status,
+                _ => continue,
+            }
+        }
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn alert_acked_end_to_end() {
+        let channels = LoopbackHarness::always_ack(Duration::from_millis(400));
+        let (service, handle, mut notices) = MabService::new(config(), channels);
+        tokio::spawn(service.run());
+        handle.submit_im_alert(sensor_alert()).await;
+
+        // First notice: the MAB ack back to the source.
+        assert_eq!(
+            notices.recv().await.unwrap(),
+            RuntimeNotice::AckSent { source: "aladdin-gw".into() }
+        );
+        // Then the user's IM ack lands (≈400 ms of paused time auto-advances).
+        let status = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Acked { block: 0, .. }));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn im_failure_falls_back_to_email_immediately() {
+        let mut channels = LoopbackHarness::always_ack(Duration::from_millis(400));
+        channels.0.script(
+            "im:alice",
+            SendOutcome::Failed(SendFailure::RecipientUnreachable),
+        );
+        let (service, handle, mut notices) = MabService::new(config(), channels);
+        tokio::spawn(service.run());
+        handle.submit_im_alert(sensor_alert()).await;
+        let status = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Unconfirmed { block: 1, .. }));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn missing_ack_times_out_into_email_fallback() {
+        // IM accepted but the user never acks: the 60 s delivery-mode
+        // timer (real tokio sleep, auto-advanced) must trigger the email.
+        let channels = LoopbackHarness::accept_all();
+        let (service, handle, mut notices) = MabService::new(config(), channels);
+        tokio::spawn(service.run());
+        let t0 = tokio::time::Instant::now();
+        handle.submit_im_alert(sensor_alert()).await;
+        let status = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Unconfirmed { block: 1, .. }));
+        assert!(t0.elapsed() >= Duration::from_secs(60));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn watchdog_probe_answers() {
+        let channels = LoopbackHarness::accept_all();
+        let (service, handle, _notices) = MabService::new(config(), channels);
+        tokio::spawn(service.run());
+        assert!(handle.are_you_working().await);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn remote_rejuvenation_stops_the_loop() {
+        let channels = LoopbackHarness::accept_all();
+        let (service, handle, mut notices) = MabService::new(config(), channels);
+        let join = tokio::spawn(service.run());
+        handle
+            .submit_im_alert(IncomingAlert::from_im(
+                "aladdin-gw",
+                "SIMBA-REJUVENATE",
+                SimTime::ZERO,
+            ))
+            .await;
+        loop {
+            match notices.recv().await.unwrap() {
+                RuntimeNotice::Rejuvenating(RejuvenationTrigger::RemoteCommand) => break,
+                _ => continue,
+            }
+        }
+        let stats = join.await.unwrap();
+        assert_eq!(stats.remote_commands, 1);
+        // The loop exited: the probe now fails.
+        assert!(!handle.are_you_working().await);
+    }
+
+    /// Newtype so tests can pre-script before handing the adapter over.
+    struct LoopbackHarness(crate::channels::LoopbackChannels);
+
+    impl LoopbackHarness {
+        fn always_ack(after: Duration) -> Self {
+            LoopbackHarness(crate::channels::LoopbackChannels::always_ack(after))
+        }
+        fn accept_all() -> Self {
+            LoopbackHarness(crate::channels::LoopbackChannels::accept_all())
+        }
+    }
+
+    impl Channels for LoopbackHarness {
+        fn send(&mut self, comm_type: CommType, address: &str, text: &str) -> SendOutcome {
+            self.0.send(comm_type, address, text)
+        }
+    }
+}

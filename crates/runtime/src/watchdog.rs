@@ -1,0 +1,85 @@
+//! A live watchdog task: the MDC role over a running [`MabService`].
+//!
+//! Periodically probes the service with AreYouWorking(); counts misses.
+//! Unlike the simulated MDC (which owns restart policy), the live watchdog
+//! reports — restarting a tokio task graph is the supervisor's choice, so
+//! the function returns when the service stops responding.
+
+use crate::service::MabHandle;
+use std::time::Duration;
+use tokio::time::timeout;
+
+/// What the watchdog observed over its run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WatchdogReport {
+    /// Probes answered in time.
+    pub healthy_probes: u64,
+    /// Probes that timed out or failed before the service died.
+    pub missed_probes: u64,
+}
+
+/// Probes `handle` every `interval` with the given `reply_timeout`.
+/// Returns once `max_consecutive_misses` probes in a row fail (service
+/// hung or gone).
+pub async fn run_watchdog(
+    handle: MabHandle,
+    interval: Duration,
+    reply_timeout: Duration,
+    max_consecutive_misses: u32,
+) -> WatchdogReport {
+    let mut report = WatchdogReport::default();
+    let mut consecutive = 0u32;
+    let mut ticker = tokio::time::interval(interval);
+    ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+    // The first tick fires immediately; skip it so probes start after one
+    // interval, like the simulated MDC.
+    ticker.tick().await;
+    loop {
+        ticker.tick().await;
+        let alive = matches!(
+            timeout(reply_timeout, handle.are_you_working()).await,
+            Ok(true)
+        );
+        if alive {
+            report.healthy_probes += 1;
+            consecutive = 0;
+        } else {
+            report.missed_probes += 1;
+            consecutive += 1;
+            if consecutive >= max_consecutive_misses {
+                return report;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::LoopbackChannels;
+    use crate::service::MabService;
+    use simba_core::MabConfig;
+
+    #[tokio::test(start_paused = true)]
+    async fn watchdog_sees_healthy_service_then_detects_shutdown() {
+        let (service, handle, _notices) =
+            MabService::new(MabConfig::default(), LoopbackChannels::accept_all());
+        let join = tokio::spawn(service.run());
+
+        let watchdog = tokio::spawn(run_watchdog(
+            handle.clone(),
+            Duration::from_secs(180),
+            Duration::from_secs(30),
+            2,
+        ));
+
+        // Let a few healthy probes happen, then kill the service.
+        tokio::time::sleep(Duration::from_secs(700)).await;
+        join.abort();
+        let _ = join.await;
+
+        let report = watchdog.await.unwrap();
+        assert!(report.healthy_probes >= 3, "healthy {report:?}");
+        assert_eq!(report.missed_probes, 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! `simba-sources` — the five alert services SIMBA integrates (§2, §5).
+//!
+//! Each service is a simulated substrate producing [`simba_core`]
+//! `IncomingAlert`s; the evaluation harness wires them to MyAlertBuddy over
+//! the `simba-net` channels:
+//!
+//! * [`proxy`] — the **information alert proxy** that polls web sites and
+//!   alerts on changes to a keyword-delimited block (the Florida-recount /
+//!   PlayStation 2 monitor of §5, experiment E2);
+//! * [`webstore`] — **web store / community alert services**: private and
+//!   shared data (photo albums) whose changes alert interested members;
+//! * [`sss`] — the **Soft-State Store** daemon from the Aladdin system:
+//!   typed variables with refresh frequencies and missing-refresh timeouts,
+//!   change subscriptions, and multicast replication between PCs (§5);
+//! * [`aladdin`] — the **Aladdin home networking system**: sensors on
+//!   heterogeneous in-home networks (powerline/phoneline/RF/IR), the
+//!   transceiver/monitor pipeline into the SSS, and alert generation for
+//!   critical sensors and broken devices (experiment E3);
+//! * [`wish`] — the **WISH wireless user-location service**: access points,
+//!   an RF path-loss model, location estimation with confidence, and
+//!   enter/leave/move alert subscriptions (experiment E4);
+//! * [`assistant`] — the **desktop assistant** that watches idle time and
+//!   forwards high-importance email/reminders as SMS alerts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aladdin;
+pub mod assistant;
+pub mod proxy;
+pub mod sss;
+pub mod webstore;
+pub mod wish;

@@ -1,0 +1,572 @@
+//! The Soft-State Store (SSS) daemon from the Aladdin system.
+//!
+//! "The Soft-State Store (SSS) server is a daemon process that maintains a
+//! store of soft-state variables, each of which is associated with a
+//! required refresh frequency and the maximum number of allowed missing
+//! refreshes before the variable is timed out. Clients of SSS can define
+//! data types, create variables, read/write variables, and subscribe to
+//! events relating to changes in the types or variables." (§5)
+//!
+//! Replication: Aladdin runs an SSS replica per PC; a write on one PC is
+//! "replicated ... to other PCs through a multicast over the phoneline
+//! Ethernet". [`SoftStateStore::take_outbound`] yields the multicast
+//! updates; the harness delivers them to peers via
+//! [`SoftStateStore::apply_update`]. Last-writer-wins on `(written_at,
+//! writer)` makes replicas converge (property-tested in
+//! `tests/sss_props.rs`).
+
+use simba_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Identifies an SSS replica (one per PC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StoreId(pub u32);
+
+/// A type definition: a name plus a human-readable schema string (Aladdin
+/// used these to validate device variables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDef {
+    /// Type name, e.g. `"binary-sensor"`.
+    pub name: String,
+    /// Free-form schema description.
+    pub schema: String,
+}
+
+/// One soft-state variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variable {
+    /// Variable name, e.g. `"sensor.basement-water"`.
+    pub name: String,
+    /// Name of its type.
+    pub type_name: String,
+    /// Current value.
+    pub value: String,
+    /// Required refresh period.
+    pub refresh_every: SimDuration,
+    /// Allowed consecutive missing refreshes before timeout.
+    pub max_missing: u32,
+    /// Last write/refresh instant (and the LWW tiebreaker).
+    pub written_at: SimTime,
+    /// Which replica performed the last write.
+    pub writer: StoreId,
+    /// Whether the variable is currently timed out.
+    pub timed_out: bool,
+}
+
+impl Variable {
+    /// The instant at which this variable times out absent refreshes.
+    pub fn deadline(&self) -> SimTime {
+        self.written_at + self.refresh_every.saturating_mul(u64::from(self.max_missing) + 1)
+    }
+}
+
+/// An event observed at one replica, delivered to local subscribers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SssEvent {
+    /// A variable was created or its value changed.
+    Changed {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: String,
+        /// Previous value (`None` on creation).
+        previous: Option<String>,
+    },
+    /// A variable missed too many refreshes.
+    TimedOut {
+        /// Variable name.
+        name: String,
+        /// Its last known value.
+        last_value: String,
+    },
+    /// A timed-out variable came back.
+    Revived {
+        /// Variable name.
+        name: String,
+        /// The refreshed value.
+        value: String,
+    },
+}
+
+impl SssEvent {
+    /// The variable the event concerns.
+    pub fn variable(&self) -> &str {
+        match self {
+            SssEvent::Changed { name, .. }
+            | SssEvent::TimedOut { name, .. }
+            | SssEvent::Revived { name, .. } => name,
+        }
+    }
+}
+
+/// A replication record multicast to peer replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SssUpdate {
+    /// Variable name.
+    pub name: String,
+    /// Type name (so peers can create the variable).
+    pub type_name: String,
+    /// Value carried.
+    pub value: String,
+    /// Refresh contract.
+    pub refresh_every: SimDuration,
+    /// Refresh contract.
+    pub max_missing: u32,
+    /// Write instant (LWW key).
+    pub written_at: SimTime,
+    /// Writing replica (LWW tiebreaker).
+    pub writer: StoreId,
+}
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SssError {
+    /// The named type was never defined.
+    UnknownType(String),
+    /// The named variable was never created.
+    UnknownVariable(String),
+    /// A variable with that name already exists.
+    VariableExists(String),
+}
+
+impl std::fmt::Display for SssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SssError::UnknownType(t) => write!(f, "unknown type {t:?}"),
+            SssError::UnknownVariable(v) => write!(f, "unknown variable {v:?}"),
+            SssError::VariableExists(v) => write!(f, "variable {v:?} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for SssError {}
+
+/// One SSS replica.
+#[derive(Debug, Clone)]
+pub struct SoftStateStore {
+    id: StoreId,
+    types: BTreeMap<String, TypeDef>,
+    vars: BTreeMap<String, Variable>,
+    outbound: Vec<SssUpdate>,
+}
+
+impl SoftStateStore {
+    /// Creates an empty replica.
+    pub fn new(id: StoreId) -> Self {
+        SoftStateStore {
+            id,
+            types: BTreeMap::new(),
+            vars: BTreeMap::new(),
+            outbound: Vec::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> StoreId {
+        self.id
+    }
+
+    /// Defines (or redefines) a data type.
+    pub fn define_type(&mut self, name: impl Into<String>, schema: impl Into<String>) {
+        let name = name.into();
+        self.types.insert(
+            name.clone(),
+            TypeDef {
+                name,
+                schema: schema.into(),
+            },
+        );
+    }
+
+    /// Whether a type is defined.
+    pub fn has_type(&self, name: &str) -> bool {
+        self.types.contains_key(name)
+    }
+
+    /// Creates a variable.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the type is undefined or the variable exists.
+    pub fn create_var(
+        &mut self,
+        name: impl Into<String>,
+        type_name: &str,
+        value: impl Into<String>,
+        refresh_every: SimDuration,
+        max_missing: u32,
+        now: SimTime,
+    ) -> Result<SssEvent, SssError> {
+        let name = name.into();
+        if !self.types.contains_key(type_name) {
+            return Err(SssError::UnknownType(type_name.to_string()));
+        }
+        if self.vars.contains_key(&name) {
+            return Err(SssError::VariableExists(name));
+        }
+        let value = value.into();
+        let var = Variable {
+            name: name.clone(),
+            type_name: type_name.to_string(),
+            value: value.clone(),
+            refresh_every,
+            max_missing,
+            written_at: now,
+            writer: self.id,
+            timed_out: false,
+        };
+        self.push_outbound(&var);
+        self.vars.insert(name.clone(), var);
+        Ok(SssEvent::Changed {
+            name,
+            value,
+            previous: None,
+        })
+    }
+
+    /// Writes a new value (also counts as a refresh). Returns the change
+    /// event if the value differed (or the variable revived).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown variables.
+    pub fn write(
+        &mut self,
+        name: &str,
+        value: impl Into<String>,
+        now: SimTime,
+    ) -> Result<Option<SssEvent>, SssError> {
+        let id = self.id;
+        let var = self
+            .vars
+            .get_mut(name)
+            .ok_or_else(|| SssError::UnknownVariable(name.to_string()))?;
+        let value = value.into();
+        let was_timed_out = var.timed_out;
+        let previous = var.value.clone();
+        var.value = value.clone();
+        var.written_at = now;
+        var.writer = id;
+        var.timed_out = false;
+        let var_snapshot = var.clone();
+        self.push_outbound(&var_snapshot);
+        if was_timed_out {
+            Ok(Some(SssEvent::Revived {
+                name: name.to_string(),
+                value,
+            }))
+        } else if previous != value {
+            Ok(Some(SssEvent::Changed {
+                name: name.to_string(),
+                value,
+                previous: Some(previous),
+            }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Refreshes a variable without changing its value (the keepalive).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown variables.
+    pub fn refresh(&mut self, name: &str, now: SimTime) -> Result<Option<SssEvent>, SssError> {
+        let id = self.id;
+        let var = self
+            .vars
+            .get_mut(name)
+            .ok_or_else(|| SssError::UnknownVariable(name.to_string()))?;
+        let was_timed_out = var.timed_out;
+        var.written_at = now;
+        var.writer = id;
+        var.timed_out = false;
+        let snapshot = var.clone();
+        self.push_outbound(&snapshot);
+        if was_timed_out {
+            Ok(Some(SssEvent::Revived {
+                name: name.to_string(),
+                value: snapshot.value,
+            }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a variable.
+    pub fn read(&self, name: &str) -> Option<&Variable> {
+        self.vars.get(name)
+    }
+
+    /// All variables.
+    pub fn variables(&self) -> impl Iterator<Item = &Variable> {
+        self.vars.values()
+    }
+
+    /// Scans for missing-refresh timeouts at `now`. Each expired variable
+    /// times out exactly once (until revived).
+    pub fn check_timeouts(&mut self, now: SimTime) -> Vec<SssEvent> {
+        let mut events = Vec::new();
+        for var in self.vars.values_mut() {
+            if !var.timed_out && now >= var.deadline() {
+                var.timed_out = true;
+                events.push(SssEvent::TimedOut {
+                    name: var.name.clone(),
+                    last_value: var.value.clone(),
+                });
+            }
+        }
+        events
+    }
+
+    /// The earliest pending timeout deadline, if any (for harness timers).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.vars
+            .values()
+            .filter(|v| !v.timed_out)
+            .map(Variable::deadline)
+            .min()
+    }
+
+    /// Drains the multicast replication queue.
+    pub fn take_outbound(&mut self) -> Vec<SssUpdate> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// Applies a replicated update from a peer. Creates the variable if
+    /// needed; otherwise last-writer-wins on `(written_at, writer)`.
+    /// Returns the local event, if the update took effect.
+    pub fn apply_update(&mut self, update: SssUpdate) -> Option<SssEvent> {
+        // Peer types piggy-back: define a stub type if missing.
+        self.types
+            .entry(update.type_name.clone())
+            .or_insert_with(|| TypeDef {
+                name: update.type_name.clone(),
+                schema: String::new(),
+            });
+        match self.vars.get_mut(&update.name) {
+            Some(var) => {
+                if (update.written_at, update.writer) <= (var.written_at, var.writer) {
+                    return None; // stale
+                }
+                let was_timed_out = var.timed_out;
+                let previous = var.value.clone();
+                var.value = update.value.clone();
+                var.written_at = update.written_at;
+                var.writer = update.writer;
+                var.timed_out = false;
+                var.refresh_every = update.refresh_every;
+                var.max_missing = update.max_missing;
+                if was_timed_out {
+                    Some(SssEvent::Revived {
+                        name: update.name,
+                        value: update.value,
+                    })
+                } else if previous != update.value {
+                    Some(SssEvent::Changed {
+                        name: update.name,
+                        value: update.value,
+                        previous: Some(previous),
+                    })
+                } else {
+                    None
+                }
+            }
+            None => {
+                let var = Variable {
+                    name: update.name.clone(),
+                    type_name: update.type_name.clone(),
+                    value: update.value.clone(),
+                    refresh_every: update.refresh_every,
+                    max_missing: update.max_missing,
+                    written_at: update.written_at,
+                    writer: update.writer,
+                    timed_out: false,
+                };
+                self.vars.insert(update.name.clone(), var);
+                Some(SssEvent::Changed {
+                    name: update.name,
+                    value: update.value,
+                    previous: None,
+                })
+            }
+        }
+    }
+
+    fn push_outbound(&mut self, var: &Variable) {
+        self.outbound.push(SssUpdate {
+            name: var.name.clone(),
+            type_name: var.type_name.clone(),
+            value: var.value.clone(),
+            refresh_every: var.refresh_every,
+            max_missing: var.max_missing,
+            written_at: var.written_at,
+            writer: var.writer,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn store() -> SoftStateStore {
+        let mut s = SoftStateStore::new(StoreId(1));
+        s.define_type("binary-sensor", "ON|OFF");
+        s
+    }
+
+    #[test]
+    fn create_requires_type_and_unique_name() {
+        let mut s = store();
+        assert!(matches!(
+            s.create_var("x", "nope", "ON", SimDuration::from_secs(60), 3, t(0)),
+            Err(SssError::UnknownType(_))
+        ));
+        s.create_var("x", "binary-sensor", "OFF", SimDuration::from_secs(60), 3, t(0))
+            .unwrap();
+        assert!(matches!(
+            s.create_var("x", "binary-sensor", "OFF", SimDuration::from_secs(60), 3, t(0)),
+            Err(SssError::VariableExists(_))
+        ));
+    }
+
+    #[test]
+    fn write_emits_change_only_on_new_value() {
+        let mut s = store();
+        s.create_var("x", "binary-sensor", "OFF", SimDuration::from_secs(60), 3, t(0))
+            .unwrap();
+        let ev = s.write("x", "ON", t(1)).unwrap();
+        assert_eq!(
+            ev,
+            Some(SssEvent::Changed {
+                name: "x".into(),
+                value: "ON".into(),
+                previous: Some("OFF".into())
+            })
+        );
+        assert_eq!(s.write("x", "ON", t(2)).unwrap(), None);
+        assert!(matches!(s.write("nope", "ON", t(3)), Err(SssError::UnknownVariable(_))));
+    }
+
+    #[test]
+    fn timeout_fires_exactly_once_after_allowed_misses() {
+        let mut s = store();
+        // refresh every 10 s, 2 allowed misses → deadline at written+30 s.
+        s.create_var("x", "binary-sensor", "ON", SimDuration::from_secs(10), 2, t(0))
+            .unwrap();
+        assert_eq!(s.read("x").unwrap().deadline(), t(30));
+        assert!(s.check_timeouts(t(29)).is_empty());
+        let evs = s.check_timeouts(t(30));
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(&evs[0], SssEvent::TimedOut { name, last_value } if name == "x" && last_value == "ON"));
+        // Only once.
+        assert!(s.check_timeouts(t(31)).is_empty());
+        assert!(s.read("x").unwrap().timed_out);
+    }
+
+    #[test]
+    fn refresh_prevents_timeout_and_revives() {
+        let mut s = store();
+        s.create_var("x", "binary-sensor", "ON", SimDuration::from_secs(10), 2, t(0))
+            .unwrap();
+        s.refresh("x", t(25)).unwrap();
+        assert!(s.check_timeouts(t(30)).is_empty()); // deadline moved to 55
+        s.check_timeouts(t(55));
+        assert!(s.read("x").unwrap().timed_out);
+        let ev = s.refresh("x", t(60)).unwrap();
+        assert!(matches!(ev, Some(SssEvent::Revived { .. })));
+        assert!(!s.read("x").unwrap().timed_out);
+    }
+
+    #[test]
+    fn write_to_timed_out_variable_revives() {
+        let mut s = store();
+        s.create_var("x", "binary-sensor", "ON", SimDuration::from_secs(10), 0, t(0))
+            .unwrap();
+        s.check_timeouts(t(10));
+        let ev = s.write("x", "OFF", t(11)).unwrap();
+        assert!(matches!(ev, Some(SssEvent::Revived { .. })));
+    }
+
+    #[test]
+    fn replication_propagates_creates_and_writes() {
+        let mut a = store();
+        let mut b = SoftStateStore::new(StoreId(2));
+        a.create_var("x", "binary-sensor", "OFF", SimDuration::from_secs(60), 3, t(0))
+            .unwrap();
+        a.write("x", "ON", t(1)).unwrap();
+        let updates = a.take_outbound();
+        assert_eq!(updates.len(), 2);
+        let mut events = Vec::new();
+        for u in updates {
+            events.extend(b.apply_update(u));
+        }
+        assert_eq!(b.read("x").unwrap().value, "ON");
+        // Create event then change event.
+        assert_eq!(events.len(), 2);
+        assert!(b.has_type("binary-sensor"));
+    }
+
+    #[test]
+    fn stale_updates_are_ignored_lww() {
+        let mut a = store();
+        a.create_var("x", "binary-sensor", "NEW", SimDuration::from_secs(60), 3, t(10))
+            .unwrap();
+        a.take_outbound();
+        let stale = SssUpdate {
+            name: "x".into(),
+            type_name: "binary-sensor".into(),
+            value: "OLD".into(),
+            refresh_every: SimDuration::from_secs(60),
+            max_missing: 3,
+            written_at: t(5),
+            writer: StoreId(2),
+        };
+        assert_eq!(a.apply_update(stale), None);
+        assert_eq!(a.read("x").unwrap().value, "NEW");
+    }
+
+    #[test]
+    fn concurrent_writes_tie_break_by_writer_id() {
+        let mut a = SoftStateStore::new(StoreId(1));
+        let mut b = SoftStateStore::new(StoreId(2));
+        for s in [&mut a, &mut b] {
+            s.define_type("t", "");
+        }
+        a.create_var("x", "t", "from-a", SimDuration::from_secs(60), 3, t(7)).unwrap();
+        b.create_var("x", "t", "from-b", SimDuration::from_secs(60), 3, t(7)).unwrap();
+        let ua = a.take_outbound();
+        let ub = b.take_outbound();
+        for u in ub {
+            a.apply_update(u);
+        }
+        for u in ua {
+            b.apply_update(u);
+        }
+        // Same timestamp: the higher writer id wins on both replicas.
+        assert_eq!(a.read("x").unwrap().value, "from-b");
+        assert_eq!(b.read("x").unwrap().value, "from-b");
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest_live_variable() {
+        let mut s = store();
+        assert_eq!(s.next_deadline(), None);
+        s.create_var("a", "binary-sensor", "1", SimDuration::from_secs(10), 1, t(0)).unwrap();
+        s.create_var("b", "binary-sensor", "1", SimDuration::from_secs(100), 1, t(0)).unwrap();
+        assert_eq!(s.next_deadline(), Some(t(20)));
+        s.check_timeouts(t(20));
+        assert_eq!(s.next_deadline(), Some(t(200)));
+    }
+
+    #[test]
+    fn event_variable_accessor() {
+        let e = SssEvent::TimedOut { name: "v".into(), last_value: "x".into() };
+        assert_eq!(e.variable(), "v");
+    }
+}

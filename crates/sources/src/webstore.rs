@@ -1,0 +1,245 @@
+//! Web store / community alert services (§2.2).
+//!
+//! "Web store alert services notify users when changes are made to their
+//! private data or shared community data stored on the Web. ... when a new
+//! photo is added to the shared community photo album, interested members
+//! can receive an alert containing the URL, which they can click to see
+//! the picture."
+
+use simba_core::alert::{IncomingAlert, Urgency};
+use simba_sim::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A change to community content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreChange {
+    /// A photo was added to an album.
+    PhotoAdded {
+        /// Album name.
+        album: String,
+        /// Photo file name.
+        photo: String,
+        /// Clickable URL.
+        url: String,
+    },
+    /// A calendar entry was created.
+    CalendarEntry {
+        /// Calendar name.
+        calendar: String,
+        /// Entry title.
+        title: String,
+    },
+    /// A member's private data changed (e.g. a payment check cashed).
+    PrivateData {
+        /// The member concerned.
+        member: String,
+        /// Description of the change.
+        description: String,
+    },
+}
+
+/// A password-protected community site with members, shared albums, and
+/// calendars.
+#[derive(Debug, Default)]
+pub struct CommunitySite {
+    name: String,
+    members: BTreeSet<String>,
+    albums: BTreeMap<String, Vec<String>>,
+    calendars: BTreeMap<String, Vec<String>>,
+    changes: Vec<(SimTime, StoreChange)>,
+}
+
+impl CommunitySite {
+    /// Creates an empty community.
+    pub fn new(name: impl Into<String>) -> Self {
+        CommunitySite {
+            name: name.into(),
+            ..CommunitySite::default()
+        }
+    }
+
+    /// The community name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a member. Idempotent.
+    pub fn add_member(&mut self, member: impl Into<String>) {
+        self.members.insert(member.into());
+    }
+
+    /// Whether `member` belongs to the community.
+    pub fn is_member(&self, member: &str) -> bool {
+        self.members.contains(member)
+    }
+
+    /// Adds a photo to an album (creating the album on first use) and
+    /// records the change.
+    pub fn add_photo(&mut self, album: impl Into<String>, photo: impl Into<String>, now: SimTime) {
+        let album = album.into();
+        let photo = photo.into();
+        let url = format!("http://communities/{}/{}/{}", self.name, album, photo);
+        self.albums.entry(album.clone()).or_default().push(photo.clone());
+        self.changes.push((
+            now,
+            StoreChange::PhotoAdded { album, photo, url },
+        ));
+    }
+
+    /// Adds a calendar entry and records the change.
+    pub fn add_calendar_entry(
+        &mut self,
+        calendar: impl Into<String>,
+        title: impl Into<String>,
+        now: SimTime,
+    ) {
+        let calendar = calendar.into();
+        let title = title.into();
+        self.calendars.entry(calendar.clone()).or_default().push(title.clone());
+        self.changes.push((now, StoreChange::CalendarEntry { calendar, title }));
+    }
+
+    /// Records a private-data change for a member.
+    pub fn record_private_change(
+        &mut self,
+        member: impl Into<String>,
+        description: impl Into<String>,
+        now: SimTime,
+    ) {
+        self.changes.push((
+            now,
+            StoreChange::PrivateData {
+                member: member.into(),
+                description: description.into(),
+            },
+        ));
+    }
+
+    /// Photos in `album`.
+    pub fn photos(&self, album: &str) -> &[String] {
+        self.albums.get(album).map_or(&[], Vec::as_slice)
+    }
+
+    /// All recorded changes since `since` (exclusive).
+    pub fn changes_since(&self, since: SimTime) -> impl Iterator<Item = &(SimTime, StoreChange)> {
+        self.changes.iter().filter(move |(at, _)| *at > since)
+    }
+}
+
+/// The web-store alert proxy: periodically sweeps a community site and
+/// turns new changes into alerts for interested members (§2.2 uses the
+/// alert-proxy mechanism for timely delivery).
+#[derive(Debug)]
+pub struct WebStoreMonitor {
+    source_id: String,
+    last_sweep: SimTime,
+    alerts_generated: u64,
+}
+
+impl WebStoreMonitor {
+    /// Creates a monitor sending alerts as `source_id`.
+    pub fn new(source_id: impl Into<String>) -> Self {
+        WebStoreMonitor {
+            source_id: source_id.into(),
+            last_sweep: SimTime::ZERO,
+            alerts_generated: 0,
+        }
+    }
+
+    /// Total alerts generated.
+    pub fn alerts_generated(&self) -> u64 {
+        self.alerts_generated
+    }
+
+    /// Sweeps `site` for changes since the previous sweep; one alert per
+    /// change. Private-data changes are only visible as alerts for the
+    /// member they concern, preserving the site's privacy model.
+    pub fn sweep(&mut self, site: &CommunitySite, now: SimTime) -> Vec<IncomingAlert> {
+        let mut alerts = Vec::new();
+        for (at, change) in site.changes_since(self.last_sweep) {
+            let (body, urgency) = match change {
+                StoreChange::PhotoAdded { album, photo, url } => (
+                    format!("New photo {photo} in album {album}: {url}"),
+                    Urgency::Low,
+                ),
+                StoreChange::CalendarEntry { calendar, title } => (
+                    format!("Calendar {calendar}: {title}"),
+                    Urgency::Normal,
+                ),
+                StoreChange::PrivateData { member, description } => (
+                    format!("[private:{member}] {description}"),
+                    Urgency::Normal,
+                ),
+            };
+            alerts.push(
+                IncomingAlert::from_im(self.source_id.clone(), body, *at).with_urgency(urgency),
+            );
+        }
+        self.last_sweep = now;
+        self.alerts_generated += alerts.len() as u64;
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn membership() {
+        let mut site = CommunitySite::new("hiking");
+        site.add_member("alice");
+        assert!(site.is_member("alice"));
+        assert!(!site.is_member("bob"));
+    }
+
+    #[test]
+    fn photo_alert_contains_clickable_url() {
+        let mut site = CommunitySite::new("hiking");
+        site.add_photo("summit-2001", "peak.jpg", t(10));
+        let mut monitor = WebStoreMonitor::new("webstore-im");
+        let alerts = monitor.sweep(&site, t(20));
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0]
+            .body
+            .contains("http://communities/hiking/summit-2001/peak.jpg"));
+        assert_eq!(alerts[0].origin_timestamp, t(10));
+        assert_eq!(site.photos("summit-2001"), ["peak.jpg".to_string()]);
+    }
+
+    #[test]
+    fn sweep_is_incremental() {
+        let mut site = CommunitySite::new("hiking");
+        let mut monitor = WebStoreMonitor::new("webstore-im");
+        site.add_photo("a", "1.jpg", t(5));
+        assert_eq!(monitor.sweep(&site, t(10)).len(), 1);
+        // Nothing new.
+        assert!(monitor.sweep(&site, t(20)).is_empty());
+        site.add_photo("a", "2.jpg", t(25));
+        site.add_calendar_entry("events", "BBQ Saturday", t(26));
+        let alerts = monitor.sweep(&site, t(30));
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(monitor.alerts_generated(), 3);
+    }
+
+    #[test]
+    fn private_changes_tagged_with_member() {
+        let mut site = CommunitySite::new("bank");
+        site.record_private_change("alice", "payment check cashed", t(1));
+        let mut monitor = WebStoreMonitor::new("webstore-im");
+        let alerts = monitor.sweep(&site, t(2));
+        assert!(alerts[0].body.starts_with("[private:alice]"));
+    }
+
+    #[test]
+    fn changes_since_boundary_is_exclusive() {
+        let mut site = CommunitySite::new("c");
+        site.add_photo("a", "1.jpg", t(10));
+        assert_eq!(site.changes_since(t(10)).count(), 0);
+        assert_eq!(site.changes_since(t(9)).count(), 1);
+    }
+}

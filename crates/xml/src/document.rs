@@ -1,0 +1,204 @@
+//! The in-memory document model: [`Element`] and [`Node`].
+
+/// A single XML element: name, attributes, and ordered child nodes.
+///
+/// Attributes preserve document order, which the writer reproduces, so a
+/// parse → write → parse cycle is lossless for the supported subset
+/// (inter-element whitespace aside; see [`Element::normalized`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// The element (tag) name.
+    pub name: String,
+    /// Attributes in document order as `(name, value)` pairs.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A node inside an element: either a child element or character data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (already entity-decoded).
+    Text(String),
+}
+
+impl Element {
+    /// Creates an empty element with the given name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let e = simba_xml::Element::new("mode");
+    /// assert_eq!(e.name, "mode");
+    /// assert!(e.children.is_empty());
+    /// ```
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute, builder style.
+    ///
+    /// ```
+    /// let e = simba_xml::Element::new("address").with_attr("type", "IM");
+    /// assert_eq!(e.attr("type"), Some("IM"));
+    /// ```
+    #[must_use]
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element, builder style.
+    #[must_use]
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Adds a text child, builder style.
+    #[must_use]
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Returns the value of the attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Returns the first child element named `name`, if any.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Iterates over all child *elements* (skipping text nodes).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Iterates over all child elements named `name`.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// Concatenation of all direct text children, trimmed.
+    ///
+    /// ```
+    /// let doc = simba_xml::parse("<a> hello </a>").unwrap();
+    /// assert_eq!(doc.text(), "hello");
+    /// ```
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Returns a copy with insignificant whitespace-only text nodes removed,
+    /// recursively, and remaining text trimmed. Useful for structural
+    /// comparison of pretty-printed documents.
+    #[must_use]
+    pub fn normalized(&self) -> Element {
+        let mut out = Element::new(self.name.clone());
+        out.attrs = self.attrs.clone();
+        for n in &self.children {
+            match n {
+                Node::Element(e) => out.children.push(Node::Element(e.normalized())),
+                Node::Text(t) => {
+                    let trimmed = t.trim();
+                    if !trimmed.is_empty() {
+                        out.children.push(Node::Text(trimmed.to_string()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of elements in this subtree, including `self`.
+    pub fn subtree_len(&self) -> usize {
+        1 + self.elements().map(Element::subtree_len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("mode")
+            .with_attr("name", "urgent")
+            .with_child(
+                Element::new("block")
+                    .with_child(Element::new("action").with_text("IM"))
+                    .with_child(Element::new("action").with_text("SMS")),
+            )
+            .with_child(Element::new("block").with_child(Element::new("action").with_text("EM")))
+    }
+
+    #[test]
+    fn attr_lookup_finds_first_match() {
+        let e = Element::new("x").with_attr("a", "1").with_attr("b", "2");
+        assert_eq!(e.attr("a"), Some("1"));
+        assert_eq!(e.attr("b"), Some("2"));
+        assert_eq!(e.attr("c"), None);
+    }
+
+    #[test]
+    fn child_and_children_named() {
+        let doc = sample();
+        assert_eq!(doc.children_named("block").count(), 2);
+        let first = doc.child("block").unwrap();
+        assert_eq!(first.children_named("action").count(), 2);
+        assert!(doc.child("missing").is_none());
+    }
+
+    #[test]
+    fn text_concatenates_and_trims() {
+        let e = Element::new("a")
+            .with_text("  hello")
+            .with_child(Element::new("b"))
+            .with_text(" world  ");
+        assert_eq!(e.text(), "hello world");
+    }
+
+    #[test]
+    fn normalized_strips_whitespace_nodes() {
+        let e = Element::new("a")
+            .with_text("\n  ")
+            .with_child(Element::new("b").with_text(" x "))
+            .with_text("\n");
+        let n = e.normalized();
+        assert_eq!(n.children.len(), 1);
+        let b = n.child("b").unwrap();
+        assert_eq!(b.children, vec![Node::Text("x".into())]);
+    }
+
+    #[test]
+    fn subtree_len_counts_elements() {
+        assert_eq!(sample().subtree_len(), 6);
+        assert_eq!(Element::new("leaf").subtree_len(), 1);
+    }
+
+    #[test]
+    fn elements_skips_text() {
+        let e = Element::new("a").with_text("t").with_child(Element::new("b"));
+        assert_eq!(e.elements().count(), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for XML parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing an XML document.
+///
+/// Carries the byte offset into the input at which the problem was
+/// detected, so callers can point users at the offending location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    /// Byte offset into the input where the error was detected.
+    offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// `</a>` closed an element opened as `<b>`.
+    MismatchedClose { open: String, close: String },
+    /// An entity reference such as `&unknown;` that is not supported.
+    BadEntity(String),
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// The document contained no root element.
+    MissingRoot,
+    /// Content found after the root element closed.
+    TrailingContent,
+    /// A construct outside the supported subset (DTD, CDATA, PI).
+    Unsupported(&'static str),
+    /// An element or attribute name was empty or contained invalid characters.
+    BadName(String),
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, offset: usize) -> Self {
+        XmlError { kind, offset }
+    }
+
+    /// Byte offset into the input at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            XmlErrorKind::MismatchedClose { open, close } => {
+                write!(f, "closing tag </{close}> does not match <{open}>")
+            }
+            XmlErrorKind::BadEntity(e) => write!(f, "unsupported entity reference &{e};"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            XmlErrorKind::MissingRoot => write!(f, "document has no root element"),
+            XmlErrorKind::TrailingContent => write!(f, "content after root element"),
+            XmlErrorKind::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            XmlErrorKind::BadName(n) => write!(f, "invalid name {n:?}"),
+        }?;
+        write!(f, " at byte {}", self.offset)
+    }
+}
+
+impl Error for XmlError {}

@@ -1,0 +1,199 @@
+//! Low-level cursor over the input text, shared by the parser.
+
+use crate::error::{XmlError, XmlErrorKind};
+
+/// A byte-offset cursor over the input with XML-specific helpers.
+pub(crate) struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0 }
+    }
+
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    pub(crate) fn is_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    pub(crate) fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    /// Advances past the next char and returns it.
+    pub(crate) fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Consumes `s` if the input starts with it.
+    pub(crate) fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Consumes the exact char `c` or errors.
+    pub(crate) fn expect(&mut self, c: char) -> Result<(), XmlError> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.bump();
+                Ok(())
+            }
+            Some(got) => Err(self.err(XmlErrorKind::UnexpectedChar(got))),
+            None => Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+    }
+
+    pub(crate) fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Consumes chars while `pred` holds and returns the consumed slice.
+    pub(crate) fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if pred(c)) {
+            self.bump();
+        }
+        &self.input[start..self.pos]
+    }
+
+    /// Consumes input up to (not including) `delim`; errors on EOF.
+    pub(crate) fn take_until(&mut self, delim: &str) -> Result<&'a str, XmlError> {
+        match self.rest().find(delim) {
+            Some(idx) => {
+                let out = &self.input[self.pos..self.pos + idx];
+                self.pos += idx;
+                Ok(out)
+            }
+            None => Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+    }
+
+    pub(crate) fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.pos)
+    }
+}
+
+/// Is `c` valid as the first character of an XML name (subset: no colons,
+/// since namespaces are unsupported)?
+pub(crate) fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Is `c` valid as a continuation character of an XML name?
+pub(crate) fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+/// Decodes an entity reference body (the text between `&` and `;`).
+pub(crate) fn decode_entity(body: &str) -> Option<char> {
+    match body {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let num = body.strip_prefix('#')?;
+            let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                num.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_basics() {
+        let mut c = Cursor::new("ab");
+        assert_eq!(c.peek(), Some('a'));
+        assert_eq!(c.bump(), Some('a'));
+        assert_eq!(c.bump(), Some('b'));
+        assert!(c.is_eof());
+        assert_eq!(c.bump(), None);
+    }
+
+    #[test]
+    fn eat_and_starts_with() {
+        let mut c = Cursor::new("<!--x-->");
+        assert!(c.starts_with("<!--"));
+        assert!(c.eat("<!--"));
+        assert!(!c.eat("zz"));
+        assert_eq!(c.take_until("-->").unwrap(), "x");
+        assert!(c.eat("-->"));
+        assert!(c.is_eof());
+    }
+
+    #[test]
+    fn take_while_stops_at_predicate() {
+        let mut c = Cursor::new("abc123");
+        assert_eq!(c.take_while(|ch| ch.is_alphabetic()), "abc");
+        assert_eq!(c.rest(), "123");
+    }
+
+    #[test]
+    fn take_until_eof_errors() {
+        let mut c = Cursor::new("no delimiter");
+        assert!(c.take_until("-->").is_err());
+    }
+
+    #[test]
+    fn entity_decoding() {
+        assert_eq!(decode_entity("lt"), Some('<'));
+        assert_eq!(decode_entity("gt"), Some('>'));
+        assert_eq!(decode_entity("amp"), Some('&'));
+        assert_eq!(decode_entity("quot"), Some('"'));
+        assert_eq!(decode_entity("apos"), Some('\''));
+        assert_eq!(decode_entity("#65"), Some('A'));
+        assert_eq!(decode_entity("#x41"), Some('A'));
+        assert_eq!(decode_entity("#X41"), Some('A'));
+        assert_eq!(decode_entity("nbsp"), None);
+        assert_eq!(decode_entity("#xFFFFFF"), None);
+        assert_eq!(decode_entity("#"), None);
+    }
+
+    #[test]
+    fn name_char_classes() {
+        assert!(is_name_start('a'));
+        assert!(is_name_start('_'));
+        assert!(!is_name_start('1'));
+        assert!(!is_name_start('-'));
+        assert!(is_name_char('1'));
+        assert!(is_name_char('-'));
+        assert!(is_name_char('.'));
+        assert!(!is_name_char(':'));
+    }
+
+    #[test]
+    fn utf8_multibyte_bump() {
+        let mut c = Cursor::new("é<");
+        assert_eq!(c.bump(), Some('é'));
+        assert_eq!(c.peek(), Some('<'));
+    }
+}

@@ -1,0 +1,49 @@
+//! `simba-xml` — a minimal XML 1.0 subset parser and writer.
+//!
+//! The SIMBA paper (§4.1) expresses user address books and delivery modes as
+//! XML documents "to allow extensibility for accommodating new communication
+//! addresses". This crate implements the subset of XML those documents need,
+//! from scratch and with no dependencies:
+//!
+//! * elements with attributes (single- or double-quoted),
+//! * character data with the five predefined entities plus numeric
+//!   character references,
+//! * comments and an optional XML declaration (both skipped),
+//! * self-closing tags.
+//!
+//! Out of scope (and rejected with a parse error where applicable):
+//! namespaces, DTDs, processing instructions other than the declaration,
+//! and CDATA sections.
+//!
+//! # Examples
+//!
+//! ```
+//! use simba_xml::parse;
+//!
+//! # fn main() -> Result<(), simba_xml::XmlError> {
+//! let doc = parse(r#"<mode name="urgent"><block><action>IM</action></block></mode>"#)?;
+//! assert_eq!(doc.name, "mode");
+//! assert_eq!(doc.attr("name"), Some("urgent"));
+//! let block = doc.child("block").expect("block element");
+//! assert_eq!(block.child("action").unwrap().text(), "IM");
+//!
+//! // Documents round-trip through the writer.
+//! let text = doc.to_xml();
+//! assert_eq!(parse(&text)?, doc);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod document;
+mod error;
+mod lexer;
+mod parser;
+mod writer;
+
+pub use document::{Element, Node};
+pub use error::XmlError;
+pub use parser::parse;
+pub use writer::{escape_attr, escape_text};

@@ -1,0 +1,340 @@
+//! Recursive-descent parser producing [`Element`] trees.
+
+use crate::document::{Element, Node};
+use crate::error::{XmlError, XmlErrorKind};
+use crate::lexer::{decode_entity, is_name_char, is_name_start, Cursor};
+
+/// Parses an XML document and returns its root element.
+///
+/// Accepts an optional XML declaration and comments before/after the root.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on malformed input, unsupported constructs (DTD,
+/// CDATA, processing instructions), mismatched tags, duplicate attributes,
+/// unknown entities, or trailing content after the root element.
+///
+/// # Examples
+///
+/// ```
+/// let root = simba_xml::parse("<?xml version=\"1.0\"?><a b='1'/>").unwrap();
+/// assert_eq!(root.name, "a");
+/// assert_eq!(root.attr("b"), Some("1"));
+/// ```
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut cur = Cursor::new(input);
+    skip_misc(&mut cur)?;
+    if cur.is_eof() {
+        return Err(cur.err(XmlErrorKind::MissingRoot));
+    }
+    let root = parse_element(&mut cur)?;
+    skip_misc(&mut cur)?;
+    if !cur.is_eof() {
+        return Err(cur.err(XmlErrorKind::TrailingContent));
+    }
+    Ok(root)
+}
+
+/// Skips whitespace, comments, and the XML declaration between top-level
+/// constructs.
+fn skip_misc(cur: &mut Cursor<'_>) -> Result<(), XmlError> {
+    loop {
+        cur.skip_whitespace();
+        if cur.starts_with("<?xml") {
+            cur.take_until("?>")?;
+            cur.eat("?>");
+        } else if cur.starts_with("<!--") {
+            cur.eat("<!--");
+            cur.take_until("-->")?;
+            cur.eat("-->");
+        } else if cur.starts_with("<!") {
+            return Err(cur.err(XmlErrorKind::Unsupported("DTD or CDATA section")));
+        } else if cur.starts_with("<?") {
+            return Err(cur.err(XmlErrorKind::Unsupported("processing instruction")));
+        } else {
+            return Ok(());
+        }
+    }
+}
+
+fn parse_name(cur: &mut Cursor<'_>) -> Result<String, XmlError> {
+    match cur.peek() {
+        Some(c) if is_name_start(c) => {}
+        Some(c) => return Err(cur.err(XmlErrorKind::BadName(c.to_string()))),
+        None => return Err(cur.err(XmlErrorKind::UnexpectedEof)),
+    }
+    Ok(cur.take_while(is_name_char).to_string())
+}
+
+fn parse_element(cur: &mut Cursor<'_>) -> Result<Element, XmlError> {
+    cur.expect('<')?;
+    let name = parse_name(cur)?;
+    let mut element = Element::new(name);
+
+    loop {
+        cur.skip_whitespace();
+        match cur.peek() {
+            Some('>') => {
+                cur.bump();
+                break;
+            }
+            Some('/') => {
+                cur.bump();
+                cur.expect('>')?;
+                return Ok(element); // self-closing
+            }
+            Some(c) if is_name_start(c) => {
+                let attr_name = parse_name(cur)?;
+                if element.attr(&attr_name).is_some() {
+                    return Err(cur.err(XmlErrorKind::DuplicateAttribute(attr_name)));
+                }
+                cur.skip_whitespace();
+                cur.expect('=')?;
+                cur.skip_whitespace();
+                let value = parse_attr_value(cur)?;
+                element.attrs.push((attr_name, value));
+            }
+            Some(c) => return Err(cur.err(XmlErrorKind::UnexpectedChar(c))),
+            None => return Err(cur.err(XmlErrorKind::UnexpectedEof)),
+        }
+    }
+
+    parse_content(cur, &mut element)?;
+    Ok(element)
+}
+
+fn parse_attr_value(cur: &mut Cursor<'_>) -> Result<String, XmlError> {
+    let quote = match cur.peek() {
+        Some(q @ ('"' | '\'')) => {
+            cur.bump();
+            q
+        }
+        Some(c) => return Err(cur.err(XmlErrorKind::UnexpectedChar(c))),
+        None => return Err(cur.err(XmlErrorKind::UnexpectedEof)),
+    };
+    let mut value = String::new();
+    loop {
+        match cur.peek() {
+            Some(c) if c == quote => {
+                cur.bump();
+                return Ok(value);
+            }
+            Some('&') => value.push(parse_entity(cur)?),
+            Some('<') => return Err(cur.err(XmlErrorKind::UnexpectedChar('<'))),
+            Some(c) => {
+                cur.bump();
+                value.push(c);
+            }
+            None => return Err(cur.err(XmlErrorKind::UnexpectedEof)),
+        }
+    }
+}
+
+fn parse_entity(cur: &mut Cursor<'_>) -> Result<char, XmlError> {
+    let start = cur.pos();
+    cur.expect('&')?;
+    let body = cur.take_while(|c| c != ';' && c != '<' && c != '&' && !c.is_whitespace());
+    let body = body.to_string();
+    if !cur.eat(";") {
+        return Err(XmlError::new(XmlErrorKind::BadEntity(body), start));
+    }
+    decode_entity(&body).ok_or_else(|| XmlError::new(XmlErrorKind::BadEntity(body), start))
+}
+
+/// Parses children and the closing tag of an already-opened element.
+fn parse_content(cur: &mut Cursor<'_>, element: &mut Element) -> Result<(), XmlError> {
+    let mut text = String::new();
+    loop {
+        match cur.peek() {
+            Some('<') if cur.starts_with("</") => {
+                flush_text(&mut text, element);
+                cur.eat("</");
+                let close = parse_name(cur)?;
+                if close != element.name {
+                    return Err(cur.err(XmlErrorKind::MismatchedClose {
+                        open: element.name.clone(),
+                        close,
+                    }));
+                }
+                cur.skip_whitespace();
+                cur.expect('>')?;
+                return Ok(());
+            }
+            Some('<') if cur.starts_with("<!--") => {
+                cur.eat("<!--");
+                cur.take_until("-->")?;
+                cur.eat("-->");
+            }
+            Some('<') if cur.starts_with("<!") => {
+                return Err(cur.err(XmlErrorKind::Unsupported("DTD or CDATA section")));
+            }
+            Some('<') if cur.starts_with("<?") => {
+                return Err(cur.err(XmlErrorKind::Unsupported("processing instruction")));
+            }
+            Some('<') => {
+                flush_text(&mut text, element);
+                let child = parse_element(cur)?;
+                element.children.push(Node::Element(child));
+            }
+            Some('&') => text.push(parse_entity(cur)?),
+            Some(c) => {
+                cur.bump();
+                text.push(c);
+            }
+            None => return Err(cur.err(XmlErrorKind::UnexpectedEof)),
+        }
+    }
+}
+
+fn flush_text(text: &mut String, element: &mut Element) {
+    if !text.is_empty() {
+        element.children.push(Node::Text(std::mem::take(text)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_element() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e, Element::new("a"));
+    }
+
+    #[test]
+    fn element_with_text() {
+        let e = parse("<a>hello</a>").unwrap();
+        assert_eq!(e.text(), "hello");
+    }
+
+    #[test]
+    fn nested_elements_preserve_order() {
+        let e = parse("<a><b/><c/><b/></a>").unwrap();
+        let names: Vec<_> = e.elements().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["b", "c", "b"]);
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let e = parse(r#"<a x="1" y='2'/>"#).unwrap();
+        assert_eq!(e.attr("x"), Some("1"));
+        assert_eq!(e.attr("y"), Some("2"));
+    }
+
+    #[test]
+    fn attribute_entities_decoded() {
+        let e = parse(r#"<a x="&lt;&amp;&gt;&quot;&apos;"/>"#).unwrap();
+        assert_eq!(e.attr("x"), Some(r#"<&>"'"#));
+    }
+
+    #[test]
+    fn text_entities_decoded() {
+        let e = parse("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>").unwrap();
+        assert_eq!(e.text(), "1 < 2 && 3 > 2");
+    }
+
+    #[test]
+    fn numeric_character_references() {
+        let e = parse("<a>&#65;&#x42;</a>").unwrap();
+        assert_eq!(e.text(), "AB");
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<a>&nbsp;</a>").is_err());
+        assert!(parse("<a>&unterminated</a>").is_err());
+    }
+
+    #[test]
+    fn declaration_and_comments_skipped() {
+        let e = parse("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n<!-- c --><a><!-- inner -->x</a><!-- after -->").unwrap();
+        assert_eq!(e.text(), "x");
+    }
+
+    #[test]
+    fn mismatched_close_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn empty_and_missing_root_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("   \n").is_err());
+        assert!(parse("<!-- only a comment -->").is_err());
+    }
+
+    #[test]
+    fn unsupported_constructs_rejected() {
+        assert!(parse("<!DOCTYPE a><a/>").is_err());
+        assert!(parse("<a><![CDATA[x]]></a>").is_err());
+        assert!(parse("<a><?pi ?></a>").is_err());
+    }
+
+    #[test]
+    fn unexpected_eof_mid_tag() {
+        assert!(parse("<a").is_err());
+        assert!(parse("<a attr=").is_err());
+        assert!(parse("<a>text").is_err());
+        assert!(parse(r#"<a attr="unclosed"#).is_err());
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(parse("<1a/>").is_err());
+        assert!(parse("<a 1x='v'/>").is_err());
+    }
+
+    #[test]
+    fn whitespace_in_tags_tolerated() {
+        let e = parse("<a  x = \"1\" ></a >").unwrap();
+        assert_eq!(e.attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn mixed_content_order_preserved() {
+        let e = parse("<a>pre<b/>post</a>").unwrap();
+        assert_eq!(e.children.len(), 3);
+        assert!(matches!(&e.children[0], Node::Text(t) if t == "pre"));
+        assert!(matches!(&e.children[1], Node::Element(el) if el.name == "b"));
+        assert!(matches!(&e.children[2], Node::Text(t) if t == "post"));
+    }
+
+    #[test]
+    fn paper_figure4_style_delivery_mode_parses() {
+        // Shape of Figure 4: a delivery mode with two communication blocks.
+        let doc = parse(
+            r#"<DeliveryMode name="Urgent">
+                 <Block ackTimeoutSecs="60">
+                   <Action address="MSN IM"/>
+                   <Action address="Cell SMS"/>
+                 </Block>
+                 <Block>
+                   <Action address="Work email"/>
+                 </Block>
+               </DeliveryMode>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.attr("name"), Some("Urgent"));
+        let blocks: Vec<_> = doc.children_named("Block").collect();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].children_named("Action").count(), 2);
+        assert_eq!(blocks[0].attr("ackTimeoutSecs"), Some("60"));
+        assert_eq!(
+            blocks[1].child("Action").unwrap().attr("address"),
+            Some("Work email")
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Serialization of [`Element`] trees back to XML text.
+
+use crate::document::{Element, Node};
+use std::fmt::Write as _;
+
+/// Escapes character data for use as element text.
+///
+/// ```
+/// assert_eq!(simba_xml::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use inside a double-quoted attribute value.
+///
+/// ```
+/// assert_eq!(simba_xml::escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+/// ```
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+impl Element {
+    /// Serializes this element (and its subtree) as compact XML.
+    ///
+    /// The output always re-parses to an equal tree:
+    ///
+    /// ```
+    /// let e = simba_xml::Element::new("a").with_attr("k", "v<&>").with_text("x & y");
+    /// assert_eq!(simba_xml::parse(&e.to_xml()).unwrap(), e);
+    /// ```
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation, one element per line.
+    ///
+    /// Text children inhibit indentation for their parent so that
+    /// whitespace-sensitive content is not altered.
+    pub fn to_xml_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_open_tag(&self, out: &mut String, self_close: bool) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            let _ = write!(out, " {}=\"{}\"", k, escape_attr(v));
+        }
+        out.push_str(if self_close { "/>" } else { ">" });
+    }
+
+    fn write_into(&self, out: &mut String) {
+        if self.children.is_empty() {
+            self.write_open_tag(out, true);
+            return;
+        }
+        self.write_open_tag(out, false);
+        for child in &self.children {
+            match child {
+                Node::Element(e) => e.write_into(out),
+                Node::Text(t) => out.push_str(&escape_text(t)),
+            }
+        }
+        let _ = write!(out, "</{}>", self.name);
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&indent);
+        if self.children.is_empty() {
+            self.write_open_tag(out, true);
+            return;
+        }
+        let has_text = self.children.iter().any(|n| matches!(n, Node::Text(_)));
+        self.write_open_tag(out, false);
+        if has_text {
+            // Mixed or text content: emit compactly to preserve whitespace.
+            for child in &self.children {
+                match child {
+                    Node::Element(e) => e.write_into(out),
+                    Node::Text(t) => out.push_str(&escape_text(t)),
+                }
+            }
+        } else {
+            for child in &self.children {
+                if let Node::Element(e) = child {
+                    out.push('\n');
+                    e.write_pretty(out, depth + 1);
+                }
+            }
+            out.push('\n');
+            out.push_str(&indent);
+        }
+        let _ = write!(out, "</{}>", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(Element::new("a").to_xml(), "<a/>");
+    }
+
+    #[test]
+    fn attributes_and_text_serialized() {
+        let e = Element::new("a").with_attr("x", "1").with_text("hi");
+        assert_eq!(e.to_xml(), r#"<a x="1">hi</a>"#);
+    }
+
+    #[test]
+    fn special_chars_escaped_in_text() {
+        let e = Element::new("a").with_text("1 < 2 & 3 > 2");
+        assert_eq!(e.to_xml(), "<a>1 &lt; 2 &amp; 3 &gt; 2</a>");
+    }
+
+    #[test]
+    fn special_chars_escaped_in_attrs() {
+        let e = Element::new("a").with_attr("x", "\"q\" <&> \n\t");
+        let xml = e.to_xml();
+        assert_eq!(parse(&xml).unwrap(), e);
+        assert!(xml.contains("&quot;"));
+        assert!(xml.contains("&#10;"));
+    }
+
+    #[test]
+    fn round_trip_nested() {
+        let e = Element::new("mode")
+            .with_attr("name", "urgent & fast")
+            .with_child(
+                Element::new("block")
+                    .with_child(Element::new("action").with_text("IM <primary>")),
+            );
+        assert_eq!(parse(&e.to_xml()).unwrap(), e);
+    }
+
+    #[test]
+    fn pretty_output_reparses_to_normalized_equal() {
+        let e = Element::new("root")
+            .with_child(Element::new("a").with_text("x"))
+            .with_child(Element::new("b").with_child(Element::new("c")));
+        let pretty = e.to_xml_pretty();
+        assert_eq!(parse(&pretty).unwrap().normalized(), e.normalized());
+        assert!(pretty.contains("\n  <a>"));
+    }
+
+    #[test]
+    fn pretty_preserves_text_content_exactly() {
+        let e = Element::new("a").with_text("  spaced  text  ");
+        let pretty = e.to_xml_pretty();
+        let back = parse(&pretty).unwrap();
+        // Text children inhibit indentation, so inner text survives verbatim.
+        assert_eq!(back.children, e.children);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based round-trip tests: `parse(write(doc)) == doc` for
+//! arbitrary generated documents (DESIGN.md §6 "XML round-trip").
+
+use proptest::prelude::*;
+use simba_xml::{parse, Element, Node};
+
+/// Generates valid XML names.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}"
+}
+
+/// Generates attribute values / text with plenty of characters that need
+/// escaping.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<char>().prop_filter("no control chars", |c| !c.is_control() || *c == '\n'),
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+        ],
+        0..20,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..4),
+        proptest::option::of(arb_text()),
+    )
+        .prop_filter_map("unique attrs", |(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                if e.attr(&k).is_none() {
+                    e.attrs.push((k, v));
+                }
+            }
+            if let Some(t) = text {
+                if !t.is_empty() {
+                    e.children.push(Node::Text(t));
+                }
+            }
+            Some(e)
+        })
+        .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    (
+        leaf,
+        proptest::collection::vec(arb_element(depth - 1), 0..4),
+    )
+        .prop_map(|(mut e, kids)| {
+            for k in kids {
+                e.children.push(Node::Element(k));
+            }
+            e
+        })
+        .boxed()
+}
+
+/// Merge adjacent text nodes — the parser cannot distinguish `"ab"` from
+/// `"a"+"b"`, so equality is up to text-node coalescing.
+fn coalesce(e: &Element) -> Element {
+    let mut out = Element::new(e.name.clone());
+    out.attrs = e.attrs.clone();
+    for n in &e.children {
+        match n {
+            Node::Element(c) => out.children.push(Node::Element(coalesce(c))),
+            Node::Text(t) => {
+                if let Some(Node::Text(prev)) = out.children.last_mut() {
+                    prev.push_str(t);
+                } else {
+                    out.children.push(Node::Text(t.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(e in arb_element(3)) {
+        let xml = e.to_xml();
+        let back = parse(&xml).expect("generated XML must parse");
+        prop_assert_eq!(coalesce(&back), coalesce(&e));
+    }
+
+    #[test]
+    fn pretty_roundtrip_normalized(e in arb_element(3)) {
+        let xml = e.to_xml_pretty();
+        let back = parse(&xml).expect("pretty XML must parse");
+        prop_assert_eq!(coalesce(&back).normalized(), coalesce(&e).normalized());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn double_write_is_stable(e in arb_element(3)) {
+        let once = e.to_xml();
+        let twice = parse(&once).unwrap().to_xml();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,31 @@
+//! # SIMBA — dependable user alert delivery
+//!
+//! Facade crate for the reproduction of *The SIMBA User Alert Service
+//! Architecture for Dependable Alert Delivery* (Wang, Bahl, Russell —
+//! MSR-TR-2000-117, DSN 2001).
+//!
+//! Re-exports every workspace crate under a stable namespace so examples
+//! and downstream users need a single dependency:
+//!
+//! * [`xml`] — minimal XML subset used by SIMBA documents.
+//! * [`sim`] — deterministic discrete-event simulation engine.
+//! * [`net`] — simulated IM / email / SMS substrates with fault models.
+//! * [`client`] — simulated client software + exception-handling automation.
+//! * [`core`] — the SIMBA library and MyAlertBuddy.
+//! * [`sources`] — the five alert services from the paper.
+//! * [`baselines`] — comparison delivery strategies.
+//! * [`runtime`] — tokio-based live runtime.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use simba_baselines as baselines;
+pub use simba_client as client;
+pub use simba_core as core;
+pub use simba_net as net;
+pub use simba_runtime as runtime;
+pub use simba_sim as sim;
+pub use simba_sources as sources;
+pub use simba_xml as xml;

@@ -1,0 +1,111 @@
+//! Property tests for the presence substrate and the baseline trial
+//! evaluator: structural timeline invariants and per-strategy cost bounds.
+
+use proptest::prelude::*;
+use simba::baselines::strategy::Strategy as DeliveryStrategy;
+use simba::baselines::trial::{run_trial, TrialSetup};
+use simba::net::presence::{DwellProfile, PresenceTimeline, UserContext};
+use simba::sim::{SimRng, SimTime};
+
+fn arb_timeline() -> impl Strategy<Value = PresenceTimeline> {
+    (any::<u64>(), 1u64..20).prop_map(|(seed, days)| {
+        let mut rng = SimRng::new(seed);
+        PresenceTimeline::generate(SimTime::from_days(days), DwellProfile::default(), &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_timeline_fractions_sum_to_one(tl in arb_timeline()) {
+        let sum = tl.fraction_in(UserContext::AtDesk)
+            + tl.fraction_in(UserContext::MobileCovered)
+            + tl.fraction_in(UserContext::MobileUncovered)
+            + tl.fraction_in(UserContext::Away);
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn context_at_agrees_with_segment_scan(tl in arb_timeline(), at_ms in any::<u64>()) {
+        let at = SimTime::from_millis(at_ms % tl.horizon().as_millis().max(1));
+        // Reference implementation: linear scan over segments.
+        let mut expected = tl.segments()[0].1;
+        for &(start, ctx) in tl.segments() {
+            if start <= at {
+                expected = ctx;
+            }
+        }
+        prop_assert_eq!(tl.context_at(at), expected);
+    }
+
+    #[test]
+    fn next_change_is_the_next_segment_boundary(tl in arb_timeline(), at_ms in any::<u64>()) {
+        let at = SimTime::from_millis(at_ms % tl.horizon().as_millis().max(1));
+        match tl.next_change(at) {
+            Some(change) => {
+                prop_assert!(change > at);
+                // It is a real boundary...
+                prop_assert!(tl.segments().iter().any(|&(s, _)| s == change));
+                // ...and there is none strictly between.
+                prop_assert!(!tl
+                    .segments()
+                    .iter()
+                    .any(|&(s, _)| s > at && s < change));
+            }
+            None => {
+                prop_assert!(tl.segments().iter().all(|&(s, _)| s <= at));
+            }
+        }
+    }
+
+    #[test]
+    fn trial_message_costs_match_strategy_structure(
+        seed in any::<u64>(),
+        tl in arb_timeline(),
+        at_frac in 0.0f64..0.8,
+    ) {
+        let setup = TrialSetup::with_defaults(tl);
+        let mut rng = SimRng::new(seed);
+        let at = SimTime::from_millis(
+            (setup.presence.horizon().as_millis() as f64 * at_frac) as u64,
+        );
+
+        let email = run_trial(&setup, DeliveryStrategy::EmailOnly, at, &mut rng);
+        prop_assert_eq!(email.messages_per_alert(), 1);
+        prop_assert!(!email.acked);
+
+        let sms = run_trial(&setup, DeliveryStrategy::DirectSms, at, &mut rng);
+        prop_assert_eq!(sms.messages_per_alert(), 1);
+
+        let blind = run_trial(&setup, DeliveryStrategy::Blind { emails: 2, sms: 2 }, at, &mut rng);
+        prop_assert_eq!(blind.messages_per_alert(), 4);
+        prop_assert!(!blind.acked);
+
+        let simba = run_trial(&setup, DeliveryStrategy::simba_default(), at, &mut rng);
+        // 1 message when acked on the IM block, else escalation to 3.
+        if simba.acked {
+            prop_assert_eq!(simba.messages_per_alert(), 1);
+            prop_assert!(simba.first_seen.is_some(), "acked implies seen");
+        } else {
+            prop_assert!((2..=3).contains(&simba.messages_per_alert()));
+        }
+
+        // Nobody sees an alert before it exists.
+        for out in [&email, &sms, &blind, &simba] {
+            if let Some(seen) = out.first_seen {
+                prop_assert!(seen >= at);
+            }
+        }
+    }
+}
+
+/// Local helper: `messages_sent` as usize for readable assertions.
+trait MsgCount {
+    fn messages_per_alert(&self) -> u32;
+}
+impl MsgCount for simba::baselines::trial::TrialOutcome {
+    fn messages_per_alert(&self) -> u32 {
+        self.messages_sent
+    }
+}

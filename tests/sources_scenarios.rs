@@ -1,0 +1,82 @@
+//! End-to-end scenarios for the remaining §2 alert services: the web-store
+//! community monitor and the desktop assistant, wired through the full
+//! pipeline.
+
+use simba::core::address::CommType;
+use simba::net::presence::{PresenceTimeline, UserContext};
+use simba::sim::{SimDuration, SimTime};
+use simba::sources::assistant::{DesktopAssistant, Importance};
+use simba::sources::webstore::{CommunitySite, WebStoreMonitor};
+use simba_bench::harness::{build, handle, Ev, PipelineOptions};
+
+#[test]
+fn community_photo_alert_reaches_members() {
+    // §2.2: "when a new photo is added to the shared community photo
+    // album, interested members can receive an alert containing the URL".
+    let mut site = CommunitySite::new("hiking");
+    site.add_member("alice");
+    let mut monitor = WebStoreMonitor::new("webstore-im");
+
+    site.add_photo("summit-2001", "peak.jpg", SimTime::from_mins(10));
+    site.add_calendar_entry("events", "BBQ Saturday", SimTime::from_mins(12));
+    let alerts = monitor.sweep(&site, SimTime::from_mins(15));
+    assert_eq!(alerts.len(), 2);
+    assert!(alerts[0].body.contains("http://communities/hiking/summit-2001/peak.jpg"));
+
+    let horizon = SimTime::from_hours(2);
+    let mut engine = build(PipelineOptions::new(3, horizon));
+    for (tag, alert) in alerts.into_iter().enumerate() {
+        engine.schedule_at(SimTime::from_mins(15), Ev::Emit { tag: tag as u64, alert });
+    }
+    engine.run_until(horizon, handle);
+    let (world, _) = engine.into_parts();
+    // The photo alert (containing "photo") classifies into Community and
+    // reaches the user; the URL survives the trip.
+    let track = &world.tracks[&0];
+    assert!(track.seen_at.is_some(), "photo alert not seen");
+    assert_eq!(track.via, Some(CommType::Im));
+}
+
+#[test]
+fn assistant_forwards_urgent_email_to_away_user_via_sms() {
+    // §2.5: the assistant activates when the console is idle and the user
+    // has not processed email elsewhere; "all alerts are generated as SMS
+    // messages" — here: the Work category's Critical mode escalates
+    // IM → SMS, and an away-from-desk (mobile) user is reached by the SMS.
+    let mut assistant = DesktopAssistant::new("assistant@desktop", SimDuration::from_mins(10));
+    assistant.on_user_activity(SimTime::from_mins(5));
+
+    // 20 minutes later the user is long gone; an urgent email lands.
+    let at = SimTime::from_mins(25);
+    let alert = assistant
+        .on_incoming_email(Importance::High, "prod server down!", at)
+        .expect("assistant active after threshold");
+
+    let horizon = SimTime::from_hours(3);
+    let mut options = PipelineOptions::new(9, horizon);
+    // The user is away from the desk, phone in coverage, for the whole run.
+    options.presence = PresenceTimeline::constant(UserContext::MobileCovered, horizon);
+    let mut engine = build(options);
+    engine.schedule_at(at, Ev::Emit { tag: 1, alert });
+    engine.run_until(horizon, handle);
+    let (world, _) = engine.into_parts();
+
+    let track = &world.tracks[&1];
+    assert!(track.reached_user_at.is_some(), "alert never reached a device");
+    assert!(track.seen_at.is_some(), "mobile user never saw the SMS");
+    // The IM block cannot be acked (nobody at the desk): the user saw it
+    // via the SMS escalation, strictly after the 60 s IM ack window.
+    assert!(!track.user_acked);
+    let seen = track.seen_at.expect("seen");
+    assert!(seen >= at + SimDuration::from_secs(60), "seen too early: {seen}");
+    assert!(world.metrics.counter("user.sms_sent") >= 1);
+}
+
+#[test]
+fn assistant_stays_quiet_when_user_is_at_the_desk() {
+    let mut assistant = DesktopAssistant::new("assistant@desktop", SimDuration::from_mins(10));
+    assistant.on_user_activity(SimTime::from_mins(24));
+    let alert = assistant.on_incoming_email(Importance::High, "x", SimTime::from_mins(25));
+    assert!(alert.is_none(), "user present: the desktop popup suffices");
+    assert_eq!(assistant.suppressed(), 1);
+}

@@ -1,0 +1,153 @@
+//! Property tests of the Soft-State Store semantics (DESIGN.md §6):
+//! replicas converge under arbitrary write/replication interleavings, and
+//! timeout detection fires exactly once per expiry.
+
+use proptest::prelude::*;
+use simba::sim::{SimDuration, SimTime};
+use simba::sources::sss::{SoftStateStore, SssEvent, StoreId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `value` to variable `var % VARS` on replica `replica % 3`.
+    Write { replica: u8, var: u8, value: u8 },
+    /// Refresh a variable on a replica.
+    Refresh { replica: u8, var: u8 },
+    /// Flush one replica's outbound queue to the others.
+    Sync { replica: u8 },
+}
+
+const VARS: u8 = 3;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(replica, var, value)| Op::Write { replica, var, value }),
+        (any::<u8>(), any::<u8>()).prop_map(|(replica, var)| Op::Refresh { replica, var }),
+        any::<u8>().prop_map(|replica| Op::Sync { replica }),
+    ]
+}
+
+fn stores() -> Vec<SoftStateStore> {
+    let mut stores: Vec<SoftStateStore> = (0..3u32)
+        .map(|i| {
+            let mut s = SoftStateStore::new(StoreId(i + 1));
+            s.define_type("t", "schema");
+            for v in 0..VARS {
+                s.create_var(
+                    format!("var-{v}"),
+                    "t",
+                    "initial",
+                    SimDuration::from_secs(3_600),
+                    1_000,
+                    SimTime::ZERO,
+                )
+                .expect("fresh store");
+            }
+            s
+        })
+        .collect();
+    // Propagate the concurrent creations so the replicas start from a
+    // converged state (LWW tie-break picks the highest store id).
+    full_sync(&mut stores);
+    stores
+}
+
+fn full_sync(stores: &mut [SoftStateStore]) {
+    // Flush until quiescent (each apply can itself enqueue nothing, so two
+    // rounds always suffice; loop defensively anyway).
+    for _ in 0..4 {
+        for i in 0..stores.len() {
+            let updates = stores[i].take_outbound();
+            for update in updates {
+                for (j, peer) in stores.iter_mut().enumerate() {
+                    if j != i {
+                        peer.apply_update(update.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn replicas_converge_after_quiescence(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut stores = stores();
+        let mut now = SimTime::from_secs(1);
+        for op in &ops {
+            now = now + SimDuration::from_secs(1);
+            match op {
+                Op::Write { replica, var, value } => {
+                    let r = (*replica as usize) % 3;
+                    let name = format!("var-{}", var % VARS);
+                    stores[r].write(&name, format!("v{value}"), now).expect("var exists");
+                }
+                Op::Refresh { replica, var } => {
+                    let r = (*replica as usize) % 3;
+                    let name = format!("var-{}", var % VARS);
+                    stores[r].refresh(&name, now).expect("var exists");
+                }
+                Op::Sync { replica } => {
+                    let r = (*replica as usize) % 3;
+                    let updates = stores[r].take_outbound();
+                    for update in updates {
+                        for (j, peer) in stores.iter_mut().enumerate() {
+                            if j != r {
+                                peer.apply_update(update.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        full_sync(&mut stores);
+
+        // Convergence: every replica agrees on every variable's value and
+        // last-writer metadata.
+        for v in 0..VARS {
+            let name = format!("var-{v}");
+            let reference = stores[0].read(&name).expect("exists").clone();
+            for s in &stores[1..] {
+                let other = s.read(&name).expect("exists");
+                prop_assert_eq!(&other.value, &reference.value, "value diverged on {}", name.as_str());
+                prop_assert_eq!(other.written_at, reference.written_at);
+                prop_assert_eq!(other.writer, reference.writer);
+            }
+        }
+    }
+
+    #[test]
+    fn timeouts_fire_exactly_once_per_expiry(
+        refresh_gaps in proptest::collection::vec(1u64..200, 0..10),
+        check_offsets in proptest::collection::vec(1u64..600, 1..20),
+    ) {
+        let mut s = SoftStateStore::new(StoreId(1));
+        s.define_type("t", "");
+        // refresh_every 10 s, 2 misses → deadline = last write + 30 s.
+        s.create_var("x", "t", "v", SimDuration::from_secs(10), 2, SimTime::ZERO).expect("fresh");
+
+        let mut now = SimTime::ZERO;
+        for gap in refresh_gaps {
+            now = now + SimDuration::from_secs(gap);
+            s.refresh("x", now).expect("exists");
+        }
+        let last_refresh = now;
+
+        let mut checks: Vec<SimTime> = check_offsets
+            .iter()
+            .map(|&o| last_refresh + SimDuration::from_secs(o))
+            .collect();
+        checks.sort();
+        let mut timeout_events = 0;
+        for at in checks {
+            for ev in s.check_timeouts(at) {
+                let is_timeout = matches!(ev, SssEvent::TimedOut { .. });
+                prop_assert!(is_timeout);
+                timeout_events += 1;
+                // A timeout may only be reported after the deadline.
+                prop_assert!(at >= last_refresh + SimDuration::from_secs(30));
+            }
+        }
+        prop_assert!(timeout_events <= 1, "timed out {timeout_events} times");
+    }
+}
