@@ -1,0 +1,33 @@
+# Offline CI for the SIMBA workspace. No network: all dependencies are
+# vendored path crates, so every target below runs from a cold checkout.
+#
+#   make ci     — everything a PR must pass
+#   make build  — release build of the whole workspace
+#   make test   — tier-1 tests (root package: facade + integration tests)
+#   make test-all — every workspace member's tests
+#   make doc    — rustdoc for all workspace crates (no deps)
+#   make lint   — clippy, warnings as errors
+
+CARGO ?= cargo
+
+.PHONY: ci build test test-all doc lint clean
+
+ci: build test doc lint
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+test-all:
+	$(CARGO) test --workspace -q
+
+doc:
+	$(CARGO) doc --no-deps
+
+lint:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+clean:
+	$(CARGO) clean

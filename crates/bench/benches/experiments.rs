@@ -54,7 +54,7 @@ fn bench_e3_chain(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            home.trigger_sensor("remote", i % 2 == 0, SimTime::from_secs(i * 60), &mut rng)
+            home.trigger_sensor("remote", i.is_multiple_of(2), SimTime::from_secs(i * 60), &mut rng)
         });
     });
     group.finish();
@@ -93,7 +93,7 @@ fn bench_e4_wish(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let pos = if i % 2 == 0 { Point { x: 5.0, y: 1.0 } } else { Point { x: 295.0, y: 1.0 } };
+            let pos = if i.is_multiple_of(2) { Point { x: 5.0, y: 1.0 } } else { Point { x: 295.0, y: 1.0 } };
             let m = client
                 .measure(pos, &aps, &model, "active", SimTime::from_secs(i * 30), &mut rng)
                 .expect("in range");
@@ -125,7 +125,7 @@ fn bench_a1_trials(c: &mut Criterion) {
         Strategy::aladdin_blind(),
         Strategy::simba_default(),
     ] {
-        group.bench_function(format!("a1_trial_{}", strategy.label()), |b| {
+        group.bench_function(&format!("a1_trial_{}", strategy.label()), |b| {
             let mut rng = SimRng::new(5);
             b.iter(|| run_trial(&setup, strategy, SimTime::from_secs(60), &mut rng));
         });

@@ -49,7 +49,7 @@ fn run_point(seed: u64, period: SimDuration) -> A5Point {
     let mut pops = Vec::new();
     let mut t = SimTime::ZERO;
     loop {
-        t = t + SimDuration::from_secs_f64(rng.exponential(DIALOG_MTBF_HOURS as f64 * 3_600.0));
+        t += SimDuration::from_secs_f64(rng.exponential(DIALOG_MTBF_HOURS as f64 * 3_600.0));
         if t >= horizon {
             break;
         }
@@ -79,7 +79,7 @@ fn run_point(seed: u64, period: SimDuration) -> A5Point {
             }
         }
         scans += 1;
-        scan_at = scan_at + period;
+        scan_at += period;
     }
     // Latency accounting: each pop is dismissed at the first scan tick at
     // or after it.

@@ -52,7 +52,7 @@ fn run_point(seed: u64, interval: SimDuration) -> A6Point {
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
         loop {
-            t = t + SimDuration::from_secs_f64(rng.exponential(mtbf_secs));
+            t += SimDuration::from_secs_f64(rng.exponential(mtbf_secs));
             if t >= horizon {
                 return out;
             }
@@ -110,7 +110,7 @@ fn run_point(seed: u64, interval: SimDuration) -> A6Point {
             outage.observe(episode.as_secs_f64());
             logged_out_total += episode;
         }
-        tick = tick + interval;
+        tick += interval;
     }
 
     A6Point {

@@ -37,7 +37,7 @@ use simba_net::loss::LossModel;
 use simba_net::outage::OutageSchedule;
 use simba_net::presence::{HumanModel, PresenceTimeline, UserContext};
 use simba_net::sms::{PhoneState, SmsGateway, SmsNumber, SmsTransit};
-use simba_sim::{Ctx, Engine, MetricSet, SimDuration, SimRng, SimTime};
+use simba_sim::{Ctx, Engine, MetricSet, ObserveDurationNamed, SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
 
 /// Fixed identities used by the standard pipeline.
@@ -1334,7 +1334,6 @@ mod tests {
             crash_mtbf: None,
             known_dialog_mtbf: Some(SimDuration::from_hours(12)),
             unknown_dialog_mtbf: None,
-            ..ClientFaultModel::none()
         });
         let mut engine = build(options);
         for i in 0..30u64 {

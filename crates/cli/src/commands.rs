@@ -183,7 +183,7 @@ pub fn explain_cascade(
                 DeliveryCommand::StartTimer { timer, after } => {
                     // Fast-forward: if the process is still waiting when the
                     // window expires, the timer drives the fallback.
-                    now = now + after;
+                    now += after;
                     let _ = writeln!(out, "  [{now}] ack window of {after} expires");
                     next.extend(process.handle(DeliveryEvent::TimerFired { timer }, book, now));
                 }
@@ -312,6 +312,195 @@ fn demo_pipeline(seed: u64, alerts: u64) -> String {
         }
     }
     out
+}
+
+/// `telemetry demo|tail [...]` — inspect the telemetry spine.
+pub fn telemetry(args: &[String]) -> Outcome {
+    let Some(which) = args.first() else {
+        return Outcome::usage("telemetry takes an action (demo or tail)");
+    };
+    match which.as_str() {
+        "demo" => {
+            let mut seed = 42u64;
+            let mut alerts = 10u64;
+            let mut json = false;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => seed = v,
+                        None => return Outcome::usage("--seed needs a number"),
+                    },
+                    "--alerts" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => alerts = v,
+                        None => return Outcome::usage("--alerts needs a number"),
+                    },
+                    "--json" => json = true,
+                    other => return Outcome::usage(&format!("unknown flag {other:?}")),
+                }
+            }
+            Outcome::ok(telemetry_demo(seed, alerts, json))
+        }
+        "tail" => {
+            let [_, path] = args else {
+                return Outcome::usage("telemetry tail takes a .jsonl file");
+            };
+            telemetry_tail(path)
+        }
+        other => Outcome::usage(&format!("unknown telemetry action {other:?}")),
+    }
+}
+
+fn telemetry_demo(seed: u64, alerts: u64, json: bool) -> String {
+    use simba_core::delivery::{DeliveryEvent, SendFailure};
+    use simba_core::mab::{MabEvent, MyAlertBuddy};
+    use simba_core::wal::InMemoryWal;
+    use simba_core::{
+        Address, AddressBook, Classifier, CommType, DeliveryCommand, DeliveryMode,
+        IncomingAlert, KeywordField, MabCommand, MabConfig, RejuvenationPolicy,
+        SubscriptionRegistry, Telemetry, UserId,
+    };
+    use simba_sim::{SimDuration, SimRng};
+    use simba_telemetry::RingBufferSink;
+    use std::sync::Arc;
+
+    // One subscriber, IM with a 60 s ack window falling back to email —
+    // the paper's canonical urgent-alert mode.
+    let mut classifier = Classifier::new();
+    classifier.accept_source("aladdin-gw", KeywordField::Body, "demo");
+    classifier.map_keyword("Sensor", "Home.Security");
+    let mut registry = SubscriptionRegistry::new();
+    let alice = UserId::new("alice");
+    let profile = registry.register_user(alice.clone());
+    let mut book = AddressBook::new();
+    book.add(Address::new("IM", CommType::Im, "im:alice")).unwrap();
+    book.add(Address::new("EM", CommType::Email, "alice@work")).unwrap();
+    profile.address_book = book;
+    profile.define_mode(DeliveryMode::im_then_email(
+        "Urgent",
+        "IM",
+        "EM",
+        SimDuration::from_secs(60),
+    ));
+    registry.subscribe("Home.Security", alice, "Urgent").unwrap();
+    let config = MabConfig {
+        classifier,
+        registry,
+        rejuvenation: RejuvenationPolicy::default(),
+    };
+
+    let sink = Arc::new(RingBufferSink::new(4_096));
+    let telemetry = Telemetry::with_sink(sink.clone());
+    let mut mab = MyAlertBuddy::new(config, InMemoryWal::new(), SimTime::ZERO)
+        .with_telemetry(telemetry.clone());
+    let mut rng = SimRng::new(seed);
+
+    let first_send = |cmds: &[MabCommand]| {
+        cmds.iter().find_map(|c| match c {
+            MabCommand::Channel {
+                delivery,
+                command: DeliveryCommand::Send { attempt, .. },
+                ..
+            } => Some((*delivery, *attempt)),
+            _ => None,
+        })
+    };
+
+    for i in 0..alerts {
+        let at = SimTime::from_secs(30 + i * 60);
+        let alert =
+            IncomingAlert::from_im("aladdin-gw", format!("Basement Sensor demo {i} ON"), at);
+        let cmds = mab.handle(MabEvent::AlertByIm(alert), at);
+        let Some((id, attempt)) = first_send(&cmds) else {
+            continue;
+        };
+        if i % 5 == 4 {
+            // Every fifth alert the IM send fails synchronously, driving
+            // the fallback ladder into the email block.
+            let failed_at = at + SimDuration::from_secs(1);
+            let cmds = mab.handle(
+                MabEvent::Delivery {
+                    id,
+                    event: DeliveryEvent::SendFailed {
+                        attempt,
+                        failure: SendFailure::ChannelDown,
+                    },
+                },
+                failed_at,
+            );
+            if let Some((id2, attempt2)) = first_send(&cmds) {
+                mab.handle(
+                    MabEvent::Delivery {
+                        id: id2,
+                        event: DeliveryEvent::SendAccepted { attempt: attempt2 },
+                    },
+                    failed_at + SimDuration::from_secs(2),
+                );
+            }
+        } else {
+            let accepted_at = at + SimDuration::from_secs(1);
+            mab.handle(
+                MabEvent::Delivery { id, event: DeliveryEvent::SendAccepted { attempt } },
+                accepted_at,
+            );
+            let ack_lag = SimDuration::from_secs(rng.range(2, 45));
+            mab.handle(
+                MabEvent::Delivery { id, event: DeliveryEvent::Acked { attempt } },
+                accepted_at + ack_lag,
+            );
+        }
+    }
+
+    let events = sink.events();
+    let snapshot = telemetry.metrics().snapshot();
+    let mut out = String::new();
+    if json {
+        for e in &events {
+            let _ = writeln!(out, "{}", e.to_json_line());
+        }
+        out.push_str(&snapshot.to_json());
+        out.push('\n');
+    } else {
+        let _ = writeln!(
+            out,
+            "telemetry demo: {alerts} alerts, seed {seed}, {} events",
+            events.len()
+        );
+        for e in &events {
+            let _ = writeln!(out, "{}", e);
+        }
+        out.push('\n');
+        out.push_str(&snapshot.render_text());
+    }
+    out
+}
+
+fn telemetry_tail(path: &str) -> Outcome {
+    use simba_telemetry::Event;
+    let content = match read_file(path) {
+        Ok(c) => c,
+        Err(o) => return o,
+    };
+    let mut out = String::new();
+    let mut parsed = 0u64;
+    let mut bad = 0u64;
+    for (lineno, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::from_json_line(line) {
+            Ok(e) => {
+                parsed += 1;
+                let _ = writeln!(out, "{}", e);
+            }
+            Err(e) => {
+                bad += 1;
+                let _ = writeln!(out, "line {}: unparseable event: {e}", lineno + 1);
+            }
+        }
+    }
+    let _ = writeln!(out, "{parsed} event(s), {bad} unparseable line(s)");
+    Outcome::ok(out)
 }
 
 fn demo_faultlog(seed: u64, fixes: bool) -> String {
@@ -463,6 +652,54 @@ mod tests {
         assert_eq!(demo(&strings(&["pipeline", "--seed", "NaN"])).code, 2);
         assert_eq!(demo(&strings(&["nonsense"])).code, 2);
         assert_eq!(demo(&strings(&[])).code, 2);
+    }
+
+    #[test]
+    fn telemetry_demo_prints_events_and_metrics() {
+        let out = telemetry(&strings(&["demo", "--seed", "7", "--alerts", "6"]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("mab.received"), "{}", out.output);
+        assert!(out.output.contains("wal.append"), "{}", out.output);
+        assert!(out.output.contains("delivery.acked"), "{}", out.output);
+        // Alert 4 (i % 5 == 4) drives the fallback ladder.
+        assert!(out.output.contains("delivery.send_failed"), "{}", out.output);
+
+        // Same seed ⇒ byte-identical output (the determinism invariant).
+        let again = telemetry(&strings(&["demo", "--seed", "7", "--alerts", "6"]));
+        assert_eq!(out.output, again.output);
+
+        assert_eq!(telemetry(&strings(&["demo", "--seed", "NaN"])).code, 2);
+        assert_eq!(telemetry(&strings(&["nonsense"])).code, 2);
+        assert_eq!(telemetry(&strings(&[])).code, 2);
+    }
+
+    #[test]
+    fn telemetry_demo_json_round_trips_through_tail() {
+        let out = telemetry(&strings(&["demo", "--seed", "3", "--alerts", "4", "--json"]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        // Every line up to the final metrics object is a parseable event.
+        let lines: Vec<&str> = out.output.lines().collect();
+        let (events, metrics) = lines.split_at(lines.len() - 1);
+        assert!(!events.is_empty());
+        for line in events {
+            simba_telemetry::Event::from_json_line(line).unwrap();
+        }
+        assert!(metrics[0].starts_with('{'), "{}", metrics[0]);
+
+        let path = tmp("events.jsonl", &events.join("\n"));
+        let tailed = telemetry(&strings(&["tail", &path]));
+        assert_eq!(tailed.code, 0, "{}", tailed.output);
+        assert!(
+            tailed.output.contains(&format!("{} event(s), 0 unparseable", events.len())),
+            "{}",
+            tailed.output
+        );
+        assert!(tailed.output.contains("mab.routed"), "{}", tailed.output);
+
+        let bad = tmp("bad.jsonl", "not json\n");
+        let tailed = telemetry(&strings(&["tail", &bad]));
+        assert!(tailed.output.contains("1 unparseable"), "{}", tailed.output);
+        assert_eq!(telemetry(&strings(&["tail"])).code, 2);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * `wal inspect <file>` — print a pessimistic log's records (tolerating
 //!   a torn tail, as a restarting MyAlertBuddy would);
 //! * `demo pipeline|faultlog` — run the simulated deployment and print the
-//!   summary tables.
+//!   summary tables;
+//! * `telemetry demo|tail` — run an instrumented pipeline and print its
+//!   structured event stream and metrics snapshot, or pretty-print a
+//!   JSON-lines event file captured elsewhere.
 //!
 //! All command logic lives here (testable); `main.rs` is a thin shim.
 
@@ -61,6 +64,8 @@ USAGE:
   simba-cli wal inspect <file.wal>
   simba-cli demo pipeline  [--seed <n>] [--alerts <n>]
   simba-cli demo faultlog  [--seed <n>] [--fixes]
+  simba-cli telemetry demo [--seed <n>] [--alerts <n>] [--json]
+  simba-cli telemetry tail <file.jsonl>
   simba-cli help
 
 `explain` fires the delivery mode against the address book and reports the
@@ -79,6 +84,7 @@ pub fn run(args: &[String]) -> Outcome {
         Some("explain") => commands::explain(&args[1..]),
         Some("wal") => commands::wal(&args[1..]),
         Some("demo") => commands::demo(&args[1..]),
+        Some("telemetry") => commands::telemetry(&args[1..]),
         Some(other) => Outcome::usage(&format!("unknown command {other:?}")),
     }
 }

@@ -11,6 +11,7 @@ use crate::manager::{ManagerCore, SanityReport};
 use crate::process::ClientProcess;
 use simba_net::email::{Email, EmailAddr, EmailService, EmailTransit};
 use simba_sim::SimTime;
+use simba_telemetry::Telemetry;
 
 /// The Communication Manager for the email channel.
 #[derive(Debug)]
@@ -38,6 +39,14 @@ impl EmailManager {
             identity,
             unread: Vec::new(),
         }
+    }
+
+    /// Records sanity checks, anomalies, repairs, and restarts through
+    /// `telemetry` under the `client.*` namespace.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.core.set_telemetry(telemetry);
+        self
     }
 
     /// This manager's email identity.

@@ -105,7 +105,7 @@ impl ClientFaultModel {
         ] {
             if let Some(mtbf) = mtbf {
                 let d = SimDuration::from_secs_f64(rng.exponential(mtbf.as_secs_f64()));
-                if best.map_or(true, |(bd, _)| d < bd) {
+                if best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, kind));
                 }
             }

@@ -11,6 +11,7 @@ use crate::manager::{Anomaly, ManagerCore, RepairAction, SanityReport};
 use crate::process::ClientProcess;
 use simba_net::im::{ImHandle, ImSendError, ImService, Transit};
 use simba_sim::SimTime;
+use simba_telemetry::Telemetry;
 
 /// Why an IM send through the manager failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +57,14 @@ impl ImManager {
         }
     }
 
+    /// Records sanity checks, anomalies, repairs, and restarts through
+    /// `telemetry` under the `client.*` namespace.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.core.set_telemetry(telemetry);
+        self
+    }
+
     /// This manager's IM identity.
     pub fn identity(&self) -> &ImHandle {
         &self.identity
@@ -90,8 +99,26 @@ impl ImManager {
     /// dialogs, memory) then the IM-specific logged-on / can-launch-session
     /// checks, repairing what it can.
     pub fn sanity_check(&mut self, service: &mut ImService, now: SimTime) -> SanityReport {
-        let mut report = self.core.base_sanity_check(now);
+        let report = self.core.base_sanity_check(now);
+        let base_anomalies = report.anomalies.len();
+        let base_repairs = report.repairs.len();
+        let report = self.app_checks(report, service, now);
+        // The base pass recorded its own findings; record only the
+        // IM-specific delta (re-logons, service probes).
+        let delta = SanityReport {
+            anomalies: report.anomalies[base_anomalies..].to_vec(),
+            repairs: report.repairs[base_repairs..].to_vec(),
+        };
+        self.core.note_sanity_report(&delta, now);
+        report
+    }
 
+    fn app_checks(
+        &mut self,
+        mut report: SanityReport,
+        service: &mut ImService,
+        now: SimTime,
+    ) -> SanityReport {
         // A client restart tears down its server connection: the service
         // session is gone, so the logged-on check below must re-logon.
         if report.repairs.contains(&RepairAction::Restart) {
@@ -330,6 +357,37 @@ mod tests {
         assert!(mgr.presence(&mut svc, &peer, t(1)).unwrap());
         svc.logoff(&peer, t(1));
         assert!(!mgr.presence(&mut svc, &peer, t(2)).unwrap());
+    }
+
+    #[test]
+    fn relogon_repair_is_recorded_as_delta_only() {
+        use simba_telemetry::{RingBufferSink, Value};
+        use std::sync::Arc;
+
+        let mut svc = service();
+        let me = ImHandle::new("mab");
+        svc.register(me.clone());
+        let sink = Arc::new(RingBufferSink::new(32));
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let mut mgr = ImManager::new(me).with_telemetry(telemetry.clone());
+        mgr.start(&mut svc, t(0)).unwrap();
+
+        svc.force_logout(mgr.identity());
+        let report = mgr.sanity_check(&mut svc, t(2));
+        assert_eq!(report.repairs, vec![RepairAction::ReLogon]);
+
+        let snap = telemetry.metrics().snapshot();
+        // One pass, one anomaly (logged_out), one re-logon — nothing
+        // double-counted between the base pass and the IM delta.
+        assert_eq!(snap.counter("client.sanity_checks"), 1);
+        assert_eq!(snap.counter("client.anomalies"), 1);
+        assert_eq!(snap.counter("client.re_logons"), 1);
+        assert_eq!(snap.counter("client.restarts"), 0);
+
+        let events = sink.events();
+        let anomaly = events.iter().find(|e| e.name == "client.anomaly").unwrap();
+        assert_eq!(anomaly.field("kind"), Some(&Value::Str("logged_out".into())));
+        assert_eq!(anomaly.time_ms, 2_000);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::dialogs::{DialogBox, DialogRegistry};
 use crate::process::{AutomationPointer, ClientProcess, ProcessStatus};
 use simba_sim::SimTime;
+use simba_telemetry::{Event, Telemetry};
 
 /// An anomaly discovered by a sanity check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +41,21 @@ pub enum Anomaly {
     ),
 }
 
+impl Anomaly {
+    /// Stable snake_case tag for telemetry (`client.anomaly` events).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Anomaly::ProcessDown => "process_down",
+            Anomaly::ProcessHung => "process_hung",
+            Anomaly::StalePointer => "stale_pointer",
+            Anomaly::LoggedOut => "logged_out",
+            Anomaly::ServiceUnavailable => "service_unavailable",
+            Anomaly::UnhandledDialog(_) => "unhandled_dialog",
+            Anomaly::MemoryBloat(_) => "memory_bloat",
+        }
+    }
+}
+
 /// What the manager did about an anomaly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RepairAction {
@@ -58,6 +74,18 @@ pub enum RepairAction {
     },
     /// Nothing could be done at this layer (escalate to rejuvenation/MDC).
     Unrepairable(Anomaly),
+}
+
+impl RepairAction {
+    /// Stable snake_case tag for telemetry (`client.sanity_check` events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RepairAction::ReLogon => "re_logon",
+            RepairAction::Restart => "restart",
+            RepairAction::DialogDismissed { .. } => "dialog_dismissed",
+            RepairAction::Unrepairable(_) => "unrepairable",
+        }
+    }
 }
 
 /// The outcome of one sanity-check pass.
@@ -89,6 +117,7 @@ pub struct ManagerCore {
     registry: DialogRegistry,
     /// Restart the client when resident memory exceeds this many KB.
     pub memory_limit_kb: u64,
+    telemetry: Telemetry,
 }
 
 impl ManagerCore {
@@ -100,7 +129,23 @@ impl ManagerCore {
             pointer: None,
             registry: DialogRegistry::system_generic(),
             memory_limit_kb,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Records sanity checks, anomalies, repairs, and restarts through
+    /// `telemetry` under the `client.*` namespace; events are tagged with
+    /// the managed process name.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// In-place variant of [`ManagerCore::with_telemetry`] for embedding
+    /// managers that construct their core internally.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The managed process.
@@ -143,6 +188,13 @@ impl ManagerCore {
     pub fn shutdown_restart(&mut self, now: SimTime) {
         self.process.kill();
         self.pointer = Some(self.process.start(now));
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("client.restarts").incr();
+            self.telemetry.emit(
+                Event::new("client.restart", now.as_millis())
+                    .with("client", self.process.name()),
+            );
+        }
     }
 
     /// The monkey thread's scan: dismiss every dialog a rule matches.
@@ -194,7 +246,7 @@ impl ManagerCore {
                 report.repairs.push(RepairAction::Restart);
             }
             ProcessStatus::Running => {
-                let stale = self.pointer.map_or(true, |p| !self.process.pointer_valid(p));
+                let stale = self.pointer.is_none_or(|p| !self.process.pointer_valid(p));
                 if stale {
                     report.anomalies.push(Anomaly::StalePointer);
                     self.shutdown_restart(now);
@@ -223,7 +275,57 @@ impl ManagerCore {
                     .push(RepairAction::Unrepairable(Anomaly::UnhandledDialog(caption)));
             }
         }
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("client.sanity_checks").incr();
+            self.telemetry.emit(
+                Event::new("client.sanity_check", now.as_millis())
+                    .with("client", self.process.name())
+                    .with("anomalies", report.anomalies.len())
+                    .with("repairs", report.repairs.len())
+                    .with("healthy", report.healthy()),
+            );
+        }
+        self.note_sanity_report(&report, now);
         report
+    }
+
+    /// Records the anomalies and repairs of a (possibly partial) sanity
+    /// report: a `client.anomaly` event per finding and a
+    /// `client.dialog_dismissed` event per monkey-thread click. Called from
+    /// [`ManagerCore::base_sanity_check`]; concrete managers that extend the
+    /// report (re-logons, service checks) call it again with only the delta.
+    pub fn note_sanity_report(&self, report: &SanityReport, now: SimTime) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        for anomaly in &report.anomalies {
+            self.telemetry.metrics().counter("client.anomalies").incr();
+            self.telemetry.emit(
+                Event::new("client.anomaly", now.as_millis())
+                    .with("client", self.process.name())
+                    .with("kind", anomaly.kind()),
+            );
+        }
+        for repair in &report.repairs {
+            match repair {
+                RepairAction::DialogDismissed { caption, button } => {
+                    self.telemetry.metrics().counter("client.dialogs_dismissed").incr();
+                    self.telemetry.emit(
+                        Event::new("client.dialog_dismissed", now.as_millis())
+                            .with("client", self.process.name())
+                            .with("caption", caption.as_str())
+                            .with("button", button.as_str()),
+                    );
+                }
+                RepairAction::Unrepairable(_) => {
+                    self.telemetry.metrics().counter("client.unrepairable").incr();
+                }
+                RepairAction::ReLogon => {
+                    self.telemetry.metrics().counter("client.re_logons").incr();
+                }
+                RepairAction::Restart => {}
+            }
+        }
     }
 
     /// Runs one automation operation through the process gate, surfacing
@@ -362,5 +464,61 @@ mod tests {
     fn automation_op_without_start_fails() {
         let mut m = core();
         assert!(m.automation_op().is_err());
+    }
+
+    #[test]
+    fn telemetry_records_restart_and_dialog_repairs() {
+        use simba_telemetry::RingBufferSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(RingBufferSink::new(64));
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let mut m = core().with_telemetry(telemetry.clone());
+        m.ensure_started(t(0));
+
+        m.register_dialog_rule("Sign-in failed", "OK");
+        m.process_mut()
+            .inject_dialog(DialogBox::blocking("Sign-in failed", "OK", t(1)));
+        m.base_sanity_check(t(2));
+
+        m.process_mut().inject_crash();
+        m.base_sanity_check(t(5));
+
+        m.process_mut()
+            .inject_dialog(DialogBox::blocking("Mystery", "Abort", t(6)));
+        m.base_sanity_check(t(7));
+
+        let snap = telemetry.metrics().snapshot();
+        assert_eq!(snap.counter("client.sanity_checks"), 3);
+        assert_eq!(snap.counter("client.dialogs_dismissed"), 1);
+        assert_eq!(snap.counter("client.restarts"), 1);
+        assert_eq!(snap.counter("client.anomalies"), 2); // crash + stuck dialog
+        assert_eq!(snap.counter("client.unrepairable"), 1);
+
+        use simba_telemetry::Value;
+        let events = sink.events();
+        let dismissed = events
+            .iter()
+            .find(|e| e.name == "client.dialog_dismissed")
+            .unwrap();
+        assert_eq!(
+            dismissed.field("caption"),
+            Some(&Value::Str("Sign-in failed".into()))
+        );
+        let restart = events.iter().find(|e| e.name == "client.restart").unwrap();
+        assert_eq!(restart.time_ms, 5_000);
+        assert_eq!(restart.field("client"), Some(&Value::Str("im-client".into())));
+        let anomaly_kinds: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "client.anomaly")
+            .map(|e| e.field("kind").cloned())
+            .collect();
+        assert_eq!(
+            anomaly_kinds,
+            vec![
+                Some(Value::Str("process_down".into())),
+                Some(Value::Str("unhandled_dialog".into()))
+            ]
+        );
     }
 }

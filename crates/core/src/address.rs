@@ -250,7 +250,7 @@ impl AddressBook {
                 .ok_or_else(|| AddressBookError::Structure("<Address> missing value".into()))?;
             let comm_type = CommType::from_token(ty)
                 .ok_or_else(|| AddressBookError::UnknownCommType(ty.to_string()))?;
-            let enabled = el.attr("enabled").map_or(true, |v| v == "true");
+            let enabled = el.attr("enabled").is_none_or(|v| v == "true");
             book.add(Address {
                 friendly_name: name.to_string(),
                 comm_type,

@@ -29,7 +29,7 @@ pub enum KeywordField {
 }
 
 impl KeywordField {
-    fn extract<'a>(self, alert: &'a IncomingAlert) -> &'a str {
+    fn extract(self, alert: &IncomingAlert) -> &str {
         match self {
             KeywordField::SenderName => &alert.sender_name,
             KeywordField::Subject => &alert.subject,

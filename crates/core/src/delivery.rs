@@ -21,6 +21,7 @@ use crate::address::{AddressBook, CommType};
 use crate::alert::{Alert, AlertId};
 use crate::mode::{AckPolicy, DeliveryMode};
 use simba_sim::{SimDuration, SimTime};
+use simba_telemetry::{Event, Telemetry};
 
 /// Identifies one send attempt within a delivery process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -194,12 +195,26 @@ pub struct DeliveryProcess {
     next_attempt: u64,
     next_timer: u64,
     started_at: SimTime,
+    telemetry: Telemetry,
 }
 
 impl DeliveryProcess {
     /// Creates the process and fires the first block. Returns the process
     /// plus the initial commands.
     pub fn start(alert: Alert, mode: DeliveryMode, book: &AddressBook, now: SimTime) -> (Self, Vec<DeliveryCommand>) {
+        DeliveryProcess::start_observed(alert, mode, book, now, Telemetry::disabled())
+    }
+
+    /// Like [`DeliveryProcess::start`], but emitting `delivery.*` telemetry
+    /// events (block entries/skips, fallbacks, terminal outcomes) through
+    /// `telemetry` as the state machine runs.
+    pub fn start_observed(
+        alert: Alert,
+        mode: DeliveryMode,
+        book: &AddressBook,
+        now: SimTime,
+        telemetry: Telemetry,
+    ) -> (Self, Vec<DeliveryCommand>) {
         let mut p = DeliveryProcess {
             alert,
             mode,
@@ -213,10 +228,16 @@ impl DeliveryProcess {
             next_attempt: 0,
             next_timer: 0,
             started_at: now,
+            telemetry,
         };
         let mut cmds = Vec::new();
         p.enter_block(0, book, now, &mut cmds);
         (p, cmds)
+    }
+
+    /// A `delivery.*` event pre-tagged with this process's alert id.
+    fn event(&self, name: &str, now: SimTime) -> Event {
+        Event::new(name, now.as_millis()).with("alert", self.alert.id.0)
     }
 
     /// The alert being delivered.
@@ -262,6 +283,7 @@ impl DeliveryProcess {
                         rec.outcome = AttemptOutcome::Acked(now);
                         let block = rec.block;
                         self.status = DeliveryStatus::Acked { attempt, at: now, block };
+                        self.note_acked(block, now, true);
                     }
                 }
             }
@@ -283,6 +305,14 @@ impl DeliveryProcess {
                 if let Some(rec) = self.record_mut(attempt) {
                     rec.outcome = AttemptOutcome::Failed(failure);
                 }
+                if self.telemetry.enabled() {
+                    self.telemetry.metrics().counter("delivery.send_failures").incr();
+                    self.telemetry.emit(
+                        self.event("delivery.send_failed", now)
+                            .with("attempt", attempt.0)
+                            .with("failure", failure.to_string()),
+                    );
+                }
                 if self.current.contains(&attempt) {
                     self.current_failed += 1;
                     self.check_block_progress(book, now, &mut cmds);
@@ -293,11 +323,18 @@ impl DeliveryProcess {
                     rec.outcome = AttemptOutcome::Acked(now);
                     let block = rec.block;
                     self.status = DeliveryStatus::Acked { attempt, at: now, block };
+                    self.note_acked(block, now, false);
                 }
             }
             DeliveryEvent::TimerFired { timer } => {
                 if self.current_timer == Some(timer) {
                     // Ack window expired: fall back.
+                    if self.telemetry.enabled() {
+                        self.telemetry.metrics().counter("delivery.ack_timeouts").incr();
+                        self.telemetry.emit(
+                            self.event("delivery.ack_timeout", now).with("block", self.block_idx),
+                        );
+                    }
                     self.advance(book, now, &mut cmds);
                 }
             }
@@ -307,6 +344,26 @@ impl DeliveryProcess {
 
     fn record_mut(&mut self, attempt: AttemptId) -> Option<&mut AttemptRecord> {
         self.attempts.iter_mut().find(|r| r.attempt == attempt)
+    }
+
+    /// Records a confirmed delivery: end-to-end ack latency histogram plus
+    /// a `delivery.acked` event (`late` marks acks that arrived after the
+    /// process had already concluded with a fallback outcome).
+    fn note_acked(&self, block: usize, now: SimTime, late: bool) {
+        if self.telemetry.enabled() {
+            let latency_ms = now.since(self.started_at).as_millis();
+            self.telemetry.metrics().counter("delivery.acked").incr();
+            self.telemetry
+                .metrics()
+                .histogram("delivery.ack_latency_ms")
+                .observe_ms(latency_ms);
+            self.telemetry.emit(
+                self.event("delivery.acked", now)
+                    .with("block", block)
+                    .with("latency_ms", latency_ms)
+                    .with("late", late),
+            );
+        }
     }
 
     /// After an accept/fail in the current block, decide whether the block
@@ -323,6 +380,12 @@ impl DeliveryProcess {
             self.advance(book, now, cmds);
         } else if !ack_required && resolved == issued && self.current_accepted > 0 {
             self.status = DeliveryStatus::Unconfirmed { at: now, block: self.block_idx };
+            if self.telemetry.enabled() {
+                self.telemetry.metrics().counter("delivery.unconfirmed").incr();
+                self.telemetry.emit(
+                    self.event("delivery.unconfirmed", now).with("block", self.block_idx),
+                );
+            }
         }
         // ack_required with ≥1 accepted: wait for Acked or TimerFired.
     }
@@ -343,6 +406,10 @@ impl DeliveryProcess {
         loop {
             let Some(block) = self.mode.blocks().get(idx) else {
                 self.status = DeliveryStatus::Exhausted { at: now };
+                if self.telemetry.enabled() {
+                    self.telemetry.metrics().counter("delivery.exhausted").incr();
+                    self.telemetry.emit(self.event("delivery.exhausted", now));
+                }
                 return;
             };
             self.block_idx = idx;
@@ -357,8 +424,23 @@ impl DeliveryProcess {
                 .collect();
             if enabled.is_empty() {
                 // Disabled/unknown block: automatic immediate fallback.
+                if self.telemetry.enabled() {
+                    self.telemetry.metrics().counter("delivery.blocks_skipped").incr();
+                    self.telemetry
+                        .emit(self.event("delivery.block_skipped", now).with("block", idx));
+                }
                 idx += 1;
                 continue;
+            }
+            if self.telemetry.enabled() {
+                self.telemetry.metrics().counter("delivery.blocks_entered").incr();
+                self.telemetry.metrics().counter("delivery.sends").add(enabled.len() as u64);
+                self.telemetry.emit(
+                    self.event("delivery.block_entered", now)
+                        .with("block", idx)
+                        .with("actions", enabled.len())
+                        .with("fallback", idx > 0),
+                );
             }
 
             for addr in enabled {

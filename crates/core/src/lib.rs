@@ -55,3 +55,7 @@ pub use profile_xml::{registry_from_xml, registry_to_xml, RegistryXmlError};
 pub use rejuvenate::{RejuvenationPolicy, RejuvenationTrigger};
 pub use subscription::{Subscription, SubscriptionRegistry, UserId};
 pub use wal::{FileWal, InMemoryWal, WalError, WalRecord, WriteAheadLog};
+
+// Components take a `Telemetry` via `with_telemetry(..)`; re-exported so
+// embedders don't need a direct `simba-telemetry` dependency.
+pub use simba_telemetry::Telemetry;

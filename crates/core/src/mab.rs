@@ -20,6 +20,7 @@ use crate::rejuvenate::{RejuvenationPolicy, RejuvenationTrigger};
 use crate::subscription::{SubscriptionRegistry, UserId};
 use crate::wal::{WalRecord, WriteAheadLog};
 use simba_sim::SimTime;
+use simba_telemetry::{Event, Telemetry};
 use std::collections::BTreeMap;
 
 /// Identifies one in-flight delivery inside MyAlertBuddy.
@@ -97,6 +98,18 @@ pub enum CrashPoint {
     AfterRouteBeforeMark,
 }
 
+impl CrashPoint {
+    /// Short stable name used in `mab.crashed` telemetry events.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::BeforeLog => "before_log",
+            CrashPoint::AfterLogBeforeAck => "after_log_before_ack",
+            CrashPoint::AfterAckBeforeRoute => "after_ack_before_route",
+            CrashPoint::AfterRouteBeforeMark => "after_route_before_mark",
+        }
+    }
+}
+
 /// Running totals for reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MabStats {
@@ -133,6 +146,7 @@ pub struct MyAlertBuddy<W> {
     crashed: bool,
     hung: bool,
     last_progress_at: SimTime,
+    telemetry: Telemetry,
 }
 
 impl<W: WriteAheadLog> MyAlertBuddy<W> {
@@ -151,7 +165,20 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
             crashed: false,
             hung: false,
             last_progress_at: now,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Routes events and metrics to `telemetry` (builder style).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Routes events and metrics to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration in force.
@@ -228,6 +255,12 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
     pub fn recover(&mut self, now: SimTime) -> Vec<MabCommand> {
         let mut cmds = Vec::new();
         let backlog: Vec<WalRecord> = self.wal.unprocessed();
+        if self.telemetry.enabled() && !backlog.is_empty() {
+            self.telemetry.metrics().counter("wal.replays").add(backlog.len() as u64);
+            self.telemetry.emit(
+                Event::new("wal.replayed", now.as_millis()).with("records", backlog.len()),
+            );
+        }
         for record in backlog {
             self.stats.replayed += 1;
             self.route_logged(record, now, &mut cmds);
@@ -249,10 +282,12 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
         match event {
             MabEvent::AlertByIm(alert) => {
                 self.stats.received_im += 1;
+                self.note_received("im", &alert, now);
                 self.ingest(alert, true, now, &mut cmds);
             }
             MabEvent::AlertByEmail(alert) => {
                 self.stats.received_email += 1;
+                self.note_received("email", &alert, now);
                 self.ingest(alert, false, now, &mut cmds);
             }
             MabEvent::Delivery { id, event } => {
@@ -277,10 +312,26 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
         cmds
     }
 
-    fn crash_if(&mut self, point: CrashPoint) -> bool {
+    fn note_received(&self, channel: &str, alert: &IncomingAlert, now: SimTime) {
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("mab.received").incr();
+            self.telemetry.emit(
+                Event::new("mab.received", now.as_millis())
+                    .with("channel", channel)
+                    .with("source", alert.source.as_str()),
+            );
+        }
+    }
+
+    fn crash_if(&mut self, point: CrashPoint, now: SimTime) -> bool {
         if self.crash_point == Some(point) {
             self.crash_point = None;
             self.crashed = true;
+            if self.telemetry.enabled() {
+                self.telemetry.metrics().counter("mab.crashes").incr();
+                self.telemetry
+                    .emit(Event::new("mab.crashed", now.as_millis()).with("point", point.name()));
+            }
             true
         } else {
             false
@@ -289,27 +340,49 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
 
     /// The §4.2.1 receive pipeline.
     fn ingest(&mut self, alert: IncomingAlert, ack: bool, now: SimTime, cmds: &mut Vec<MabCommand>) {
-        if self.crash_if(CrashPoint::BeforeLog) {
+        if self.crash_if(CrashPoint::BeforeLog, now) {
             return;
         }
         // (1) Pessimistic log, before anything observable.
         let Ok(wal_id) = self.wal.append(&alert, now) else {
             // Persistence failed: do not ack; the sender will fall back.
             self.crashed = true;
+            if self.telemetry.enabled() {
+                self.telemetry.metrics().counter("mab.crashes").incr();
+                self.telemetry.emit(
+                    Event::new("mab.crashed", now.as_millis()).with("point", "wal_append_failed"),
+                );
+            }
             return;
         };
-        if self.crash_if(CrashPoint::AfterLogBeforeAck) {
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("wal.appends").incr();
+            self.telemetry.emit(
+                Event::new("wal.append", now.as_millis())
+                    .with("wal_id", wal_id)
+                    .with("source", alert.source.as_str()),
+            );
+        }
+        if self.crash_if(CrashPoint::AfterLogBeforeAck, now) {
             return;
         }
         // (2) Acknowledge (IM channel only).
         if ack {
             self.stats.acked += 1;
+            if self.telemetry.enabled() {
+                self.telemetry.metrics().counter("mab.acked").incr();
+                self.telemetry.emit(
+                    Event::new("mab.ack", now.as_millis())
+                        .with("to", alert.source.as_str())
+                        .with("wal_id", wal_id),
+                );
+            }
             cmds.push(MabCommand::AckIm {
                 to: alert.source.clone(),
                 wal_id,
             });
         }
-        if self.crash_if(CrashPoint::AfterAckBeforeRoute) {
+        if self.crash_if(CrashPoint::AfterAckBeforeRoute, now) {
             return;
         }
         // (3..) Classify and route.
@@ -330,6 +403,14 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
         // keyword is not an alert.
         if let Some(trigger) = self.config.rejuvenation.remote_trigger(&alert.body) {
             self.stats.remote_commands += 1;
+            if self.telemetry.enabled() {
+                self.telemetry.metrics().counter("mab.remote_commands").incr();
+                self.telemetry.emit(
+                    Event::new("rejuvenate.triggered", now.as_millis())
+                        .with("trigger", "remote")
+                        .with("source", alert.source.as_str()),
+                );
+            }
             let _ = self.wal.mark_processed(record.id);
             cmds.push(MabCommand::Rejuvenate(trigger));
             return;
@@ -346,8 +427,27 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
                     .collect();
                 if subs.is_empty() {
                     self.stats.unsubscribed += 1;
+                    if self.telemetry.enabled() {
+                        self.telemetry.metrics().counter("mab.unsubscribed").incr();
+                        self.telemetry.emit(
+                            Event::new("mab.unsubscribed", now.as_millis())
+                                .with("category", category.as_str()),
+                        );
+                    }
                 } else {
                     self.stats.routed += 1;
+                    if self.telemetry.enabled() {
+                        self.telemetry.metrics().counter("mab.routed").incr();
+                        self.telemetry
+                            .metrics()
+                            .histogram("mab.route_lag_ms")
+                            .observe_ms(now.since(record.received_at).as_millis());
+                        self.telemetry.emit(
+                            Event::new("mab.routed", now.as_millis())
+                                .with("category", category.as_str())
+                                .with("fanout", subs.len()),
+                        );
+                    }
                 }
                 for (user, mode_name) in subs {
                     let Some(profile) = self.config.registry.user(&user) else {
@@ -366,15 +466,19 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
                         urgency: alert.urgency,
                     };
                     self.next_alert += 1;
-                    let (process, commands) = DeliveryProcess::start(
+                    let (process, commands) = DeliveryProcess::start_observed(
                         alert_out,
                         mode.clone(),
                         &profile.address_book,
                         now,
+                        self.telemetry.clone(),
                     );
                     let id = DeliveryId(self.next_delivery);
                     self.next_delivery += 1;
                     self.stats.deliveries_started += 1;
+                    if self.telemetry.enabled() {
+                        self.telemetry.metrics().counter("mab.deliveries_started").incr();
+                    }
                     for command in commands {
                         cmds.push(MabCommand::Channel {
                             delivery: id,
@@ -387,10 +491,17 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
             }
             Err(_) => {
                 self.stats.rejected += 1;
+                if self.telemetry.enabled() {
+                    self.telemetry.metrics().counter("mab.rejected").incr();
+                    self.telemetry.emit(
+                        Event::new("mab.rejected", now.as_millis())
+                            .with("source", alert.source.as_str()),
+                    );
+                }
             }
         }
 
-        if self.crash_if(CrashPoint::AfterRouteBeforeMark) {
+        if self.crash_if(CrashPoint::AfterRouteBeforeMark, now) {
             return;
         }
         // (4) Mark processed.

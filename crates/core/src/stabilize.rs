@@ -8,6 +8,7 @@
 //! APIs every minute, and unprocessed dialog boxes every 20 seconds.
 
 use simba_sim::{SimDuration, SimTime};
+use simba_telemetry::{Event, Telemetry};
 
 /// The three periodic check cadences (paper defaults in [`Default`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +80,18 @@ pub enum Violation {
     DeadThread,
 }
 
+impl Violation {
+    /// Short stable name used in `stabilize.violation` telemetry events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::StaleBacklog { .. } => "stale_backlog",
+            Violation::MemoryBloat(_) => "memory_bloat",
+            Violation::NoProgress(_) => "no_progress",
+            Violation::DeadThread => "dead_thread",
+        }
+    }
+}
+
 /// The correction the checker prescribes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Correction {
@@ -87,6 +100,16 @@ pub enum Correction {
     /// Gracefully terminate and let the MDC restart (rejuvenation): for
     /// violations "that cannot be rectified" in place.
     Rejuvenate,
+}
+
+impl Correction {
+    /// Short stable name used in telemetry events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Correction::ProcessBacklog => "process_backlog",
+            Correction::Rejuvenate => "rejuvenate",
+        }
+    }
 }
 
 /// Checks a snapshot against the configured invariants.
@@ -125,6 +148,33 @@ pub fn check_invariants(
         out.push((Violation::DeadThread, Correction::Rejuvenate));
     }
 
+    out
+}
+
+/// [`check_invariants`] plus telemetry: one `stabilize.check` event per
+/// sweep and one `stabilize.violation` event (and counter bump) per
+/// violated invariant.
+pub fn check_invariants_observed(
+    config: &StabilizationConfig,
+    snapshot: &HealthSnapshot,
+    now: SimTime,
+    telemetry: &Telemetry,
+) -> Vec<(Violation, Correction)> {
+    let out = check_invariants(config, snapshot, now);
+    if telemetry.enabled() {
+        telemetry.metrics().counter("stabilize.checks").incr();
+        telemetry.emit(
+            Event::new("stabilize.check", now.as_millis()).with("violations", out.len()),
+        );
+        for (violation, correction) in &out {
+            telemetry.metrics().counter("stabilize.violations").incr();
+            telemetry.emit(
+                Event::new("stabilize.violation", now.as_millis())
+                    .with("kind", violation.kind())
+                    .with("correction", correction.name()),
+            );
+        }
+    }
     out
 }
 

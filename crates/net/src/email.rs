@@ -10,7 +10,9 @@
 
 use crate::latency::LatencyModel;
 use crate::loss::LossModel;
+use crate::observe::ChannelScope;
 use simba_sim::{SimDuration, SimRng, SimTime};
+use simba_telemetry::Telemetry;
 use std::collections::BTreeMap;
 
 /// An email address.
@@ -78,6 +80,7 @@ pub struct EmailService {
     notify_loss: f64,
     next_id: u64,
     rng: SimRng,
+    scope: ChannelScope,
 }
 
 impl EmailService {
@@ -91,6 +94,7 @@ impl EmailService {
             notify_loss: 0.02,
             next_id: 0,
             rng,
+            scope: ChannelScope::disabled("email"),
         }
     }
 
@@ -112,6 +116,14 @@ impl EmailService {
     #[must_use]
     pub fn with_notify_loss(mut self, p: f64) -> Self {
         self.notify_loss = p;
+        self
+    }
+
+    /// Records sends, losses, and transit latency through `telemetry` under
+    /// the `net.email.*` namespace.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.scope = ChannelScope::new("email", telemetry);
         self
     }
 
@@ -140,6 +152,7 @@ impl EmailService {
         };
         let delay = self.latency.sample(&mut self.rng);
         let lost = self.loss.roll(&mut self.rng);
+        self.scope.sent(now, delay, lost);
         EmailTransit { message, delay, lost }
     }
 
@@ -151,6 +164,7 @@ impl EmailService {
             .entry(message.to.clone())
             .or_default()
             .push(message);
+        self.scope.delivered(true);
         !self.rng.chance(self.notify_loss)
     }
 

@@ -20,8 +20,10 @@
 
 use crate::latency::LatencyModel;
 use crate::loss::LossModel;
+use crate::observe::ChannelScope;
 use crate::outage::OutageSchedule;
 use simba_sim::{SimDuration, SimRng, SimTime};
+use simba_telemetry::Telemetry;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An IM account handle (e.g. `"mab-alice"`).
@@ -120,6 +122,7 @@ pub struct ImService {
     last_recovery_processed: Option<SimTime>,
     next_id: u64,
     rng: SimRng,
+    scope: ChannelScope,
 }
 
 impl ImService {
@@ -138,6 +141,7 @@ impl ImService {
             last_recovery_processed: None,
             next_id: 0,
             rng,
+            scope: ChannelScope::disabled("im"),
         }
     }
 
@@ -159,6 +163,14 @@ impl ImService {
     #[must_use]
     pub fn with_outages(mut self, outages: OutageSchedule) -> Self {
         self.outages = outages;
+        self
+    }
+
+    /// Records sends, rejections, losses, and transit latency through
+    /// `telemetry` under the `net.im.*` namespace.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.scope = ChannelScope::new("im", telemetry);
         self
     }
 
@@ -185,7 +197,7 @@ impl ImService {
             .iter()
             .filter(|&&(_, e)| e <= now)
             .map(|&(_, e)| e)
-            .last();
+            .next_back();
         if let Some(end) = ended {
             if self.last_recovery_processed != Some(end) {
                 self.last_recovery_processed = Some(end);
@@ -298,6 +310,25 @@ impl ImService {
         body: impl Into<String>,
         now: SimTime,
     ) -> Result<Transit, ImSendError> {
+        let result = self.send_inner(from, to, body.into(), now);
+        match &result {
+            Ok(transit) => self.scope.sent(now, transit.delay, transit.lost),
+            Err(e) => self.scope.rejected(
+                now,
+                &e.to_string(),
+                matches!(e, ImSendError::ServiceDown),
+            ),
+        }
+        result
+    }
+
+    fn send_inner(
+        &mut self,
+        from: &ImHandle,
+        to: &ImHandle,
+        body: String,
+        now: SimTime,
+    ) -> Result<Transit, ImSendError> {
         self.process_recovery(now);
         if !self.registered.contains(from) {
             return Err(ImSendError::UnknownSender);
@@ -326,7 +357,7 @@ impl ImService {
             from: from.clone(),
             to: to.clone(),
             seq: *seq,
-            body: body.into(),
+            body,
             sent_at: now,
         };
         let delay = self.latency.sample(&mut self.rng);
@@ -339,14 +370,15 @@ impl ImService {
     /// flight, the message is dropped (returns `false`).
     pub fn deliver(&mut self, message: ImMessage, now: SimTime) -> bool {
         self.process_recovery(now);
-        if !self.logged_on.contains(&message.to) || self.outages.is_down(now) {
-            return false;
+        let ok = self.logged_on.contains(&message.to) && !self.outages.is_down(now);
+        if ok {
+            self.inboxes
+                .entry(message.to.clone())
+                .or_default()
+                .push(message);
         }
-        self.inboxes
-            .entry(message.to.clone())
-            .or_default()
-            .push(message);
-        true
+        self.scope.delivered(ok);
+        ok
     }
 
     /// Drains and returns all messages waiting in `handle`'s inbox.

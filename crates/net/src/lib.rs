@@ -19,7 +19,9 @@
 //!
 //! Shared building blocks: [`latency`] (delay distributions), [`loss`]
 //! (drop processes including a Gilbert–Elliott burst model), and [`outage`]
-//! (service up/down schedules).
+//! (service up/down schedules). Each service optionally records per-channel
+//! sends, rejections, losses, and transit latency through an
+//! [`observe::ChannelScope`] (install one with `with_telemetry`).
 //!
 //! All types are pure state machines over virtual time: a `send` returns
 //! either a failure or a "deliver after `d`" instruction; the simulation
@@ -33,9 +35,11 @@ pub mod im;
 pub mod latency;
 pub mod loss;
 pub mod outage;
+pub mod observe;
 pub mod presence;
 pub mod sms;
 
 pub use latency::LatencyModel;
 pub use loss::LossModel;
+pub use observe::ChannelScope;
 pub use outage::OutageSchedule;

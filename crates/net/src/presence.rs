@@ -118,7 +118,7 @@ impl PresenceTimeline {
             };
             let dwell = SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()))
                 .max(SimDuration::from_secs(30));
-            t = t + dwell;
+            t += dwell;
             ctx = match ctx {
                 UserContext::AtDesk => {
                     if rng.chance(0.6) {

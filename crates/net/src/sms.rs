@@ -8,7 +8,9 @@
 
 use crate::latency::LatencyModel;
 use crate::loss::LossModel;
+use crate::observe::ChannelScope;
 use simba_sim::{SimDuration, SimRng, SimTime};
+use simba_telemetry::Telemetry;
 use std::collections::BTreeMap;
 
 /// A phone number addressable by SMS. The paper notes the SMS email address
@@ -92,6 +94,7 @@ pub struct SmsGateway {
     loss: LossModel,
     next_id: u64,
     rng: SimRng,
+    scope: ChannelScope,
 }
 
 impl SmsGateway {
@@ -103,6 +106,7 @@ impl SmsGateway {
             loss: LossModel::Bernoulli(0.01),
             next_id: 0,
             rng,
+            scope: ChannelScope::disabled("sms"),
         }
     }
 
@@ -117,6 +121,14 @@ impl SmsGateway {
     #[must_use]
     pub fn with_loss(mut self, loss: LossModel) -> Self {
         self.loss = loss;
+        self
+    }
+
+    /// Records sends, losses, and carrier latency through `telemetry` under
+    /// the `net.sms.*` namespace.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.scope = ChannelScope::new("sms", telemetry);
         self
     }
 
@@ -148,13 +160,16 @@ impl SmsGateway {
         };
         let delay = self.latency.sample(&mut self.rng);
         let lost = self.loss.roll(&mut self.rng);
+        self.scope.sent(now, delay, lost);
         SmsTransit { message, delay, lost }
     }
 
     /// Attempts final delivery to the handset. Returns `true` if the phone
     /// could receive at this moment.
     pub fn deliver(&mut self, message: &SmsMessage) -> bool {
-        self.state(&message.to).can_receive()
+        let ok = self.state(&message.to).can_receive();
+        self.scope.delivered(ok);
+        ok
     }
 }
 

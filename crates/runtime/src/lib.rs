@@ -43,4 +43,4 @@ mod watchdog;
 pub use channels::{Channels, LoopbackChannels, SendOutcome};
 pub use clock::RuntimeClock;
 pub use service::{MabHandle, MabService, RuntimeNotice};
-pub use watchdog::{run_watchdog, WatchdogReport};
+pub use watchdog::{run_watchdog, run_watchdog_observed, WatchdogReport};

@@ -7,7 +7,8 @@ use simba_core::delivery::{AttemptId, DeliveryCommand, DeliveryEvent, DeliverySt
 use simba_core::mab::{DeliveryId, MabCommand, MabEvent, MabStats, MyAlertBuddy};
 use simba_core::rejuvenate::RejuvenationTrigger;
 use simba_core::wal::{InMemoryWal, WriteAheadLog};
-use simba_core::MabConfig;
+use simba_core::{MabConfig, Telemetry};
+use simba_telemetry::Event;
 use std::time::Duration;
 use tokio::sync::mpsc;
 
@@ -98,6 +99,7 @@ pub struct MabService<C, W = InMemoryWal> {
     notices: mpsc::UnboundedSender<RuntimeNotice>,
     /// attempt → delivery, for routing acks.
     attempt_owner: std::collections::HashMap<AttemptId, DeliveryId>,
+    telemetry: Telemetry,
 }
 
 impl<C: Channels> MabService<C, InMemoryWal> {
@@ -133,8 +135,19 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
             self_tx: tx.clone(),
             notices: notice_tx,
             attempt_owner: std::collections::HashMap::new(),
+            telemetry: Telemetry::disabled(),
         };
         (service, MabHandle { tx }, notice_rx)
+    }
+
+    /// Routes `runtime.*` events and metrics to `telemetry`, and threads
+    /// the same handle into the wrapped [`MyAlertBuddy`] so the core
+    /// pipeline (`mab.*`, `wal.*`, `delivery.*`) shares the sink.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.mab.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
     }
 
     /// Runs until all handles are dropped or a rejuvenation triggers.
@@ -144,6 +157,13 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
         // before accepting new alerts.
         let now = self.clock.now();
         let recovery = self.mab.recover(now);
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("runtime.recoveries").incr();
+            self.telemetry.emit(
+                Event::new("runtime.recovered", now.as_millis())
+                    .with("replayed", self.mab.stats().replayed),
+            );
+        }
         if self.execute(recovery).await {
             return self.mab.stats();
         }
@@ -196,9 +216,19 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
             for command in queue {
                 match command {
                     MabCommand::AckIm { to, .. } => {
+                        if self.telemetry.enabled() {
+                            self.telemetry.metrics().counter("runtime.acks_sent").incr();
+                        }
                         let _ = self.notices.send(RuntimeNotice::AckSent { source: to });
                     }
                     MabCommand::Rejuvenate(trigger) => {
+                        if self.telemetry.enabled() {
+                            self.telemetry.metrics().counter("runtime.rejuvenations").incr();
+                            self.telemetry.emit(
+                                Event::new("runtime.rejuvenating", self.clock.now().as_millis())
+                                    .with("trigger", trigger.to_string()),
+                            );
+                        }
                         let _ = self.notices.send(RuntimeNotice::Rejuvenating(trigger));
                         return true;
                     }
@@ -216,6 +246,17 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                         } => {
                             self.attempt_owner.insert(attempt, delivery);
                             let outcome = self.channels.send(comm_type, &address_value, &text);
+                            if self.telemetry.enabled() {
+                                self.telemetry.metrics().counter("runtime.sends").incr();
+                                self.telemetry.emit(
+                                    Event::new("runtime.send", self.clock.now().as_millis())
+                                        .with("channel", comm_type.to_string())
+                                        .with(
+                                            "accepted",
+                                            !matches!(outcome, SendOutcome::Failed(_)),
+                                        ),
+                                );
+                            }
                             let event = match outcome {
                                 SendOutcome::Accepted => DeliveryEvent::SendAccepted { attempt },
                                 SendOutcome::AcceptedWithAck(after) => {
@@ -259,11 +300,29 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
     fn notify_if_finished(&self, delivery: DeliveryId) {
         if let Some(status) = self.mab.delivery_status(delivery) {
             if status.is_terminal() {
+                if self.telemetry.enabled() {
+                    self.telemetry.metrics().counter("runtime.deliveries_finished").incr();
+                    self.telemetry.emit(
+                        Event::new("runtime.delivery_finished", self.clock.now().as_millis())
+                            .with("delivery", delivery.0)
+                            .with("status", status_name(status)),
+                    );
+                }
                 let _ = self
                     .notices
                     .send(RuntimeNotice::DeliveryFinished { delivery, status });
             }
         }
+    }
+}
+
+/// Short stable name for a delivery status in telemetry events.
+fn status_name(status: DeliveryStatus) -> &'static str {
+    match status {
+        DeliveryStatus::InProgress => "in_progress",
+        DeliveryStatus::Acked { .. } => "acked",
+        DeliveryStatus::Unconfirmed { .. } => "unconfirmed",
+        DeliveryStatus::Exhausted { .. } => "exhausted",
     }
 }
 
@@ -361,6 +420,35 @@ mod tests {
         let status = next_finished(&mut notices).await;
         assert!(matches!(status, DeliveryStatus::Unconfirmed { block: 1, .. }));
         assert!(t0.elapsed() >= Duration::from_secs(60));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn telemetry_spans_runtime_and_core_layers() {
+        use simba_telemetry::RingBufferSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(RingBufferSink::new(256));
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let channels = LoopbackHarness::always_ack(Duration::from_millis(400));
+        let (service, handle, mut notices) = MabService::new(config(), channels);
+        let service = service.with_telemetry(telemetry.clone());
+        tokio::spawn(service.run());
+        handle.submit_im_alert(sensor_alert()).await;
+        let status = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Acked { .. }));
+
+        // One event stream spans both layers: the core pipeline (mab.*,
+        // wal.*, delivery.*) and the runtime shell (runtime.*).
+        let names: Vec<String> = sink.events().into_iter().map(|e| e.name).collect();
+        for expected in ["runtime.recovered", "mab.received", "wal.append", "runtime.send", "delivery.acked", "runtime.delivery_finished"] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected} in {names:?}");
+        }
+        let snap = telemetry.metrics().snapshot();
+        assert_eq!(snap.counter("runtime.sends"), 1);
+        assert_eq!(snap.counter("runtime.acks_sent"), 1);
+        assert_eq!(snap.counter("runtime.deliveries_finished"), 1);
+        assert_eq!(snap.counter("mab.received"), 1);
+        assert_eq!(snap.histogram("delivery.ack_latency_ms").unwrap().count, 1);
     }
 
     #[tokio::test(start_paused = true)]

@@ -6,6 +6,8 @@
 //! the function returns when the service stops responding.
 
 use crate::service::MabHandle;
+use simba_core::Telemetry;
+use simba_telemetry::Event;
 use std::time::Duration;
 use tokio::time::timeout;
 
@@ -27,8 +29,30 @@ pub async fn run_watchdog(
     reply_timeout: Duration,
     max_consecutive_misses: u32,
 ) -> WatchdogReport {
+    run_watchdog_observed(
+        handle,
+        interval,
+        reply_timeout,
+        max_consecutive_misses,
+        Telemetry::disabled(),
+    )
+    .await
+}
+
+/// Like [`run_watchdog`], but recording every probe through `telemetry`:
+/// a `watchdog.probe` event per probe, probe round-trip latency into the
+/// `watchdog.probe_latency_ms` histogram, and a `watchdog.service_down`
+/// event when the miss limit is reached.
+pub async fn run_watchdog_observed(
+    handle: MabHandle,
+    interval: Duration,
+    reply_timeout: Duration,
+    max_consecutive_misses: u32,
+    telemetry: Telemetry,
+) -> WatchdogReport {
     let mut report = WatchdogReport::default();
     let mut consecutive = 0u32;
+    let epoch = tokio::time::Instant::now();
     let mut ticker = tokio::time::interval(interval);
     ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
     // The first tick fires immediately; skip it so probes start after one
@@ -36,10 +60,28 @@ pub async fn run_watchdog(
     ticker.tick().await;
     loop {
         ticker.tick().await;
+        let asked_at = tokio::time::Instant::now();
         let alive = matches!(
             timeout(reply_timeout, handle.are_you_working()).await,
             Ok(true)
         );
+        if telemetry.enabled() {
+            let now = tokio::time::Instant::now();
+            let latency_ms = now.duration_since(asked_at).as_millis() as u64;
+            telemetry.metrics().counter("watchdog.probes").incr();
+            if !alive {
+                telemetry.metrics().counter("watchdog.missed_probes").incr();
+            }
+            telemetry
+                .metrics()
+                .histogram("watchdog.probe_latency_ms")
+                .observe_ms(latency_ms);
+            telemetry.emit(
+                Event::new("watchdog.probe", now.duration_since(epoch).as_millis() as u64)
+                    .with("alive", alive)
+                    .with("latency_ms", latency_ms),
+            );
+        }
         if alive {
             report.healthy_probes += 1;
             consecutive = 0;
@@ -47,6 +89,15 @@ pub async fn run_watchdog(
             report.missed_probes += 1;
             consecutive += 1;
             if consecutive >= max_consecutive_misses {
+                if telemetry.enabled() {
+                    telemetry.emit(
+                        Event::new(
+                            "watchdog.service_down",
+                            tokio::time::Instant::now().duration_since(epoch).as_millis() as u64,
+                        )
+                        .with("missed", report.missed_probes),
+                    );
+                }
                 return report;
             }
         }
@@ -81,5 +132,41 @@ mod tests {
         let report = watchdog.await.unwrap();
         assert!(report.healthy_probes >= 3, "healthy {report:?}");
         assert_eq!(report.missed_probes, 2);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn observed_watchdog_records_probe_latency_and_shutdown() {
+        use simba_telemetry::{RingBufferSink, Telemetry};
+        use std::sync::Arc;
+
+        let (service, handle, _notices) =
+            MabService::new(MabConfig::default(), LoopbackChannels::accept_all());
+        let join = tokio::spawn(service.run());
+
+        let sink = Arc::new(RingBufferSink::new(64));
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let watchdog = tokio::spawn(run_watchdog_observed(
+            handle.clone(),
+            Duration::from_secs(180),
+            Duration::from_secs(30),
+            2,
+            telemetry.clone(),
+        ));
+
+        tokio::time::sleep(Duration::from_secs(700)).await;
+        join.abort();
+        let _ = join.await;
+        let report = watchdog.await.unwrap();
+
+        let snap = telemetry.metrics().snapshot();
+        assert_eq!(snap.counter("watchdog.probes"), report.healthy_probes + report.missed_probes);
+        assert_eq!(snap.counter("watchdog.missed_probes"), report.missed_probes);
+        assert_eq!(
+            snap.histogram("watchdog.probe_latency_ms").unwrap().count,
+            report.healthy_probes + report.missed_probes
+        );
+        let events = sink.events();
+        assert!(events.iter().any(|e| e.name == "watchdog.probe"));
+        assert_eq!(events.last().unwrap().name, "watchdog.service_down");
     }
 }

@@ -50,7 +50,7 @@ mod time;
 mod trace;
 
 pub use engine::{Ctx, Engine};
-pub use metrics::{Counter, Histogram, MetricSet, Summary};
+pub use metrics::{Counter, Histogram, MetricSet, ObserveDuration, ObserveDurationNamed, Summary};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

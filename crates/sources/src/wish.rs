@@ -127,7 +127,7 @@ impl WishClient {
         let mut best: Option<(f64, &AccessPoint)> = None;
         for ap in aps {
             if let Some(rssi) = model.rssi(position.distance(ap.position), rng) {
-                if best.map_or(true, |(b, _)| rssi > b) {
+                if best.is_none_or(|(b, _)| rssi > b) {
                     best = Some((rssi, ap));
                 }
             }

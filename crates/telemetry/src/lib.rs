@@ -1,0 +1,275 @@
+//! `simba-telemetry` — dependency-free structured events, spans, and
+//! metrics for the SIMBA workspace.
+//!
+//! SIMBA's dependability story (paper §4.2, §5) rests on being able to
+//! *see* what the fault-tolerance stack is doing: WAL appends and replays,
+//! watchdog probes, delivery-mode fallbacks, rejuvenation triggers,
+//! manager sanity checks. This crate is the one vocabulary every layer
+//! shares — `simba-core`, `simba-runtime`, `simba-net`, `simba-client`,
+//! and `simba-cli` all emit through it, and the experiment harness in
+//! `simba-sim` re-uses its metric types.
+//!
+//! It is deliberately `std`-only (no `tracing`, no `metrics` crates): the
+//! workspace builds offline, and the paper's mechanisms need nothing more
+//! than counters, log-bucketed histograms, and a line-oriented event
+//! stream.
+//!
+//! # The determinism invariant
+//!
+//! Telemetry must never change simulation behavior. Concretely:
+//!
+//! * **No wall-clock reads on sim paths.** Every [`Event`] carries an
+//!   explicit `time_ms` supplied by the caller (virtual `SimTime` under
+//!   simulation, runtime-clock milliseconds live). [`Span`]s end with an
+//!   explicit timestamp too — there is no `Drop`-based timing.
+//! * **No observable side channels.** Sinks receive copies; nothing in the
+//!   pipeline ever reads a sink or a metric back to make a decision.
+//!
+//! The property test in `tests/determinism.rs` (workspace root) runs the
+//! same seeded scenario twice and asserts the event streams are identical.
+//!
+//! # Example: register a sink, emit, read back
+//!
+//! ```
+//! use simba_telemetry::{Event, RingBufferSink, Telemetry};
+//! use std::sync::Arc;
+//!
+//! // Keep a handle to the sink so we can read events back afterwards.
+//! let sink = Arc::new(RingBufferSink::new(128));
+//! let telemetry = Telemetry::with_sink(sink.clone());
+//!
+//! // Hot paths emit events with explicit timestamps and typed fields...
+//! telemetry.emit(Event::new("wal.append", 1_500).with("wal_id", 7u64));
+//!
+//! // ...and record metrics through cached lock-free handles.
+//! let sends = telemetry.metrics().counter("runtime.sends");
+//! sends.incr();
+//!
+//! // Spans time an operation between two explicit instants.
+//! let span = telemetry.span("mab.route", 2_000);
+//! span.end(2_040); // emits `mab.route` with duration_ms=40
+//!
+//! let events = sink.events();
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(events[0].name, "wal.append");
+//! assert_eq!(events[1].name, "mab.route");
+//! assert_eq!(telemetry.metrics().snapshot().counter("runtime.sends"), 1);
+//! ```
+//!
+//! # Wiring into components
+//!
+//! Every instrumented component takes a [`Telemetry`] via a
+//! `with_telemetry(..)` builder and defaults to [`Telemetry::disabled`],
+//! so constructing a component without telemetry costs one `Arc` and each
+//! skipped emission is a single branch.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod event;
+mod metrics;
+mod registry;
+mod sink;
+
+pub use event::{escape_json, Event, JsonError, Value};
+pub use metrics::{Counter, Histogram, MetricSet, Summary};
+pub use registry::{
+    CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use sink::{JsonLinesSink, NullSink, RingBufferSink, TelemetrySink};
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The handle components hold: a sink for events plus a metrics registry.
+///
+/// Cloning is cheap (two `Arc`s) and every clone shares the same sink and
+/// registry. The [`Default`] / [`Telemetry::disabled`] flavor drops events
+/// on the floor and keeps metrics in a private registry, so uninstrumented
+/// construction stays free.
+#[derive(Clone)]
+pub struct Telemetry {
+    sink: Arc<dyn TelemetrySink>,
+    metrics: MetricsRegistry,
+    enabled: bool,
+}
+
+impl Telemetry {
+    /// Telemetry that discards events ([`NullSink`]); metrics still work.
+    pub fn disabled() -> Self {
+        Telemetry {
+            sink: Arc::new(NullSink),
+            metrics: MetricsRegistry::new(),
+            enabled: false,
+        }
+    }
+
+    /// Telemetry emitting to `sink` with a fresh metrics registry.
+    pub fn with_sink(sink: Arc<dyn TelemetrySink>) -> Self {
+        Telemetry {
+            sink,
+            metrics: MetricsRegistry::new(),
+            enabled: true,
+        }
+    }
+
+    /// Telemetry emitting to `sink` recording into an existing `metrics`
+    /// registry (e.g. one shared with other components).
+    pub fn new(sink: Arc<dyn TelemetrySink>, metrics: MetricsRegistry) -> Self {
+        Telemetry {
+            sink,
+            metrics,
+            enabled: true,
+        }
+    }
+
+    /// Whether events actually go anywhere. Use to skip building
+    /// expensive field values:
+    ///
+    /// ```
+    /// # let telemetry = simba_telemetry::Telemetry::disabled();
+    /// if telemetry.enabled() {
+    ///     // only now format the big debug string...
+    /// }
+    /// ```
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sends `event` to the sink (a no-op when disabled).
+    pub fn emit(&self, event: Event) {
+        if self.enabled {
+            self.sink.record(&event);
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Starts a span at the explicit instant `start_ms`. Call
+    /// [`Span::end`] with the finishing instant; the span then emits one
+    /// event named `name` carrying `duration_ms` and records the duration
+    /// into the histogram `<name>_ms`.
+    pub fn span(&self, name: impl Into<String>, start_ms: u64) -> Span {
+        Span {
+            telemetry: self.clone(),
+            name: name.into(),
+            start_ms,
+            fields: Vec::new(),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An in-flight timed operation; see [`Telemetry::span`].
+///
+/// Spans are ended *explicitly* with a caller-supplied timestamp — there is
+/// deliberately no `Drop` impl reading a clock, because that would smuggle
+/// wall-clock time into deterministic simulation paths.
+#[derive(Debug)]
+#[must_use = "a span only emits when end() is called"]
+pub struct Span {
+    telemetry: Telemetry,
+    name: String,
+    start_ms: u64,
+    fields: Vec<(String, Value)>,
+}
+
+impl Span {
+    /// Attaches a field to the event the span will emit.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Ends the span at `end_ms`, emitting the event and recording the
+    /// duration into the `<name>_ms` histogram. Durations are saturating:
+    /// an `end_ms` before `start_ms` records 0.
+    pub fn end(self, end_ms: u64) {
+        let duration_ms = end_ms.saturating_sub(self.start_ms);
+        if self.telemetry.enabled {
+            self.telemetry
+                .metrics
+                .histogram(&format!("{}_ms", self.name))
+                .observe_ms(duration_ms);
+            let mut event = Event::new(self.name, end_ms).with("duration_ms", duration_ms);
+            event.fields.extend(self.fields);
+            self.telemetry.sink.record(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_emits_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        t.emit(Event::new("x", 1));
+        t.span("op", 0).end(10);
+        // Metrics registry still usable (but the span skipped it too).
+        assert_eq!(t.metrics().snapshot().histograms.len(), 0);
+    }
+
+    #[test]
+    fn with_sink_emits_and_clones_share() {
+        let sink = Arc::new(RingBufferSink::new(16));
+        let t = Telemetry::with_sink(sink.clone());
+        let t2 = t.clone();
+        t.emit(Event::new("a", 1));
+        t2.emit(Event::new("b", 2));
+        let names: Vec<String> = sink.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        t.metrics().counter("c").incr();
+        assert_eq!(t2.metrics().snapshot().counter("c"), 1);
+    }
+
+    #[test]
+    fn span_emits_duration_event_and_histogram() {
+        let sink = Arc::new(RingBufferSink::new(16));
+        let t = Telemetry::with_sink(sink.clone());
+        t.span("mab.route", 100).with("user", "alice").end(140);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "mab.route");
+        assert_eq!(events[0].time_ms, 140);
+        assert_eq!(events[0].field("duration_ms"), Some(&Value::U64(40)));
+        assert_eq!(events[0].field("user"), Some(&Value::Str("alice".into())));
+        let snap = t.metrics().snapshot();
+        assert_eq!(snap.histogram("mab.route_ms").unwrap().count, 1);
+    }
+
+    #[test]
+    fn span_duration_saturates() {
+        let sink = Arc::new(RingBufferSink::new(4));
+        let t = Telemetry::with_sink(sink.clone());
+        t.span("op", 100).end(50);
+        assert_eq!(sink.events()[0].field("duration_ms"), Some(&Value::U64(0)));
+    }
+
+    #[test]
+    fn shared_registry_flavor() {
+        let registry = MetricsRegistry::new();
+        let t = Telemetry::new(Arc::new(NullSink), registry.clone());
+        t.metrics().counter("shared").incr();
+        assert_eq!(registry.snapshot().counter("shared"), 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Single-threaded metric primitives: counters, summaries (exact
+//! percentiles over retained samples), and log-bucketed histograms.
+//!
+//! These types were promoted from `simba-sim`'s experiment harness so the
+//! live runtime, CLI, and simulation all share one vocabulary; `simba-sim`
+//! re-exports them (plus `SimDuration` convenience glue) for backward
+//! compatibility. For the shared, thread-safe flavor used on concurrent
+//! paths, see [`crate::MetricsRegistry`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A summary of observed values with exact percentiles.
+///
+/// Retains all samples; experiment runs observe at most a few hundred
+/// thousand values, so exactness is worth the memory.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one value. Non-finite values are ignored (and would only
+    /// arise from a bug in a sampler, which clamps already).
+    pub fn observe(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no values were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest observed value, or 0.0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest observed value, or 0.0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Exact percentile in `[0, 100]` (nearest-rank), or 0.0 if empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        self.samples[rank]
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Fraction of observations strictly below `threshold` (0.0 if empty).
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let under = self.samples.iter().filter(|&&v| v < threshold).count();
+        under as f64 / self.samples.len() as f64
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = self.clone();
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}",
+            s.count(),
+            s.mean(),
+            s.percentile(50.0),
+            s.percentile(95.0),
+            s.max()
+        )
+    }
+}
+
+/// A base-2 log-bucketed histogram over non-negative millisecond values.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ms, with bucket 0 covering `[0, 2)`.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one millisecond value.
+    pub fn observe_ms(&mut self, ms: u64) {
+        let idx = if ms < 2 { 0 } else { 63 - ms.leading_zeros() as usize };
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `(bucket_lower_bound_ms, count)` pairs for non-empty buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+
+    /// Fraction of observations at or below `ms`.
+    pub fn fraction_le_ms(&self, ms: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut covered = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            if upper <= ms {
+                covered += c;
+            }
+        }
+        covered as f64 / self.count as f64
+    }
+}
+
+/// A named collection of summaries and counters, keyed by `&'static str`-like
+/// names, used as the per-run metrics sink in experiments.
+#[derive(Debug, Default)]
+pub struct MetricSet {
+    summaries: BTreeMap<String, Summary>,
+    counters: BTreeMap<String, Counter>,
+}
+
+impl MetricSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Records `value` into the summary called `name`, creating it on first use.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.summaries.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Increments the counter called `name`.
+    pub fn incr(&mut self, name: &str) {
+        self.counters.entry(name.to_string()).or_default().incr();
+    }
+
+    /// Adds `n` to the counter called `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_string()).or_default().add(n);
+    }
+
+    /// The summary called `name`, if it was ever observed.
+    pub fn summary(&self, name: &str) -> Option<&Summary> {
+        self.summaries.get(name)
+    }
+
+    /// Mutable access (for percentile queries which sort lazily).
+    pub fn summary_mut(&mut self, name: &str) -> Option<&mut Summary> {
+        self.summaries.get_mut(name)
+    }
+
+    /// The counter value called `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// All summary names, sorted.
+    pub fn summary_names(&self) -> impl Iterator<Item = &str> {
+        self.summaries.keys().map(String::as_str)
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let mut s = Summary::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.observe(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroes() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite() {
+        let mut s = Summary::new();
+        s.observe(f64::NAN);
+        s.observe(f64::INFINITY);
+        s.observe(1.0);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn summary_fraction_below() {
+        let mut s = Summary::new();
+        for v in [0.5, 0.9, 1.0, 1.5] {
+            s.observe(v);
+        }
+        assert!((s.fraction_below(1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.fraction_below(10.0), 1.0);
+        assert_eq!(Summary::new().fraction_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn summary_percentile_after_more_observations() {
+        let mut s = Summary::new();
+        s.observe(10.0);
+        assert_eq!(s.median(), 10.0);
+        s.observe(20.0);
+        s.observe(30.0);
+        assert_eq!(s.median(), 20.0); // re-sorts after new data
+    }
+
+    #[test]
+    fn summary_display() {
+        let mut s = Summary::new();
+        s.observe(2.0);
+        let text = format!("{s}");
+        assert!(text.contains("n=1"));
+        assert!(text.contains("mean=2.000"));
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new();
+        h.observe_ms(0);
+        h.observe_ms(1);
+        h.observe_ms(2);
+        h.observe_ms(3);
+        h.observe_ms(1024);
+        assert_eq!(h.count(), 5);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn histogram_fraction() {
+        let mut h = Histogram::new();
+        for ms in [1u64, 1, 1, 1000, 5000] {
+            h.observe_ms(ms);
+        }
+        assert!((h.fraction_le_ms(1) - 0.6).abs() < 1e-12);
+        assert_eq!(h.fraction_le_ms(u64::MAX / 2), 1.0);
+        assert_eq!(Histogram::new().fraction_le_ms(10), 0.0);
+    }
+
+    #[test]
+    fn metric_set_round_trip() {
+        let mut m = MetricSet::new();
+        m.observe("latency", 1.5);
+        m.observe("latency", 2.5);
+        m.incr("delivered");
+        m.add("delivered", 2);
+        assert_eq!(m.counter("delivered"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.summary("latency").unwrap().count(), 2);
+        assert!((m.summary("latency").unwrap().mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.summary_names().collect::<Vec<_>>(), vec!["latency"]);
+        assert_eq!(m.counter_names().collect::<Vec<_>>(), vec!["delivered"]);
+    }
+}

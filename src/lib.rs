@@ -15,6 +15,8 @@
 //! * [`sources`] — the five alert services from the paper.
 //! * [`baselines`] — comparison delivery strategies.
 //! * [`runtime`] — tokio-based live runtime.
+//! * [`telemetry`] — structured events + metrics spine (see
+//!   `README.md` § Observability).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -28,4 +30,5 @@ pub use simba_net as net;
 pub use simba_runtime as runtime;
 pub use simba_sim as sim;
 pub use simba_sources as sources;
+pub use simba_telemetry as telemetry;
 pub use simba_xml as xml;

@@ -21,10 +21,7 @@ async fn wait_finished(
     notices: &mut tokio::sync::mpsc::UnboundedReceiver<RuntimeNotice>,
 ) -> DeliveryStatus {
     loop {
-        match notices.recv().await.expect("service alive") {
-            RuntimeNotice::DeliveryFinished { status, .. } => return status,
-            _ => {}
-        }
+        if let RuntimeNotice::DeliveryFinished { status, .. } = notices.recv().await.expect("service alive") { return status }
     }
 }
 

@@ -75,7 +75,7 @@ proptest! {
         let mut stores = stores();
         let mut now = SimTime::from_secs(1);
         for op in &ops {
-            now = now + SimDuration::from_secs(1);
+            now += SimDuration::from_secs(1);
             match op {
                 Op::Write { replica, var, value } => {
                     let r = (*replica as usize) % 3;
@@ -128,7 +128,7 @@ proptest! {
 
         let mut now = SimTime::ZERO;
         for gap in refresh_gaps {
-            now = now + SimDuration::from_secs(gap);
+            now += SimDuration::from_secs(gap);
             s.refresh("x", now).expect("exists");
         }
         let last_refresh = now;

@@ -1,0 +1,344 @@
+//! Offline shim of the `proptest` 1.x API surface this workspace uses.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! downloaded; this shim (wired in via `[patch.crates-io]`) implements the
+//! same surface as a plain randomized-case runner:
+//!
+//! * `proptest!` with optional `#![proptest_config(..)]`, `prop_assert!`,
+//!   `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`, `prop_oneof!`
+//!   (plain and weighted);
+//! * `Strategy` with `prop_map` / `prop_filter` / `prop_filter_map` /
+//!   `boxed`, tuple strategies, integer/char ranges, `Just`, `any::<T>()`;
+//! * `collection::{vec, btree_set}`, `option::of`, `sample::select`;
+//! * `&str` regex strategies for the subset of syntax the tests use
+//!   (literals, classes, groups with alternation, `{n,m}`/`*`/`+`/`?`,
+//!   and `\PC` for "any non-control character").
+//!
+//! Cases are seeded deterministically from the test path and case index,
+//! so failures reproduce. There is **no shrinking**: a failing case
+//! reports its inputs verbatim instead.
+
+#![forbid(unsafe_code)]
+
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait behind [`any`](crate::prelude::any).
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: std::fmt::Debug + Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            // Bias toward ASCII (as the real crate does) but cover the
+            // full scalar-value space.
+            if rng.below(4) < 3 {
+                char::from_u32(rng.below(0x5F) as u32 + 0x20).unwrap_or('a')
+            } else {
+                loop {
+                    if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            // Finite floats across magnitudes.
+            let mag = rng.unit() * 600.0 - 300.0;
+            (rng.unit() * 2.0 - 1.0) * mag.exp2()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for `BTreeSet<S::Value>` with a target size from `size`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of times.
+            for _ in 0..n.saturating_mul(20).max(20) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `None` one time in four, `Some(inner)` otherwise (the real crate's
+    /// default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed collections.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly selects one element of `values`.
+    pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "sample::select on empty vec");
+        Select { values }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below(self.values.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import with `use proptest::prelude::*`.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The canonical strategy for "any value of `T`".
+    pub fn any<T: crate::arbitrary::Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+
+    /// See [`any`].
+    #[derive(Debug)]
+    pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut crate::test_runner::TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+}
+
+/// Defines property tests. Each `#[test] fn name(pat in strategy, ..)`
+/// becomes a normal test running `ProptestConfig::cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __inputs: Vec<String> = Vec::new();
+                $(
+                    let __value = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    __inputs.push(format!("{} = {:?}", stringify!($arg), __value));
+                    let $arg = __value;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || -> ::std::result::Result<(), ()> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    }),
+                );
+                if let ::std::result::Result::Err(__payload) = __outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{}\n{}",
+                        stringify!($name),
+                        __case + 1,
+                        __cfg.cases,
+                        __inputs.join("\n"),
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (The shim counts skipped cases as passes — no re-draw.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -1,0 +1,319 @@
+//! A tiny regex-shaped *generator* backing `&str` strategies.
+//!
+//! Supports exactly the syntax the workspace's tests use: literal
+//! characters, character classes with ranges (`[a-zA-Z0-9_.-]`), groups
+//! with alternation (`(stocks|WEATHER)`), the quantifiers `{n}`, `{n,m}`,
+//! `*`, `+`, `?`, and the escapes `\\`, `\n`, `\t`, `\d`, `\w`, `\s`, and
+//! `\PC` ("any non-control character"). Anything else panics loudly so a
+//! new test knows to extend the shim rather than silently misgenerate.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Inclusive ranges; a literal is a one-char range.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any unicode scalar that is not a control character.
+    NotControl,
+    /// `(a|bc|d)` — alternation of sequences.
+    Alt(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        pattern,
+    }
+    .sequence(true);
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| span(*lo, *hi)).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let s = span(*lo, *hi);
+                if pick < s {
+                    // Ranges used in practice are contiguous scalar runs.
+                    let c = char::from_u32(*lo as u32 + pick as u32)
+                        .expect("class range crosses a surrogate gap");
+                    out.push(c);
+                    return;
+                }
+                pick -= s;
+            }
+            unreachable!("class weight accounting")
+        }
+        Node::NotControl => loop {
+            // Mostly ASCII, sometimes any scalar — mirroring the real
+            // crate's bias toward readable counterexamples.
+            let c = if rng.below(4) < 3 {
+                char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+            } else {
+                match char::from_u32(rng.below(0x11_0000) as u32) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            };
+            if !c.is_control() {
+                out.push(c);
+                return;
+            }
+        },
+        Node::Alt(arms) => {
+            let arm = &arms[rng.below(arms.len() as u64) as usize];
+            for node in arm {
+                emit(node, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = *min + rng.below(u64::from(*max - *min) + 1) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn span(lo: char, hi: char) -> u64 {
+    (hi as u32 as u64) - (lo as u32 as u64) + 1
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn bail(&self, what: &str) -> ! {
+        panic!(
+            "regex shim: unsupported {what} at position {} in {:?}; extend vendor/proptest/src/regex.rs",
+            self.pos, self.pattern
+        );
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// Parses a sequence until end (top level) or `)`/`|` (inside groups).
+    fn sequence(&mut self, top: bool) -> Vec<Node> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            if !top && (c == ')' || c == '|') {
+                break;
+            }
+            let atom = self.atom();
+            out.push(self.quantified(atom));
+        }
+        if top && self.pos < self.chars.len() {
+            self.bail("trailing content");
+        }
+        out
+    }
+
+    fn atom(&mut self) -> Node {
+        match self.next() {
+            Some('[') => self.class(),
+            Some('(') => self.group(),
+            Some('\\') => self.escape(),
+            Some('.') => Node::NotControl,
+            Some(c) if matches!(c, '*' | '+' | '?' | '{' | '}' | ']' | ')' | '|') => {
+                self.bail("metacharacter")
+            }
+            Some(c) => Node::Lit(c),
+            None => self.bail("end of pattern"),
+        }
+    }
+
+    fn escape(&mut self) -> Node {
+        match self.next() {
+            Some('\\') => Node::Lit('\\'),
+            Some('n') => Node::Lit('\n'),
+            Some('t') => Node::Lit('\t'),
+            Some('r') => Node::Lit('\r'),
+            Some('d') => Node::Class(vec![('0', '9')]),
+            Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            Some('s') => Node::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+            Some('P') => match self.next() {
+                Some('C') => Node::NotControl,
+                _ => self.bail("\\P category"),
+            },
+            Some(c) if !c.is_alphanumeric() => Node::Lit(c),
+            _ => self.bail("escape"),
+        }
+    }
+
+    fn class(&mut self) -> Node {
+        if self.peek() == Some('^') {
+            self.bail("negated class");
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match self.next() {
+                Some(']') => break,
+                Some('\\') => match self.next() {
+                    Some(c @ ('\\' | ']' | '-' | '^')) => c,
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    _ => self.bail("class escape"),
+                },
+                Some(c) => c,
+                None => self.bail("unterminated class"),
+            };
+            // `-` is a range only when between two chars.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.next();
+                let hi = match self.next() {
+                    Some(c) if c != ']' => c,
+                    _ => self.bail("class range"),
+                };
+                assert!(lo <= hi, "regex shim: inverted class range");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            self.bail("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn group(&mut self) -> Node {
+        let mut arms = Vec::new();
+        loop {
+            arms.push(self.sequence(false));
+            match self.next() {
+                Some('|') => continue,
+                Some(')') => break,
+                _ => self.bail("unterminated group"),
+            }
+        }
+        Node::Alt(arms)
+    }
+
+    fn quantified(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('{') => {
+                self.next();
+                let min = self.number();
+                let max = match self.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let max = self.number();
+                        if self.next() != Some('}') {
+                            self.bail("repetition close");
+                        }
+                        max
+                    }
+                    _ => self.bail("repetition"),
+                };
+                assert!(min <= max, "regex shim: inverted repetition bounds");
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            Some('*') => {
+                self.next();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.next();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('?') => {
+                self.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            _ => atom,
+        }
+    }
+
+    fn number(&mut self) -> u32 {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.next();
+        }
+        if self.pos == start {
+            self.bail("number");
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .expect("digits")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("regex", 0)
+    }
+
+    #[test]
+    fn xml_name_pattern() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z_][a-zA-Z0-9_.-]{0,11}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(
+                s.chars().skip(1).all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_groups() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate("[a-zA-Z ]{0,10}(stocks|WEATHER|Sensor|STOCKS OPTIONS)[a-zA-Z ]{0,10}", &mut rng);
+            assert!(
+                ["stocks", "WEATHER", "Sensor", "STOCKS OPTIONS"].iter().any(|k| s.contains(k)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn not_control_category() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate("\\PC{0,200}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn plain_quantifiers() {
+        let mut rng = rng();
+        let s = generate("ab{2}c?d*e+", &mut rng);
+        assert!(s.starts_with("abb"), "{s:?}");
+        assert!(s.contains('e'), "{s:?}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Configuration and the deterministic per-case random stream.
+
+/// Runner configuration. Only `cases` matters to the shim; the other
+/// fields exist so struct-update syntax against the real crate compiles.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases per property.
+    pub cases: u32,
+    /// Accepted but unused (no shrinking in the shim).
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A deterministic random stream (SplitMix64), seeded from the test path
+/// and case index so each case is independent yet reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The stream for one test case.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the path: stable across runs and compilers.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        if bound == 1 {
+            return 0;
+        }
+        let mask = bound.next_power_of_two().wrapping_sub(1);
+        loop {
+            let v = self.next_u64() & mask;
+            if v < bound {
+                return v;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_same_stream() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_cases_diverge() {
+        let mut a = TestRng::for_case("x::y", 0);
+        let mut b = TestRng::for_case("x::y", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::for_case("t", 0);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..100 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}

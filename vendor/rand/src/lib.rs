@@ -1,0 +1,236 @@
+//! Offline shim of the `rand` 0.8 API surface this workspace uses.
+//!
+//! The build container has no network access and no crates.io mirror, so
+//! the real `rand` cannot be downloaded. This crate re-implements exactly
+//! the traits and methods the workspace calls — `RngCore`, `SeedableRng`
+//! (including the PCG32-based `seed_from_u64` expansion the real crate
+//! documents), and the `Rng` extension with `gen`/`gen_range` for the
+//! types actually drawn — deterministically and without dependencies.
+//! It is wired in through `[patch.crates-io]` in the workspace root.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into a full seed via PCG32, matching the
+    /// algorithm the real `rand_core` documents for this method.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly "from all values" by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits, uniform in [0, 1) — same construction
+        // as the real crate's Standard distribution.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uint_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                sample_below(rng, (self.end - self.start) as u64) as $t + self.start
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                sample_below(rng, span + 1) as $t + lo
+            }
+        }
+    )*};
+}
+uint_range_impls!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = f64::sample_standard(rng);
+        let v = self.start + unit * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// Unbiased uniform draw in `[0, bound)` by masked rejection.
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound == 1 {
+        return 0;
+    }
+    let mask = bound.next_power_of_two().wrapping_sub(1);
+    loop {
+        let v = rng.next_u64() & mask;
+        if v < bound {
+            return v;
+        }
+    }
+}
+
+/// Convenience extension over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one value of `T` uniformly from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The subset of `rand::rngs` the workspace could reach for; kept so
+/// `use rand::rngs::...` paths resolve if added later.
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u64);
+    impl RngCore for Counting {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 — good enough to test the adapters.
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = Counting(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_ranges_are_inclusive_and_exclusive() {
+        let mut rng = Counting(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..=5);
+            assert!((3..=5).contains(&v));
+            let w = rng.gen_range(10u64..12);
+            assert!((10..12).contains(&w));
+        }
+        assert_eq!(rng.gen_range(7u64..=7), 7);
+    }
+
+    #[test]
+    fn float_range_stays_inside() {
+        let mut rng = Counting(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = Counting(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

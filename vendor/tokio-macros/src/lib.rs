@@ -1,0 +1,65 @@
+//! Offline shim of tokio's `#[tokio::test]` / `#[tokio::main]` attribute
+//! macros, written without `syn`/`quote` (the container cannot download
+//! crates). The expansion keeps the original `async fn` as an inner item
+//! and drives it on the shim's single-threaded executor:
+//!
+//! ```text
+//! #[::core::prelude::v1::test]
+//! fn name() {
+//!     async fn name() { /* original body */ }
+//!     ::tokio::runtime::block_on_test(PAUSED, name());
+//! }
+//! ```
+//!
+//! `PAUSED` is true when the attribute arguments contain
+//! `start_paused = true`, in which case the executor starts with a paused
+//! virtual clock (the real crate's `test-util` behaviour).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// `#[tokio::test]` / `#[tokio::test(start_paused = true)]`.
+#[proc_macro_attribute]
+pub fn test(attr: TokenStream, item: TokenStream) -> TokenStream {
+    expand(&attr, &item, true)
+}
+
+/// `#[tokio::main]` on an `async fn main`.
+#[proc_macro_attribute]
+pub fn main(attr: TokenStream, item: TokenStream) -> TokenStream {
+    expand(&attr, &item, false)
+}
+
+fn expand(attr: &TokenStream, item: &TokenStream, is_test: bool) -> TokenStream {
+    let attr_text = attr.to_string();
+    let paused = attr_text.contains("start_paused") && attr_text.contains("true");
+    let name = fn_name(item).expect("tokio shim: attribute requires an `async fn` item");
+    let item_text = item.to_string();
+    let test_attr = if is_test {
+        "#[::core::prelude::v1::test]\n"
+    } else {
+        ""
+    };
+    format!(
+        "{test_attr}fn {name}() {{\n    {item_text}\n    \
+         ::tokio::runtime::block_on_test({paused}, {name}());\n}}"
+    )
+    .parse()
+    .expect("tokio shim: macro expansion produced invalid tokens")
+}
+
+/// The identifier following the first `fn` token.
+fn fn_name(item: &TokenStream) -> Option<String> {
+    let mut saw_fn = false;
+    for tree in item.clone() {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_fn {
+                return Some(text);
+            }
+            if text == "fn" {
+                saw_fn = true;
+            }
+        }
+    }
+    None
+}

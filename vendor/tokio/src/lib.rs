@@ -1,0 +1,30 @@
+//! Offline shim of the `tokio` 1.x API surface this workspace uses.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! downloaded; this shim keeps `simba-runtime` and its tests compiling
+//! and running. It is a **single-threaded, deterministic** executor with a
+//! virtual clock, not a production reactor:
+//!
+//! * [`spawn`] schedules tasks on the executor driving the current
+//!   `block_on` call (no `Send` bound, no work stealing);
+//! * [`time`] implements `sleep` / `timeout` / `interval` / `Instant` /
+//!   `advance` against virtual time — with `start_paused = true` the clock
+//!   auto-advances to the next timer deadline whenever no task is
+//!   runnable, exactly like the real crate's `test-util` mode;
+//! * [`sync`] implements the bounded/unbounded mpsc and oneshot channels;
+//! * `#[tokio::test(start_paused = true)]` expands (via the shim
+//!   `tokio-macros`) to a plain `#[test]` driving the async body with
+//!   [`runtime::block_on_test`].
+//!
+//! Every workspace use is timer-driven, so a ready-queue-empty state with
+//! no pending timers is a genuine deadlock and panics rather than hangs.
+
+#![forbid(unsafe_code)]
+
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+pub use tokio_macros::{main, test};

@@ -1,0 +1,355 @@
+//! The single-threaded executor with a virtual clock.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Wake, Waker};
+use std::time::Duration;
+
+pub(crate) type TaskId = u64;
+/// Timer key: virtual deadline plus a tiebreaker so equal deadlines keep
+/// registration order.
+pub(crate) type TimerKey = (Duration, u64);
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// The queue wakers push onto. Shared behind `Arc` because `Waker` must be
+/// `Send + Sync` even though this executor never leaves its thread.
+struct ReadyQueue(Mutex<VecDeque<TaskId>>);
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.0.lock().unwrap().push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.0.lock().unwrap().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// One pending `time::advance` call.
+struct Advance {
+    target: Duration,
+    id: u64,
+    waker: Waker,
+}
+
+pub(crate) struct Executor {
+    tasks: RefCell<HashMap<TaskId, BoxFuture>>,
+    next_task: Cell<TaskId>,
+    ready: Arc<ReadyQueue>,
+    timers: RefCell<BTreeMap<TimerKey, Waker>>,
+    next_timer: Cell<u64>,
+    now: Cell<Duration>,
+    paused: Cell<bool>,
+    advances: RefCell<Vec<Advance>>,
+    next_advance: Cell<u64>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<Executor>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` against the executor driving the current `block_on` call.
+pub(crate) fn with_executor<R>(f: impl FnOnce(&Executor) -> R) -> R {
+    let exec = CURRENT
+        .with(|c| c.borrow().clone())
+        .expect("tokio shim: called outside a runtime (use #[tokio::test])");
+    f(&exec)
+}
+
+/// Like [`with_executor`] but a no-op outside a runtime (for `Drop` impls
+/// that may run after the executor is gone).
+pub(crate) fn try_with_executor<R>(f: impl FnOnce(&Executor) -> R) -> Option<R> {
+    let exec = CURRENT.with(|c| c.borrow().clone())?;
+    Some(f(&exec))
+}
+
+impl Executor {
+    fn new(paused: bool) -> Executor {
+        Executor {
+            tasks: RefCell::new(HashMap::new()),
+            next_task: Cell::new(0),
+            ready: Arc::new(ReadyQueue(Mutex::new(VecDeque::new()))),
+            timers: RefCell::new(BTreeMap::new()),
+            next_timer: Cell::new(0),
+            now: Cell::new(Duration::ZERO),
+            paused: Cell::new(paused),
+            advances: RefCell::new(Vec::new()),
+            next_advance: Cell::new(0),
+        }
+    }
+
+    /// Virtual time since the runtime epoch.
+    pub(crate) fn now(&self) -> Duration {
+        self.now.get()
+    }
+
+    pub(crate) fn set_paused(&self, paused: bool) {
+        self.paused.set(paused);
+    }
+
+    pub(crate) fn spawn_task(&self, future: BoxFuture) -> TaskId {
+        let id = self.next_task.get();
+        self.next_task.set(id + 1);
+        self.tasks.borrow_mut().insert(id, future);
+        self.ready.push(id);
+        id
+    }
+
+    /// Drops a task's future if it is still pending (see
+    /// [`crate::task::JoinHandle::abort`]).
+    pub(crate) fn drop_task(&self, id: TaskId) {
+        self.tasks.borrow_mut().remove(&id);
+    }
+
+    pub(crate) fn register_timer(&self, deadline: Duration, waker: Waker) -> TimerKey {
+        let id = self.next_timer.get();
+        self.next_timer.set(id + 1);
+        let key = (deadline, id);
+        self.timers.borrow_mut().insert(key, waker);
+        key
+    }
+
+    pub(crate) fn update_timer(&self, key: TimerKey, waker: Waker) {
+        self.timers.borrow_mut().insert(key, waker);
+    }
+
+    pub(crate) fn cancel_timer(&self, key: TimerKey) {
+        self.timers.borrow_mut().remove(&key);
+    }
+
+    /// Registers (or re-arms) an advance waiter; returns its id.
+    pub(crate) fn register_advance(
+        &self,
+        target: Duration,
+        existing: Option<u64>,
+        waker: Waker,
+    ) -> u64 {
+        let mut advances = self.advances.borrow_mut();
+        if let Some(id) = existing {
+            if let Some(entry) = advances.iter_mut().find(|a| a.id == id) {
+                entry.waker = waker;
+                return id;
+            }
+        }
+        let id = self.next_advance.get();
+        self.next_advance.set(id + 1);
+        advances.push(Advance { target, id, waker });
+        id
+    }
+
+    pub(crate) fn cancel_advance(&self, id: u64) {
+        self.advances.borrow_mut().retain(|a| a.id != id);
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Take the future out so the poll itself can spawn/abort tasks
+        // without re-entrant RefCell borrows.
+        let future = self.tasks.borrow_mut().remove(&id);
+        let Some(mut future) = future else {
+            return; // finished or aborted; stale wake
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        if future.as_mut().poll(&mut cx).is_pending() {
+            self.tasks.borrow_mut().insert(id, future);
+        }
+    }
+
+    fn fire_due_timers(&self) {
+        loop {
+            let due = {
+                let timers = self.timers.borrow();
+                match timers.keys().next().copied() {
+                    Some(key) if key.0 <= self.now.get() => key,
+                    _ => break,
+                }
+            };
+            if let Some(waker) = self.timers.borrow_mut().remove(&due) {
+                waker.wake();
+            }
+        }
+    }
+
+    /// Nothing is runnable: move time forward to the next timer deadline
+    /// or pending `advance` target. Returns false when neither exists.
+    fn idle_step(&self) -> bool {
+        let now = self.now.get();
+        let next_timer = self.timers.borrow().keys().next().copied();
+        let next_advance = self
+            .advances
+            .borrow()
+            .iter()
+            .min_by_key(|a| a.target)
+            .map(|a| (a.target, a.id));
+
+        if let Some((deadline, _)) = next_timer {
+            let timer_first = next_advance.map_or(true, |(target, _)| deadline <= target);
+            if timer_first {
+                if !self.paused.get() {
+                    std::thread::sleep(deadline.saturating_sub(now));
+                }
+                self.now.set(now.max(deadline));
+                self.fire_due_timers();
+                return true;
+            }
+        }
+        if let Some((target, id)) = next_advance {
+            self.now.set(now.max(target));
+            let entry = {
+                let mut advances = self.advances.borrow_mut();
+                advances
+                    .iter()
+                    .position(|a| a.id == id)
+                    .map(|pos| advances.remove(pos))
+            };
+            if let Some(advance) = entry {
+                advance.waker.wake();
+            }
+            self.fire_due_timers();
+            return true;
+        }
+        false
+    }
+}
+
+/// Clears the thread-local executor even if the driven future panics.
+struct ResetGuard;
+
+impl Drop for ResetGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// Drives `future` (and everything it spawns) to completion on a fresh
+/// executor. `paused` starts the virtual clock in auto-advance mode —
+/// this is what `#[tokio::test(start_paused = true)]` expands to.
+pub fn block_on_test<F>(paused: bool, future: F) -> F::Output
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let exec = Rc::new(Executor::new(paused));
+    CURRENT.with(|c| {
+        assert!(
+            c.borrow().is_none(),
+            "tokio shim: nested block_on is not supported"
+        );
+        *c.borrow_mut() = Some(Rc::clone(&exec));
+    });
+    let _guard = ResetGuard;
+
+    let result: Rc<RefCell<Option<F::Output>>> = Rc::new(RefCell::new(None));
+    let slot = Rc::clone(&result);
+    exec.spawn_task(Box::pin(async move {
+        *slot.borrow_mut() = Some(future.await);
+    }));
+
+    loop {
+        while let Some(id) = exec.ready.pop() {
+            exec.poll_task(id);
+        }
+        if result.borrow().is_some() {
+            break;
+        }
+        if !exec.idle_step() {
+            panic!(
+                "tokio shim: deadlock — the main future is pending but no \
+                 task is runnable and no timer or advance is registered"
+            );
+        }
+    }
+    let out = result.borrow_mut().take().expect("main future completed");
+    out
+}
+
+/// Drives `future` to completion with a real-time (unpaused) clock.
+pub fn block_on<F>(future: F) -> F::Output
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    block_on_test(false, future)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::time::{advance, sleep, Duration, Instant};
+
+    #[test]
+    fn paused_clock_auto_advances() {
+        crate::runtime::block_on_test(true, async {
+            let start = Instant::now();
+            sleep(Duration::from_secs(3600)).await;
+            assert_eq!(start.elapsed(), Duration::from_secs(3600));
+        });
+    }
+
+    #[test]
+    fn spawned_tasks_interleave_by_deadline() {
+        crate::runtime::block_on_test(true, async {
+            let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let l1 = std::rc::Rc::clone(&log);
+            let l2 = std::rc::Rc::clone(&log);
+            let a = crate::spawn(async move {
+                sleep(Duration::from_millis(20)).await;
+                l1.borrow_mut().push("late");
+            });
+            let b = crate::spawn(async move {
+                sleep(Duration::from_millis(10)).await;
+                l2.borrow_mut().push("early");
+            });
+            a.await.unwrap();
+            b.await.unwrap();
+            assert_eq!(*log.borrow(), ["early", "late"]);
+        });
+    }
+
+    #[test]
+    fn advance_fires_intervening_timers() {
+        crate::runtime::block_on_test(true, async {
+            let hit = std::rc::Rc::new(std::cell::Cell::new(false));
+            let h = std::rc::Rc::clone(&hit);
+            crate::spawn(async move {
+                sleep(Duration::from_millis(5)).await;
+                h.set(true);
+            });
+            advance(Duration::from_millis(10)).await;
+            assert!(hit.get());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_panics_instead_of_hanging() {
+        crate::runtime::block_on_test(true, async {
+            let (_tx, mut rx) = crate::sync::mpsc::channel::<u8>(1);
+            // _tx is alive, so recv waits forever: with no timers the shim
+            // must panic rather than spin or hang.
+            rx.recv().await;
+        });
+    }
+}

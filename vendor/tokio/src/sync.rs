@@ -1,0 +1,437 @@
+//! mpsc (bounded + unbounded) and oneshot channels.
+
+pub mod mpsc {
+    //! Multi-producer single-consumer channels.
+
+    use std::collections::VecDeque;
+    use std::future::poll_fn;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Poll, Waker};
+
+    pub mod error {
+        //! Channel error types.
+
+        /// The receiver was dropped; the value comes back.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("channel closed")
+            }
+        }
+
+        impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+    }
+
+    use error::SendError;
+
+    struct Chan<T> {
+        queue: VecDeque<T>,
+        /// `usize::MAX` for unbounded channels.
+        capacity: usize,
+        senders: usize,
+        receiver_alive: bool,
+        recv_waker: Option<Waker>,
+        send_wakers: Vec<Waker>,
+    }
+
+    impl<T> Chan<T> {
+        fn wake_receiver(&mut self) {
+            if let Some(waker) = self.recv_waker.take() {
+                waker.wake();
+            }
+        }
+
+        fn wake_senders(&mut self) {
+            for waker in self.send_wakers.drain(..) {
+                waker.wake();
+            }
+        }
+    }
+
+    fn new_chan<T>(capacity: usize) -> Arc<Mutex<Chan<T>>> {
+        Arc::new(Mutex::new(Chan {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            receiver_alive: true,
+            recv_waker: None,
+            send_wakers: Vec::new(),
+        }))
+    }
+
+    /// A bounded channel: sends wait while `buffer` messages are queued.
+    pub fn channel<T>(buffer: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(buffer > 0, "mpsc bounded channel requires buffer > 0");
+        let chan = new_chan(buffer);
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// An unbounded channel: sends always succeed while the receiver lives.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let chan = new_chan(usize::MAX);
+        (
+            UnboundedSender {
+                chan: Arc::clone(&chan),
+            },
+            UnboundedReceiver { chan },
+        )
+    }
+
+    macro_rules! name_only_debug {
+        ($($name:ident),*) => {$(
+            impl<T> std::fmt::Debug for $name<T> {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.write_str(stringify!($name))
+                }
+            }
+        )*};
+    }
+    name_only_debug!(Sender, Receiver, UnboundedSender, UnboundedReceiver);
+
+    /// Sending half of [`channel`].
+    pub struct Sender<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Queues `value`, waiting for capacity; errors when the receiver
+        /// is gone.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut value = Some(value);
+            poll_fn(|cx| {
+                let mut chan = self.chan.lock().unwrap();
+                if !chan.receiver_alive {
+                    return Poll::Ready(Err(SendError(value.take().expect("polled after ready"))));
+                }
+                if chan.queue.len() < chan.capacity {
+                    chan.queue.push_back(value.take().expect("polled after ready"));
+                    chan.wake_receiver();
+                    Poll::Ready(Ok(()))
+                } else {
+                    chan.send_wakers.push(cx.waker().clone());
+                    Poll::Pending
+                }
+            })
+            .await
+        }
+
+        /// Queues `value` if there is room right now.
+        pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut chan = self.chan.lock().unwrap();
+            if !chan.receiver_alive || chan.queue.len() >= chan.capacity {
+                return Err(SendError(value));
+            }
+            chan.queue.push_back(value);
+            chan.wake_receiver();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().unwrap().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut chan = self.chan.lock().unwrap();
+            chan.senders -= 1;
+            if chan.senders == 0 {
+                chan.wake_receiver();
+            }
+        }
+    }
+
+    /// Receiving half of [`channel`].
+    pub struct Receiver<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// The next message; `None` once every sender is dropped and the
+        /// queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            poll_fn(|cx| {
+                let mut chan = self.chan.lock().unwrap();
+                if let Some(value) = chan.queue.pop_front() {
+                    chan.wake_senders();
+                    return Poll::Ready(Some(value));
+                }
+                if chan.senders == 0 {
+                    return Poll::Ready(None);
+                }
+                chan.recv_waker = Some(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
+        }
+
+        /// Closes the channel; in-flight messages can still be received.
+        pub fn close(&mut self) {
+            let mut chan = self.chan.lock().unwrap();
+            chan.receiver_alive = false;
+            chan.wake_senders();
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.close();
+        }
+    }
+
+    /// Sending half of [`unbounded_channel`].
+    pub struct UnboundedSender<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Queues `value`; errors when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut chan = self.chan.lock().unwrap();
+            if !chan.receiver_alive {
+                return Err(SendError(value));
+            }
+            chan.queue.push_back(value);
+            chan.wake_receiver();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().unwrap().senders += 1;
+            UnboundedSender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            let mut chan = self.chan.lock().unwrap();
+            chan.senders -= 1;
+            if chan.senders == 0 {
+                chan.wake_receiver();
+            }
+        }
+    }
+
+    /// Receiving half of [`unbounded_channel`].
+    pub struct UnboundedReceiver<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// The next message; `None` once every sender is dropped and the
+        /// queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            poll_fn(|cx| {
+                let mut chan = self.chan.lock().unwrap();
+                if let Some(value) = chan.queue.pop_front() {
+                    return Poll::Ready(Some(value));
+                }
+                if chan.senders == 0 {
+                    return Poll::Ready(None);
+                }
+                chan.recv_waker = Some(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
+        }
+
+        /// Closes the channel; in-flight messages can still be received.
+        pub fn close(&mut self) {
+            self.chan.lock().unwrap().receiver_alive = false;
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.close();
+        }
+    }
+}
+
+pub mod oneshot {
+    //! Single-value channels.
+
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    pub mod error {
+        //! Oneshot error types.
+
+        /// The sender was dropped without sending.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct RecvError(pub(crate) ());
+
+        impl std::fmt::Display for RecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("channel closed")
+            }
+        }
+
+        impl std::error::Error for RecvError {}
+    }
+
+    use error::RecvError;
+
+    struct State<T> {
+        value: Option<T>,
+        sender_dropped: bool,
+        receiver_dropped: bool,
+        waker: Option<Waker>,
+    }
+
+    /// A channel carrying exactly one value.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let state = Arc::new(Mutex::new(State {
+            value: None,
+            sender_dropped: false,
+            receiver_dropped: false,
+            waker: None,
+        }));
+        (
+            Sender {
+                state: Arc::clone(&state),
+            },
+            Receiver { state },
+        )
+    }
+
+    macro_rules! name_only_debug {
+        ($($name:ident),*) => {$(
+            impl<T> std::fmt::Debug for $name<T> {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.write_str(stringify!($name))
+                }
+            }
+        )*};
+    }
+    name_only_debug!(Sender, Receiver);
+
+    /// Sending half; consumed by [`Sender::send`].
+    pub struct Sender<T> {
+        state: Arc<Mutex<State<T>>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `value`, or hands it back if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut state = self.state.lock().unwrap();
+            if state.receiver_dropped {
+                return Err(value);
+            }
+            state.value = Some(value);
+            if let Some(waker) = state.waker.take() {
+                waker.wake();
+            }
+            Ok(())
+        }
+
+        /// True when the receiver has been dropped.
+        pub fn is_closed(&self) -> bool {
+            self.state.lock().unwrap().receiver_dropped
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.state.lock().unwrap();
+            state.sender_dropped = true;
+            if let Some(waker) = state.waker.take() {
+                waker.wake();
+            }
+        }
+    }
+
+    /// Receiving half; await it for the value.
+    pub struct Receiver<T> {
+        state: Arc<Mutex<State<T>>>,
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut state = self.state.lock().unwrap();
+            if let Some(value) = state.value.take() {
+                return Poll::Ready(Ok(value));
+            }
+            if state.sender_dropped {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            state.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.state.lock().unwrap().receiver_dropped = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::block_on_test;
+    use crate::time::{sleep, Duration};
+
+    #[test]
+    fn bounded_send_waits_for_capacity() {
+        block_on_test(true, async {
+            let (tx, mut rx) = super::mpsc::channel::<u32>(1);
+            tx.send(1).await.unwrap();
+            let producer = crate::spawn(async move {
+                tx.send(2).await.unwrap(); // blocks until 1 is consumed
+                3u32
+            });
+            sleep(Duration::from_millis(1)).await;
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+            assert_eq!(producer.await.unwrap(), 3);
+            assert_eq!(rx.recv().await, None); // all senders dropped
+        });
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        block_on_test(true, async {
+            let (tx, rx) = super::mpsc::channel::<u32>(4);
+            drop(rx);
+            assert!(tx.send(7).await.is_err());
+
+            let (utx, urx) = super::mpsc::unbounded_channel::<u32>();
+            drop(urx);
+            assert!(utx.send(7).is_err());
+        });
+    }
+
+    #[test]
+    fn oneshot_round_trip_and_dropped_sender() {
+        block_on_test(true, async {
+            let (tx, rx) = super::oneshot::channel();
+            tx.send(9u8).unwrap();
+            assert_eq!(rx.await, Ok(9));
+
+            let (tx2, rx2) = super::oneshot::channel::<u8>();
+            drop(tx2);
+            assert!(rx2.await.is_err());
+        });
+    }
+}

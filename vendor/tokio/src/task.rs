@@ -1,0 +1,142 @@
+//! Task spawning and join handles.
+
+use crate::runtime::{try_with_executor, with_executor, TaskId};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct JoinState<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+/// Why a task's output could not be joined.
+#[derive(Debug)]
+pub struct JoinError {
+    cancelled: bool,
+}
+
+impl JoinError {
+    /// True when the task was aborted rather than panicking.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cancelled {
+            f.write_str("task was cancelled")
+        } else {
+            f.write_str("task failed")
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Owner handle for a spawned task; awaiting it yields the task's output.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+    id: TaskId,
+}
+
+impl<T> JoinHandle<T> {
+    /// Drops the task's future if it has not finished; the handle then
+    /// resolves to a cancelled [`JoinError`].
+    pub fn abort(&self) {
+        try_with_executor(|exec| exec.drop_task(self.id));
+        let mut state = self.state.lock().unwrap();
+        if state.result.is_none() {
+            state.result = Some(Err(JoinError { cancelled: true }));
+            if let Some(waker) = state.waker.take() {
+                waker.wake();
+            }
+        }
+    }
+
+    /// True once the task has completed or been aborted.
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().unwrap().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.state.lock().unwrap();
+        match state.result.take() {
+            Some(result) => Poll::Ready(result),
+            None => {
+                state.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Schedules `future` on the executor driving the current `block_on`.
+///
+/// Unlike the real crate there is no `Send` bound: the shim executor is
+/// single-threaded, so tasks never cross threads.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let state = Arc::new(Mutex::new(JoinState {
+        result: None,
+        waker: None,
+    }));
+    let shared = Arc::clone(&state);
+    let id = with_executor(|exec| {
+        exec.spawn_task(Box::pin(async move {
+            let output = future.await;
+            let mut state = shared.lock().unwrap();
+            state.result = Some(Ok(output));
+            if let Some(waker) = state.waker.take() {
+                waker.wake();
+            }
+        }))
+    });
+    JoinHandle { state, id }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on_test;
+    use crate::time::{sleep, Duration};
+
+    #[test]
+    fn join_returns_output() {
+        block_on_test(true, async {
+            let handle = spawn(async {
+                sleep(Duration::from_millis(1)).await;
+                41 + 1
+            });
+            assert_eq!(handle.await.unwrap(), 42);
+        });
+    }
+
+    #[test]
+    fn abort_cancels_and_join_reports_it() {
+        block_on_test(true, async {
+            let handle = spawn(async {
+                sleep(Duration::from_secs(3600)).await;
+            });
+            // Let the task start sleeping, then kill it.
+            sleep(Duration::from_millis(1)).await;
+            handle.abort();
+            let err = handle.await.unwrap_err();
+            assert!(err.is_cancelled());
+            // The aborted sleep's timer must be gone: a short sleep should
+            // advance by exactly its own duration.
+            let before = crate::time::Instant::now();
+            sleep(Duration::from_millis(5)).await;
+            assert_eq!(before.elapsed(), Duration::from_millis(5));
+        });
+    }
+}

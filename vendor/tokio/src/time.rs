@@ -1,0 +1,398 @@
+//! Virtual-time `sleep` / `timeout` / `interval` / `Instant` / `advance`.
+
+use crate::runtime::{try_with_executor, with_executor, TimerKey};
+use std::future::Future;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+use std::pin::Pin;
+use std::sync::OnceLock;
+use std::task::{Context, Poll};
+
+pub use std::time::Duration;
+
+/// Fallback epoch for `Instant::now()` outside a runtime.
+static REAL_EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+
+/// A point on the runtime's virtual clock (real monotonic time outside a
+/// runtime). Stored as the offset from the runtime epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    since_epoch: Duration,
+}
+
+impl Instant {
+    /// The current (virtual) time.
+    pub fn now() -> Instant {
+        let since_epoch = try_with_executor(|exec| exec.now())
+            .unwrap_or_else(|| REAL_EPOCH.get_or_init(std::time::Instant::now).elapsed());
+        Instant { since_epoch }
+    }
+
+    /// Time elapsed since this instant (zero if it is in the future).
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().since_epoch.saturating_sub(self.since_epoch)
+    }
+
+    /// Saturating difference, matching tokio's panic-free behaviour.
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.since_epoch.saturating_sub(earlier.since_epoch)
+    }
+
+    /// Alias of [`Instant::duration_since`] with the explicit name.
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        self.duration_since(earlier)
+    }
+
+    /// `None` on overflow.
+    pub fn checked_add(&self, duration: Duration) -> Option<Instant> {
+        self.since_epoch
+            .checked_add(duration)
+            .map(|since_epoch| Instant { since_epoch })
+    }
+
+    /// `None` on underflow.
+    pub fn checked_sub(&self, duration: Duration) -> Option<Instant> {
+        self.since_epoch
+            .checked_sub(duration)
+            .map(|since_epoch| Instant { since_epoch })
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant {
+            since_epoch: self.since_epoch + rhs,
+        }
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.since_epoch += rhs;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant {
+            since_epoch: self.since_epoch.saturating_sub(rhs),
+        }
+    }
+}
+
+impl SubAssign<Duration> for Instant {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.since_epoch = self.since_epoch.saturating_sub(rhs);
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+/// Completes once the virtual clock reaches `now + duration`.
+pub fn sleep(duration: Duration) -> Sleep {
+    sleep_until(Instant::now() + duration)
+}
+
+/// Completes once the virtual clock reaches `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep {
+        deadline,
+        key: None,
+    }
+}
+
+/// Future of [`sleep`]. Cancels its timer on drop so an abandoned sleep
+/// (e.g. the loser inside [`timeout`]) never drags the paused clock
+/// forward to its deadline.
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+    key: Option<TimerKey>,
+}
+
+impl Sleep {
+    /// The instant this sleep completes.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if Instant::now() >= this.deadline {
+            if let Some(key) = this.key.take() {
+                try_with_executor(|exec| exec.cancel_timer(key));
+            }
+            return Poll::Ready(());
+        }
+        with_executor(|exec| match this.key {
+            Some(key) => exec.update_timer(key, cx.waker().clone()),
+            None => {
+                this.key = Some(exec.register_timer(this.deadline.since_epoch, cx.waker().clone()));
+            }
+        });
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            try_with_executor(|exec| exec.cancel_timer(key));
+        }
+    }
+}
+
+/// Error of [`timeout`]: the inner future did not finish in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Races `future` against a `duration`-long sleep.
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        // Boxed so the shim can poll without unsafe pin projection.
+        future: Box::pin(future),
+        sleep: sleep(duration),
+    }
+}
+
+/// Future of [`timeout`].
+pub struct Timeout<F: Future> {
+    future: Pin<Box<F>>,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Poll::Ready(value) = this.future.as_mut().poll(cx) {
+            return Poll::Ready(Ok(value));
+        }
+        if Pin::new(&mut this.sleep).poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed(())));
+        }
+        Poll::Pending
+    }
+}
+
+/// What an [`Interval`] does about ticks its consumer was late for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissedTickBehavior {
+    /// Fire missed ticks back to back (tokio's default).
+    #[default]
+    Burst,
+    /// Schedule the next tick one full period after the late poll.
+    Delay,
+    /// Drop missed ticks and resynchronise to the original cadence.
+    Skip,
+}
+
+/// Ticks every `period`, first tick immediately (like the real crate).
+pub fn interval(period: Duration) -> Interval {
+    assert!(period > Duration::ZERO, "interval period must be non-zero");
+    Interval {
+        period,
+        deadline: Instant::now(),
+        behavior: MissedTickBehavior::Burst,
+    }
+}
+
+/// See [`interval`].
+#[derive(Debug)]
+pub struct Interval {
+    period: Duration,
+    deadline: Instant,
+    behavior: MissedTickBehavior,
+}
+
+impl Interval {
+    /// The tick period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Sets the policy for missed ticks.
+    pub fn set_missed_tick_behavior(&mut self, behavior: MissedTickBehavior) {
+        self.behavior = behavior;
+    }
+
+    /// Completes at the next tick, returning its scheduled instant.
+    pub fn tick(&mut self) -> Tick<'_> {
+        Tick {
+            interval: self,
+            key: None,
+        }
+    }
+
+    /// Pushes the next tick one full period out from now.
+    pub fn reset(&mut self) {
+        self.deadline = Instant::now() + self.period;
+    }
+}
+
+/// Future of [`Interval::tick`].
+#[derive(Debug)]
+pub struct Tick<'a> {
+    interval: &'a mut Interval,
+    key: Option<TimerKey>,
+}
+
+impl Future for Tick<'_> {
+    type Output = Instant;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Instant> {
+        let this = self.get_mut();
+        let now = Instant::now();
+        let deadline = this.interval.deadline;
+        if now >= deadline {
+            if let Some(key) = this.key.take() {
+                try_with_executor(|exec| exec.cancel_timer(key));
+            }
+            this.interval.deadline = match this.interval.behavior {
+                MissedTickBehavior::Burst => deadline + this.interval.period,
+                MissedTickBehavior::Delay => now + this.interval.period,
+                MissedTickBehavior::Skip => {
+                    let mut next = deadline;
+                    while next <= now {
+                        next += this.interval.period;
+                    }
+                    next
+                }
+            };
+            return Poll::Ready(deadline);
+        }
+        with_executor(|exec| match this.key {
+            Some(key) => exec.update_timer(key, cx.waker().clone()),
+            None => {
+                this.key = Some(exec.register_timer(deadline.since_epoch, cx.waker().clone()));
+            }
+        });
+        Poll::Pending
+    }
+}
+
+impl Drop for Tick<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            try_with_executor(|exec| exec.cancel_timer(key));
+        }
+    }
+}
+
+/// Pauses the clock: time then only moves via [`advance`] or idle
+/// auto-advance to the next timer deadline.
+pub fn pause() {
+    with_executor(|exec| exec.set_paused(true));
+}
+
+/// Resumes real-time behaviour.
+pub fn resume() {
+    with_executor(|exec| exec.set_paused(false));
+}
+
+/// Moves the paused clock forward by `duration`, firing (and running)
+/// every timer that falls inside the window first.
+pub async fn advance(duration: Duration) {
+    let target = Instant::now() + duration;
+    AdvanceFuture { target, id: None }.await
+}
+
+struct AdvanceFuture {
+    target: Instant,
+    id: Option<u64>,
+}
+
+impl Future for AdvanceFuture {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if Instant::now() >= this.target {
+            if let Some(id) = this.id.take() {
+                try_with_executor(|exec| exec.cancel_advance(id));
+            }
+            return Poll::Ready(());
+        }
+        with_executor(|exec| {
+            this.id = Some(exec.register_advance(
+                this.target.since_epoch,
+                this.id,
+                cx.waker().clone(),
+            ));
+        });
+        Poll::Pending
+    }
+}
+
+impl Drop for AdvanceFuture {
+    fn drop(&mut self) {
+        if let Some(id) = self.id.take() {
+            try_with_executor(|exec| exec.cancel_advance(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on_test;
+
+    #[test]
+    fn timeout_wins_and_loses() {
+        block_on_test(true, async {
+            let fast = timeout(Duration::from_millis(100), sleep(Duration::from_millis(10))).await;
+            assert!(fast.is_ok());
+            let slow = timeout(Duration::from_millis(10), sleep(Duration::from_millis(100))).await;
+            assert_eq!(slow, Err(Elapsed(())));
+            // The abandoned 100ms sleep must not drag the clock forward.
+            let before = Instant::now();
+            sleep(Duration::from_millis(1)).await;
+            assert_eq!(before.elapsed(), Duration::from_millis(1));
+        });
+    }
+
+    #[test]
+    fn interval_delay_reschedules_from_poll_time() {
+        block_on_test(true, async {
+            let start = Instant::now();
+            let mut ticker = interval(Duration::from_secs(60));
+            ticker.set_missed_tick_behavior(MissedTickBehavior::Delay);
+            ticker.tick().await; // immediate
+            assert_eq!(start.elapsed(), Duration::ZERO);
+            ticker.tick().await;
+            assert_eq!(start.elapsed(), Duration::from_secs(60));
+            ticker.tick().await;
+            assert_eq!(start.elapsed(), Duration::from_secs(120));
+        });
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let a = Instant {
+            since_epoch: Duration::from_secs(5),
+        };
+        let b = a + Duration::from_secs(2);
+        assert_eq!(b - a, Duration::from_secs(2));
+        assert_eq!(a - b, Duration::ZERO); // saturating
+        assert_eq!(a.checked_sub(Duration::from_secs(10)), None);
+    }
+}
