@@ -7,12 +7,13 @@
 #   make test-all — every workspace member's tests
 #   make doc    — rustdoc for all workspace crates (no deps)
 #   make lint   — clippy, warnings as errors
+#   make soak   — short deterministic multi-user host soak (E3H)
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-all doc lint clean
+.PHONY: ci build test test-all doc lint soak clean
 
-ci: build test doc lint
+ci: build test doc lint soak
 
 build:
 	$(CARGO) build --release
@@ -28,6 +29,9 @@ doc:
 
 lint:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+soak:
+	$(CARGO) run --release -q -p simba-bench --bin exp_e3_host_soak -- --users 20 --alerts 50 --seed 42
 
 clean:
 	$(CARGO) clean

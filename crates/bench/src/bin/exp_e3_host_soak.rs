@@ -1,0 +1,25 @@
+//! Runs the E3H multi-user host soak and prints its tables.
+//!
+//! Usage: `exp_e3_host_soak [--users N] [--alerts M] [--ring R] [--seed S]`
+
+use simba_bench::experiments::e3_host_soak::{run_with, SoakOptions};
+
+fn main() {
+    let mut opts = SoakOptions::new(42);
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().and_then(|v| v.parse::<u64>().ok());
+        match (flag.as_str(), value) {
+            ("--users", Some(v)) => opts.users = v as usize,
+            ("--alerts", Some(v)) => opts.alerts_per_user = v as usize,
+            ("--ring", Some(v)) => opts.completed_ring = v as usize,
+            ("--seed", Some(v)) => opts.seed = v,
+            (other, _) => {
+                eprintln!("usage: exp_e3_host_soak [--users N] [--alerts M] [--ring R] [--seed S]");
+                eprintln!("unknown or valueless flag: {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    run_with(opts).print();
+}

@@ -11,6 +11,7 @@ pub mod a6_sanity;
 pub mod e1_im_latency;
 pub mod e2_proxy;
 pub mod e3_aladdin;
+pub mod e3_host_soak;
 pub mod e4_wish;
 pub mod e5_faultlog;
 
@@ -67,6 +68,7 @@ pub fn run_all(seed: u64) -> Vec<ExperimentOutput> {
         e1_im_latency::run(seed),
         e2_proxy::run(seed),
         e3_aladdin::run(seed),
+        e3_host_soak::run(seed),
         e4_wish::run(seed),
         e5_faultlog::run(seed),
         a1_strategies::run(seed),

@@ -503,6 +503,58 @@ fn telemetry_tail(path: &str) -> Outcome {
     Outcome::ok(out)
 }
 
+/// `host [--users N] [--alerts M] [--ring R] [--seed S]` — run the
+/// multi-user MabHost soak interactively and report the outcome mix,
+/// bounded-state peaks/floors, and wall-clock throughput.
+pub fn host(args: &[String]) -> Outcome {
+    use simba_bench::experiments::e3_host_soak::{measure, SoakOptions};
+
+    let mut opts = SoakOptions::new(42);
+    // Interactive default: a tenth of the full soak, still mixed-outcome.
+    opts.users = 10;
+    opts.alerts_per_user = 50;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--users" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.users = v,
+                None => return Outcome::usage("--users needs a number"),
+            },
+            "--alerts" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.alerts_per_user = v,
+                None => return Outcome::usage("--alerts needs a number"),
+            },
+            "--ring" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.completed_ring = v,
+                None => return Outcome::usage("--ring needs a number"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => return Outcome::usage("--seed needs a number"),
+            },
+            other => return Outcome::usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if opts.users == 0 || opts.alerts_per_user == 0 {
+        return Outcome::usage("--users and --alerts must be at least 1");
+    }
+    let (numbers, tables) = measure(opts);
+    let mut out = format!(
+        "host soak: {} users x {} alerts (seed {})\n\n",
+        opts.users, opts.alerts_per_user, opts.seed
+    );
+    for t in &tables {
+        out.push_str(&t.to_text());
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{} deliveries drained to the floor at {:.0} alerts/s",
+        numbers.finished, numbers.throughput
+    );
+    Outcome::ok(out)
+}
+
 fn demo_faultlog(seed: u64, fixes: bool) -> String {
     use simba_bench::faultlog::{run_campaign, CampaignOptions};
     let result = run_campaign(&CampaignOptions {
@@ -652,6 +704,18 @@ mod tests {
         assert_eq!(demo(&strings(&["pipeline", "--seed", "NaN"])).code, 2);
         assert_eq!(demo(&strings(&["nonsense"])).code, 2);
         assert_eq!(demo(&strings(&[])).code, 2);
+    }
+
+    #[test]
+    fn host_soak_reports_floor_and_throughput() {
+        let out = host(&strings(&["--users", "4", "--alerts", "10", "--seed", "7"]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("host soak: 4 users x 10 alerts"), "{}", out.output);
+        assert!(out.output.contains("terminal outcome mix"), "{}", out.output);
+        assert!(out.output.contains("drained to the floor"), "{}", out.output);
+        assert_eq!(host(&strings(&["--users", "NaN"])).code, 2);
+        assert_eq!(host(&strings(&["--users", "0"])).code, 2);
+        assert_eq!(host(&strings(&["--frobnicate"])).code, 2);
     }
 
     #[test]

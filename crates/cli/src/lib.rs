@@ -10,6 +10,9 @@
 //!   a torn tail, as a restarting MyAlertBuddy would);
 //! * `demo pipeline|faultlog` — run the simulated deployment and print the
 //!   summary tables;
+//! * `host` — soak a multi-user `MabHost` fleet with mixed
+//!   ack/timeout/failure outcomes and report the outcome mix,
+//!   bounded-state peaks, and throughput;
 //! * `telemetry demo|tail` — run an instrumented pipeline and print its
 //!   structured event stream and metrics snapshot, or pretty-print a
 //!   JSON-lines event file captured elsewhere.
@@ -64,6 +67,7 @@ USAGE:
   simba-cli wal inspect <file.wal>
   simba-cli demo pipeline  [--seed <n>] [--alerts <n>]
   simba-cli demo faultlog  [--seed <n>] [--fixes]
+  simba-cli host [--users <n>] [--alerts <n>] [--ring <n>] [--seed <n>]
   simba-cli telemetry demo [--seed <n>] [--alerts <n>] [--json]
   simba-cli telemetry tail <file.jsonl>
   simba-cli help
@@ -84,6 +88,7 @@ pub fn run(args: &[String]) -> Outcome {
         Some("explain") => commands::explain(&args[1..]),
         Some("wal") => commands::wal(&args[1..]),
         Some("demo") => commands::demo(&args[1..]),
+        Some("host") => commands::host(&args[1..]),
         Some("telemetry") => commands::telemetry(&args[1..]),
         Some(other) => Outcome::usage(&format!("unknown command {other:?}")),
     }

@@ -147,6 +147,16 @@ impl DeliveryStatus {
     pub fn is_handed_off(self) -> bool {
         matches!(self, DeliveryStatus::Acked { .. } | DeliveryStatus::Unconfirmed { .. })
     }
+
+    /// When the terminal state was reached (`None` while in progress).
+    pub fn terminal_at(self) -> Option<SimTime> {
+        match self {
+            DeliveryStatus::InProgress => None,
+            DeliveryStatus::Acked { at, .. }
+            | DeliveryStatus::Unconfirmed { at, .. }
+            | DeliveryStatus::Exhausted { at } => Some(at),
+        }
+    }
 }
 
 /// Outcome of one attempt, for reporting.
@@ -274,18 +284,37 @@ impl DeliveryProcess {
     pub fn handle(&mut self, event: DeliveryEvent, book: &AddressBook, now: SimTime) -> Vec<DeliveryCommand> {
         let mut cmds = Vec::new();
         if self.status.is_terminal() {
-            // Late events (acks after fallback already concluded) can still
-            // upgrade an Unconfirmed/Exhausted outcome to Acked: the user
-            // did receive it.
-            if let DeliveryEvent::Acked { attempt } = event {
-                if !matches!(self.status, DeliveryStatus::Acked { .. }) {
-                    if let Some(rec) = self.record_mut(attempt) {
-                        rec.outcome = AttemptOutcome::Acked(now);
-                        let block = rec.block;
-                        self.status = DeliveryStatus::Acked { attempt, at: now, block };
-                        self.note_acked(block, now, true);
+            match event {
+                // Late events (acks after fallback already concluded) can
+                // still upgrade an Unconfirmed/Exhausted outcome to Acked:
+                // the user did receive it.
+                DeliveryEvent::Acked { attempt } => {
+                    if !matches!(self.status, DeliveryStatus::Acked { .. }) {
+                        if let Some(rec) = self.record_mut(attempt) {
+                            rec.outcome = AttemptOutcome::Acked(now);
+                            let block = rec.block;
+                            self.status = DeliveryStatus::Acked { attempt, at: now, block };
+                            self.note_acked(block, now, true);
+                        }
                     }
                 }
+                // Straggling send outcomes are recorded for accurate
+                // reporting but never regress a concluded status.
+                DeliveryEvent::SendAccepted { attempt } => {
+                    if let Some(rec) = self.record_mut(attempt) {
+                        if matches!(rec.outcome, AttemptOutcome::Pending) {
+                            rec.outcome = AttemptOutcome::Accepted;
+                        }
+                    }
+                }
+                DeliveryEvent::SendFailed { attempt, failure } => {
+                    if let Some(rec) = self.record_mut(attempt) {
+                        if matches!(rec.outcome, AttemptOutcome::Pending) {
+                            rec.outcome = AttemptOutcome::Failed(failure);
+                        }
+                    }
+                }
+                DeliveryEvent::TimerFired { .. } => {}
             }
             return cmds;
         }
@@ -370,7 +399,6 @@ impl DeliveryProcess {
     /// resolved.
     fn check_block_progress(&mut self, book: &AddressBook, now: SimTime, cmds: &mut Vec<DeliveryCommand>) {
         let issued = self.current.len();
-        let resolved = self.current_failed + self.current_accepted;
         let ack_required = matches!(
             self.mode.blocks()[self.block_idx].ack,
             AckPolicy::Required(_)
@@ -378,7 +406,9 @@ impl DeliveryProcess {
         if self.current_failed == issued {
             // Everything failed synchronously: no point waiting for the timer.
             self.advance(book, now, cmds);
-        } else if !ack_required && resolved == issued && self.current_accepted > 0 {
+        } else if !ack_required && self.current_accepted > 0 {
+            // Fire-and-forget: one accepted send hands the alert off; sibling
+            // attempts still pending (or failing later) cannot change that.
             self.status = DeliveryStatus::Unconfirmed { at: now, block: self.block_idx };
             if self.telemetry.enabled() {
                 self.telemetry.metrics().counter("delivery.unconfirmed").incr();
@@ -735,6 +765,92 @@ mod tests {
             t(1),
         );
         assert_eq!(sends(&cmds2), vec![("Work email", CommType::Email)]);
+    }
+
+    #[test]
+    fn fire_and_forget_block_concludes_on_first_accept() {
+        // Regression: a two-action fire-and-forget block used to wait for
+        // *every* attempt to resolve, so one accepted send plus one
+        // forever-pending send left the delivery stuck InProgress. The
+        // module contract is "completes (unconfirmed) as soon as one send
+        // is accepted".
+        let b = book();
+        let mode = DeliveryMode::new(
+            "Blast",
+            vec![Block::fire_and_forget(vec!["MSN IM".into(), "Cell SMS".into()])],
+        )
+        .unwrap();
+        let (mut p, _) = DeliveryProcess::start(alert(), mode, &b, t(0));
+        let ids: Vec<AttemptId> = p.attempts().iter().map(|r| r.attempt).collect();
+        assert_eq!(ids.len(), 2);
+
+        // First accept concludes the block; the SMS attempt never resolves.
+        p.handle(DeliveryEvent::SendAccepted { attempt: ids[0] }, &b, t(1));
+        assert_eq!(p.status(), DeliveryStatus::Unconfirmed { at: t(1), block: 0 });
+        assert_eq!(p.status().terminal_at(), Some(t(1)));
+    }
+
+    #[test]
+    fn late_failure_does_not_regress_fire_and_forget_outcome() {
+        let b = book();
+        let mode = DeliveryMode::new(
+            "Blast",
+            vec![
+                Block::fire_and_forget(vec!["MSN IM".into(), "Cell SMS".into()]),
+                Block::fire_and_forget(vec!["Work email".into()]),
+            ],
+        )
+        .unwrap();
+        let (mut p, _) = DeliveryProcess::start(alert(), mode, &b, t(0));
+        let ids: Vec<AttemptId> = p.attempts().iter().map(|r| r.attempt).collect();
+        p.handle(DeliveryEvent::SendAccepted { attempt: ids[0] }, &b, t(1));
+        assert_eq!(p.status(), DeliveryStatus::Unconfirmed { at: t(1), block: 0 });
+
+        // The sibling SMS fails afterwards: status must not regress and no
+        // fallback block may fire.
+        let cmds = p.handle(
+            DeliveryEvent::SendFailed { attempt: ids[1], failure: SendFailure::ChannelDown },
+            &b,
+            t(2),
+        );
+        assert!(cmds.is_empty());
+        assert_eq!(p.status(), DeliveryStatus::Unconfirmed { at: t(1), block: 0 });
+        assert_eq!(p.attempts()[1].outcome, AttemptOutcome::Failed(SendFailure::ChannelDown));
+    }
+
+    #[test]
+    fn stale_send_accepted_after_fallback_does_not_conclude_block() {
+        // Race: the IM channel's accept straggles in after the ack window
+        // already expired and the email block fired. The stale accept must
+        // not count toward the *current* (email) block.
+        let b = book();
+        let (mut p, cmds) = DeliveryProcess::start(alert(), im_then_email(), &b, t(0));
+        let a = first_attempt(&cmds);
+        let tm = timer(&cmds);
+        // No accept yet; timer fires → fall back to email.
+        let cmds2 = p.handle(DeliveryEvent::TimerFired { timer: tm }, &b, t(60));
+        assert_eq!(sends(&cmds2), vec![("Work email", CommType::Email)]);
+
+        // Stale accept for the old IM attempt arrives.
+        assert!(p.handle(DeliveryEvent::SendAccepted { attempt: a }, &b, t(61)).is_empty());
+        assert_eq!(p.status(), DeliveryStatus::InProgress);
+        assert_eq!(p.attempts()[0].outcome, AttemptOutcome::Accepted);
+
+        // Only the email block's own accept concludes the delivery.
+        let a2 = first_attempt(&cmds2);
+        p.handle(DeliveryEvent::SendAccepted { attempt: a2 }, &b, t(62));
+        assert_eq!(p.status(), DeliveryStatus::Unconfirmed { at: t(62), block: 1 });
+    }
+
+    #[test]
+    fn terminal_at_reports_conclusion_time() {
+        let b = book();
+        let (mut p, cmds) = DeliveryProcess::start(alert(), im_then_email(), &b, t(0));
+        assert_eq!(p.status().terminal_at(), None);
+        let a = first_attempt(&cmds);
+        p.handle(DeliveryEvent::SendAccepted { attempt: a }, &b, t(1));
+        p.handle(DeliveryEvent::Acked { attempt: a }, &b, t(4));
+        assert_eq!(p.status().terminal_at(), Some(t(4)));
     }
 
     #[test]

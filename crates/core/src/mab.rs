@@ -15,13 +15,16 @@
 
 use crate::alert::{Alert, AlertId, IncomingAlert};
 use crate::classify::Classifier;
-use crate::delivery::{DeliveryCommand, DeliveryEvent, DeliveryProcess, DeliveryStatus};
+use crate::delivery::{AttemptId, DeliveryCommand, DeliveryEvent, DeliveryProcess, DeliveryStatus};
 use crate::rejuvenate::{RejuvenationPolicy, RejuvenationTrigger};
 use crate::subscription::{SubscriptionRegistry, UserId};
 use crate::wal::{WalRecord, WriteAheadLog};
-use simba_sim::SimTime;
+use simba_sim::{SimDuration, SimTime};
 use simba_telemetry::{Event, Telemetry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default capacity of the completed-delivery ring.
+pub const DEFAULT_COMPLETED_CAP: usize = 256;
 
 /// Identifies one in-flight delivery inside MyAlertBuddy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -131,6 +134,45 @@ pub struct MabStats {
     pub replayed: u64,
     /// Remote rejuvenation commands honoured.
     pub remote_commands: u64,
+    /// Terminal deliveries retired out of the active table.
+    pub retired: u64,
+}
+
+impl MabStats {
+    /// Sums `other` into `self` (host-level aggregation across users).
+    pub fn merge(&mut self, other: MabStats) {
+        self.received_im += other.received_im;
+        self.received_email += other.received_email;
+        self.acked += other.acked;
+        self.rejected += other.rejected;
+        self.routed += other.routed;
+        self.unsubscribed += other.unsubscribed;
+        self.deliveries_started += other.deliveries_started;
+        self.replayed += other.replayed;
+        self.remote_commands += other.remote_commands;
+        self.retired += other.retired;
+    }
+}
+
+/// The summary of a delivery evicted from the active table after reaching
+/// a terminal state; kept in a bounded completed-ring for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetiredDelivery {
+    /// The delivery's id (never reused).
+    pub id: DeliveryId,
+    /// The subscriber it delivered to.
+    pub user: UserId,
+    /// The terminal status at retirement.
+    pub status: DeliveryStatus,
+    /// Every attempt the process issued (the runtime uses this to drop
+    /// its `attempt_owner` entries).
+    pub attempts: Vec<AttemptId>,
+    /// Messages actually sent (the irritability cost).
+    pub messages_sent: usize,
+    /// When the delivery started.
+    pub started_at: SimTime,
+    /// When it was retired.
+    pub retired_at: SimTime,
 }
 
 /// The MyAlertBuddy daemon state machine.
@@ -139,6 +181,9 @@ pub struct MyAlertBuddy<W> {
     config: MabConfig,
     wal: W,
     deliveries: BTreeMap<DeliveryId, (UserId, DeliveryProcess)>,
+    completed: VecDeque<RetiredDelivery>,
+    completed_cap: usize,
+    retirement_grace: SimDuration,
     next_delivery: u64,
     next_alert: u64,
     stats: MabStats,
@@ -158,6 +203,9 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
             config,
             wal,
             deliveries: BTreeMap::new(),
+            completed: VecDeque::new(),
+            completed_cap: DEFAULT_COMPLETED_CAP,
+            retirement_grace: SimDuration::ZERO,
             next_delivery: 0,
             next_alert: 0,
             stats: MabStats::default(),
@@ -248,6 +296,90 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
     /// All deliveries and their owners (for reporting).
     pub fn deliveries(&self) -> impl Iterator<Item = (DeliveryId, &UserId, &DeliveryProcess)> {
         self.deliveries.iter().map(|(id, (u, p))| (*id, u, p))
+    }
+
+    /// Deliveries held in the active table (in-progress plus terminal ones
+    /// not yet retired). The soak harness asserts this returns to zero.
+    pub fn tracked(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// The completed-ring contents, oldest first.
+    pub fn retired(&self) -> impl Iterator<Item = &RetiredDelivery> {
+        self.completed.iter()
+    }
+
+    /// Number of retired summaries currently held (≤ the configured cap).
+    pub fn retired_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Every id below this has been assigned to a delivery. Monotone; the
+    /// runtime snapshots it around an event to learn which deliveries that
+    /// event started.
+    pub fn delivery_watermark(&self) -> u64 {
+        self.next_delivery
+    }
+
+    /// Configures delivery retirement: `grace` is how long a terminal
+    /// delivery lingers in the active table (giving straggling acks a
+    /// chance to upgrade the outcome), `completed_cap` bounds the ring of
+    /// retired summaries.
+    pub fn set_retirement(&mut self, grace: SimDuration, completed_cap: usize) {
+        self.retirement_grace = grace;
+        self.completed_cap = completed_cap;
+        while self.completed.len() > completed_cap {
+            self.completed.pop_front();
+        }
+    }
+
+    /// Evicts deliveries that reached a terminal state at least
+    /// `retirement_grace` ago: they leave the active table for the bounded
+    /// completed-ring, and their summaries are returned so the harness can
+    /// drop per-attempt bookkeeping and cancel pending timer tasks.
+    pub fn retire_terminal(&mut self, now: SimTime) -> Vec<RetiredDelivery> {
+        let due: Vec<DeliveryId> = self
+            .deliveries
+            .iter()
+            .filter_map(|(id, (_, p))| {
+                let at = p.status().terminal_at()?;
+                (now.since(at) >= self.retirement_grace).then_some(*id)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(due.len());
+        for id in due {
+            let Some((user, process)) = self.deliveries.remove(&id) else {
+                continue;
+            };
+            let summary = RetiredDelivery {
+                id,
+                user,
+                status: process.status(),
+                attempts: process.attempts().iter().map(|r| r.attempt).collect(),
+                messages_sent: process.messages_sent(),
+                started_at: process.started_at(),
+                retired_at: now,
+            };
+            self.stats.retired += 1;
+            if self.telemetry.enabled() {
+                self.telemetry.metrics().counter("mab.retired").incr();
+                self.telemetry.emit(
+                    Event::new("mab.retired", now.as_millis())
+                        .with("delivery", id.0)
+                        .with("user", summary.user.0.clone())
+                        .with("status", status_name(summary.status))
+                        .with("attempts", summary.attempts.len()),
+                );
+            }
+            if self.completed_cap > 0 {
+                if self.completed.len() == self.completed_cap {
+                    self.completed.pop_front();
+                }
+                self.completed.push_back(summary.clone());
+            }
+            out.push(summary);
+        }
+        out
     }
 
     /// Replays unprocessed log records (the restart protocol). Returns the
@@ -411,7 +543,9 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
                         .with("source", alert.source.as_str()),
                 );
             }
-            let _ = self.wal.mark_processed(record.id);
+            if !self.mark_processed_or_crash(record.id, now) {
+                return;
+            }
             cmds.push(MabCommand::Rejuvenate(trigger));
             return;
         }
@@ -505,7 +639,35 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
             return;
         }
         // (4) Mark processed.
-        let _ = self.wal.mark_processed(record.id);
+        self.mark_processed_or_crash(record.id, now);
+    }
+
+    /// Marks a log record processed, treating failure like a failed
+    /// append: the buddy crashes rather than letting disk and memory
+    /// diverge silently. The record stays unprocessed, so the next
+    /// incarnation replays it — a duplicate the user-side dedup discards.
+    fn mark_processed_or_crash(&mut self, id: u64, now: SimTime) -> bool {
+        if self.wal.mark_processed(id).is_ok() {
+            return true;
+        }
+        self.crashed = true;
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("mab.crashes").incr();
+            self.telemetry.emit(
+                Event::new("mab.crashed", now.as_millis()).with("point", "wal_mark_failed"),
+            );
+        }
+        false
+    }
+}
+
+/// Short stable status name for telemetry events.
+fn status_name(status: DeliveryStatus) -> &'static str {
+    match status {
+        DeliveryStatus::InProgress => "in_progress",
+        DeliveryStatus::Acked { .. } => "acked",
+        DeliveryStatus::Unconfirmed { .. } => "unconfirmed",
+        DeliveryStatus::Exhausted { .. } => "exhausted",
     }
 }
 
@@ -739,6 +901,177 @@ mod tests {
         m.handle(MabEvent::AlertByIm(sensor_alert(1)), t(1));
         assert_eq!(m.stats().unsubscribed, 1);
         assert_eq!(m.stats().deliveries_started, 0);
+    }
+
+    /// A log whose processed-marks can be made to fail, for exercising the
+    /// disk/memory-divergence crash path.
+    struct MarkFailWal {
+        inner: InMemoryWal,
+        fail_marks: bool,
+    }
+
+    impl WriteAheadLog for MarkFailWal {
+        fn append(&mut self, alert: &IncomingAlert, received_at: SimTime) -> Result<u64, crate::wal::WalError> {
+            self.inner.append(alert, received_at)
+        }
+
+        fn mark_processed(&mut self, id: u64) -> Result<(), crate::wal::WalError> {
+            if self.fail_marks {
+                Err(crate::wal::WalError::Io(std::io::Error::other("disk full")))
+            } else {
+                self.inner.mark_processed(id)
+            }
+        }
+
+        fn unprocessed(&self) -> Vec<WalRecord> {
+            self.inner.unprocessed()
+        }
+
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+    }
+
+    #[test]
+    fn failed_processed_mark_crashes_like_failed_append() {
+        // Regression: a mark_processed error used to be swallowed by
+        // `let _ =`, leaving the record unprocessed with no signal. It must
+        // crash the buddy (the MDC restarts it; replay dedups the alert).
+        use simba_telemetry::{RingBufferSink, Telemetry};
+        let sink = std::sync::Arc::new(RingBufferSink::new(64));
+        let wal = MarkFailWal { inner: InMemoryWal::new(), fail_marks: true };
+        let mut m = MyAlertBuddy::new(config(), wal, SimTime::ZERO)
+            .with_telemetry(Telemetry::with_sink(sink.clone()));
+        let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(1)), t(1));
+
+        // The pipeline ran (ack + route went out) before the mark failed...
+        assert!(cmds.iter().any(|c| matches!(c, MabCommand::AckIm { .. })));
+        assert!(cmds.iter().any(|c| matches!(c, MabCommand::Channel { .. })));
+        // ...then the buddy crashed instead of continuing with divergent state.
+        assert!(m.is_crashed());
+        assert!(!m.are_you_working());
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| e.name == "mab.crashed"
+                && e.fields.iter().any(|(k, v)| k == "point" && v.to_string().contains("wal_mark_failed"))));
+
+        // The record survives unprocessed: the next incarnation replays it.
+        let wal = m.into_wal();
+        assert_eq!(wal.unprocessed().len(), 1);
+        let mut m2 = MyAlertBuddy::new(config(), MarkFailWal { inner: wal.inner, fail_marks: false }, t(10));
+        let replay = m2.recover(t(10));
+        assert!(replay.iter().any(|c| matches!(c, MabCommand::Channel { .. })));
+        assert!(m2.wal().unprocessed().is_empty());
+    }
+
+    #[test]
+    fn failed_mark_on_remote_rejuvenate_crashes_without_rejuvenating() {
+        let wal = MarkFailWal { inner: InMemoryWal::new(), fail_marks: true };
+        let mut m = MyAlertBuddy::new(config(), wal, SimTime::ZERO);
+        let cmds = m.handle(
+            MabEvent::AlertByIm(IncomingAlert::from_im("aladdin-gw", "SIMBA-REJUVENATE", t(0))),
+            t(1),
+        );
+        // Crashing beats gracefully rejuvenating: the MDC restart covers both.
+        assert!(!cmds.iter().any(|c| matches!(c, MabCommand::Rejuvenate(_))));
+        assert!(m.is_crashed());
+    }
+
+    /// Drives one alert to a terminal state and returns (mab, delivery id).
+    fn delivered_mab(secs: u64) -> (MyAlertBuddy<InMemoryWal>, DeliveryId) {
+        let mut m = mab();
+        let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(secs)), t(secs));
+        let (id, attempt) = cmds
+            .iter()
+            .find_map(|c| match c {
+                MabCommand::Channel {
+                    delivery,
+                    command: DeliveryCommand::Send { attempt, .. },
+                    ..
+                } => Some((*delivery, *attempt)),
+                _ => None,
+            })
+            .unwrap();
+        m.handle(
+            MabEvent::Delivery { id, event: DeliveryEvent::SendAccepted { attempt } },
+            t(secs + 1),
+        );
+        m.handle(
+            MabEvent::Delivery { id, event: DeliveryEvent::Acked { attempt } },
+            t(secs + 2),
+        );
+        (m, id)
+    }
+
+    #[test]
+    fn retire_terminal_evicts_only_terminal_deliveries() {
+        let (mut m, id) = delivered_mab(1);
+        // A second, still-pending delivery.
+        m.handle(MabEvent::AlertByIm(sensor_alert(5)), t(5));
+        assert_eq!(m.tracked(), 2);
+        assert_eq!(m.in_flight(), 1);
+
+        let retired = m.retire_terminal(t(10));
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].id, id);
+        assert_eq!(retired[0].user, UserId::new("alice"));
+        assert!(matches!(retired[0].status, DeliveryStatus::Acked { .. }));
+        assert_eq!(retired[0].attempts.len(), 1);
+        assert_eq!(retired[0].started_at, t(1));
+        assert_eq!(retired[0].retired_at, t(10));
+
+        // The acked delivery left the table; the pending one stayed.
+        assert_eq!(m.tracked(), 1);
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.delivery_status(id), None);
+        assert_eq!(m.retired_len(), 1);
+        assert_eq!(m.stats().retired, 1);
+        // Ids are never reused: the watermark is untouched by retirement.
+        assert_eq!(m.delivery_watermark(), 2);
+    }
+
+    #[test]
+    fn retirement_grace_keeps_terminal_deliveries_for_late_acks() {
+        let (mut m, id) = delivered_mab(1);
+        m.set_retirement(SimDuration::from_secs(60), DEFAULT_COMPLETED_CAP);
+        // Terminal at t(3); within the grace window nothing is retired.
+        assert!(m.retire_terminal(t(30)).is_empty());
+        assert_eq!(m.delivery_status(id).map(|s| s.is_terminal()), Some(true));
+        // Past the window it goes.
+        assert_eq!(m.retire_terminal(t(63)).len(), 1);
+        assert_eq!(m.delivery_status(id), None);
+    }
+
+    #[test]
+    fn completed_ring_is_bounded() {
+        let mut m = mab();
+        m.set_retirement(SimDuration::ZERO, 2);
+        for i in 0..4u64 {
+            let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(10 * i + 1)), t(10 * i + 1));
+            let (id, attempt) = cmds
+                .iter()
+                .find_map(|c| match c {
+                    MabCommand::Channel {
+                        delivery,
+                        command: DeliveryCommand::Send { attempt, .. },
+                        ..
+                    } => Some((*delivery, *attempt)),
+                    _ => None,
+                })
+                .unwrap();
+            m.handle(
+                MabEvent::Delivery { id, event: DeliveryEvent::Acked { attempt } },
+                t(10 * i + 2),
+            );
+            m.retire_terminal(t(10 * i + 3));
+        }
+        // All four retired, but the ring only keeps the newest two.
+        assert_eq!(m.stats().retired, 4);
+        assert_eq!(m.retired_len(), 2);
+        let kept: Vec<u64> = m.retired().map(|r| r.id.0).collect();
+        assert_eq!(kept, vec![2, 3]);
+        assert_eq!(m.tracked(), 0);
     }
 
     #[test]

@@ -28,6 +28,46 @@ pub trait Channels: Send + 'static {
     fn send(&mut self, comm_type: CommType, address: &str, text: &str) -> SendOutcome;
 }
 
+/// A cloneable wrapper sharing one [`Channels`] implementation between
+/// several services — the shape a multi-tenant [`crate::MabHost`] needs,
+/// where every per-user service sends through the same gateway adapters.
+///
+/// Sends are serialized by a mutex; that matches the [`Channels`]
+/// contract (cheap, non-blocking submissions), so contention stays low
+/// even with many tenants.
+#[derive(Debug)]
+pub struct SharedChannels<C> {
+    inner: std::sync::Arc<std::sync::Mutex<C>>,
+}
+
+impl<C> Clone for SharedChannels<C> {
+    fn clone(&self) -> Self {
+        SharedChannels { inner: std::sync::Arc::clone(&self.inner) }
+    }
+}
+
+impl<C: Channels> SharedChannels<C> {
+    /// Wraps `channels` for sharing.
+    pub fn new(channels: C) -> Self {
+        SharedChannels { inner: std::sync::Arc::new(std::sync::Mutex::new(channels)) }
+    }
+
+    /// Runs `f` with the wrapped adapter (e.g. to script outcomes or
+    /// inspect a loopback's sent log mid-test).
+    pub fn with<R>(&self, f: impl FnOnce(&mut C) -> R) -> R {
+        f(&mut self.inner.lock().expect("channels poisoned"))
+    }
+}
+
+impl<C: Channels> Channels for SharedChannels<C> {
+    fn send(&mut self, comm_type: CommType, address: &str, text: &str) -> SendOutcome {
+        self.inner
+            .lock()
+            .expect("channels poisoned")
+            .send(comm_type, address, text)
+    }
+}
+
 /// An in-process adapter for demos and tests: per-address scripted
 /// behaviour with a configurable default.
 #[derive(Debug)]
@@ -116,5 +156,15 @@ mod tests {
     fn accept_all_has_no_acks() {
         let mut c = LoopbackChannels::accept_all();
         assert_eq!(c.send(CommType::Im, "im:x", "hi"), SendOutcome::Accepted);
+    }
+
+    #[test]
+    fn shared_channels_fan_in_to_one_adapter() {
+        let shared = SharedChannels::new(LoopbackChannels::accept_all());
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        a.send(CommType::Im, "im:a", "hi");
+        b.send(CommType::Email, "b@c", "yo");
+        assert_eq!(shared.with(|c| c.sent().len()), 2);
     }
 }

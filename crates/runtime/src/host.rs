@@ -1,0 +1,531 @@
+//! Multi-tenant hosting: one [`MabService`] per user over shared channels.
+//!
+//! The paper's MyAlertBuddy is a *per-user* always-on agent (§3.3); a
+//! deployment therefore runs many of them. [`MabHost`] is that deployment
+//! shape: it spawns one service task per registered user — each with its
+//! own WAL (a per-user file under [`HostConfig::wal_dir`], or in-memory) —
+//! routes incoming alerts to the owning user's service, merges every
+//! service's notice stream into one [`HostNotice`] stream, and aggregates
+//! per-service [`ServiceSnapshot`]s so operators can watch the fleet's
+//! delivery state stay bounded under load.
+
+use crate::channels::Channels;
+use crate::clock::RuntimeClock;
+use crate::service::{MabHandle, MabService, RuntimeNotice, ServiceSnapshot};
+use simba_core::alert::IncomingAlert;
+use simba_core::mab::MabStats;
+use simba_core::subscription::UserId;
+use simba_core::wal::{FileWal, InMemoryWal, WalError};
+use simba_core::{MabConfig, Telemetry};
+use simba_sim::SimDuration;
+use simba_telemetry::Event;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use tokio::sync::mpsc;
+use tokio::task::JoinHandle;
+
+/// Host-level configuration shared by every tenant service.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Directory for per-user WAL files (`<user>.wal`, opened tolerantly
+    /// as a restarting buddy would). `None` keeps each log in memory.
+    pub wal_dir: Option<PathBuf>,
+    /// How long a terminal delivery lingers before retirement (giving
+    /// straggling acks a chance to upgrade the outcome).
+    pub retirement_grace: SimDuration,
+    /// Per-user completed-ring capacity.
+    pub completed_ring: usize,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            wal_dir: None,
+            retirement_grace: SimDuration::ZERO,
+            completed_ring: simba_core::mab::DEFAULT_COMPLETED_CAP,
+        }
+    }
+}
+
+/// Why the host refused an operation.
+#[derive(Debug)]
+pub enum HostError {
+    /// The user already has a running service.
+    DuplicateUser(
+        /// Who.
+        UserId,
+    ),
+    /// Opening the user's write-ahead log failed.
+    Wal(
+        /// The underlying error.
+        WalError,
+    ),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::DuplicateUser(user) => write!(f, "user {user} already hosted"),
+            HostError::Wal(e) => write!(f, "wal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<WalError> for HostError {
+    fn from(e: WalError) -> Self {
+        HostError::Wal(e)
+    }
+}
+
+/// A service notice tagged with the user whose buddy emitted it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostNotice {
+    /// The tenant.
+    pub user: UserId,
+    /// What their service reported.
+    pub notice: RuntimeNotice,
+}
+
+/// Aggregated state across every tenant service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostSnapshot {
+    /// Hosted users.
+    pub users: usize,
+    /// Merged running totals.
+    pub stats: MabStats,
+    /// Sum of in-flight deliveries.
+    pub in_flight: usize,
+    /// Sum of actively tracked deliveries.
+    pub tracked: usize,
+    /// Sum of live-table entries.
+    pub live: usize,
+    /// Sum of attempt-routing entries.
+    pub attempt_owner: usize,
+    /// Sum of completed-ring occupancy.
+    pub retired: usize,
+    /// Sum of unfinished timer/ack tasks.
+    pub pending_tasks: usize,
+}
+
+struct Tenant {
+    handle: MabHandle,
+    service: JoinHandle<MabStats>,
+    forwarder: JoinHandle<()>,
+}
+
+/// A multi-tenant host running one [`MabService`] per user.
+pub struct MabHost<C> {
+    channels: C,
+    config: HostConfig,
+    clock: RuntimeClock,
+    telemetry: Telemetry,
+    tenants: BTreeMap<UserId, Tenant>,
+    notice_tx: mpsc::UnboundedSender<HostNotice>,
+}
+
+impl<C: Channels + Clone> MabHost<C> {
+    /// Builds an empty host; returns it plus the merged notice stream.
+    /// Clone `channels` per tenant with [`crate::SharedChannels`] when the
+    /// tenants must share one physical gateway.
+    pub fn new(channels: C, config: HostConfig) -> (Self, mpsc::UnboundedReceiver<HostNotice>) {
+        let (notice_tx, notice_rx) = mpsc::unbounded_channel();
+        let host = MabHost {
+            channels,
+            config,
+            clock: RuntimeClock::start(),
+            telemetry: Telemetry::disabled(),
+            tenants: BTreeMap::new(),
+            notice_tx,
+        };
+        (host, notice_rx)
+    }
+
+    /// Routes `host.*` events and metrics to `telemetry`; services added
+    /// afterwards share the sink (their `runtime.*`/`mab.*` events carry
+    /// per-user tags where the layer provides them).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Hosted user count.
+    pub fn user_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The hosted users, in order.
+    pub fn users(&self) -> impl Iterator<Item = &UserId> {
+        self.tenants.keys()
+    }
+
+    /// Direct access to one tenant's service handle.
+    pub fn handle(&self, user: &UserId) -> Option<&MabHandle> {
+        self.tenants.get(user).map(|t| &t.handle)
+    }
+
+    /// Spawns a service for `user` over its own WAL. Fails if the user is
+    /// already hosted or their log cannot be opened.
+    pub fn add_user(&mut self, user: UserId, config: MabConfig) -> Result<(), HostError> {
+        if self.tenants.contains_key(&user) {
+            return Err(HostError::DuplicateUser(user));
+        }
+        let retirement = (self.config.retirement_grace, self.config.completed_ring);
+        let (handle, service, notices) = match &self.config.wal_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(WalError::from)?;
+                let wal = FileWal::open_tolerant(dir.join(format!("{user}.wal")))?;
+                let (service, handle, notices) = MabService::with_wal(config, self.channels.clone(), wal);
+                let service = service
+                    .with_retirement(retirement.0, retirement.1)
+                    .with_telemetry(self.telemetry.clone());
+                (handle, tokio::spawn(service.run()), notices)
+            }
+            None => {
+                let (service, handle, notices) =
+                    MabService::with_wal(config, self.channels.clone(), InMemoryWal::new());
+                let service = service
+                    .with_retirement(retirement.0, retirement.1)
+                    .with_telemetry(self.telemetry.clone());
+                (handle, tokio::spawn(service.run()), notices)
+            }
+        };
+        let forwarder = self.spawn_forwarder(user.clone(), notices);
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("host.users").incr();
+            self.telemetry.emit(
+                Event::new("host.user_added", self.clock.now().as_millis())
+                    .with("user", user.0.clone()),
+            );
+        }
+        self.tenants.insert(user, Tenant { handle, service, forwarder });
+        Ok(())
+    }
+
+    /// Re-tags one tenant's notices with their user id onto the merged
+    /// stream; ends when that service's loop exits.
+    fn spawn_forwarder(
+        &self,
+        user: UserId,
+        mut notices: mpsc::UnboundedReceiver<RuntimeNotice>,
+    ) -> JoinHandle<()> {
+        let tx = self.notice_tx.clone();
+        tokio::spawn(async move {
+            while let Some(notice) = notices.recv().await {
+                let _ = tx.send(HostNotice { user: user.clone(), notice });
+            }
+        })
+    }
+
+    /// The routing front door: hands an IM-borne alert to the owning
+    /// user's service. Returns `false` (and counts `host.unrouted`) when
+    /// the user is not hosted.
+    pub async fn submit_im(&self, user: &UserId, alert: IncomingAlert) -> bool {
+        match self.tenants.get(user) {
+            Some(tenant) => {
+                tenant.handle.submit_im_alert(alert).await;
+                self.note_routed(user, true);
+                true
+            }
+            None => {
+                self.note_routed(user, false);
+                false
+            }
+        }
+    }
+
+    /// Like [`MabHost::submit_im`] for an email-borne alert.
+    pub async fn submit_email(&self, user: &UserId, alert: IncomingAlert) -> bool {
+        match self.tenants.get(user) {
+            Some(tenant) => {
+                tenant.handle.submit_email_alert(alert).await;
+                self.note_routed(user, true);
+                true
+            }
+            None => {
+                self.note_routed(user, false);
+                false
+            }
+        }
+    }
+
+    fn note_routed(&self, user: &UserId, routed: bool) {
+        if self.telemetry.enabled() {
+            if routed {
+                self.telemetry.metrics().counter("host.routed").incr();
+            } else {
+                self.telemetry.metrics().counter("host.unrouted").incr();
+                self.telemetry.emit(
+                    Event::new("host.unrouted", self.clock.now().as_millis())
+                        .with("user", user.0.clone()),
+                );
+            }
+        }
+    }
+
+    /// Aggregates every tenant's [`ServiceSnapshot`] (each service retires
+    /// due deliveries before answering). Tenants whose loop already exited
+    /// contribute nothing.
+    pub async fn snapshot(&self) -> HostSnapshot {
+        let mut snap = HostSnapshot { users: self.tenants.len(), ..HostSnapshot::default() };
+        for tenant in self.tenants.values() {
+            if let Some(s) = tenant.handle.snapshot().await {
+                snap.stats.merge(s.stats);
+                snap.in_flight += s.in_flight;
+                snap.tracked += s.tracked;
+                snap.live += s.live;
+                snap.attempt_owner += s.attempt_owner;
+                snap.retired += s.retired;
+                snap.pending_tasks += s.pending_tasks;
+            }
+        }
+        snap
+    }
+
+    /// One tenant's snapshot, if hosted and alive.
+    pub async fn snapshot_user(&self, user: &UserId) -> Option<ServiceSnapshot> {
+        self.tenants.get(user)?.handle.snapshot().await
+    }
+
+    /// Stops every service in order and returns each user's final stats.
+    /// Dropping the returned host also drops the merged notice sender, so
+    /// the notice stream ends once the forwarders drain.
+    pub async fn shutdown(self) -> Vec<(UserId, MabStats)> {
+        let mut out = Vec::with_capacity(self.tenants.len());
+        for (user, tenant) in self.tenants {
+            tenant.handle.stop().await;
+            let stats = tenant.service.await.unwrap_or_default();
+            let _ = tenant.forwarder.await;
+            if self.telemetry.enabled() {
+                self.telemetry.emit(
+                    Event::new("host.user_stopped", self.clock.now().as_millis())
+                        .with("user", user.0.clone())
+                        .with("deliveries", stats.deliveries_started),
+                );
+            }
+            out.push((user, stats));
+        }
+        out
+    }
+}
+
+impl<C> std::fmt::Debug for MabHost<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MabHost")
+            .field("users", &self.tenants.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::{LoopbackChannels, SendOutcome, SharedChannels};
+    use simba_core::address::{Address, AddressBook, CommType};
+    use simba_core::classify::{Classifier, KeywordField};
+    use simba_core::delivery::SendFailure;
+    use simba_core::mab::DeliveryId;
+    use simba_core::mode::DeliveryMode;
+    use simba_core::rejuvenate::RejuvenationPolicy;
+    use simba_core::subscription::SubscriptionRegistry;
+    use simba_core::wal::WriteAheadLog as _;
+    use simba_core::DeliveryStatus;
+    use simba_sim::SimTime;
+    use std::time::Duration;
+
+    fn user_config(name: &str) -> MabConfig {
+        let mut classifier = Classifier::new();
+        classifier.accept_source("aladdin-gw", KeywordField::Body, "cfg");
+        classifier.map_keyword("Sensor", "Home");
+        let mut registry = SubscriptionRegistry::new();
+        let user = UserId::new(name);
+        let profile = registry.register_user(user.clone());
+        let mut book = AddressBook::new();
+        book.add(Address::new("IM", CommType::Im, format!("im:{name}"))).unwrap();
+        book.add(Address::new("EM", CommType::Email, format!("{name}@mail"))).unwrap();
+        profile.address_book = book;
+        profile.define_mode(DeliveryMode::im_then_email(
+            "Urgent",
+            "IM",
+            "EM",
+            simba_sim::SimDuration::from_secs(60),
+        ));
+        registry.subscribe("Home", user, "Urgent").unwrap();
+        MabConfig { classifier, registry, rejuvenation: RejuvenationPolicy::default() }
+    }
+
+    fn sensor_alert(text: &str) -> IncomingAlert {
+        IncomingAlert::from_im("aladdin-gw", text, SimTime::ZERO)
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn routes_alerts_to_the_owning_user_only() {
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(200)));
+        let (mut host, mut notices) = MabHost::new(shared.clone(), HostConfig::default());
+        for name in ["alice", "bob"] {
+            host.add_user(UserId::new(name), user_config(name)).unwrap();
+        }
+        assert_eq!(host.user_count(), 2);
+
+        assert!(host.submit_im(&UserId::new("alice"), sensor_alert("Sensor A ON")).await);
+        let mut finished_user = None;
+        while finished_user.is_none() {
+            let HostNotice { user, notice } = notices.recv().await.unwrap();
+            if matches!(notice, RuntimeNotice::DeliveryFinished { .. }) {
+                finished_user = Some(user);
+            }
+        }
+        assert_eq!(finished_user.unwrap(), UserId::new("alice"));
+
+        // Only alice's IM address ever saw traffic.
+        shared.with(|c| {
+            assert!(c.sent().iter().all(|(_, addr, _)| addr == "im:alice"));
+        });
+        // Bob's buddy started nothing.
+        let bob = host.snapshot_user(&UserId::new("bob")).await.unwrap();
+        assert_eq!(bob.stats.deliveries_started, 0);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn unknown_user_is_not_routed() {
+        let shared = SharedChannels::new(LoopbackChannels::accept_all());
+        let (mut host, _notices) = MabHost::new(shared, HostConfig::default());
+        host.add_user(UserId::new("alice"), user_config("alice")).unwrap();
+        assert!(!host.submit_im(&UserId::new("mallory"), sensor_alert("Sensor ON")).await);
+        assert!(host
+            .add_user(UserId::new("alice"), user_config("alice"))
+            .is_err());
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn shutdown_collects_per_user_stats() {
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(100)));
+        let (mut host, mut notices) = MabHost::new(shared, HostConfig::default());
+        for name in ["alice", "bob"] {
+            host.add_user(UserId::new(name), user_config(name)).unwrap();
+        }
+        host.submit_im(&UserId::new("alice"), sensor_alert("Sensor 1 ON")).await;
+        host.submit_im(&UserId::new("bob"), sensor_alert("Sensor 2 ON")).await;
+
+        let mut finished = 0;
+        while finished < 2 {
+            if let HostNotice { notice: RuntimeNotice::DeliveryFinished { .. }, .. } =
+                notices.recv().await.unwrap()
+            {
+                finished += 1;
+            }
+        }
+        let stats = host.shutdown().await;
+        assert_eq!(stats.len(), 2);
+        for (_, s) in &stats {
+            assert_eq!(s.deliveries_started, 1);
+            assert_eq!(s.retired, 1);
+        }
+        // The merged stream ends after shutdown drops the host.
+        assert!(notices.recv().await.is_none());
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn per_user_wal_files_survive_the_pipeline() {
+        let dir = std::env::temp_dir().join(format!("simba-host-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(100)));
+        let config = HostConfig { wal_dir: Some(dir.clone()), ..HostConfig::default() };
+        let (mut host, mut notices) = MabHost::new(shared, config);
+        for name in ["alice", "bob"] {
+            host.add_user(UserId::new(name), user_config(name)).unwrap();
+        }
+        host.submit_im(&UserId::new("alice"), sensor_alert("Sensor 1 ON")).await;
+        loop {
+            if let HostNotice { notice: RuntimeNotice::DeliveryFinished { .. }, user } =
+                notices.recv().await.unwrap()
+            {
+                assert_eq!(user, UserId::new("alice"));
+                break;
+            }
+        }
+        host.shutdown().await;
+
+        // Each tenant got its own log; alice's holds her processed alert.
+        let alice_wal = FileWal::open_tolerant(dir.join("alice.wal")).unwrap();
+        assert_eq!(alice_wal.len(), 1);
+        assert!(alice_wal.unprocessed().is_empty());
+        let bob_wal = FileWal::open_tolerant(dir.join("bob.wal")).unwrap();
+        assert_eq!(bob_wal.len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn fleet_state_returns_to_the_floor_after_load() {
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+        let (mut host, mut notices) =
+            MabHost::new(shared.clone(), HostConfig { completed_ring: 4, ..HostConfig::default() });
+        let users: Vec<UserId> = (0..3).map(|i| UserId::new(format!("user{i}"))).collect();
+        for user in &users {
+            host.add_user(user.clone(), user_config(&user.0)).unwrap();
+        }
+        // One failing tenant exercises the fallback path under the host.
+        shared.with(|c| c.script("im:user2", SendOutcome::Failed(SendFailure::RecipientUnreachable)));
+
+        for round in 0..5 {
+            for user in &users {
+                host.submit_im(user, sensor_alert(&format!("Sensor {round} ON"))).await;
+            }
+        }
+        let mut finished = 0;
+        let mut statuses = Vec::new();
+        while finished < 15 {
+            if let HostNotice { notice: RuntimeNotice::DeliveryFinished { status, .. }, .. } =
+                notices.recv().await.unwrap()
+            {
+                statuses.push(status);
+                finished += 1;
+            }
+        }
+        let snap = host.snapshot().await;
+        assert_eq!(snap.users, 3);
+        assert_eq!(snap.stats.deliveries_started, 15);
+        assert_eq!(snap.stats.retired, 15);
+        // Every table returned to its floor; the rings stay bounded.
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.tracked, 0);
+        assert_eq!(snap.live, 0);
+        assert_eq!(snap.attempt_owner, 0);
+        assert_eq!(snap.pending_tasks, 0);
+        assert!(snap.retired <= 3 * 4);
+        // user2's deliveries fell back to unconfirmed email.
+        assert_eq!(
+            statuses.iter().filter(|s| matches!(s, DeliveryStatus::Unconfirmed { .. })).count(),
+            5
+        );
+        assert_eq!(
+            statuses.iter().filter(|s| matches!(s, DeliveryStatus::Acked { .. })).count(),
+            10
+        );
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn external_ack_reaches_the_right_tenant() {
+        let shared = SharedChannels::new(LoopbackChannels::accept_all());
+        let (mut host, mut notices) = MabHost::new(shared, HostConfig::default());
+        host.add_user(UserId::new("alice"), user_config("alice")).unwrap();
+        host.submit_im(&UserId::new("alice"), sensor_alert("Sensor ON")).await;
+        // accept_all: no automatic ack; report one through the front door.
+        tokio::time::sleep(Duration::from_millis(10)).await;
+        host.handle(&UserId::new("alice"))
+            .unwrap()
+            .ack(DeliveryId(0), simba_core::delivery::AttemptId(0))
+            .await;
+        loop {
+            if let HostNotice { notice: RuntimeNotice::DeliveryFinished { status, .. }, .. } =
+                notices.recv().await.unwrap()
+            {
+                assert!(matches!(status, DeliveryStatus::Acked { .. }));
+                break;
+            }
+        }
+    }
+}

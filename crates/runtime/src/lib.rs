@@ -11,6 +11,10 @@
 //! [`RuntimeClock`] and feeds events in. That is the architectural payoff
 //! of keeping the core event-driven: one implementation, two drivers.
 //!
+//! For deployments, [`MabHost`] runs one service per user over
+//! [`SharedChannels`] with per-user WALs, routing alerts to the owning
+//! buddy and retiring terminal deliveries so fleet state stays bounded.
+//!
 //! ```no_run
 //! use simba_runtime::{LoopbackChannels, MabService, RuntimeNotice};
 //! use simba_core::{IncomingAlert, MabConfig};
@@ -37,10 +41,12 @@
 
 mod channels;
 mod clock;
+mod host;
 mod service;
 mod watchdog;
 
-pub use channels::{Channels, LoopbackChannels, SendOutcome};
+pub use channels::{Channels, LoopbackChannels, SendOutcome, SharedChannels};
 pub use clock::RuntimeClock;
-pub use service::{MabHandle, MabService, RuntimeNotice};
+pub use host::{HostConfig, HostError, HostNotice, HostSnapshot, MabHost};
+pub use service::{MabHandle, MabService, RuntimeNotice, ServiceSnapshot};
 pub use watchdog::{run_watchdog, run_watchdog_observed, WatchdogReport};

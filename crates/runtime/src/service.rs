@@ -1,4 +1,12 @@
 //! The live MyAlertBuddy service task.
+//!
+//! Beyond relaying events into the core state machine, the service owns
+//! the *delivery lifecycle*: every delivery the buddy starts gets a
+//! generation-tagged entry in a `live` table holding its pending timer
+//! and ack tasks. When a delivery reaches a terminal state it is retired
+//! — evicted from [`MyAlertBuddy`]'s active table into the bounded
+//! completed-ring, its `attempt_owner` entries dropped, and its pending
+//! tasks aborted so stale wakeups cancel instead of leaking sleeps.
 
 use crate::channels::{Channels, SendOutcome};
 use crate::clock::RuntimeClock;
@@ -8,7 +16,9 @@ use simba_core::mab::{DeliveryId, MabCommand, MabEvent, MabStats, MyAlertBuddy};
 use simba_core::rejuvenate::RejuvenationTrigger;
 use simba_core::wal::{InMemoryWal, WriteAheadLog};
 use simba_core::{MabConfig, Telemetry};
+use simba_sim::SimDuration;
 use simba_telemetry::Event;
+use std::collections::HashMap;
 use std::time::Duration;
 use tokio::sync::mpsc;
 
@@ -34,6 +44,28 @@ pub enum RuntimeNotice {
     ),
 }
 
+/// A point-in-time view of the service's in-memory delivery state; hosts
+/// and soak harnesses use it to assert that retirement keeps every table
+/// bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// The buddy's running totals.
+    pub stats: MabStats,
+    /// Deliveries still executing blocks.
+    pub in_flight: usize,
+    /// Deliveries held in the buddy's active table (in-flight plus
+    /// terminal-awaiting-retirement).
+    pub tracked: usize,
+    /// Entries in the service's live-delivery table.
+    pub live: usize,
+    /// Entries in the attempt → delivery routing map.
+    pub attempt_owner: usize,
+    /// Summaries currently in the completed-ring (≤ its cap).
+    pub retired: usize,
+    /// Spawned timer/ack tasks not yet finished or aborted.
+    pub pending_tasks: usize,
+}
+
 #[derive(Debug)]
 enum Inbound {
     ImAlert(IncomingAlert),
@@ -41,12 +73,18 @@ enum Inbound {
     Ack {
         delivery: DeliveryId,
         attempt: AttemptId,
+        /// The delivery generation that spawned this ack task; `None` for
+        /// external acks reported through [`MabHandle::ack`].
+        gen: Option<u64>,
     },
     Timer {
         delivery: DeliveryId,
         timer: simba_core::delivery::TimerId,
+        gen: u64,
     },
     AreYouWorking(tokio::sync::oneshot::Sender<bool>),
+    Snapshot(tokio::sync::oneshot::Sender<ServiceSnapshot>),
+    Stop,
 }
 
 /// A cloneable handle for feeding the service.
@@ -67,9 +105,13 @@ impl MabHandle {
     }
 
     /// Reports a user acknowledgement for a delivery attempt (e.g. the
-    /// user clicked the IM toast).
+    /// user clicked the IM toast). Ignored if the delivery has already
+    /// been retired.
     pub async fn ack(&self, delivery: DeliveryId, attempt: AttemptId) {
-        let _ = self.tx.send(Inbound::Ack { delivery, attempt }).await;
+        let _ = self
+            .tx
+            .send(Inbound::Ack { delivery, attempt, gen: None })
+            .await;
     }
 
     /// The watchdog probe: resolves `true` when the service loop is alive
@@ -86,6 +128,39 @@ impl MabHandle {
         }
         reply_rx.await.unwrap_or(false)
     }
+
+    /// Requests a state snapshot (retiring due deliveries first). Resolves
+    /// `None` if the service is gone.
+    pub async fn snapshot(&self) -> Option<ServiceSnapshot> {
+        let (reply_tx, reply_rx) = tokio::sync::oneshot::channel();
+        self.tx.send(Inbound::Snapshot(reply_tx)).await.ok()?;
+        reply_rx.await.ok()
+    }
+
+    /// Asks the service loop to exit after processing previously queued
+    /// input; the `run()` future then resolves with the final stats.
+    pub async fn stop(&self) {
+        let _ = self.tx.send(Inbound::Stop).await;
+    }
+}
+
+/// Per-delivery runtime bookkeeping: the generation stamped into spawned
+/// timer/ack tasks (wakeups from older generations are stale) and the
+/// tasks themselves, aborted at retirement.
+struct LiveDelivery {
+    gen: u64,
+    notified: bool,
+    tasks: Vec<tokio::task::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LiveDelivery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveDelivery")
+            .field("gen", &self.gen)
+            .field("notified", &self.notified)
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
 }
 
 /// The live service wrapping a [`MyAlertBuddy`].
@@ -97,8 +172,12 @@ pub struct MabService<C, W = InMemoryWal> {
     rx: mpsc::Receiver<Inbound>,
     self_tx: mpsc::Sender<Inbound>,
     notices: mpsc::UnboundedSender<RuntimeNotice>,
-    /// attempt → delivery, for routing acks.
-    attempt_owner: std::collections::HashMap<AttemptId, DeliveryId>,
+    /// (delivery, attempt) → generation, for routing and validating acks.
+    /// Entries are dropped when their delivery retires.
+    attempt_owner: HashMap<(DeliveryId, AttemptId), u64>,
+    /// Runtime bookkeeping for every delivery still in the buddy's table.
+    live: HashMap<DeliveryId, LiveDelivery>,
+    next_gen: u64,
     telemetry: Telemetry,
 }
 
@@ -134,7 +213,9 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
             rx,
             self_tx: tx.clone(),
             notices: notice_tx,
-            attempt_owner: std::collections::HashMap::new(),
+            attempt_owner: HashMap::new(),
+            live: HashMap::new(),
+            next_gen: 0,
             telemetry: Telemetry::disabled(),
         };
         (service, MabHandle { tx }, notice_rx)
@@ -150,12 +231,22 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
         self
     }
 
-    /// Runs until all handles are dropped or a rejuvenation triggers.
-    /// Returns the final stats.
+    /// Configures delivery retirement on the wrapped buddy: how long a
+    /// terminal delivery lingers (so straggling acks can still upgrade the
+    /// outcome) and the completed-ring capacity.
+    #[must_use]
+    pub fn with_retirement(mut self, grace: SimDuration, completed_cap: usize) -> Self {
+        self.mab.set_retirement(grace, completed_cap);
+        self
+    }
+
+    /// Runs until all handles are dropped, [`MabHandle::stop`] is called,
+    /// or a rejuvenation triggers. Returns the final stats.
     pub async fn run(mut self) -> MabStats {
         // The §4.2.1 restart protocol: replay unprocessed log records
         // before accepting new alerts.
         let now = self.clock.now();
+        let before = self.mab.delivery_watermark();
         let recovery = self.mab.recover(now);
         if self.telemetry.enabled() {
             self.telemetry.metrics().counter("runtime.recoveries").incr();
@@ -164,16 +255,26 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                     .with("replayed", self.mab.stats().replayed),
             );
         }
+        let started = self.register_new(before);
         if self.execute(recovery).await {
             return self.mab.stats();
         }
+        for id in started {
+            self.notify_if_finished(id);
+        }
+        self.retire_finished();
         while let Some(inbound) = self.rx.recv().await {
             let now = self.clock.now();
             let mut finished_check = None;
+            let before = self.mab.delivery_watermark();
             let commands = match inbound {
                 Inbound::ImAlert(alert) => self.mab.handle(MabEvent::AlertByIm(alert), now),
                 Inbound::EmailAlert(alert) => self.mab.handle(MabEvent::AlertByEmail(alert), now),
-                Inbound::Ack { delivery, attempt } => {
+                Inbound::Ack { delivery, attempt, gen } => {
+                    if self.ack_is_stale(delivery, attempt, gen) {
+                        self.note_stale("ack");
+                        continue;
+                    }
                     finished_check = Some(delivery);
                     self.mab.handle(
                         MabEvent::Delivery {
@@ -183,7 +284,11 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                         now,
                     )
                 }
-                Inbound::Timer { delivery, timer } => {
+                Inbound::Timer { delivery, timer, gen } => {
+                    if self.live.get(&delivery).map(|l| l.gen) != Some(gen) {
+                        self.note_stale("timer");
+                        continue;
+                    }
                     finished_check = Some(delivery);
                     self.mab.handle(
                         MabEvent::Delivery {
@@ -197,15 +302,96 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                     let _ = reply.send(self.mab.are_you_working());
                     continue;
                 }
+                Inbound::Snapshot(reply) => {
+                    self.retire_finished();
+                    let _ = reply.send(self.snapshot_now());
+                    continue;
+                }
+                Inbound::Stop => break,
             };
+            let started = self.register_new(before);
             if self.execute(commands).await {
                 break; // rejuvenating
+            }
+            for id in started {
+                self.notify_if_finished(id);
             }
             if let Some(delivery) = finished_check {
                 self.notify_if_finished(delivery);
             }
+            self.retire_finished();
         }
         self.mab.stats()
+    }
+
+    /// Registers live-table entries for deliveries the buddy started since
+    /// the `before` watermark, returning their ids so the caller can check
+    /// for immediate terminal transitions (a delivery whose every block is
+    /// disabled exhausts with zero send commands).
+    fn register_new(&mut self, before: u64) -> Vec<DeliveryId> {
+        let after = self.mab.delivery_watermark();
+        (before..after)
+            .map(|raw| {
+                let id = DeliveryId(raw);
+                let gen = self.next_gen;
+                self.next_gen += 1;
+                self.live.insert(id, LiveDelivery { gen, notified: false, tasks: Vec::new() });
+                id
+            })
+            .collect()
+    }
+
+    /// Whether an inbound ack refers to a retired delivery or a stale
+    /// generation.
+    fn ack_is_stale(&self, delivery: DeliveryId, attempt: AttemptId, gen: Option<u64>) -> bool {
+        match gen {
+            Some(gen) => self.live.get(&delivery).map(|l| l.gen) != Some(gen),
+            None => !self.attempt_owner.contains_key(&(delivery, attempt)),
+        }
+    }
+
+    fn note_stale(&self, kind: &str) {
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("runtime.stale_dropped").incr();
+            self.telemetry.emit(
+                Event::new("runtime.stale_dropped", self.clock.now().as_millis())
+                    .with("kind", kind),
+            );
+        }
+    }
+
+    /// Retires deliveries whose grace expired: their live entries go, their
+    /// pending tasks are aborted (cancelling the underlying sleeps), and
+    /// their attempt-routing entries are dropped.
+    fn retire_finished(&mut self) {
+        let now = self.clock.now();
+        for retired in self.mab.retire_terminal(now) {
+            if let Some(entry) = self.live.remove(&retired.id) {
+                for task in entry.tasks {
+                    task.abort();
+                }
+            }
+            for attempt in &retired.attempts {
+                self.attempt_owner.remove(&(retired.id, *attempt));
+            }
+        }
+    }
+
+    fn snapshot_now(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            stats: self.mab.stats(),
+            in_flight: self.mab.in_flight(),
+            tracked: self.mab.tracked(),
+            live: self.live.len(),
+            attempt_owner: self.attempt_owner.len(),
+            retired: self.mab.retired_len(),
+            pending_tasks: self
+                .live
+                .values()
+                .flat_map(|l| &l.tasks)
+                .filter(|t| !t.is_finished())
+                .count(),
+        }
     }
 
     /// Executes MAB commands; returns `true` when the loop should exit.
@@ -244,7 +430,8 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                             text,
                             ..
                         } => {
-                            self.attempt_owner.insert(attempt, delivery);
+                            let gen = self.generation(delivery);
+                            self.attempt_owner.insert((delivery, attempt), gen);
                             let outcome = self.channels.send(comm_type, &address_value, &text);
                             if self.telemetry.enabled() {
                                 self.telemetry.metrics().counter("runtime.sends").incr();
@@ -260,7 +447,7 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                             let event = match outcome {
                                 SendOutcome::Accepted => DeliveryEvent::SendAccepted { attempt },
                                 SendOutcome::AcceptedWithAck(after) => {
-                                    self.spawn_ack(delivery, attempt, after);
+                                    self.spawn_ack(delivery, attempt, gen, after);
                                     DeliveryEvent::SendAccepted { attempt }
                                 }
                                 SendOutcome::Failed(failure) => {
@@ -275,11 +462,13 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                             self.notify_if_finished(delivery);
                         }
                         DeliveryCommand::StartTimer { timer, after } => {
+                            let gen = self.generation(delivery);
                             let tx = self.self_tx.clone();
-                            tokio::spawn(async move {
+                            let task = tokio::spawn(async move {
                                 tokio::time::sleep(Duration::from_millis(after.as_millis())).await;
-                                let _ = tx.send(Inbound::Timer { delivery, timer }).await;
+                                let _ = tx.send(Inbound::Timer { delivery, timer, gen }).await;
                             });
+                            self.track_task(delivery, task);
                         }
                     },
                 }
@@ -289,30 +478,52 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
         false
     }
 
-    fn spawn_ack(&self, delivery: DeliveryId, attempt: AttemptId, after: Duration) {
-        let tx = self.self_tx.clone();
-        tokio::spawn(async move {
-            tokio::time::sleep(after).await;
-            let _ = tx.send(Inbound::Ack { delivery, attempt }).await;
-        });
+    fn generation(&self, delivery: DeliveryId) -> u64 {
+        self.live.get(&delivery).map(|l| l.gen).unwrap_or_default()
     }
 
-    fn notify_if_finished(&self, delivery: DeliveryId) {
-        if let Some(status) = self.mab.delivery_status(delivery) {
-            if status.is_terminal() {
-                if self.telemetry.enabled() {
-                    self.telemetry.metrics().counter("runtime.deliveries_finished").incr();
-                    self.telemetry.emit(
-                        Event::new("runtime.delivery_finished", self.clock.now().as_millis())
-                            .with("delivery", delivery.0)
-                            .with("status", status_name(status)),
-                    );
-                }
-                let _ = self
-                    .notices
-                    .send(RuntimeNotice::DeliveryFinished { delivery, status });
-            }
+    fn track_task(&mut self, delivery: DeliveryId, task: tokio::task::JoinHandle<()>) {
+        if let Some(entry) = self.live.get_mut(&delivery) {
+            entry.tasks.push(task);
         }
+    }
+
+    fn spawn_ack(&mut self, delivery: DeliveryId, attempt: AttemptId, gen: u64, after: Duration) {
+        let tx = self.self_tx.clone();
+        let task = tokio::spawn(async move {
+            tokio::time::sleep(after).await;
+            let _ = tx
+                .send(Inbound::Ack { delivery, attempt, gen: Some(gen) })
+                .await;
+        });
+        self.track_task(delivery, task);
+    }
+
+    fn notify_if_finished(&mut self, delivery: DeliveryId) {
+        let Some(status) = self.mab.delivery_status(delivery) else {
+            return;
+        };
+        if !status.is_terminal() {
+            return;
+        }
+        // One notice per delivery: a late ack upgrading the outcome during
+        // the grace window does not re-notify.
+        match self.live.get_mut(&delivery) {
+            Some(entry) if entry.notified => return,
+            Some(entry) => entry.notified = true,
+            None => {}
+        }
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("runtime.deliveries_finished").incr();
+            self.telemetry.emit(
+                Event::new("runtime.delivery_finished", self.clock.now().as_millis())
+                    .with("delivery", delivery.0)
+                    .with("status", status_name(status)),
+            );
+        }
+        let _ = self
+            .notices
+            .send(RuntimeNotice::DeliveryFinished { delivery, status });
     }
 }
 
@@ -420,6 +631,139 @@ mod tests {
         let status = next_finished(&mut notices).await;
         assert!(matches!(status, DeliveryStatus::Unconfirmed { block: 1, .. }));
         assert!(t0.elapsed() >= Duration::from_secs(60));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn all_disabled_delivery_emits_exhausted_finished_notice() {
+        // Regression: a delivery that is terminal at start — every block's
+        // addresses disabled, so zero Send commands — never took the
+        // send-outcome path into notify_if_finished, and observers waiting
+        // on the notice stream hung forever.
+        let mut config = config();
+        let alice = UserId::new("alice");
+        let profile = config.registry.user_mut(&alice).unwrap();
+        profile.address_book.set_enabled("IM", false);
+        profile.address_book.set_enabled("EM", false);
+
+        let channels = LoopbackHarness::accept_all();
+        let (service, handle, mut notices) = MabService::new(config, channels);
+        tokio::spawn(service.run());
+        handle.submit_im_alert(sensor_alert()).await;
+
+        assert_eq!(
+            notices.recv().await.unwrap(),
+            RuntimeNotice::AckSent { source: "aladdin-gw".into() }
+        );
+        let status = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Exhausted { .. }));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn retirement_frees_state_and_aborts_pending_timers() {
+        // The delivery acks at ~400 ms; the 60 s block timer is still
+        // pending. Retirement must clear every table and abort the sleep.
+        let channels = LoopbackHarness::always_ack(Duration::from_millis(400));
+        let (service, handle, mut notices) = MabService::new(config(), channels);
+        tokio::spawn(service.run());
+        let t0 = tokio::time::Instant::now();
+        handle.submit_im_alert(sensor_alert()).await;
+        let status = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Acked { .. }));
+
+        let snap = handle.snapshot().await.expect("service alive");
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.tracked, 0);
+        assert_eq!(snap.live, 0);
+        assert_eq!(snap.attempt_owner, 0);
+        assert_eq!(snap.retired, 1);
+        assert_eq!(snap.stats.retired, 1);
+        assert_eq!(snap.pending_tasks, 0);
+        // The snapshot resolved without the paused clock having to advance
+        // through the 60 s ack-window sleep: the abort cancelled its timer.
+        assert!(t0.elapsed() < Duration::from_secs(60));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn external_ack_after_retirement_is_dropped() {
+        use simba_telemetry::RingBufferSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(RingBufferSink::new(256));
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let channels = LoopbackHarness::always_ack(Duration::from_millis(400));
+        let (service, handle, mut notices) = MabService::new(config(), channels);
+        let service = service.with_telemetry(telemetry.clone());
+        tokio::spawn(service.run());
+        handle.submit_im_alert(sensor_alert()).await;
+        let status = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Acked { .. }));
+
+        // Force retirement, then replay the user's ack for the (now
+        // retired) first attempt.
+        let snap = handle.snapshot().await.unwrap();
+        assert_eq!(snap.attempt_owner, 0);
+        handle.ack(DeliveryId(0), AttemptId(0)).await;
+        let after = handle.snapshot().await.unwrap();
+        assert_eq!(after.stats, snap.stats);
+        assert_eq!(telemetry.metrics().snapshot().counter("runtime.stale_dropped"), 1);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn wal_replay_routes_before_new_alerts() {
+        // Two unprocessed records sit in the log when the service boots; a
+        // third alert is submitted live. Replayed deliveries must claim the
+        // first delivery ids and finish alongside the new one.
+        let mut wal = InMemoryWal::new();
+        {
+            use simba_core::wal::WriteAheadLog as _;
+            wal.append(
+                &IncomingAlert::from_im("aladdin-gw", "Sensor replay A", SimTime::ZERO),
+                SimTime::ZERO,
+            )
+            .unwrap();
+            wal.append(
+                &IncomingAlert::from_im("aladdin-gw", "Sensor replay B", SimTime::ZERO),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let channels = LoopbackHarness::always_ack(Duration::from_millis(100));
+        let (service, handle, mut notices) = MabService::with_wal(config(), channels, wal);
+        tokio::spawn(service.run());
+        handle.submit_im_alert(sensor_alert()).await;
+
+        let mut finished = Vec::new();
+        while finished.len() < 3 {
+            if let RuntimeNotice::DeliveryFinished { delivery, status } =
+                notices.recv().await.unwrap()
+            {
+                finished.push((delivery, status));
+            }
+        }
+        let mut ids: Vec<u64> = finished.iter().map(|(d, _)| d.0).collect();
+        ids.sort_unstable();
+        // Replays took ids 0 and 1 (§4.2.1: replay precedes new alerts);
+        // the live alert got id 2.
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(finished.iter().all(|(_, s)| matches!(s, DeliveryStatus::Acked { .. })));
+        let snap = handle.snapshot().await.unwrap();
+        assert_eq!(snap.stats.replayed, 2);
+        assert_eq!(snap.stats.deliveries_started, 3);
+        assert_eq!(snap.tracked, 0);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn stop_drains_and_returns_stats() {
+        let channels = LoopbackHarness::always_ack(Duration::from_millis(100));
+        let (service, handle, mut notices) = MabService::new(config(), channels);
+        let join = tokio::spawn(service.run());
+        handle.submit_im_alert(sensor_alert()).await;
+        let _ = next_finished(&mut notices).await;
+        handle.stop().await;
+        let stats = join.await.unwrap();
+        assert_eq!(stats.deliveries_started, 1);
+        // The loop exited: the probe now fails.
+        assert!(!handle.are_you_working().await);
     }
 
     #[tokio::test(start_paused = true)]
