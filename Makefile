@@ -8,12 +8,14 @@
 #   make doc    — rustdoc for all workspace crates (no deps)
 #   make lint   — clippy, warnings as errors
 #   make soak   — short deterministic multi-user host soak (E3H)
+#   make gateway-smoke — E6 gateway smoke: 1k alerts over localhost TCP
+#                 with injected drops; asserts zero accepted-then-lost
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-all doc lint soak clean
+.PHONY: ci build test test-all doc lint soak gateway-smoke clean
 
-ci: build test doc lint soak
+ci: build test doc lint soak gateway-smoke
 
 build:
 	$(CARGO) build --release
@@ -32,6 +34,9 @@ lint:
 
 soak:
 	$(CARGO) run --release -q -p simba-bench --bin exp_e3_host_soak -- --users 20 --alerts 50 --seed 42
+
+gateway-smoke:
+	$(CARGO) run --release -q -p simba-bench --bin exp_e6_gateway -- --smoke
 
 clean:
 	$(CARGO) clean

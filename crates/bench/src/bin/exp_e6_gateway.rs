@@ -1,0 +1,46 @@
+//! Runs the E6 gateway load experiment and prints its tables.
+//!
+//! Usage: `exp_e6_gateway [--smoke] [--users N] [--connections C]
+//! [--alerts M] [--no-drops] [--no-loris]`
+//!
+//! `--smoke` is the CI shape (1 000 alerts over 2 connections, injected
+//! drops, no throughput floor); the default full shape drives 20 000
+//! alerts over 8 connections and asserts ≥ 10 000 accepted alerts/s.
+
+use simba_bench::experiments::e6_gateway::{run_with, GatewayBenchOptions};
+
+fn main() {
+    let mut opts = GatewayBenchOptions::full();
+    let mut smoke = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => {
+                smoke = true;
+                opts = GatewayBenchOptions::smoke();
+            }
+            "--no-drops" => opts.drop_every = None,
+            "--no-loris" => opts.slow_loris = false,
+            "--users" | "--connections" | "--alerts" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("{flag} needs a number");
+                    std::process::exit(2);
+                };
+                match flag.as_str() {
+                    "--users" => opts.users = v,
+                    "--connections" => opts.connections = v,
+                    _ => opts.alerts_per_conn = v,
+                }
+            }
+            other => {
+                eprintln!(
+                    "usage: exp_e6_gateway [--smoke] [--users N] [--connections C] \
+                     [--alerts M] [--no-drops] [--no-loris]"
+                );
+                eprintln!("unknown flag: {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    run_with(opts, !smoke).print();
+}

@@ -71,6 +71,11 @@ pub struct SoakNumbers {
     pub exhausted: u64,
     /// Stale timer/ack wakeups dropped by generation tagging.
     pub stale_dropped: u64,
+    /// Alerts the host's routing front door handed to a hosted user
+    /// (`host.routed`).
+    pub routed: u64,
+    /// Alerts refused because the user was not hosted (`host.unrouted`).
+    pub unrouted: u64,
     /// Highest concurrent in-flight delivery count sampled.
     pub peak_in_flight: usize,
     /// Highest `attempt_owner` occupancy sampled.
@@ -160,6 +165,8 @@ struct RawSoak {
     peaks: Peaks,
     retired_ring: usize,
     stale_dropped: u64,
+    routed: u64,
+    unrouted: u64,
     merged: MabStats,
 }
 
@@ -170,6 +177,10 @@ async fn soak(opts: SoakOptions) -> RawSoak {
         wal_dir: None,
         retirement_grace: SimDuration::ZERO,
         completed_ring: opts.completed_ring,
+        // The soak counts every terminal notice, so the (bounded) merged
+        // stream is sized to the load rather than the operator default.
+        notice_capacity: (opts.users * opts.alerts_per_user)
+            .max(simba_runtime::DEFAULT_NOTICE_CAPACITY),
     };
     let (host, mut notices) = MabHost::new(shared, host_config);
     let mut host = host.with_telemetry(telemetry.clone());
@@ -255,11 +266,14 @@ async fn soak(opts: SoakOptions) -> RawSoak {
     assert_eq!(merged.retired, total, "every delivery retires exactly once");
 
     let outcomes = *outcomes.borrow();
+    let metrics = telemetry.metrics().snapshot();
     RawSoak {
         outcomes,
         peaks,
         retired_ring: floor.retired,
-        stale_dropped: telemetry.metrics().snapshot().counter("runtime.stale_dropped"),
+        stale_dropped: metrics.counter("runtime.stale_dropped"),
+        routed: metrics.counter("host.routed"),
+        unrouted: metrics.counter("host.unrouted"),
         merged,
     }
 }
@@ -280,6 +294,8 @@ pub fn measure(opts: SoakOptions) -> (SoakNumbers, Vec<Table>) {
         unconfirmed: raw.outcomes.unconfirmed,
         exhausted: raw.outcomes.exhausted,
         stale_dropped: raw.stale_dropped,
+        routed: raw.routed,
+        unrouted: raw.unrouted,
         peak_in_flight: raw.peaks.in_flight,
         peak_attempt_owner: raw.peaks.attempt_owner,
         peak_pending_tasks: raw.peaks.pending_tasks,
@@ -389,6 +405,8 @@ mod tests {
         assert!(n.unconfirmed > 0, "some deliveries must fall back");
         assert!(n.retired_ring <= 80);
         assert!(n.peak_in_flight > 0, "the load must actually overlap");
+        assert_eq!(n.routed, 300, "the host counts every routed alert");
+        assert_eq!(n.unrouted, 0);
     }
 
     #[test]

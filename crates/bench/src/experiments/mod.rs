@@ -14,6 +14,7 @@ pub mod e3_aladdin;
 pub mod e3_host_soak;
 pub mod e4_wish;
 pub mod e5_faultlog;
+pub mod e6_gateway;
 
 use crate::report::Table;
 
@@ -71,6 +72,7 @@ pub fn run_all(seed: u64) -> Vec<ExperimentOutput> {
         e3_host_soak::run(seed),
         e4_wish::run(seed),
         e5_faultlog::run(seed),
+        e6_gateway::run(seed),
         a1_strategies::run(seed),
         a2_wal::run(seed),
         a3_watchdog::run(seed),

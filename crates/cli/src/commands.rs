@@ -549,10 +549,281 @@ pub fn host(args: &[String]) -> Outcome {
     }
     let _ = writeln!(
         out,
+        "host routing: {} routed (host.routed), {} unrouted (host.unrouted)",
+        numbers.routed, numbers.unrouted
+    );
+    let _ = writeln!(
+        out,
         "{} deliveries drained to the floor at {:.0} alerts/s",
         numbers.finished, numbers.throughput
     );
     Outcome::ok(out)
+}
+
+/// `gateway serve|send|probe` — run the TCP front door, or talk to one.
+pub fn gateway(args: &[String]) -> Outcome {
+    match args.first().map(String::as_str) {
+        Some("serve") => gateway_serve(&args[1..]),
+        Some("send") => gateway_send(&args[1..]),
+        Some("probe") => gateway_probe(&args[1..]),
+        _ => Outcome::usage("gateway takes serve, send, or probe"),
+    }
+}
+
+/// One hosted user for `gateway serve`: accepts the given source and
+/// routes `Sensor` alerts IM-then-email.
+fn gateway_user_config(name: &str, source: &str) -> simba_core::MabConfig {
+    use simba_core::address::{Address, CommType};
+    use simba_core::classify::{Classifier, KeywordField};
+    use simba_core::rejuvenate::RejuvenationPolicy;
+    use simba_core::subscription::{SubscriptionRegistry, UserId};
+    use simba_sim::SimDuration;
+
+    let mut classifier = Classifier::new();
+    classifier.accept_source(source, KeywordField::Body, "cfg");
+    classifier.map_keyword("Sensor", "Home");
+    let mut registry = SubscriptionRegistry::new();
+    let user = UserId::new(name);
+    let profile = registry.register_user(user.clone());
+    let mut book = simba_core::address::AddressBook::new();
+    book.add(Address::new("IM", CommType::Im, format!("im:{name}"))).unwrap();
+    book.add(Address::new("EM", CommType::Email, format!("{name}@mail"))).unwrap();
+    profile.address_book = book;
+    profile.define_mode(DeliveryMode::im_then_email(
+        "Urgent",
+        "IM",
+        "EM",
+        SimDuration::from_secs(60),
+    ));
+    registry.subscribe("Home", user, "Urgent").unwrap();
+    simba_core::MabConfig { classifier, registry, rejuvenation: RejuvenationPolicy::default() }
+}
+
+/// `gateway serve [--addr A] [--users N] [--duration-ms D] [--workers W]
+/// [--queue Q] [--rate R] [--source S]` — host N users behind a live TCP
+/// gateway for D milliseconds, then drain and report.
+fn gateway_serve(args: &[String]) -> Outcome {
+    use simba_gateway::{intake, pump_into_host, GatewayConfig, GatewayServer, RateLimit};
+    use simba_runtime::{HostConfig, LoopbackChannels, MabHost, SharedChannels};
+    use simba_telemetry::{RingBufferSink, Telemetry};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut users = 10usize;
+    let mut duration_ms = 2_000u64;
+    let mut workers = 4usize;
+    let mut queue = 1_024usize;
+    let mut rate: Option<u32> = None;
+    let mut source = "cli-src".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => return Outcome::usage("--addr needs an address"),
+            },
+            "--users" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => users = v,
+                None => return Outcome::usage("--users needs a number"),
+            },
+            "--duration-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => duration_ms = v,
+                None => return Outcome::usage("--duration-ms needs a number"),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => return Outcome::usage("--workers needs a number"),
+            },
+            "--queue" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => queue = v,
+                None => return Outcome::usage("--queue needs a number"),
+            },
+            "--rate" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => rate = Some(v),
+                None => return Outcome::usage("--rate needs alerts/s"),
+            },
+            "--source" => match it.next() {
+                Some(v) => source = v.clone(),
+                None => return Outcome::usage("--source needs a name"),
+            },
+            other => return Outcome::usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if users == 0 {
+        return Outcome::usage("--users must be at least 1");
+    }
+
+    let telemetry = Telemetry::with_sink(Arc::new(RingBufferSink::new(8_192)));
+    let (intake_tx, intake_rx) = intake(queue);
+    let names: Vec<String> = (0..users).map(|i| format!("user{i:03}")).collect();
+    let config = GatewayConfig {
+        addr,
+        workers,
+        rate_limit: rate.map(|per_sec| RateLimit { burst: per_sec.max(1) * 2, per_sec }),
+        known_users: Some(names.iter().cloned().collect()),
+        ..GatewayConfig::default()
+    };
+    let server = match GatewayServer::bind(config, intake_tx, telemetry.clone()) {
+        Ok(server) => server,
+        Err(e) => return Outcome::error(format!("cannot bind gateway: {e}\n")),
+    };
+    // Printed immediately (not via the Outcome) so clients can connect
+    // while the serve window is still open.
+    println!(
+        "gateway listening on {} — {} users (user000..), source {:?}, serving {} ms",
+        server.local_addr(),
+        users,
+        source,
+        duration_ms
+    );
+
+    let supervisor = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(duration_ms));
+        server.shutdown();
+    });
+
+    let pump_telemetry = telemetry.clone();
+    let source_for_host = source.clone();
+    let report = tokio::runtime::block_on(async move {
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(5)));
+        let (host, _notices) = MabHost::new(shared, HostConfig::default());
+        let mut host = host.with_telemetry(pump_telemetry.clone());
+        for name in &names {
+            host.add_user(
+                simba_core::subscription::UserId::new(name.clone()),
+                gateway_user_config(name, &source_for_host),
+            )
+            .expect("fresh user");
+        }
+        let report = pump_into_host(&host, intake_rx, &pump_telemetry).await;
+        host.shutdown().await;
+        report
+    });
+    let _ = supervisor.join();
+
+    let snap = telemetry.metrics().snapshot();
+    let mut out = String::new();
+    let _ = writeln!(out, "gateway serve finished after {duration_ms} ms:");
+    for counter in [
+        "gateway.conn_opened",
+        "gateway.accepted",
+        "gateway.shed",
+        "gateway.decode_err",
+        "gateway.unknown_user",
+        "gateway.idle_closed",
+    ] {
+        let _ = writeln!(out, "  {:<22} {}", counter, snap.counter(counter));
+    }
+    let _ = writeln!(
+        out,
+        "host routing: {} routed (host.routed), {} unrouted (host.unrouted)",
+        snap.counter("host.routed"),
+        snap.counter("host.unrouted")
+    );
+    let _ = writeln!(out, "pump: {} routed, {} unrouted", report.routed, report.unrouted);
+    Outcome::ok(out)
+}
+
+/// `gateway send --addr A [--user U] [--body B] [--count N]
+/// [--channel im|email] [--source S]`.
+fn gateway_send(args: &[String]) -> Outcome {
+    use simba_gateway::proto::WireChannel;
+    use simba_gateway::{ClientConfig, GatewayClient, SubmitResult};
+
+    let mut addr = None;
+    let mut user = "user000".to_string();
+    let mut body = "Sensor demo ON".to_string();
+    let mut count = 1u64;
+    let mut channel = WireChannel::Im;
+    let mut source = "cli-src".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = it.next().cloned(),
+            "--user" => match it.next() {
+                Some(v) => user = v.clone(),
+                None => return Outcome::usage("--user needs a name"),
+            },
+            "--body" => match it.next() {
+                Some(v) => body = v.clone(),
+                None => return Outcome::usage("--body needs text"),
+            },
+            "--count" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => count = v,
+                None => return Outcome::usage("--count needs a number"),
+            },
+            "--channel" => match it.next().map(String::as_str) {
+                Some("im") => channel = WireChannel::Im,
+                Some("email") => channel = WireChannel::Email,
+                _ => return Outcome::usage("--channel is im or email"),
+            },
+            "--source" => match it.next() {
+                Some(v) => source = v.clone(),
+                None => return Outcome::usage("--source needs a name"),
+            },
+            other => return Outcome::usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(addr) = addr else {
+        return Outcome::usage("gateway send needs --addr");
+    };
+
+    let mut client = match GatewayClient::connect(addr.clone(), ClientConfig::default()) {
+        Ok(client) => client,
+        Err(e) => return Outcome::error(format!("cannot reach gateway at {addr}: {e}\n")),
+    };
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut out = String::new();
+    for i in 0..count {
+        match client.submit(channel, &user, &source, &body) {
+            Ok(SubmitResult::Accepted) => accepted += 1,
+            Ok(SubmitResult::Rejected { reason, retry_after_ms }) => {
+                rejected += 1;
+                let _ = writeln!(
+                    out,
+                    "submission {}: rejected ({reason}, retry after {retry_after_ms} ms)",
+                    i + 1
+                );
+            }
+            Err(e) => return Outcome::error(format!("{out}submission {}: {e}\n", i + 1)),
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{accepted}/{count} accepted, {rejected} rejected ({} reconnect(s))",
+        client.reconnects
+    );
+    Outcome::ok(out)
+}
+
+/// `gateway probe --addr A` — one health probe, counters printed.
+fn gateway_probe(args: &[String]) -> Outcome {
+    use simba_gateway::{ClientConfig, GatewayClient};
+
+    let mut addr = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = it.next().cloned(),
+            other => return Outcome::usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(addr) = addr else {
+        return Outcome::usage("gateway probe needs --addr");
+    };
+    let mut client = match GatewayClient::connect(addr.clone(), ClientConfig::default()) {
+        Ok(client) => client,
+        Err(e) => return Outcome::error(format!("cannot reach gateway at {addr}: {e}\n")),
+    };
+    match client.probe() {
+        Ok(stats) => Outcome::ok(format!(
+            "gateway {addr}: accepted {}, shed {}, decode_err {}, queue depth {}\n",
+            stats.accepted, stats.shed, stats.decode_err, stats.queue_depth
+        )),
+        Err(e) => Outcome::error(format!("probe failed: {e}\n")),
+    }
 }
 
 fn demo_faultlog(seed: u64, fixes: bool) -> String {
@@ -716,6 +987,83 @@ mod tests {
         assert_eq!(host(&strings(&["--users", "NaN"])).code, 2);
         assert_eq!(host(&strings(&["--users", "0"])).code, 2);
         assert_eq!(host(&strings(&["--frobnicate"])).code, 2);
+    }
+
+    #[test]
+    fn host_soak_reports_routing_totals() {
+        let out = host(&strings(&["--users", "3", "--alerts", "5", "--seed", "11"]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(
+            out.output.contains("host routing: 15 routed (host.routed), 0 unrouted"),
+            "{}",
+            out.output
+        );
+    }
+
+    #[test]
+    fn gateway_cli_flag_errors() {
+        assert_eq!(gateway(&strings(&[])).code, 2);
+        assert_eq!(gateway(&strings(&["frobnicate"])).code, 2);
+        assert_eq!(gateway(&strings(&["send"])).code, 2, "send needs --addr");
+        assert_eq!(gateway(&strings(&["probe"])).code, 2, "probe needs --addr");
+        assert_eq!(gateway(&strings(&["serve", "--users", "0"])).code, 2);
+        assert_eq!(gateway(&strings(&["serve", "--rate"])).code, 2);
+        // A dead address is a user error (1), not a usage error (2).
+        let out = gateway(&strings(&["probe", "--addr", "127.0.0.1:1"]));
+        assert_eq!(out.code, 1, "{}", out.output);
+        assert!(out.output.contains("cannot reach gateway"), "{}", out.output);
+    }
+
+    #[test]
+    fn gateway_serve_and_send_round_trip() {
+        // Grab a free port, then serve on it from a helper thread while
+        // this thread drives the client commands against it.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let serve_addr = addr.clone();
+        let serving = std::thread::spawn(move || {
+            gateway(&strings(&[
+                "serve",
+                "--addr",
+                &serve_addr,
+                "--users",
+                "2",
+                "--duration-ms",
+                "1500",
+            ]))
+        });
+        // Wait for the listener to come up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if std::net::TcpStream::connect(&addr).is_ok() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "gateway never came up");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        let sent = gateway(&strings(&[
+            "send", "--addr", &addr, "--user", "user001", "--count", "5",
+        ]));
+        assert_eq!(sent.code, 0, "{}", sent.output);
+        assert!(sent.output.contains("5/5 accepted"), "{}", sent.output);
+
+        let unknown = gateway(&strings(&[
+            "send", "--addr", &addr, "--user", "mallory", "--count", "1",
+        ]));
+        assert_eq!(unknown.code, 0, "{}", unknown.output);
+        assert!(unknown.output.contains("unknown-user"), "{}", unknown.output);
+
+        let probe = gateway(&strings(&["probe", "--addr", &addr]));
+        assert_eq!(probe.code, 0, "{}", probe.output);
+        assert!(probe.output.contains("accepted 5"), "{}", probe.output);
+
+        let served = serving.join().unwrap();
+        assert_eq!(served.code, 0, "{}", served.output);
+        assert!(served.output.contains("host routing: 5 routed"), "{}", served.output);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   summary tables;
 //! * `host` — soak a multi-user `MabHost` fleet with mixed
 //!   ack/timeout/failure outcomes and report the outcome mix,
-//!   bounded-state peaks, and throughput;
+//!   bounded-state peaks, routing totals, and throughput;
+//! * `gateway serve|send|probe` — run the framed-TCP ingestion gateway
+//!   in front of a live host fleet, submit alerts to one, or check its
+//!   health counters;
 //! * `telemetry demo|tail` — run an instrumented pipeline and print its
 //!   structured event stream and metrics snapshot, or pretty-print a
 //!   JSON-lines event file captured elsewhere.
@@ -68,6 +71,11 @@ USAGE:
   simba-cli demo pipeline  [--seed <n>] [--alerts <n>]
   simba-cli demo faultlog  [--seed <n>] [--fixes]
   simba-cli host [--users <n>] [--alerts <n>] [--ring <n>] [--seed <n>]
+  simba-cli gateway serve [--addr <a>] [--users <n>] [--duration-ms <n>]
+            [--workers <n>] [--queue <n>] [--rate <alerts/s>] [--source <s>]
+  simba-cli gateway send --addr <a> [--user <u>] [--body <text>]
+            [--count <n>] [--channel im|email] [--source <s>]
+  simba-cli gateway probe --addr <a>
   simba-cli telemetry demo [--seed <n>] [--alerts <n>] [--json]
   simba-cli telemetry tail <file.jsonl>
   simba-cli help
@@ -89,6 +97,7 @@ pub fn run(args: &[String]) -> Outcome {
         Some("wal") => commands::wal(&args[1..]),
         Some("demo") => commands::demo(&args[1..]),
         Some("host") => commands::host(&args[1..]),
+        Some("gateway") => commands::gateway(&args[1..]),
         Some("telemetry") => commands::telemetry(&args[1..]),
         Some(other) => Outcome::usage(&format!("unknown command {other:?}")),
     }

@@ -1,0 +1,140 @@
+//! Admission control: per-source token buckets.
+//!
+//! The gateway sheds load at three gates (cf. the SEDA-style staged
+//! admission control discussed in `PAPERS.md`): a per-connection
+//! in-flight cap, a per-source token bucket (this module), and the
+//! bounded global intake queue. Every gate rejects with an explicit
+//! nack-plus-retry-after instead of stalling the connection, so overload
+//! degrades throughput visibly rather than latency silently.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Token-bucket parameters applied independently to every alert source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Bucket capacity: the largest burst a source may submit at once.
+    pub burst: u32,
+    /// Sustained refill rate in tokens (alerts) per second.
+    pub per_sec: u32,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    refreshed: Instant,
+}
+
+/// Per-source token buckets behind one lock (sources are few; the
+/// critical section is a handful of float ops).
+#[derive(Debug)]
+pub struct TokenBuckets {
+    limit: Option<RateLimit>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TokenBuckets {
+    /// Buckets enforcing `limit`; `None` admits everything.
+    pub fn new(limit: Option<RateLimit>) -> Self {
+        TokenBuckets { limit, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// Takes one token for `source`, or reports how many milliseconds
+    /// until one will be available.
+    pub fn try_take(&self, source: &str) -> Result<(), u32> {
+        self.try_take_at(source, Instant::now())
+    }
+
+    /// [`TokenBuckets::try_take`] with an injected clock, for tests.
+    pub fn try_take_at(&self, source: &str, now: Instant) -> Result<(), u32> {
+        let Some(limit) = self.limit else { return Ok(()) };
+        if limit.per_sec == 0 {
+            // Rate of zero means "statically refuse": retry hint of 1 s.
+            return Err(1_000);
+        }
+        let mut buckets = self.buckets.lock().unwrap();
+        let bucket = buckets.entry(source.to_string()).or_insert_with(|| Bucket {
+            tokens: f64::from(limit.burst),
+            refreshed: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refreshed).as_secs_f64();
+        bucket.tokens =
+            (bucket.tokens + elapsed * f64::from(limit.per_sec)).min(f64::from(limit.burst));
+        bucket.refreshed = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let wait_ms = (deficit * 1_000.0 / f64::from(limit.per_sec)).ceil();
+            Err(wait_ms.max(1.0) as u32)
+        }
+    }
+
+    /// Number of sources currently tracked.
+    pub fn tracked_sources(&self) -> usize {
+        self.buckets.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_buckets_admit_everything() {
+        let buckets = TokenBuckets::new(None);
+        for _ in 0..10_000 {
+            assert_eq!(buckets.try_take("srv"), Ok(()));
+        }
+        assert_eq!(buckets.tracked_sources(), 0);
+    }
+
+    #[test]
+    fn burst_then_refill() {
+        let buckets = TokenBuckets::new(Some(RateLimit { burst: 3, per_sec: 10 }));
+        let t0 = Instant::now();
+        // The full burst is admitted...
+        for _ in 0..3 {
+            assert_eq!(buckets.try_take_at("gw", t0), Ok(()));
+        }
+        // ...then the bucket is dry, with a ~100 ms retry hint (10/s).
+        let wait = buckets.try_take_at("gw", t0).unwrap_err();
+        assert!((50..=150).contains(&wait), "retry hint {wait} ms");
+        // After 100 ms one token is back.
+        let t1 = t0 + Duration::from_millis(100);
+        assert_eq!(buckets.try_take_at("gw", t1), Ok(()));
+        assert!(buckets.try_take_at("gw", t1).is_err());
+    }
+
+    #[test]
+    fn sources_are_limited_independently() {
+        let buckets = TokenBuckets::new(Some(RateLimit { burst: 1, per_sec: 1 }));
+        let t0 = Instant::now();
+        assert_eq!(buckets.try_take_at("a", t0), Ok(()));
+        assert!(buckets.try_take_at("a", t0).is_err());
+        // A different source has its own bucket.
+        assert_eq!(buckets.try_take_at("b", t0), Ok(()));
+        assert_eq!(buckets.tracked_sources(), 2);
+    }
+
+    #[test]
+    fn zero_rate_statically_refuses() {
+        let buckets = TokenBuckets::new(Some(RateLimit { burst: 5, per_sec: 0 }));
+        assert_eq!(buckets.try_take("gw"), Err(1_000));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let buckets = TokenBuckets::new(Some(RateLimit { burst: 2, per_sec: 100 }));
+        let t0 = Instant::now();
+        assert_eq!(buckets.try_take_at("gw", t0), Ok(()));
+        // A long quiet period refills to the cap, not beyond it.
+        let t1 = t0 + Duration::from_secs(60);
+        assert_eq!(buckets.try_take_at("gw", t1), Ok(()));
+        assert_eq!(buckets.try_take_at("gw", t1), Ok(()));
+        assert!(buckets.try_take_at("gw", t1).is_err());
+    }
+}

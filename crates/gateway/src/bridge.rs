@@ -1,0 +1,154 @@
+//! The thread → runtime bridge: a bounded intake queue plus the pump
+//! task that drains it into a [`MabHost`].
+//!
+//! The vendored tokio shim has no `net` module, so sockets are served by
+//! std threads (see `DESIGN.md` §10). Those threads still have to hand
+//! alerts to the `MabHost`, whose services run on the shim's
+//! single-threaded executor. The bridge is the seam: worker threads call
+//! [`IntakeSender::try_submit`] (synchronous, lock-based, thread-safe —
+//! the shim's channel internals are `Arc<Mutex<..>>`), and the async
+//! [`pump_into_host`] task drains the queue from inside the runtime.
+//!
+//! The pump wraps every `recv` in a short [`tokio::time::timeout`]: the
+//! shim executor treats "no runnable task and no timer" as a deadlock,
+//! and a cross-thread send only becomes visible at the next executor
+//! wake-up, so the tick doubles as the runtime's heartbeat. An admitted
+//! submission is therefore durable-in-process: once `try_submit`
+//! succeeds (and the worker acks the client), only process death can
+//! lose it — the pump drains the queue to `None` before the host shuts
+//! down, even if the submitting connection is long gone.
+
+use crate::proto::WireChannel;
+use simba_core::alert::IncomingAlert;
+use simba_core::subscription::UserId;
+use simba_core::Telemetry;
+use simba_runtime::{Channels, MabHost, RuntimeClock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::sync::mpsc;
+
+/// How often the pump wakes when the queue is idle. Also bounds the
+/// latency between a worker-thread enqueue and the runtime noticing it.
+pub const PUMP_TICK: Duration = Duration::from_millis(1);
+
+/// One admitted alert submission on its way to the host.
+#[derive(Debug)]
+pub struct Submission {
+    /// Client-assigned sequence number (for diagnostics).
+    pub seq: u64,
+    /// Which host front door to use.
+    pub channel: WireChannel,
+    /// The target user.
+    pub user: UserId,
+    /// The alerting source.
+    pub source: String,
+    /// The alert body.
+    pub body: String,
+    /// The submitting connection's in-flight slot; the pump releases it
+    /// after routing. Outlives the connection (an `Arc`), so a dropped
+    /// client never strands the accounting.
+    pub slot: Arc<AtomicUsize>,
+}
+
+/// Builds the bounded intake queue: worker threads hold the sender, the
+/// runtime pump owns the receiver.
+pub fn intake(capacity: usize) -> (IntakeSender, IntakeReceiver) {
+    let (tx, rx) = mpsc::channel(capacity.max(1));
+    let depth = Arc::new(AtomicUsize::new(0));
+    (
+        IntakeSender { tx, depth: Arc::clone(&depth) },
+        IntakeReceiver { rx, depth },
+    )
+}
+
+/// Thread-safe sending half of the intake queue.
+#[derive(Debug, Clone)]
+pub struct IntakeSender {
+    tx: mpsc::Sender<Submission>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl IntakeSender {
+    /// Enqueues without blocking; hands the submission back when the
+    /// queue is full (the caller sheds) or the pump is gone.
+    pub fn try_submit(&self, submission: Submission) -> Result<(), Submission> {
+        match self.tx.try_send(submission) {
+            Ok(()) => {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(tokio::sync::mpsc::error::SendError(submission)) => Err(submission),
+        }
+    }
+
+    /// Current queue depth (approximate under concurrency).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
+/// Receiving half of the intake queue; owned by [`pump_into_host`].
+#[derive(Debug)]
+pub struct IntakeReceiver {
+    rx: mpsc::Receiver<Submission>,
+    depth: Arc<AtomicUsize>,
+}
+
+/// What the pump routed by the time the intake queue closed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Submissions handed to a hosted user's service.
+    pub routed: u64,
+    /// Submissions whose user was not hosted (also counted by the host
+    /// as `host.unrouted`).
+    pub unrouted: u64,
+}
+
+/// Drains the intake queue into `host` until every [`IntakeSender`] is
+/// gone and the queue is empty. Run this inside the shim runtime,
+/// concurrently with the gateway's worker threads; shut the
+/// [`crate::GatewayServer`] down first so the senders drop.
+pub async fn pump_into_host<C: Channels + Clone>(
+    host: &MabHost<C>,
+    mut intake: IntakeReceiver,
+    telemetry: &Telemetry,
+) -> PumpReport {
+    let clock = RuntimeClock::start();
+    let depth_gauge = telemetry.metrics().gauge("gateway.queue_depth");
+    let mut report = PumpReport::default();
+    loop {
+        let submission = match tokio::time::timeout(PUMP_TICK, intake.rx.recv()).await {
+            Err(_elapsed) => continue, // idle tick: keeps the shim executor alive
+            Ok(None) => break,         // every sender dropped and the queue drained
+            Ok(Some(submission)) => submission,
+        };
+        intake.depth.fetch_sub(1, Ordering::Relaxed);
+        depth_gauge.set(intake.depth.load(Ordering::Relaxed) as u64);
+        let now = clock.now();
+        let routed = match submission.channel {
+            WireChannel::Im => {
+                let alert = IncomingAlert::from_im(submission.source, submission.body, now);
+                host.submit_im(&submission.user, alert).await
+            }
+            WireChannel::Email => {
+                let alert = IncomingAlert::from_email(
+                    submission.source,
+                    "gateway",
+                    "alert",
+                    submission.body,
+                    now,
+                );
+                host.submit_email(&submission.user, alert).await
+            }
+        };
+        submission.slot.fetch_sub(1, Ordering::Relaxed);
+        if routed {
+            report.routed += 1;
+        } else {
+            report.unrouted += 1;
+        }
+    }
+    depth_gauge.set(0);
+    report
+}

@@ -1,0 +1,593 @@
+//! The gateway wire protocol: versioned, length-prefixed, CRC-checked
+//! binary frames.
+//!
+//! Every frame is a fixed 14-byte header followed by a payload:
+//!
+//! ```text
+//! +--------+---------+------+---------------+-----------+== payload ==+
+//! | magic  | version | type | payload_len   | crc32     |   ...       |
+//! | "SMBA" | u8 (=1) | u8   | u32 LE        | u32 LE    |             |
+//! +--------+---------+------+---------------+-----------+=============+
+//! ```
+//!
+//! The CRC-32 (IEEE) covers the payload bytes only, so a flipped bit in
+//! the body is caught even when the length happens to stay plausible.
+//! Integers are little-endian; strings are a `u16` length followed by
+//! UTF-8 bytes. The magic makes a client that dials the wrong port fail
+//! fast, the version byte leaves room to evolve the frame set, and the
+//! length prefix bounds how much a decoder ever buffers (the server caps
+//! it further via [`crate::GatewayConfig::max_payload`]).
+
+use std::fmt;
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"SMBA";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 14;
+/// Default cap on payload size (64 KiB) — protects the decoder's buffer.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 64 * 1024;
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { 0xEDB8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Which delivery front door the alert claims to have arrived by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireChannel {
+    /// Instant-messaging borne (routes to `MabHost::submit_im`).
+    Im,
+    /// Email borne (routes to `MabHost::submit_email`).
+    Email,
+}
+
+impl WireChannel {
+    fn as_u8(self) -> u8 {
+        match self {
+            WireChannel::Im => 0,
+            WireChannel::Email => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(WireChannel::Im),
+            1 => Some(WireChannel::Email),
+            _ => None,
+        }
+    }
+}
+
+/// Why the gateway refused a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackReason {
+    /// The global intake queue is full — back off and retry.
+    QueueFull,
+    /// The source's token bucket is empty — back off and retry.
+    RateLimited,
+    /// Too many of this connection's submissions are still in flight.
+    ConnBusy,
+    /// The user is not hosted; retrying will not help.
+    UnknownUser,
+    /// The frame failed to decode; the connection is being closed.
+    Malformed,
+    /// The gateway is shutting down.
+    Shutdown,
+}
+
+impl NackReason {
+    /// True for transient overload rejections (the client should honour
+    /// `retry_after_ms`); false for permanent ones.
+    pub fn is_shed(self) -> bool {
+        matches!(
+            self,
+            NackReason::QueueFull | NackReason::RateLimited | NackReason::ConnBusy
+        )
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            NackReason::QueueFull => 1,
+            NackReason::RateLimited => 2,
+            NackReason::ConnBusy => 3,
+            NackReason::UnknownUser => 4,
+            NackReason::Malformed => 5,
+            NackReason::Shutdown => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(NackReason::QueueFull),
+            2 => Some(NackReason::RateLimited),
+            3 => Some(NackReason::ConnBusy),
+            4 => Some(NackReason::UnknownUser),
+            5 => Some(NackReason::Malformed),
+            6 => Some(NackReason::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NackReason::QueueFull => "queue-full",
+            NackReason::RateLimited => "rate-limited",
+            NackReason::ConnBusy => "conn-busy",
+            NackReason::UnknownUser => "unknown-user",
+            NackReason::Malformed => "malformed",
+            NackReason::Shutdown => "shutdown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Gateway health counters carried by [`Frame::ProbeReply`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Submissions admitted into the intake queue so far.
+    pub accepted: u64,
+    /// Submissions shed (queue-full / rate-limited / conn-busy).
+    pub shed: u64,
+    /// Frames that failed to decode.
+    pub decode_err: u64,
+    /// Current intake-queue depth.
+    pub queue_depth: u32,
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: submit one alert.
+    Submit {
+        /// Client-assigned sequence number echoed by the ack/nack.
+        seq: u64,
+        /// Which front door the alert arrives by.
+        channel: WireChannel,
+        /// The target user.
+        user: String,
+        /// The alerting source (also the rate-limiting key).
+        source: String,
+        /// The alert body.
+        body: String,
+    },
+    /// Server → client: the submission was admitted; once acked it will
+    /// be routed (the intake queue is drained even through shutdown).
+    Ack {
+        /// Echo of the submission's sequence number.
+        seq: u64,
+    },
+    /// Server → client: the submission was rejected.
+    Nack {
+        /// Echo of the submission's sequence number (0 when the frame
+        /// could not be decoded far enough to know it).
+        seq: u64,
+        /// Why.
+        reason: NackReason,
+        /// Suggested back-off before retrying, for shed reasons.
+        retry_after_ms: u32,
+    },
+    /// Client → server: health probe.
+    Probe {
+        /// Correlates the reply.
+        nonce: u64,
+    },
+    /// Server → client: health counters.
+    ProbeReply {
+        /// Echo of the probe nonce.
+        nonce: u64,
+        /// Counters at reply time.
+        stats: ProbeStats,
+    },
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Submit { .. } => 1,
+            Frame::Ack { .. } => 2,
+            Frame::Nack { .. } => 3,
+            Frame::Probe { .. } => 4,
+            Frame::ProbeReply { .. } => 5,
+        }
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame-type byte.
+    UnknownType(u8),
+    /// Payload checksum mismatch: the frame was corrupted in flight.
+    BadCrc {
+        /// CRC carried by the header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// The header announces a payload larger than the decoder accepts.
+    TooLarge {
+        /// Announced length.
+        len: u32,
+        /// The decoder's cap.
+        max: u32,
+    },
+    /// The payload ended early or held an invalid field.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FrameError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            FrameError::BadCrc { expected, actual } => {
+                write!(f, "crc mismatch: header {expected:08x}, payload {actual:08x}")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A parsed frame header; the payload follows on the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct Header {
+    /// Frame-type byte (validated against the known set).
+    pub frame_type: u8,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// CRC-32 the payload must match.
+    pub crc: u32,
+}
+
+impl Header {
+    /// Parses and validates a fixed-size header, enforcing `max_payload`.
+    pub fn parse(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<Header, FrameError> {
+        if bytes[..4] != MAGIC {
+            return Err(FrameError::BadMagic([bytes[0], bytes[1], bytes[2], bytes[3]]));
+        }
+        if bytes[4] != VERSION {
+            return Err(FrameError::BadVersion(bytes[4]));
+        }
+        let frame_type = bytes[5];
+        if !(1..=5).contains(&frame_type) {
+            return Err(FrameError::UnknownType(frame_type));
+        }
+        let payload_len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
+        if payload_len > max_payload {
+            return Err(FrameError::TooLarge { len: payload_len, max: max_payload });
+        }
+        let crc = u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]);
+        Ok(Header { frame_type, payload_len, crc })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    // Strings longer than the u16 length prefix allows are truncated at a
+    // char boundary (submission bodies are capped far below this anyway).
+    let mut len = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(len) {
+        len -= 1;
+    }
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..len]);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(FrameError::Malformed(what)),
+        }
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, FrameError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, FrameError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, FrameError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, FrameError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::Malformed(what))
+    }
+
+    fn finish(&self, what: &'static str) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed(what))
+        }
+    }
+}
+
+/// Encodes `frame` (header + payload) onto the end of `out`.
+pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(32);
+    match frame {
+        Frame::Submit { seq, channel, user, source, body } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            payload.push(channel.as_u8());
+            put_str(&mut payload, user);
+            put_str(&mut payload, source);
+            put_str(&mut payload, body);
+        }
+        Frame::Ack { seq } => payload.extend_from_slice(&seq.to_le_bytes()),
+        Frame::Nack { seq, reason, retry_after_ms } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            payload.push(reason.as_u8());
+            payload.extend_from_slice(&retry_after_ms.to_le_bytes());
+        }
+        Frame::Probe { nonce } => payload.extend_from_slice(&nonce.to_le_bytes()),
+        Frame::ProbeReply { nonce, stats } => {
+            payload.extend_from_slice(&nonce.to_le_bytes());
+            payload.extend_from_slice(&stats.accepted.to_le_bytes());
+            payload.extend_from_slice(&stats.shed.to_le_bytes());
+            payload.extend_from_slice(&stats.decode_err.to_le_bytes());
+            payload.extend_from_slice(&stats.queue_depth.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.type_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Encodes `frame` into a fresh buffer.
+pub fn encode_to_vec(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 32);
+    encode(frame, &mut out);
+    out
+}
+
+/// Decodes a payload the header described, verifying its CRC first.
+pub fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, FrameError> {
+    debug_assert_eq!(payload.len(), header.payload_len as usize);
+    let actual = crc32(payload);
+    if actual != header.crc {
+        return Err(FrameError::BadCrc { expected: header.crc, actual });
+    }
+    let mut r = Reader { buf: payload, pos: 0 };
+    let frame = match header.frame_type {
+        1 => {
+            let seq = r.u64("submit.seq")?;
+            let channel = WireChannel::from_u8(r.u8("submit.channel")?)
+                .ok_or(FrameError::Malformed("submit.channel"))?;
+            let user = r.string("submit.user")?;
+            let source = r.string("submit.source")?;
+            let body = r.string("submit.body")?;
+            Frame::Submit { seq, channel, user, source, body }
+        }
+        2 => Frame::Ack { seq: r.u64("ack.seq")? },
+        3 => {
+            let seq = r.u64("nack.seq")?;
+            let reason = NackReason::from_u8(r.u8("nack.reason")?)
+                .ok_or(FrameError::Malformed("nack.reason"))?;
+            let retry_after_ms = r.u32("nack.retry_after")?;
+            Frame::Nack { seq, reason, retry_after_ms }
+        }
+        4 => Frame::Probe { nonce: r.u64("probe.nonce")? },
+        5 => {
+            let nonce = r.u64("probe_reply.nonce")?;
+            let stats = ProbeStats {
+                accepted: r.u64("probe_reply.accepted")?,
+                shed: r.u64("probe_reply.shed")?,
+                decode_err: r.u64("probe_reply.decode_err")?,
+                queue_depth: r.u32("probe_reply.queue_depth")?,
+            };
+            Frame::ProbeReply { nonce, stats }
+        }
+        t => return Err(FrameError::UnknownType(t)),
+    };
+    r.finish("trailing bytes")?;
+    Ok(frame)
+}
+
+/// Decodes one whole frame from the front of `buf`; returns the frame and
+/// how many bytes it consumed. Convenience for tests and in-memory use —
+/// the server and client parse header and payload separately off the
+/// socket.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Malformed("truncated header"));
+    }
+    let header_bytes: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("sized slice");
+    let header = Header::parse(&header_bytes, DEFAULT_MAX_PAYLOAD)?;
+    let total = HEADER_LEN + header.payload_len as usize;
+    if buf.len() < total {
+        return Err(FrameError::Malformed("truncated payload"));
+    }
+    let frame = decode_payload(&header, &buf[HEADER_LEN..total])?;
+    Ok((frame, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn all_frame_kinds_round_trip() {
+        let frames = [
+            Frame::Submit {
+                seq: 7,
+                channel: WireChannel::Im,
+                user: "alice".into(),
+                source: "aladdin-gw".into(),
+                body: "Basement Water Sensor ON".into(),
+            },
+            Frame::Ack { seq: 9 },
+            Frame::Nack { seq: 3, reason: NackReason::RateLimited, retry_after_ms: 250 },
+            Frame::Probe { nonce: 99 },
+            Frame::ProbeReply {
+                nonce: 99,
+                stats: ProbeStats { accepted: 10, shed: 2, decode_err: 1, queue_depth: 5 },
+            },
+        ];
+        for frame in frames {
+            let bytes = encode_to_vec(&frame);
+            let (decoded, consumed) = decode_frame(&bytes).expect("round trip");
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_is_rejected() {
+        let mut bytes = encode_to_vec(&Frame::Ack { seq: 42 });
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // flip one payload bit
+        match decode_frame(&bytes) {
+            Err(FrameError::BadCrc { .. }) => {}
+            other => panic!("corrupted frame decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let bytes = encode_to_vec(&Frame::Submit {
+            seq: 1,
+            channel: WireChannel::Email,
+            user: "u".into(),
+            source: "s".into(),
+            body: "b".into(),
+        });
+        // Every proper prefix must fail cleanly, never panic or succeed.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_frame(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_fail_fast() {
+        let mut bytes = encode_to_vec(&Frame::Probe { nonce: 1 });
+        bytes[0] = b'X';
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::BadMagic(_))));
+        let mut bytes = encode_to_vec(&Frame::Probe { nonce: 1 });
+        bytes[4] = 99;
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::BadVersion(99))));
+        let mut bytes = encode_to_vec(&Frame::Probe { nonce: 1 });
+        bytes[5] = 77;
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::UnknownType(77))));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_alert_frames_round_trip(
+            seq in proptest::prelude::any::<u64>(),
+            im in proptest::prelude::any::<bool>(),
+            user in "[a-z0-9_.-]{0,24}",
+            source in "\\PC{0,32}",
+            body in "\\PC{0,200}",
+        ) {
+            let frame = Frame::Submit {
+                seq,
+                channel: if im { WireChannel::Im } else { WireChannel::Email },
+                user,
+                source,
+                body,
+            };
+            let bytes = encode_to_vec(&frame);
+            let (decoded, consumed) = decode_frame(&bytes).expect("encode -> decode");
+            prop_assert_eq!(decoded, frame);
+            prop_assert_eq!(consumed, bytes.len());
+        }
+
+        #[test]
+        fn bit_flips_never_decode_to_a_different_frame(
+            seq in proptest::prelude::any::<u64>(),
+            body in "\\PC{0,64}",
+            flip_byte in proptest::prelude::any::<u16>(),
+            flip_bit in 0u8..8,
+        ) {
+            let frame = Frame::Submit {
+                seq,
+                channel: WireChannel::Im,
+                user: "user".into(),
+                source: "src".into(),
+                body,
+            };
+            let mut bytes = encode_to_vec(&frame);
+            let idx = flip_byte as usize % bytes.len();
+            bytes[idx] ^= 1 << flip_bit;
+            // A flipped bit must either fail to decode or decode back to
+            // the exact original (impossible here since we flipped one
+            // bit, unless the flip landed in ignored space — there is
+            // none). Silently producing a different frame is the bug.
+            if let Ok((decoded, _)) = decode_frame(&bytes) {
+                prop_assert_eq!(decoded, frame);
+            }
+        }
+    }
+}

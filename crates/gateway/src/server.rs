@@ -1,0 +1,498 @@
+//! The TCP front door: acceptor thread + worker pool, with admission
+//! control and explicit load shedding.
+//!
+//! Threading model (the tokio shim has no `net`, so this layer is plain
+//! `std::net` + threads):
+//!
+//! * one **acceptor** thread blocks in `accept()` and pushes sockets
+//!   onto a bounded hand-off queue — when the queue is full the
+//!   connection itself is shed with a best-effort `Nack(QueueFull)`;
+//! * a small **worker pool** pops sockets and speaks the frame protocol
+//!   for one connection at a time. Reads poll with a short timeout so a
+//!   worker notices shutdown promptly, and a connection that goes quiet
+//!   mid-frame (slow loris) is closed once `idle_timeout` passes without
+//!   a byte — the worker is reclaimed, other connections never wait;
+//! * admitted submissions go to the runtime through the bounded
+//!   [`IntakeSender`](crate::IntakeSender); the ack is written only
+//!   *after* the enqueue succeeds, so an acked alert can no longer be
+//!   shed — only process death loses it.
+//!
+//! Every rejection is counted, never silent: `gateway.shed` (+ reason
+//! events), `gateway.decode_err`, `gateway.unknown_user`,
+//! `gateway.idle_closed`.
+
+use crate::admission::{RateLimit, TokenBuckets};
+use crate::bridge::{IntakeSender, Submission};
+use crate::proto::{
+    self, Frame, FrameError, Header, NackReason, ProbeStats, HEADER_LEN,
+};
+use simba_core::subscription::UserId;
+use simba_core::Telemetry;
+use simba_telemetry::{CounterHandle, Event};
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway tuning knobs. The defaults suit tests and the CLI; the bench
+/// raises the queue sizes.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (= concurrently served connections).
+    pub workers: usize,
+    /// Accepted-socket hand-off queue length; beyond it, connections are
+    /// shed at accept time.
+    pub accept_backlog: usize,
+    /// Per-connection cap on submissions admitted but not yet routed.
+    pub per_conn_inflight: usize,
+    /// Optional per-source token bucket.
+    pub rate_limit: Option<RateLimit>,
+    /// Close a connection after this long without receiving a byte
+    /// (the slow-loris guard; also reaps idle-but-healthy connections,
+    /// which clients transparently survive by reconnecting).
+    pub idle_timeout: Duration,
+    /// How often a blocked read wakes to check idleness and shutdown.
+    pub read_poll: Duration,
+    /// Largest accepted frame payload.
+    pub max_payload: u32,
+    /// When set, submissions for users outside this set are nacked
+    /// `UnknownUser` at the gate instead of bouncing off the host.
+    pub known_users: Option<BTreeSet<String>>,
+    /// Retry hint sent with `QueueFull` / `ConnBusy` nacks.
+    pub shed_retry_after: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            accept_backlog: 64,
+            per_conn_inflight: 256,
+            rate_limit: None,
+            idle_timeout: Duration::from_secs(5),
+            read_poll: Duration::from_millis(25),
+            max_payload: proto::DEFAULT_MAX_PAYLOAD,
+            known_users: None,
+            shed_retry_after: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Cached telemetry handles shared by every worker.
+#[derive(Clone)]
+struct Counters {
+    accepted: CounterHandle,
+    shed: CounterHandle,
+    decode_err: CounterHandle,
+    unknown_user: CounterHandle,
+    idle_closed: CounterHandle,
+    conn_opened: CounterHandle,
+    conn_shed: CounterHandle,
+}
+
+impl Counters {
+    fn new(telemetry: &Telemetry) -> Self {
+        let m = telemetry.metrics();
+        Counters {
+            accepted: m.counter("gateway.accepted"),
+            shed: m.counter("gateway.shed"),
+            decode_err: m.counter("gateway.decode_err"),
+            unknown_user: m.counter("gateway.unknown_user"),
+            idle_closed: m.counter("gateway.idle_closed"),
+            conn_opened: m.counter("gateway.conn_opened"),
+            conn_shed: m.counter("gateway.conn_shed"),
+        }
+    }
+}
+
+/// Everything a worker needs, bundled for cheap cloning.
+struct Shared {
+    config: GatewayConfig,
+    intake: IntakeSender,
+    telemetry: Telemetry,
+    counters: Counters,
+    buckets: TokenBuckets,
+    stop: AtomicBool,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn stats(&self) -> ProbeStats {
+        ProbeStats {
+            accepted: self.counters.accepted.get(),
+            shed: self.counters.shed.get(),
+            decode_err: self.counters.decode_err.get(),
+            queue_depth: self.intake.depth() as u32,
+        }
+    }
+}
+
+/// The running gateway: acceptor + workers. Dropping it without calling
+/// [`GatewayServer::shutdown`] leaves the threads running for the
+/// process lifetime; shut it down explicitly.
+pub struct GatewayServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GatewayServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayServer")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GatewayServer {
+    /// Binds the listener and spawns the acceptor and worker threads.
+    /// Admitted submissions flow out through `intake`; keep its receiver
+    /// draining via [`crate::pump_into_host`] or the queue will fill and
+    /// the gateway will shed.
+    pub fn bind(
+        config: GatewayConfig,
+        intake: IntakeSender,
+        telemetry: Telemetry,
+    ) -> std::io::Result<GatewayServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let backlog = config.accept_backlog.max(1);
+        let shared = Arc::new(Shared {
+            buckets: TokenBuckets::new(config.rate_limit),
+            counters: Counters::new(&telemetry),
+            config,
+            intake,
+            telemetry,
+            stop: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+
+        let (socket_tx, socket_rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
+        let socket_rx = Arc::new(Mutex::new(socket_rx));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&socket_rx);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gw-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn gateway worker"),
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gw-acceptor".to_string())
+                .spawn(move || acceptor_loop(&shared, &listener, &socket_tx))
+                .expect("spawn gateway acceptor")
+        };
+
+        Ok(GatewayServer {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Health counters, as a probe frame would report them.
+    pub fn stats(&self) -> ProbeStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, lets workers finish their current frame (or hit
+    /// the read poll), and joins every thread. Worker-held
+    /// [`IntakeSender`](crate::IntakeSender) clones drop here, which is
+    /// what lets [`crate::pump_into_host`] finish its drain.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Shared, listener: &TcpListener, socket_tx: &SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) if shared.stop.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a late client) — drop it
+        }
+        match socket_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => shed_connection(shared, stream),
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping socket_tx (by returning) ends the worker loops once the
+    // queued sockets are served.
+}
+
+/// Best-effort "busy, go away" for a connection there is no worker for.
+fn shed_connection(shared: &Shared, mut stream: TcpStream) {
+    shared.counters.conn_shed.incr();
+    if shared.telemetry.enabled() {
+        shared
+            .telemetry
+            .emit(Event::new("gateway.conn_shed", shared.now_ms()));
+    }
+    let retry = shared.config.shed_retry_after.as_millis() as u32;
+    let nack = Frame::Nack { seq: 0, reason: NackReason::QueueFull, retry_after_ms: retry };
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.write_all(&proto::encode_to_vec(&nack));
+}
+
+fn worker_loop(shared: &Shared, socket_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the lock only for the dequeue, not while serving.
+        let stream = { socket_rx.lock().unwrap().recv() };
+        match stream {
+            Ok(stream) => serve_connection(shared, stream),
+            Err(_) => break, // acceptor gone and queue drained
+        }
+    }
+}
+
+/// Outcome of trying to read an exact number of bytes.
+enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// The peer closed; `mid_frame` when bytes of this frame were lost.
+    Eof { mid_frame: bool },
+    /// No byte arrived for `idle_timeout` — slow-loris / dead peer.
+    Idle { mid_frame: bool },
+    /// The server is shutting down.
+    Stopped,
+    /// Hard I/O error.
+    Failed,
+}
+
+/// Reads exactly `buf.len()` bytes, polling so idleness and shutdown are
+/// noticed. `std`'s `read_exact` is unusable here: a read timeout makes
+/// it discard whatever prefix already arrived.
+fn read_full(shared: &Shared, stream: &mut TcpStream, buf: &mut [u8]) -> ReadOutcome {
+    let mut filled = 0usize;
+    let mut last_byte = Instant::now();
+    while filled < buf.len() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return ReadOutcome::Stopped;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadOutcome::Eof { mid_frame: filled > 0 },
+            Ok(n) => {
+                filled += n;
+                last_byte = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_byte.elapsed() >= shared.config.idle_timeout {
+                    return ReadOutcome::Idle { mid_frame: filled > 0 };
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Full
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    shared.counters.conn_opened.incr();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_poll));
+    // A peer that stops *reading* must not pin the worker either.
+    let _ = stream.set_write_timeout(Some(shared.config.idle_timeout));
+
+    let slot = Arc::new(AtomicUsize::new(0));
+    let mut header_buf = [0u8; HEADER_LEN];
+    let mut payload_buf: Vec<u8> = Vec::new();
+
+    loop {
+        match read_full(shared, &mut stream, &mut header_buf) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof { mid_frame: false } => return, // clean close
+            ReadOutcome::Eof { mid_frame: true } => {
+                note_decode_err(shared, &FrameError::Malformed("eof inside header"));
+                return;
+            }
+            ReadOutcome::Idle { mid_frame } => return close_idle(shared, mid_frame),
+            ReadOutcome::Stopped => return nack_shutdown(shared, &mut stream),
+            ReadOutcome::Failed => return,
+        }
+        let header = match Header::parse(&header_buf, shared.config.max_payload) {
+            Ok(header) => header,
+            Err(e) => {
+                note_decode_err(shared, &e);
+                // The byte stream is desynchronised; nack and drop it.
+                let _ = write_frame(&mut stream, &malformed_nack());
+                return;
+            }
+        };
+        payload_buf.resize(header.payload_len as usize, 0);
+        match read_full(shared, &mut stream, &mut payload_buf) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof { .. } => {
+                note_decode_err(shared, &FrameError::Malformed("eof inside payload"));
+                return;
+            }
+            ReadOutcome::Idle { mid_frame } => return close_idle(shared, mid_frame),
+            ReadOutcome::Stopped => return nack_shutdown(shared, &mut stream),
+            ReadOutcome::Failed => return,
+        }
+        let frame = match proto::decode_payload(&header, &payload_buf) {
+            Ok(frame) => frame,
+            Err(e) => {
+                note_decode_err(shared, &e);
+                let _ = write_frame(&mut stream, &malformed_nack());
+                return;
+            }
+        };
+        let reply = match frame {
+            Frame::Submit { seq, channel, user, source, body } => {
+                admit(shared, &slot, seq, channel, user, source, body)
+            }
+            Frame::Probe { nonce } => Frame::ProbeReply { nonce, stats: shared.stats() },
+            Frame::Ack { .. } | Frame::Nack { .. } | Frame::ProbeReply { .. } => {
+                // Server-to-client frames arriving at the server: a
+                // protocol violation; treat like a decode failure.
+                note_decode_err(shared, &FrameError::Malformed("client sent a server frame"));
+                let _ = write_frame(&mut stream, &malformed_nack());
+                return;
+            }
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// The admission pipeline for one submission: user gate → per-connection
+/// in-flight gate → per-source token bucket → bounded intake queue.
+fn admit(
+    shared: &Shared,
+    slot: &Arc<AtomicUsize>,
+    seq: u64,
+    channel: crate::proto::WireChannel,
+    user: String,
+    source: String,
+    body: String,
+) -> Frame {
+    if let Some(known) = &shared.config.known_users {
+        if !known.contains(&user) {
+            shared.counters.unknown_user.incr();
+            if shared.telemetry.enabled() {
+                shared.telemetry.emit(
+                    Event::new("gateway.unknown_user", shared.now_ms()).with("user", user),
+                );
+            }
+            return Frame::Nack { seq, reason: NackReason::UnknownUser, retry_after_ms: 0 };
+        }
+    }
+    let retry_after = shared.config.shed_retry_after.as_millis() as u32;
+    if slot.load(Ordering::Relaxed) >= shared.config.per_conn_inflight {
+        return shed(shared, seq, NackReason::ConnBusy, retry_after, &source);
+    }
+    if let Err(wait_ms) = shared.buckets.try_take(&source) {
+        return shed(shared, seq, NackReason::RateLimited, wait_ms, &source);
+    }
+    let submission = Submission {
+        seq,
+        channel,
+        user: UserId::new(user),
+        source,
+        body,
+        slot: Arc::clone(slot),
+    };
+    // Reserve the slot before enqueueing: the pump may route (and
+    // release) the submission before try_submit even returns.
+    slot.fetch_add(1, Ordering::Relaxed);
+    match shared.intake.try_submit(submission) {
+        Ok(()) => {
+            shared.counters.accepted.incr();
+            Frame::Ack { seq }
+        }
+        Err(submission) => {
+            slot.fetch_sub(1, Ordering::Relaxed);
+            shed(shared, seq, NackReason::QueueFull, retry_after, &submission.source)
+        }
+    }
+}
+
+fn shed(shared: &Shared, seq: u64, reason: NackReason, retry_after_ms: u32, source: &str) -> Frame {
+    shared.counters.shed.incr();
+    if shared.telemetry.enabled() {
+        shared.telemetry.emit(
+            Event::new("gateway.shed", shared.now_ms())
+                .with("reason", reason.to_string())
+                .with("source", source.to_string()),
+        );
+    }
+    Frame::Nack { seq, reason, retry_after_ms }
+}
+
+fn note_decode_err(shared: &Shared, error: &FrameError) {
+    shared.counters.decode_err.incr();
+    if shared.telemetry.enabled() {
+        shared.telemetry.emit(
+            Event::new("gateway.decode_err", shared.now_ms()).with("error", error.to_string()),
+        );
+    }
+}
+
+fn close_idle(shared: &Shared, mid_frame: bool) {
+    shared.counters.idle_closed.incr();
+    if shared.telemetry.enabled() {
+        shared.telemetry.emit(
+            Event::new("gateway.idle_closed", shared.now_ms()).with("mid_frame", mid_frame),
+        );
+    }
+}
+
+fn nack_shutdown(shared: &Shared, stream: &mut TcpStream) {
+    let retry = shared.config.shed_retry_after.as_millis() as u32;
+    let _ = write_frame(
+        stream,
+        &Frame::Nack { seq: 0, reason: NackReason::Shutdown, retry_after_ms: retry },
+    );
+}
+
+fn malformed_nack() -> Frame {
+    Frame::Nack { seq: 0, reason: NackReason::Malformed, retry_after_ms: 0 }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    stream.write_all(&proto::encode_to_vec(frame))
+}

@@ -1,0 +1,284 @@
+//! End-to-end gateway tests over real localhost TCP.
+//!
+//! The server runs on std threads; where a `MabHost` is involved the main
+//! test thread drives the tokio-shim runtime (unpaused, real time) with
+//! [`simba_gateway::pump_into_host`], exactly the shape the CLI and the
+//! E6 bench use.
+
+use simba_core::subscription::UserId;
+use simba_core::Telemetry;
+use simba_gateway::proto::{self, Frame, NackReason, WireChannel};
+use simba_gateway::{
+    intake, pump_into_host, ClientConfig, GatewayClient, GatewayConfig, GatewayServer, RateLimit,
+    SubmitResult,
+};
+use simba_runtime::{HostConfig, LoopbackChannels, MabHost, SharedChannels};
+use simba_telemetry::RingBufferSink;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn telemetry() -> Telemetry {
+    Telemetry::with_sink(Arc::new(RingBufferSink::new(4096)))
+}
+
+fn user_config(name: &str) -> simba_core::MabConfig {
+    use simba_core::address::{Address, AddressBook, CommType};
+    use simba_core::classify::{Classifier, KeywordField};
+    use simba_core::mode::DeliveryMode;
+    use simba_core::rejuvenate::RejuvenationPolicy;
+    use simba_core::subscription::SubscriptionRegistry;
+
+    let mut classifier = Classifier::new();
+    classifier.accept_source("gw-src", KeywordField::Body, "cfg");
+    classifier.map_keyword("Sensor", "Home");
+    let mut registry = SubscriptionRegistry::new();
+    let user = UserId::new(name);
+    let profile = registry.register_user(user.clone());
+    let mut book = AddressBook::new();
+    book.add(Address::new("IM", CommType::Im, format!("im:{name}"))).unwrap();
+    book.add(Address::new("EM", CommType::Email, format!("{name}@mail"))).unwrap();
+    profile.address_book = book;
+    profile.define_mode(DeliveryMode::im_then_email(
+        "Urgent",
+        "IM",
+        "EM",
+        simba_sim::SimDuration::from_secs(60),
+    ));
+    registry.subscribe("Home", user, "Urgent").unwrap();
+    simba_core::MabConfig { classifier, registry, rejuvenation: RejuvenationPolicy::default() }
+}
+
+/// Two client threads submit through the gateway into a live two-user
+/// host; every accepted alert must come out routed.
+#[test]
+fn submissions_flow_through_tcp_into_the_host() {
+    let telemetry = telemetry();
+    let (intake_tx, intake_rx) = intake(256);
+    let server =
+        GatewayServer::bind(GatewayConfig::default(), intake_tx, telemetry.clone()).unwrap();
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = ["alice", "bob"]
+        .into_iter()
+        .map(|name| {
+            std::thread::spawn(move || {
+                let mut client =
+                    GatewayClient::connect(addr.to_string(), ClientConfig::default()).unwrap();
+                let mut accepted = 0u64;
+                for i in 0..50 {
+                    let result = client
+                        .submit(WireChannel::Im, name, "gw-src", &format!("Sensor {i} ON"))
+                        .unwrap();
+                    assert_eq!(result, SubmitResult::Accepted);
+                    accepted += 1;
+                }
+                accepted
+            })
+        })
+        .collect();
+
+    // Once every client is done the server shuts down, dropping the
+    // worker-held intake senders — that is what ends the pump below.
+    let supervisor = std::thread::spawn(move || {
+        let total: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        server.shutdown();
+        total
+    });
+
+    let host_telemetry = telemetry.clone();
+    let (report, stats) = tokio::runtime::block_on(async move {
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(5)));
+        let (host, _notices) = MabHost::new(shared, HostConfig::default());
+        let mut host = host.with_telemetry(host_telemetry.clone());
+        for name in ["alice", "bob"] {
+            host.add_user(UserId::new(name), user_config(name)).unwrap();
+        }
+        let report = pump_into_host(&host, intake_rx, &host_telemetry).await;
+        let stats = host.shutdown().await;
+        (report, stats)
+    });
+
+    let sent = supervisor.join().unwrap();
+    assert_eq!(sent, 100);
+    assert_eq!(report.routed, 100);
+    assert_eq!(report.unrouted, 0);
+    let snap = telemetry.metrics().snapshot();
+    assert_eq!(snap.counter("gateway.accepted"), 100);
+    assert_eq!(snap.counter("gateway.shed"), 0);
+    assert_eq!(snap.counter("gateway.decode_err"), 0);
+    assert_eq!(snap.counter("host.routed"), 100);
+    let started: u64 = stats.iter().map(|(_, s)| s.deliveries_started).sum();
+    assert_eq!(started, 100, "every accepted alert started a delivery");
+}
+
+/// Regression: a client that sends a partial frame and stalls must not
+/// block other connections, and its worker must be reclaimed after
+/// `idle_timeout` — `shutdown()` joining proves nothing leaked.
+#[test]
+fn slow_loris_does_not_starve_other_connections() {
+    let telemetry = telemetry();
+    let (intake_tx, _intake_rx) = intake(256);
+    let config = GatewayConfig {
+        workers: 2,
+        idle_timeout: Duration::from_millis(200),
+        read_poll: Duration::from_millis(10),
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::bind(config, intake_tx, telemetry.clone()).unwrap();
+    let addr = server.local_addr();
+
+    // The attacker: half a header, then silence (socket stays open).
+    let mut loris = TcpStream::connect(addr).unwrap();
+    let partial = &proto::encode_to_vec(&Frame::Probe { nonce: 7 })[..proto::HEADER_LEN / 2];
+    loris.write_all(partial).unwrap();
+
+    // A healthy client keeps getting served the whole time.
+    let mut client = GatewayClient::connect(addr.to_string(), ClientConfig::default()).unwrap();
+    for i in 0..20 {
+        let result =
+            client.submit(WireChannel::Im, "alice", "gw-src", &format!("Sensor {i} ON")).unwrap();
+        assert_eq!(result, SubmitResult::Accepted, "healthy client starved at submission {i}");
+    }
+
+    // The stalled connection is closed once idle_timeout passes; its
+    // worker then serves a brand-new connection.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if telemetry.metrics().snapshot().counter("gateway.idle_closed") >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "idle connection was never reaped");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut second = GatewayClient::connect(addr.to_string(), ClientConfig::default()).unwrap();
+    let stats = second.probe().unwrap();
+    assert_eq!(stats.accepted, 20);
+
+    // The loris socket is dead server-side: reads see EOF.
+    let _ = loris.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 1];
+    assert_eq!(loris.read(&mut buf).unwrap_or(0), 0, "server kept the stalled socket open");
+
+    server.shutdown(); // joins acceptor + both workers: no leaked thread
+    let snap = telemetry.metrics().snapshot();
+    // At least the loris was reaped (the healthy client may idle out
+    // too while the test waits — reconnect covers that in production).
+    assert!(snap.counter("gateway.idle_closed") >= 1);
+    assert_eq!(snap.counter("gateway.accepted"), 20);
+}
+
+/// A full intake queue sheds with `QueueFull` + retry-after instead of
+/// stalling the connection, and the drop is counted.
+#[test]
+fn full_intake_queue_sheds_with_retry_after() {
+    let telemetry = telemetry();
+    let (intake_tx, _intake_rx) = intake(1); // held open, never drained
+    let server =
+        GatewayServer::bind(GatewayConfig::default(), intake_tx, telemetry.clone()).unwrap();
+    let mut client =
+        GatewayClient::connect(server.local_addr().to_string(), ClientConfig::default()).unwrap();
+
+    assert_eq!(
+        client.submit(WireChannel::Im, "alice", "gw-src", "Sensor ON").unwrap(),
+        SubmitResult::Accepted
+    );
+    match client.submit(WireChannel::Im, "alice", "gw-src", "Sensor ON").unwrap() {
+        SubmitResult::Rejected { reason: NackReason::QueueFull, retry_after_ms } => {
+            assert!(retry_after_ms > 0, "shed nack must carry a back-off hint");
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    let stats = client.probe().unwrap();
+    assert_eq!((stats.accepted, stats.shed), (1, 1));
+    server.shutdown();
+    assert_eq!(telemetry.metrics().snapshot().counter("gateway.shed"), 1);
+}
+
+/// The known-user gate and the per-source token bucket both nack with
+/// their own reasons, all counted.
+#[test]
+fn unknown_users_and_rate_limits_are_nacked() {
+    let telemetry = telemetry();
+    let (intake_tx, _intake_rx) = intake(256);
+    let config = GatewayConfig {
+        known_users: Some(["alice".to_string()].into_iter().collect()),
+        rate_limit: Some(RateLimit { burst: 2, per_sec: 1 }),
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::bind(config, intake_tx, telemetry.clone()).unwrap();
+    let mut client =
+        GatewayClient::connect(server.local_addr().to_string(), ClientConfig::default()).unwrap();
+
+    match client.submit(WireChannel::Im, "mallory", "gw-src", "Sensor ON").unwrap() {
+        SubmitResult::Rejected { reason: NackReason::UnknownUser, .. } => {}
+        other => panic!("expected UnknownUser, got {other:?}"),
+    }
+    for _ in 0..2 {
+        assert_eq!(
+            client.submit(WireChannel::Email, "alice", "gw-src", "Sensor ON").unwrap(),
+            SubmitResult::Accepted
+        );
+    }
+    match client.submit(WireChannel::Email, "alice", "gw-src", "Sensor ON").unwrap() {
+        SubmitResult::Rejected { reason: NackReason::RateLimited, retry_after_ms } => {
+            assert!(retry_after_ms > 0);
+        }
+        other => panic!("expected RateLimited, got {other:?}"),
+    }
+    server.shutdown();
+    let snap = telemetry.metrics().snapshot();
+    assert_eq!(snap.counter("gateway.unknown_user"), 1);
+    assert_eq!(snap.counter("gateway.shed"), 1);
+    assert_eq!(snap.counter("gateway.accepted"), 2);
+}
+
+/// Garbage on the wire gets a `Malformed` nack, a closed connection, and
+/// a `gateway.decode_err` count — never a hang.
+#[test]
+fn garbage_bytes_are_nacked_and_counted() {
+    let telemetry = telemetry();
+    let (intake_tx, _intake_rx) = intake(16);
+    let server =
+        GatewayServer::bind(GatewayConfig::default(), intake_tx, telemetry.clone()).unwrap();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // Exactly one header's worth of garbage: the server nacks and closes
+    // with nothing left unread (an unread residue would turn the close
+    // into a TCP reset and race the nack).
+    stream.write_all(b"GET / HTTP/1.1").unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).unwrap(); // server closes after the nack
+    let (frame, _) = proto::decode_frame(&reply).unwrap();
+    assert!(matches!(frame, Frame::Nack { reason: NackReason::Malformed, .. }));
+
+    server.shutdown();
+    assert!(telemetry.metrics().snapshot().counter("gateway.decode_err") >= 1);
+}
+
+/// The client survives a dropped connection by reconnecting and
+/// resending (at-least-once).
+#[test]
+fn client_reconnects_after_a_dropped_connection() {
+    let telemetry = telemetry();
+    let (intake_tx, _intake_rx) = intake(256);
+    let server =
+        GatewayServer::bind(GatewayConfig::default(), intake_tx, telemetry.clone()).unwrap();
+    let mut client =
+        GatewayClient::connect(server.local_addr().to_string(), ClientConfig::default()).unwrap();
+
+    assert_eq!(
+        client.submit(WireChannel::Im, "alice", "gw-src", "Sensor ON").unwrap(),
+        SubmitResult::Accepted
+    );
+    client.drop_connection();
+    assert!(!client.is_connected());
+    assert_eq!(
+        client.submit(WireChannel::Im, "alice", "gw-src", "Sensor ON").unwrap(),
+        SubmitResult::Accepted
+    );
+    assert_eq!(client.reconnects, 1);
+    server.shutdown();
+}

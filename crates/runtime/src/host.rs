@@ -35,7 +35,14 @@ pub struct HostConfig {
     pub retirement_grace: SimDuration,
     /// Per-user completed-ring capacity.
     pub completed_ring: usize,
+    /// Capacity of the merged [`HostNotice`] stream. A slow consumer no
+    /// longer grows an unbounded buffer: once full, further notices are
+    /// dropped and counted under `host.notice_dropped`.
+    pub notice_capacity: usize,
 }
+
+/// Default capacity of the merged notice stream.
+pub const DEFAULT_NOTICE_CAPACITY: usize = 1024;
 
 impl Default for HostConfig {
     fn default() -> Self {
@@ -43,6 +50,7 @@ impl Default for HostConfig {
             wal_dir: None,
             retirement_grace: SimDuration::ZERO,
             completed_ring: simba_core::mab::DEFAULT_COMPLETED_CAP,
+            notice_capacity: DEFAULT_NOTICE_CAPACITY,
         }
     }
 }
@@ -122,15 +130,18 @@ pub struct MabHost<C> {
     clock: RuntimeClock,
     telemetry: Telemetry,
     tenants: BTreeMap<UserId, Tenant>,
-    notice_tx: mpsc::UnboundedSender<HostNotice>,
+    notice_tx: mpsc::Sender<HostNotice>,
 }
 
 impl<C: Channels + Clone> MabHost<C> {
     /// Builds an empty host; returns it plus the merged notice stream.
-    /// Clone `channels` per tenant with [`crate::SharedChannels`] when the
+    /// The stream is bounded by [`HostConfig::notice_capacity`]; notices a
+    /// slow consumer cannot keep up with are dropped (never buffered
+    /// without bound) and counted under `host.notice_dropped`. Clone
+    /// `channels` per tenant with [`crate::SharedChannels`] when the
     /// tenants must share one physical gateway.
-    pub fn new(channels: C, config: HostConfig) -> (Self, mpsc::UnboundedReceiver<HostNotice>) {
-        let (notice_tx, notice_rx) = mpsc::unbounded_channel();
+    pub fn new(channels: C, config: HostConfig) -> (Self, mpsc::Receiver<HostNotice>) {
+        let (notice_tx, notice_rx) = mpsc::channel(config.notice_capacity.max(1));
         let host = MabHost {
             channels,
             config,
@@ -205,16 +216,24 @@ impl<C: Channels + Clone> MabHost<C> {
     }
 
     /// Re-tags one tenant's notices with their user id onto the merged
-    /// stream; ends when that service's loop exits.
+    /// stream; ends when that service's loop exits. The merged stream is
+    /// bounded: when the consumer lags behind `notice_capacity`, the
+    /// notice is dropped rather than buffered (delivery state itself is
+    /// durable in the WAL; notices are advisory), and the drop is counted.
     fn spawn_forwarder(
         &self,
         user: UserId,
         mut notices: mpsc::UnboundedReceiver<RuntimeNotice>,
     ) -> JoinHandle<()> {
         let tx = self.notice_tx.clone();
+        let telemetry = self.telemetry.clone();
         tokio::spawn(async move {
             while let Some(notice) = notices.recv().await {
-                let _ = tx.send(HostNotice { user: user.clone(), notice });
+                if tx.try_send(HostNotice { user: user.clone(), notice }).is_err()
+                    && telemetry.enabled()
+                {
+                    telemetry.metrics().counter("host.notice_dropped").incr();
+                }
             }
         })
     }
@@ -505,6 +524,39 @@ mod tests {
             statuses.iter().filter(|s| matches!(s, DeliveryStatus::Acked { .. })).count(),
             10
         );
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn lagging_notice_consumer_drops_instead_of_buffering() {
+        use simba_telemetry::RingBufferSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(RingBufferSink::new(256));
+        let telemetry = Telemetry::with_sink(sink.clone());
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+        let config = HostConfig { notice_capacity: 2, ..HostConfig::default() };
+        let (host, mut notices) = MabHost::new(shared, config);
+        let mut host = host.with_telemetry(telemetry.clone());
+        host.add_user(UserId::new("alice"), user_config("alice")).unwrap();
+
+        // Ten deliveries finish while nobody reads the merged stream: each
+        // produces several notices, but the stream holds only two.
+        for round in 0..10 {
+            host.submit_im(&UserId::new("alice"), sensor_alert(&format!("Sensor {round} ON")))
+                .await;
+        }
+        tokio::time::sleep(Duration::from_secs(5)).await;
+        let dropped = telemetry.metrics().snapshot().counter("host.notice_dropped");
+        assert!(dropped > 0, "expected overflow notices to be counted, got {dropped}");
+
+        let stats = host.shutdown().await;
+        assert_eq!(stats[0].1.deliveries_started, 10);
+        // Exactly the buffered capacity survives for a late reader.
+        let mut buffered = 0;
+        while notices.recv().await.is_some() {
+            buffered += 1;
+        }
+        assert_eq!(buffered, 2);
     }
 
     #[tokio::test(start_paused = true)]

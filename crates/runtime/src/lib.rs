@@ -47,6 +47,6 @@ mod watchdog;
 
 pub use channels::{Channels, LoopbackChannels, SendOutcome, SharedChannels};
 pub use clock::RuntimeClock;
-pub use host::{HostConfig, HostError, HostNotice, HostSnapshot, MabHost};
+pub use host::{HostConfig, HostError, HostNotice, HostSnapshot, MabHost, DEFAULT_NOTICE_CAPACITY};
 pub use service::{MabHandle, MabService, RuntimeNotice, ServiceSnapshot};
 pub use watchdog::{run_watchdog, run_watchdog_observed, WatchdogReport};

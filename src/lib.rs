@@ -12,6 +12,8 @@
 //! * [`net`] — simulated IM / email / SMS substrates with fault models.
 //! * [`client`] — simulated client software + exception-handling automation.
 //! * [`core`] — the SIMBA library and MyAlertBuddy.
+//! * [`gateway`] — framed TCP alert-ingestion front door with admission
+//!   control and load shedding.
 //! * [`sources`] — the five alert services from the paper.
 //! * [`baselines`] — comparison delivery strategies.
 //! * [`runtime`] — tokio-based live runtime.
@@ -26,6 +28,7 @@
 pub use simba_baselines as baselines;
 pub use simba_client as client;
 pub use simba_core as core;
+pub use simba_gateway as gateway;
 pub use simba_net as net;
 pub use simba_runtime as runtime;
 pub use simba_sim as sim;
