@@ -7,15 +7,16 @@
 #   make test-all — every workspace member's tests
 #   make doc    — rustdoc for all workspace crates (no deps)
 #   make lint   — clippy, warnings as errors
+#   make analyze — simba-analyze: telemetry registry + hygiene pass
 #   make soak   — short deterministic multi-user host soak (E3H)
 #   make gateway-smoke — E6 gateway smoke: 1k alerts over localhost TCP
 #                 with injected drops; asserts zero accepted-then-lost
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-all doc lint soak gateway-smoke clean
+.PHONY: ci build test test-all doc lint analyze soak gateway-smoke clean
 
-ci: build test doc lint soak gateway-smoke
+ci: build test doc lint analyze soak gateway-smoke
 
 build:
 	$(CARGO) build --release
@@ -31,6 +32,13 @@ doc:
 
 lint:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+	# Informational second pass: surface every unwrap in the crates the
+	# dependability argument leans on. simba-analyze is the hard gate
+	# (it understands test code and suppressions); this just prints.
+	$(CARGO) clippy -p simba-core -p simba-runtime -p simba-gateway -p simba-net --lib -- -W clippy::unwrap_used
+
+analyze:
+	$(CARGO) run -q -p simba-analyze -- check
 
 soak:
 	$(CARGO) run --release -q -p simba-bench --bin exp_e3_host_soak -- --users 20 --alerts 50 --seed 42

@@ -1,0 +1,135 @@
+//! Findings and their two renderings: rustc-style text and JSON lines.
+
+use simba_telemetry::escape_json;
+use std::fmt::Write as _;
+
+/// One finding: a rule violation at a location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule id (`hygiene.unwrap`, `telemetry.unknown-point`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// One-sentence statement of the problem.
+    pub message: String,
+    /// Optional fix hint (rendered as `= help:`).
+    pub help: Option<String>,
+}
+
+impl Finding {
+    /// rustc-style rendering:
+    ///
+    /// ```text
+    /// error[hygiene.unwrap]: `.unwrap()` outside test code
+    ///   --> crates/core/src/wal.rs:405
+    ///   = help: handle the error, or suppress with
+    ///           `// simba-analyze: allow(hygiene.unwrap): <reason>`
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "error[{}]: {}", self.rule, self.message);
+        let _ = writeln!(out, "  --> {}:{}", self.file, self.line);
+        if let Some(help) = &self.help {
+            let _ = writeln!(out, "  = help: {help}");
+        }
+        let _ = writeln!(
+            out,
+            "  = note: suppress with `// simba-analyze: allow({}): <reason>`",
+            self.rule
+        );
+        out
+    }
+
+    /// One JSON object (no trailing newline). Hand-rolled like the rest of
+    /// the workspace — no serde offline.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"",
+            escape_json(self.rule),
+            escape_json(&self.file),
+            self.line,
+            escape_json(&self.message)
+        );
+        if let Some(help) = &self.help {
+            let _ = write!(out, ",\"help\":\"{}\"", escape_json(help));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a full report in the requested format, returning the text and
+/// whether the run is clean.
+pub fn render_report(findings: &[Finding], json: bool) -> String {
+    if json {
+        let mut out = String::from("[");
+        for (i, f) in findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            out.push_str(&f.render_json());
+        }
+        out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+        out.push('\n');
+        out
+    } else {
+        let mut out = String::new();
+        for f in findings {
+            out.push_str(&f.render_text());
+            out.push('\n');
+        }
+        if findings.is_empty() {
+            out.push_str("simba-analyze: workspace clean\n");
+        } else {
+            let _ = writeln!(
+                out,
+                "simba-analyze: {} finding{}",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "hygiene.unwrap",
+            file: "crates/core/src/wal.rs".into(),
+            line: 405,
+            message: "`.unwrap()` outside test code".into(),
+            help: Some("handle the error".into()),
+        }
+    }
+
+    #[test]
+    fn text_has_rule_location_and_suppression_note() {
+        let text = finding().render_text();
+        assert!(text.contains("error[hygiene.unwrap]"), "{text}");
+        assert!(text.contains("--> crates/core/src/wal.rs:405"), "{text}");
+        assert!(text.contains("= help: handle the error"), "{text}");
+        assert!(text.contains("allow(hygiene.unwrap)"), "{text}");
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let json = finding().render_json();
+        assert!(json.starts_with("{\"rule\":\"hygiene.unwrap\""), "{json}");
+        assert!(json.contains("\"line\":405"), "{json}");
+    }
+
+    #[test]
+    fn empty_report() {
+        assert_eq!(render_report(&[], true), "[]\n");
+        assert!(render_report(&[], false).contains("workspace clean"));
+    }
+}

@@ -1,0 +1,479 @@
+//! A lightweight Rust lexer: just enough token structure for
+//! pattern-matching rules, with exact line numbers.
+//!
+//! The same trade-off as `simba-xml`'s lexer: hand-rolled, zero
+//! dependencies, and deliberately partial. It understands the token
+//! shapes that matter for not *mis*-reading source — strings (plain,
+//! raw, byte), char literals vs lifetimes, nested block comments,
+//! numbers (so `1.5` does not produce a `.` token) — and flattens
+//! everything else to one-character punctuation.
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// The flavors of token the rules engine distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `Event`, `r#async`, ...).
+    Ident(String),
+    /// A string literal's *cooked* contents (escapes resolved; raw and
+    /// byte strings included).
+    Str(String),
+    /// A `//` comment's text, excluding the slashes (doc `///` and `//!`
+    /// included — suppression directives never live in doc comments, but
+    /// the scanner decides that, not the lexer).
+    LineComment(String),
+    /// A numeric literal (value unneeded; kept so `.` inside `1.5` or a
+    /// float's exponent never leaks out as punctuation).
+    Number,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A char or byte literal (`'x'`, `b'\n'`); contents unneeded.
+    CharLit,
+    /// Any other single character of punctuation (`.`, `(`, `::` is two
+    /// `:` tokens, ...).
+    Punct(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: malformed input
+/// degrades to punctuation tokens, which at worst makes a rule miss —
+/// an acceptable failure mode for a lint pass (rustc itself will reject
+/// the file long before CI trusts our silence).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.char_indices().peekable(),
+        src: source,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next().map(|(_, c)| c)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => self.line_comment(line),
+                '/' if self.peek2() == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.cooked_string(line, '"');
+                }
+                'r' | 'b' => self.ident_or_prefixed_literal(line),
+                '\'' => self.lifetime_or_char(line),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump(); // /
+        self.bump(); // /
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1u32;
+        while depth > 0 {
+            match self.bump() {
+                Some('/') if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+
+    /// The opening quote is consumed; lexes the rest, resolving escapes.
+    fn cooked_string(&mut self, line: u32, quote: char) {
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None => break,
+                Some(c) if c == quote => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('r') => value.push('\r'),
+                    Some('t') => value.push('\t'),
+                    Some('0') => value.push('\0'),
+                    Some('\\') => value.push('\\'),
+                    Some('\'') => value.push('\''),
+                    Some('"') => value.push('"'),
+                    // \n-escape (line continuation), \x.., \u{..}: the exact
+                    // value never matters for a telemetry name, so a
+                    // placeholder keeps the stream aligned.
+                    Some(_) => value.push('\u{FFFD}'),
+                    None => break,
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        self.push(TokenKind::Str(value), line);
+    }
+
+    /// At an `r` or `b`: could be `r"..."`, `r#"..."#`, `b"..."`,
+    /// `br#"..."#`, `b'x'`, `r#ident`, or a plain identifier.
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let start_is_b = self.peek() == Some('b');
+        match (self.peek(), self.peek2()) {
+            // b'x' byte char
+            (Some('b'), Some('\'')) => {
+                self.bump();
+                self.char_literal(line);
+            }
+            // b"..." byte string
+            (Some('b'), Some('"')) => {
+                self.bump();
+                self.bump();
+                self.cooked_string(line, '"');
+            }
+            // r"..."  r#"..."#  r#ident  br"..."
+            (Some('r'), Some('"')) | (Some('r'), Some('#')) | (Some('b'), Some('r')) => {
+                if start_is_b {
+                    self.bump(); // b
+                }
+                self.bump(); // r
+                let mut hashes = 0usize;
+                while self.peek() == Some('#') {
+                    self.bump();
+                    hashes += 1;
+                }
+                if self.peek() == Some('"') {
+                    self.bump();
+                    self.raw_string(line, hashes);
+                } else if hashes > 0 {
+                    // r#ident — a raw identifier; lex the word.
+                    self.ident(line);
+                } else {
+                    // A lone `r` identifier (e.g. variable named r) —
+                    // already consumed; emit it.
+                    self.push(TokenKind::Ident("r".to_string()), line);
+                }
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    fn raw_string(&mut self, line: u32, hashes: usize) {
+        let mut value = String::new();
+        'outer: loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    // Need exactly `hashes` following #s to close.
+                    let mut it = self.chars.clone();
+                    for _ in 0..hashes {
+                        if it.next().map(|(_, c)| c) != Some('#') {
+                            value.push('"');
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                Some(c) => value.push(c),
+            }
+        }
+        self.push(TokenKind::Str(value), line);
+    }
+
+    /// At a `'`: lifetime (`'a`), loop label (`'outer`), or char literal
+    /// (`'x'`, `'\n'`). Rule: `'` + ident-start + no closing `'` right
+    /// after the identifier ⇒ lifetime.
+    fn lifetime_or_char(&mut self, line: u32) {
+        // Look ahead without consuming: 'X where X is ident-start?
+        let mut it = self.chars.clone();
+        it.next(); // the quote
+        let first = it.next().map(|(_, c)| c);
+        if let Some(c) = first {
+            if c == '_' || c.is_alphabetic() {
+                // Scan the identifier; if it ends with ', it's a char like 'a'.
+                let mut saw_quote = false;
+                for (_, c2) in it {
+                    if c2 == '_' || c2.is_alphanumeric() {
+                        continue;
+                    }
+                    saw_quote = c2 == '\'';
+                    break;
+                }
+                if !saw_quote {
+                    // Lifetime / label: consume ' and the identifier.
+                    self.bump();
+                    while let Some(c2) = self.peek() {
+                        if c2 == '_' || c2.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Lifetime, line);
+                    return;
+                }
+            }
+        }
+        self.char_literal(line);
+    }
+
+    /// At the opening `'` of a char literal.
+    fn char_literal(&mut self, line: u32) {
+        self.bump(); // '
+        match self.bump() {
+            Some('\\') => {
+                self.bump(); // the escaped char (enough for \n, \', \\ ...)
+                // \x41 and \u{..} have more; consume to the closing quote.
+                while let Some(c) = self.peek() {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::CharLit, line);
+                return;
+            }
+            Some(_) => {}
+            None => return,
+        }
+        if self.peek() == Some('\'') {
+            self.bump();
+        }
+        self.push(TokenKind::CharLit, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        // Leading digits (incl. 0x/0b/0o bodies and `_` separators).
+        let radix_prefix = {
+            let mut it = self.chars.clone();
+            let first = it.next().map(|(_, c)| c);
+            let second = it.next().map(|(_, c)| c);
+            first == Some('0') && matches!(second, Some('x' | 'b' | 'o'))
+        };
+        self.bump();
+        if radix_prefix {
+            self.bump();
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && !radix_prefix {
+                // Only a fractional point when a digit follows (else it's
+                // a method call like `1.max(2)` or a range `0..n`).
+                match self.peek2() {
+                    Some(d) if d.is_ascii_digit() => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if (c == '+' || c == '-') && !radix_prefix {
+                // Exponent sign: only inside `1e-3` shapes.
+                let prev_is_e = {
+                    let upto = &self.src[..self.offset()];
+                    upto.ends_with(['e', 'E'])
+                };
+                if prev_is_e {
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, line);
+    }
+
+    fn offset(&mut self) -> usize {
+        self.chars
+            .peek()
+            .map(|&(i, _)| i)
+            .unwrap_or(self.src.len())
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.offset();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let end = self.offset();
+        self.push(TokenKind::Ident(self.src[start..end].to_string()), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn strings(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct_with_lines() {
+        let toks = lex("fn main() {\n    x.y();\n}");
+        assert_eq!(toks[0].kind, TokenKind::Ident("fn".into()));
+        assert_eq!(toks[1].kind, TokenKind::Ident("main".into()));
+        // find the `.` and check its line
+        let dot = toks.iter().find(|t| t.kind.is_punct('.')).unwrap();
+        assert_eq!(dot.line, 2);
+    }
+
+    #[test]
+    fn fn_keyword_is_an_ident() {
+        assert_eq!(idents("fn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn cooked_string_with_escapes() {
+        assert_eq!(strings(r#"let s = "a\"b\n";"#), vec!["a\"b\n"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        assert_eq!(strings(r###"let s = r#"raw "inner" text"#;"###), vec![r#"raw "inner" text"#]);
+        assert_eq!(strings(r#"let b = b"bytes";"#), vec!["bytes"]);
+        assert_eq!(strings("let r = r\"plain raw\";"), vec!["plain raw"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::CharLit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_swallow_their_dots() {
+        let toks = lex("let x = 1.5; let y = 0..10; let z = 1.max(2); let h = 0xFF_u32;");
+        // The only '.' puncts must be the range's two and 1.max's one.
+        let dots = toks.iter().filter(|t| t.kind.is_punct('.')).count();
+        assert_eq!(dots, 3);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Number).count(), 6);
+    }
+
+    #[test]
+    fn comments_line_and_block() {
+        let toks = lex("a // trailing note\n/* block /* nested */ still */ b");
+        assert_eq!(
+            toks.iter().filter_map(|t| t.kind.ident()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::LineComment(c) if c.trim() == "trailing note")));
+    }
+
+    #[test]
+    fn string_in_comment_is_not_a_string() {
+        assert!(strings("// not a \"string\" here").is_empty());
+    }
+
+    #[test]
+    fn code_in_string_is_not_code() {
+        assert_eq!(idents(r#"let s = "x.unwrap()";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_ident() {
+        assert_eq!(idents("let r#async = 1;"), vec!["let", "async"]);
+    }
+}

@@ -1,0 +1,125 @@
+//! `simba-analyze` — workspace-aware static analysis for telemetry
+//! contracts and dependability hygiene.
+//!
+//! SIMBA's dependability case rests on exception-handling *automation*
+//! (paper §4): the system, not a human, must notice when a component
+//! drifts out of spec. This crate applies the same principle to the
+//! codebase itself. It walks every first-party `.rs` file with a
+//! lightweight lexer (the `simba-xml` trade-off: hand-rolled, offline,
+//! deliberately partial) and enforces:
+//!
+//! * **Telemetry contracts** — every point/metric name used through a
+//!   telemetry API must be registered in
+//!   `crates/telemetry/src/points.rs`; misspellings (edit distance 1)
+//!   are called out with a suggestion; registered-but-never-emitted
+//!   names and out-of-scope emissions are errors; the README table is
+//!   generated from the registry and checked against it.
+//! * **Dependability hygiene** — no `.unwrap()`/`.expect()` outside
+//!   tests in `core`/`runtime`/`gateway`/`net`, no `thread::sleep`
+//!   inside async code, no unbounded channels outside the sim crate,
+//!   and `#![forbid(unsafe_code)]` on every crate root.
+//!
+//! True positives that are genuinely fine carry an inline waiver with a
+//! mandatory reason: `// simba-analyze: allow(<rule>): <reason>`.
+//!
+//! Run as `cargo run -p simba-analyze -- check` (or `make analyze`);
+//! exit status 0 means clean.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use diag::Finding;
+use scan::{ApiKind, FileFacts};
+use std::io;
+use std::path::Path;
+
+/// The path of the registry module, relative to the workspace root.
+pub const POINTS_RS: &str = "crates/telemetry/src/points.rs";
+
+/// A full workspace pass: every finding, post-suppression, sorted by
+/// file then line.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = workspace::discover(root)?;
+    let mut findings = Vec::new();
+    let mut all_sites: Vec<(String, ApiKind, bool)> = Vec::new();
+    let mut points_rs_facts: Option<FileFacts> = None;
+
+    for file in &files {
+        let source = std::fs::read_to_string(&file.abs_path)?;
+        let facts = scan::scan_source(&source, file.is_test_file);
+
+        let mut file_findings = rules::file_findings(file, &facts);
+        file_findings.extend(rules::forbid_unsafe_finding(file, &facts));
+        findings.extend(rules::apply_suppressions(file_findings, &facts.suppressions));
+
+        if !rules::TELEMETRY_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+            all_sites.extend(
+                facts
+                    .telemetry
+                    .iter()
+                    .map(|s| (s.name.clone(), s.api, s.in_test)),
+            );
+        }
+        if file.rel_path == POINTS_RS {
+            points_rs_facts = Some(facts);
+        }
+    }
+
+    findings.extend(rules::unemitted_points(
+        &all_sites,
+        points_rs_facts.as_ref(),
+        POINTS_RS,
+    ));
+
+    let readme_path = root.join("README.md");
+    if let Ok(readme) = std::fs::read_to_string(&readme_path) {
+        findings.extend(rules::check_readme_table(&readme, "README.md"));
+    }
+
+    findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+/// One telemetry call site, as listed by `simba-analyze dump`.
+#[derive(Debug, Clone)]
+pub struct DumpSite {
+    /// Short crate name (`core`, `runtime`, …).
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which API shape referenced the name.
+    pub api: ApiKind,
+    /// The name literal.
+    pub name: String,
+    /// The site is inside test code.
+    pub in_test: bool,
+}
+
+/// Every telemetry site in the workspace, for `simba-analyze dump`.
+pub fn dump_sites(root: &Path) -> io::Result<Vec<DumpSite>> {
+    let files = workspace::discover(root)?;
+    let mut out = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(&file.abs_path)?;
+        let facts = scan::scan_source(&source, file.is_test_file);
+        for s in facts.telemetry {
+            out.push(DumpSite {
+                crate_name: file.crate_name.clone(),
+                file: file.rel_path.clone(),
+                line: s.line,
+                api: s.api,
+                name: s.name,
+                in_test: s.in_test,
+            });
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,111 @@
+//! CLI entry point: `simba-analyze check [--json]`, `points`, `dump`.
+
+#![forbid(unsafe_code)]
+
+use simba_analyze::{check_workspace, diag, dump_sites, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+simba-analyze — workspace static analysis for telemetry contracts and hygiene
+
+USAGE:
+    simba-analyze check [--json] [--root <dir>]   run every rule; exit 1 on findings
+    simba-analyze points                          print the registry as a markdown table
+    simba-analyze dump [--root <dir>]             list every telemetry call site
+    simba-analyze rules                           list rule ids and descriptions
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "points" | "dump" | "rules" if cmd.is_none() => cmd = Some(a.clone()),
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(cmd) = cmd else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    if cmd == "points" {
+        print!("{}", simba_telemetry::points::markdown_table());
+        return ExitCode::SUCCESS;
+    }
+    if cmd == "rules" {
+        for (id, doc) in simba_analyze::rules::RULES {
+            println!("{id:<28} {doc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot read current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match root_arg.or_else(|| workspace::find_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no workspace root found (looked for Cargo.toml + crates/ above {})", cwd.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd.as_str() {
+        "dump" => match dump_sites(&root) {
+            Ok(sites) => {
+                for s in sites {
+                    println!(
+                        "{}\t{}:{}\t{}\t{}\t{}",
+                        s.crate_name,
+                        s.file,
+                        s.line,
+                        s.api.label(),
+                        s.name,
+                        if s.in_test { "test" } else { "prod" }
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "check" => match check_workspace(&root) {
+            Ok(findings) => {
+                print!("{}", diag::render_report(&findings, json));
+                if findings.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => unreachable!(),
+    }
+}

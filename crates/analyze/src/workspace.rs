@@ -1,0 +1,153 @@
+//! Workspace discovery: which `.rs` files to scan, and what crate each
+//! belongs to.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for scanning.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable in output).
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Short crate name: `core` for `crates/core`, `simba` for the root
+    /// package.
+    pub crate_name: String,
+    /// The whole file is test code (lives under a `tests/` directory).
+    pub is_test_file: bool,
+    /// This is the crate's root (`src/lib.rs`, or `src/main.rs` when
+    /// there is no lib) — where `#![forbid(unsafe_code)]` must live.
+    pub is_crate_root: bool,
+}
+
+/// Finds the workspace root at or above `start`: the nearest directory
+/// holding both a `Cargo.toml` and a `crates/` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Enumerates every first-party `.rs` file: the root package's `src/`,
+/// `tests/`, `examples/`, and each `crates/*` member's. `vendor/` and
+/// `target/` are never entered.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    collect_package(root, root, "simba", &mut files)?;
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+        .collect();
+    members.sort();
+    for member in members {
+        let name = member
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("unknown")
+            .to_string();
+        collect_package(root, &member, &name, &mut files)?;
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn collect_package(
+    root: &Path,
+    pkg: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let crate_root_rel = if pkg.join("src/lib.rs").is_file() {
+        Some(pkg.join("src/lib.rs"))
+    } else if pkg.join("src/main.rs").is_file() {
+        Some(pkg.join("src/main.rs"))
+    } else {
+        None
+    };
+    for (sub, is_test) in [("src", false), ("tests", true), ("examples", false)] {
+        let dir = pkg.join(sub);
+        if dir.is_dir() {
+            walk(root, &dir, crate_name, is_test, crate_root_rel.as_deref(), out)?;
+        }
+    }
+    Ok(())
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    is_test: bool,
+    crate_root: Option<&Path>,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == "crates" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, crate_name, is_test, crate_root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                rel_path: rel,
+                is_crate_root: crate_root.is_some_and(|r| r == path),
+                abs_path: path,
+                crate_name: crate_name.to_string(),
+                is_test_file: is_test,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_this_workspace() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let files = discover(&root).expect("discover");
+        assert!(files.iter().any(|f| f.rel_path == "crates/core/src/mab.rs"));
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "crates/analyze/src/lexer.rs"));
+        // Root package facade plus its integration tests.
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "src/lib.rs" && f.crate_name == "simba" && f.is_crate_root));
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path.starts_with("tests/") && f.is_test_file));
+        // Nothing vendored, nothing from target/.
+        assert!(files
+            .iter()
+            .all(|f| !f.rel_path.starts_with("vendor/") && !f.rel_path.contains("/target/")));
+        // Crate roots marked exactly once per crate.
+        let core_roots: Vec<_> = files
+            .iter()
+            .filter(|f| f.crate_name == "core" && f.is_crate_root)
+            .collect();
+        assert_eq!(core_roots.len(), 1);
+        assert_eq!(core_roots[0].rel_path, "crates/core/src/lib.rs");
+    }
+}

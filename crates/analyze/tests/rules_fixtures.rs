@@ -1,0 +1,284 @@
+//! Fixture-driven tests: each rule must fire on a minimal offending
+//! source with the right rule id and `file:line`, and must stay quiet on
+//! the corresponding clean shape. Fixtures are inline string constants —
+//! string literals don't produce code tokens, so the analyzer's own
+//! workspace self-scan never trips over them.
+
+use simba_analyze::diag::Finding;
+use simba_analyze::rules;
+use simba_analyze::scan::{scan_source, ApiKind};
+use simba_analyze::workspace::SourceFile;
+use std::path::PathBuf;
+
+/// Runs the full per-file pipeline (scan → rules → suppressions) the way
+/// `check_workspace` does, for a fixture "file" of the given crate.
+fn findings_for(crate_name: &str, rel_path: &str, source: &str) -> Vec<Finding> {
+    let file = SourceFile {
+        rel_path: rel_path.to_string(),
+        abs_path: PathBuf::from(rel_path),
+        crate_name: crate_name.to_string(),
+        is_test_file: false,
+        is_crate_root: false,
+    };
+    let facts = scan_source(source, false);
+    let mut found = rules::file_findings(&file, &facts);
+    found.extend(rules::forbid_unsafe_finding(&file, &facts));
+    rules::apply_suppressions(found, &facts.suppressions)
+}
+
+fn rules_fired(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- hygiene
+
+#[test]
+fn unwrap_in_core_fires_with_location() {
+    let src = "fn f() {\n    let x = y.unwrap();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["hygiene.unwrap"]);
+    assert_eq!(findings[0].file, "crates/core/src/fixture.rs");
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn expect_in_gateway_fires_but_not_in_cli() {
+    let src = "fn f() {\n    y.expect(\"boom\");\n}\n";
+    let gw = findings_for("gateway", "crates/gateway/src/fixture.rs", src);
+    assert_eq!(rules_fired(&gw), vec!["hygiene.unwrap"]);
+    assert_eq!(gw[0].line, 2);
+    // The CLI is not on the dependability-critical list.
+    let cli = findings_for("cli", "crates/cli/src/fixture.rs", src);
+    assert!(cli.is_empty(), "unexpected: {cli:?}");
+}
+
+#[test]
+fn unwrap_inside_test_module_is_fine() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn sleep_in_async_fires_with_location() {
+    let src = "async fn f() {\n    std::thread::sleep(d);\n}\nfn g() {\n    std::thread::sleep(d);\n}\n";
+    let findings = findings_for("runtime", "crates/runtime/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["hygiene.sleep-in-async"]);
+    assert_eq!(findings[0].line, 2, "only the async-context sleep flags");
+}
+
+#[test]
+fn unbounded_channel_fires_outside_sim_only() {
+    let src = "fn f() {\n    let (tx, rx) = tokio::sync::mpsc::unbounded_channel();\n}\n";
+    let runtime = findings_for("runtime", "crates/runtime/src/fixture.rs", src);
+    assert_eq!(rules_fired(&runtime), vec!["hygiene.unbounded-channel"]);
+    assert_eq!(runtime[0].line, 2);
+    let sim = findings_for("sim", "crates/sim/src/fixture.rs", src);
+    assert!(sim.is_empty(), "sim models unbounded queues on purpose: {sim:?}");
+}
+
+#[test]
+fn crate_root_without_forbid_unsafe_fires() {
+    let file = SourceFile {
+        rel_path: "crates/demo/src/lib.rs".to_string(),
+        abs_path: PathBuf::from("crates/demo/src/lib.rs"),
+        crate_name: "demo".to_string(),
+        is_test_file: false,
+        is_crate_root: true,
+    };
+    let facts = scan_source("pub fn f() {}\n", false);
+    let finding = rules::forbid_unsafe_finding(&file, &facts).expect("must fire");
+    assert_eq!(finding.rule, "hygiene.forbid-unsafe");
+
+    let facts = scan_source("#![forbid(unsafe_code)]\npub fn f() {}\n", false);
+    assert!(rules::forbid_unsafe_finding(&file, &facts).is_none());
+}
+
+// -------------------------------------------------------------- telemetry
+
+#[test]
+fn unregistered_point_fires_with_location() {
+    let src = "fn f(t: &Telemetry) {\n    t.metrics().counter(\"mab.nonexistent_thing\").incr();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["telemetry.unknown-point"]);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn misspelled_point_suggests_the_registered_name() {
+    // One deletion away from the registered `mab.routed`.
+    let src = "fn f(t: &Telemetry) {\n    t.metrics().counter(\"mab.routd\").incr();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["telemetry.misspelled-point"]);
+    assert_eq!(findings[0].line, 2);
+    assert!(
+        findings[0].help.as_deref().unwrap_or("").contains("mab.routed"),
+        "help should name the near-miss: {:?}",
+        findings[0].help
+    );
+}
+
+#[test]
+fn drifted_plural_of_registered_singular_is_a_misspelling() {
+    // The exact drift this PR collapsed: event `client.restart` vs a
+    // counter registered under a pluralized name.
+    let src = "fn f(t: &Telemetry) {\n    t.metrics().counter(\"client.restarts\").incr();\n}\n";
+    let findings = findings_for("client", "crates/client/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["telemetry.misspelled-point"]);
+}
+
+#[test]
+fn kind_mismatch_fires() {
+    // `mab.routed` is registered event+counter; using it as a gauge is a
+    // contract violation.
+    let src = "fn f(t: &Telemetry) {\n    t.metrics().gauge(\"mab.routed\").set(1);\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["telemetry.kind-mismatch"]);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn naming_rules_fire_for_shape_and_scope() {
+    // Registered-looking but not snake_case → shape violation (it is also
+    // unregistered; both the registry and the convention complain).
+    let src = "fn f(t: &Telemetry) {\n    t.metrics().counter(\"mab.BadName\").incr();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert!(
+        rules_fired(&findings).contains(&"telemetry.naming"),
+        "shape violation must fire: {findings:?}"
+    );
+
+    // Well-formed and registered, but `core` does not declare `gateway.`.
+    let src = "fn f(t: &Telemetry) {\n    t.metrics().counter(\"gateway.accepted\").incr();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["telemetry.naming"]);
+    assert!(findings[0].message.contains("gateway.accepted"));
+}
+
+#[test]
+fn test_code_may_use_throwaway_names() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { m.counter(\"x\").incr(); }\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn unemitted_point_fires_for_dead_registry_entries() {
+    use simba_telemetry::points;
+    // Every registered point is "emitted" except wal.appends.
+    let sites: Vec<(String, ApiKind, bool)> = points::POINTS
+        .iter()
+        .filter(|d| d.name != "wal.appends")
+        .map(|d| (d.name.to_string(), ApiKind::Counter, false))
+        .collect();
+    let findings = rules::unemitted_points(&sites, None, "crates/telemetry/src/points.rs");
+    assert_eq!(rules_fired(&findings), vec!["telemetry.unemitted-point"]);
+    assert!(findings[0].message.contains("wal.appends"));
+    assert_eq!(findings[0].file, "crates/telemetry/src/points.rs");
+}
+
+#[test]
+fn dynamic_scope_points_accept_test_only_references() {
+    use simba_telemetry::points;
+    // net.* names are built at runtime (`net.{channel}.{suffix}`): a
+    // test-only assertion is the only literal reference, and it counts.
+    let sites: Vec<(String, ApiKind, bool)> = points::POINTS
+        .iter()
+        .map(|d| {
+            let in_test_only = d.scope == "net";
+            (d.name.to_string(), ApiKind::Counter, in_test_only)
+        })
+        .collect();
+    let findings = rules::unemitted_points(&sites, None, "crates/telemetry/src/points.rs");
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// ------------------------------------------------------------ suppression
+
+#[test]
+fn suppression_with_reason_silences_the_finding() {
+    let src = "fn f() {\n    // simba-analyze: allow(hygiene.unwrap): fixture knows best\n    y.unwrap();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+
+    // Trailing (same-line) form.
+    let src = "fn f() {\n    y.unwrap(); // simba-analyze: allow(hygiene.unwrap): fixture knows best\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn suppression_without_reason_is_itself_a_finding() {
+    let src = "fn f() {\n    y.unwrap(); // simba-analyze: allow(hygiene.unwrap)\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    let mut fired = rules_fired(&findings);
+    fired.sort_unstable();
+    // The reasonless directive does not suppress, and is reported itself.
+    assert_eq!(fired, vec!["hygiene.unwrap", "suppression.missing-reason"]);
+}
+
+#[test]
+fn suppression_naming_unknown_rule_is_a_finding() {
+    let src = "fn f() {\n    // simba-analyze: allow(hygiene.unwrp): typo in the rule id\n    y.unwrap();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    let mut fired = rules_fired(&findings);
+    fired.sort_unstable();
+    assert_eq!(fired, vec!["hygiene.unwrap", "suppression.unknown-rule"]);
+}
+
+#[test]
+fn suppression_does_not_cover_other_rules_or_far_lines() {
+    let src = "fn f() {\n    // simba-analyze: allow(hygiene.sleep-in-async): wrong rule\n    y.unwrap();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["hygiene.unwrap"]);
+
+    let src = "fn f() {\n    // simba-analyze: allow(hygiene.unwrap): too far away\n\n\n    y.unwrap();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["hygiene.unwrap"]);
+}
+
+// ------------------------------------------------------------------- docs
+
+#[test]
+fn readme_table_rules() {
+    use simba_telemetry::points;
+    let no_markers = "# README\n\nno table here\n";
+    let findings = rules::check_readme_table(no_markers, "README.md");
+    assert_eq!(rules_fired(&findings), vec!["docs.points-table"]);
+
+    let stale = format!(
+        "# README\n{}\n| Name | Kind | Scope | Meaning |\n|---|---|---|---|\n| `old.point` | counter | `old` | gone |\n{}\n",
+        rules::TABLE_BEGIN,
+        rules::TABLE_END
+    );
+    let findings = rules::check_readme_table(&stale, "README.md");
+    assert_eq!(rules_fired(&findings), vec!["docs.points-table"]);
+
+    let fresh = format!(
+        "# README\n{}\n{}\n{}\n",
+        rules::TABLE_BEGIN,
+        points::markdown_table().trim(),
+        rules::TABLE_END
+    );
+    let findings = rules::check_readme_table(&fresh, "README.md");
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// -------------------------------------------------------------- workspace
+
+#[test]
+fn this_workspace_is_clean() {
+    // The merge gate: the pass must exit clean on the real tree. Running
+    // it from the test suite keeps `cargo test` and `make analyze` in
+    // agreement about what clean means.
+    let root = simba_analyze::workspace::find_root(std::path::Path::new(env!(
+        "CARGO_MANIFEST_DIR"
+    )))
+    .expect("workspace root");
+    let findings = simba_analyze::check_workspace(&root).expect("scan succeeds");
+    assert!(
+        findings.is_empty(),
+        "workspace must be analyze-clean at merge:\n{}",
+        simba_analyze::diag::render_report(&findings, false)
+    );
+}

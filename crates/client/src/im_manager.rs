@@ -379,10 +379,10 @@ mod tests {
         let snap = telemetry.metrics().snapshot();
         // One pass, one anomaly (logged_out), one re-logon — nothing
         // double-counted between the base pass and the IM delta.
-        assert_eq!(snap.counter("client.sanity_checks"), 1);
+        assert_eq!(snap.counter("client.sanity_check"), 1);
         assert_eq!(snap.counter("client.anomalies"), 1);
         assert_eq!(snap.counter("client.re_logons"), 1);
-        assert_eq!(snap.counter("client.restarts"), 0);
+        assert_eq!(snap.counter("client.restart"), 0);
 
         let events = sink.events();
         let anomaly = events.iter().find(|e| e.name == "client.anomaly").unwrap();

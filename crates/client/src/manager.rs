@@ -189,7 +189,7 @@ impl ManagerCore {
         self.process.kill();
         self.pointer = Some(self.process.start(now));
         if self.telemetry.enabled() {
-            self.telemetry.metrics().counter("client.restarts").incr();
+            self.telemetry.metrics().counter("client.restart").incr();
             self.telemetry.emit(
                 Event::new("client.restart", now.as_millis())
                     .with("client", self.process.name()),
@@ -276,7 +276,7 @@ impl ManagerCore {
             }
         }
         if self.telemetry.enabled() {
-            self.telemetry.metrics().counter("client.sanity_checks").incr();
+            self.telemetry.metrics().counter("client.sanity_check").incr();
             self.telemetry.emit(
                 Event::new("client.sanity_check", now.as_millis())
                     .with("client", self.process.name())
@@ -309,7 +309,7 @@ impl ManagerCore {
         for repair in &report.repairs {
             match repair {
                 RepairAction::DialogDismissed { caption, button } => {
-                    self.telemetry.metrics().counter("client.dialogs_dismissed").incr();
+                    self.telemetry.metrics().counter("client.dialog_dismissed").incr();
                     self.telemetry.emit(
                         Event::new("client.dialog_dismissed", now.as_millis())
                             .with("client", self.process.name())
@@ -489,9 +489,9 @@ mod tests {
         m.base_sanity_check(t(7));
 
         let snap = telemetry.metrics().snapshot();
-        assert_eq!(snap.counter("client.sanity_checks"), 3);
-        assert_eq!(snap.counter("client.dialogs_dismissed"), 1);
-        assert_eq!(snap.counter("client.restarts"), 1);
+        assert_eq!(snap.counter("client.sanity_check"), 3);
+        assert_eq!(snap.counter("client.dialog_dismissed"), 1);
+        assert_eq!(snap.counter("client.restart"), 1);
         assert_eq!(snap.counter("client.anomalies"), 2); // crash + stuck dialog
         assert_eq!(snap.counter("client.unrepairable"), 1);
 

@@ -58,12 +58,14 @@ impl DuplicateDetector {
     }
 
     fn expire(&mut self, now: SimTime) {
-        while let Some((at, _)) = self.order.front() {
-            if now.since(*at) <= self.window {
-                break;
+        while self
+            .order
+            .front()
+            .is_some_and(|(at, _)| now.since(*at) > self.window)
+        {
+            if let Some((_, key)) = self.order.pop_front() {
+                self.seen.remove(&key);
             }
-            let (_, key) = self.order.pop_front().expect("front exists");
-            self.seen.remove(&key);
         }
     }
 

@@ -335,7 +335,7 @@ impl DeliveryProcess {
                     rec.outcome = AttemptOutcome::Failed(failure);
                 }
                 if self.telemetry.enabled() {
-                    self.telemetry.metrics().counter("delivery.send_failures").incr();
+                    self.telemetry.metrics().counter("delivery.send_failed").incr();
                     self.telemetry.emit(
                         self.event("delivery.send_failed", now)
                             .with("attempt", attempt.0)
@@ -359,7 +359,7 @@ impl DeliveryProcess {
                 if self.current_timer == Some(timer) {
                     // Ack window expired: fall back.
                     if self.telemetry.enabled() {
-                        self.telemetry.metrics().counter("delivery.ack_timeouts").incr();
+                        self.telemetry.metrics().counter("delivery.ack_timeout").incr();
                         self.telemetry.emit(
                             self.event("delivery.ack_timeout", now).with("block", self.block_idx),
                         );
@@ -455,7 +455,7 @@ impl DeliveryProcess {
             if enabled.is_empty() {
                 // Disabled/unknown block: automatic immediate fallback.
                 if self.telemetry.enabled() {
-                    self.telemetry.metrics().counter("delivery.blocks_skipped").incr();
+                    self.telemetry.metrics().counter("delivery.block_skipped").incr();
                     self.telemetry
                         .emit(self.event("delivery.block_skipped", now).with("block", idx));
                 }
@@ -463,7 +463,7 @@ impl DeliveryProcess {
                 continue;
             }
             if self.telemetry.enabled() {
-                self.telemetry.metrics().counter("delivery.blocks_entered").incr();
+                self.telemetry.metrics().counter("delivery.block_entered").incr();
                 self.telemetry.metrics().counter("delivery.sends").add(enabled.len() as u64);
                 self.telemetry.emit(
                     self.event("delivery.block_entered", now)

@@ -89,11 +89,13 @@ pub fn registry_to_xml(registry: &SubscriptionRegistry) -> String {
         let mut user_el = Element::new("User").with_attr("id", user.0.clone());
 
         // Inline the address book (reparse of its own document shape).
+        // simba-analyze: allow(hygiene.unwrap): reparsing our own serializer's output; a failure is a codec bug the roundtrip tests catch
         let book_doc = simba_xml::parse(&profile.address_book.to_xml()).expect("own XML parses");
         user_el = user_el.with_child(book_doc);
 
         for name in profile.mode_names().collect::<Vec<_>>() {
-            let mode = profile.mode(name).expect("listed mode exists");
+            let Some(mode) = profile.mode(name) else { continue };
+            // simba-analyze: allow(hygiene.unwrap): reparsing our own serializer's output; a failure is a codec bug the roundtrip tests catch
             let mode_doc = simba_xml::parse(&mode.to_xml()).expect("own XML parses");
             user_el = user_el.with_child(mode_doc);
         }
@@ -149,7 +151,9 @@ pub fn registry_from_xml(xml: &str) -> Result<SubscriptionRegistry, RegistryXmlE
     }
     // Second pass: subscriptions (need users/modes in place).
     for user_el in root.children_named("User") {
-        let id = user_el.attr("id").expect("validated in first pass");
+        let id = user_el
+            .attr("id")
+            .ok_or_else(|| RegistryXmlError::Structure("<User> missing id".into()))?;
         let user = UserId::new(id);
         for sub_el in user_el.children_named("Subscription") {
             let category = sub_el

@@ -396,13 +396,13 @@ impl WriteAheadLog for FileWal {
     }
 
     fn mark_processed(&mut self, id: u64) -> Result<(), WalError> {
-        if !self.records.contains_key(&id) {
+        let Some(record) = self.records.get_mut(&id) else {
             return Err(WalError::UnknownId(id));
-        }
+        };
         self.file.write_all(format!("P\t{id}\n").as_bytes())?;
         self.file.flush()?;
         self.file.sync_data()?;
-        self.records.get_mut(&id).expect("checked").processed = true;
+        record.processed = true;
         Ok(())
     }
 

@@ -151,7 +151,7 @@ fn delivery_fallback_ladder_is_traced() {
         .find(|e| e.field("fallback") == Some(&Value::Bool(true)))
         .expect("a fallback block entry");
     assert_eq!(fallback.field("block"), Some(&Value::U64(1)));
-    assert_eq!(telemetry.metrics().snapshot().counter("delivery.send_failures"), 1);
+    assert_eq!(telemetry.metrics().snapshot().counter("delivery.send_failed"), 1);
 }
 
 #[test]

@@ -53,7 +53,12 @@ impl TokenBuckets {
             // Rate of zero means "statically refuse": retry hint of 1 s.
             return Err(1_000);
         }
-        let mut buckets = self.buckets.lock().unwrap();
+        // Rate state is self-healing (tokens refill from wall time), so a
+        // poisoned map is safe to keep using.
+        let mut buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let bucket = buckets.entry(source.to_string()).or_insert_with(|| Bucket {
             tokens: f64::from(limit.burst),
             refreshed: now,
@@ -74,7 +79,10 @@ impl TokenBuckets {
 
     /// Number of sources currently tracked.
     pub fn tracked_sources(&self) -> usize {
-        self.buckets.lock().unwrap().len()
+        self.buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 }
 

@@ -183,7 +183,11 @@ impl GatewayClient {
                 return Err(ClientError::Connect(e));
             }
         }
-        Ok(self.stream.as_mut().expect("just connected"))
+        // Reachable with `stream == None` only when the address list is
+        // empty — surface that as an error instead of panicking.
+        self.stream
+            .as_mut()
+            .ok_or(ClientError::Protocol("no gateway addresses configured"))
     }
 
     /// One request/response exchange, retrying across reconnects on

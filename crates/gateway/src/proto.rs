@@ -342,7 +342,9 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self, what: &'static str) -> Result<u64, FrameError> {
         let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn string(&mut self, what: &'static str) -> Result<String, FrameError> {
@@ -452,7 +454,9 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
     if buf.len() < HEADER_LEN {
         return Err(FrameError::Malformed("truncated header"));
     }
-    let header_bytes: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("sized slice");
+    let header_bytes: [u8; HEADER_LEN] = buf[..HEADER_LEN]
+        .try_into()
+        .map_err(|_| FrameError::Malformed("truncated header"))?;
     let header = Header::parse(&header_bytes, DEFAULT_MAX_PAYLOAD)?;
     let total = HEADER_LEN + header.payload_len as usize;
     if buf.len() < total {

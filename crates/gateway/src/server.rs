@@ -190,16 +190,14 @@ impl GatewayServer {
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("gw-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
-                    .expect("spawn gateway worker"),
+                    .spawn(move || worker_loop(&shared, &rx))?,
             );
         }
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("gw-acceptor".to_string())
-                .spawn(move || acceptor_loop(&shared, &listener, &socket_tx))
-                .expect("spawn gateway acceptor")
+                .spawn(move || acceptor_loop(&shared, &listener, &socket_tx))?
         };
 
         Ok(GatewayServer {
@@ -273,8 +271,14 @@ fn shed_connection(shared: &Shared, mut stream: TcpStream) {
 
 fn worker_loop(shared: &Shared, socket_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
     loop {
-        // Hold the lock only for the dequeue, not while serving.
-        let stream = { socket_rx.lock().unwrap().recv() };
+        // Hold the lock only for the dequeue, not while serving. A worker
+        // that panicked mid-dequeue must not poison the others idle.
+        let stream = {
+            socket_rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .recv()
+        };
         match stream {
             Ok(stream) => serve_connection(shared, stream),
             Err(_) => break, // acceptor gone and queue drained

@@ -55,7 +55,12 @@ impl<C: Channels> SharedChannels<C> {
     /// Runs `f` with the wrapped adapter (e.g. to script outcomes or
     /// inspect a loopback's sent log mid-test).
     pub fn with<R>(&self, f: impl FnOnce(&mut C) -> R) -> R {
-        f(&mut self.inner.lock().expect("channels poisoned"))
+        // A panic mid-`send` in another tenant must not take the whole
+        // host down with it: recover the adapter and keep sending.
+        f(&mut self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 }
 
@@ -63,7 +68,7 @@ impl<C: Channels> Channels for SharedChannels<C> {
     fn send(&mut self, comm_type: CommType, address: &str, text: &str) -> SendOutcome {
         self.inner
             .lock()
-            .expect("channels poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .send(comm_type, address, text)
     }
 }

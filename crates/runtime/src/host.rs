@@ -223,7 +223,7 @@ impl<C: Channels + Clone> MabHost<C> {
     fn spawn_forwarder(
         &self,
         user: UserId,
-        mut notices: mpsc::UnboundedReceiver<RuntimeNotice>,
+        mut notices: mpsc::Receiver<RuntimeNotice>,
     ) -> JoinHandle<()> {
         let tx = self.notice_tx.clone();
         let telemetry = self.telemetry.clone();

@@ -22,6 +22,11 @@ use std::collections::HashMap;
 use std::time::Duration;
 use tokio::sync::mpsc;
 
+/// Capacity of the advisory notice stream handed back by
+/// [`MabService::new`]. Sized for a consumer that polls at human pace
+/// while a burst of deliveries finishes.
+const NOTICE_CAPACITY: usize = 256;
+
 /// Something the service reports to its observer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeNotice {
@@ -171,7 +176,7 @@ pub struct MabService<C, W = InMemoryWal> {
     clock: RuntimeClock,
     rx: mpsc::Receiver<Inbound>,
     self_tx: mpsc::Sender<Inbound>,
-    notices: mpsc::UnboundedSender<RuntimeNotice>,
+    notices: mpsc::Sender<RuntimeNotice>,
     /// (delivery, attempt) → generation, for routing and validating acks.
     /// Entries are dropped when their delivery retires.
     attempt_owner: HashMap<(DeliveryId, AttemptId), u64>,
@@ -187,7 +192,7 @@ impl<C: Channels> MabService<C, InMemoryWal> {
     pub fn new(
         config: MabConfig,
         channels: C,
-    ) -> (Self, MabHandle, mpsc::UnboundedReceiver<RuntimeNotice>) {
+    ) -> (Self, MabHandle, mpsc::Receiver<RuntimeNotice>) {
         MabService::with_wal(config, channels, InMemoryWal::new())
     }
 }
@@ -201,10 +206,13 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
         config: MabConfig,
         channels: C,
         wal: W,
-    ) -> (Self, MabHandle, mpsc::UnboundedReceiver<RuntimeNotice>) {
+    ) -> (Self, MabHandle, mpsc::Receiver<RuntimeNotice>) {
         let clock = RuntimeClock::start();
         let (tx, rx) = mpsc::channel(256);
-        let (notice_tx, notice_rx) = mpsc::unbounded_channel();
+        // Notices are advisory (delivery state is durable in the WAL), so
+        // a lagging consumer costs dropped notices, never memory:
+        // overflow is counted under `runtime.notice_dropped`.
+        let (notice_tx, notice_rx) = mpsc::channel(NOTICE_CAPACITY);
         let mab = MyAlertBuddy::new(config, wal, clock.now());
         let service = MabService {
             mab,
@@ -405,7 +413,7 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                         if self.telemetry.enabled() {
                             self.telemetry.metrics().counter("runtime.acks_sent").incr();
                         }
-                        let _ = self.notices.send(RuntimeNotice::AckSent { source: to });
+                        self.notify(RuntimeNotice::AckSent { source: to });
                     }
                     MabCommand::Rejuvenate(trigger) => {
                         if self.telemetry.enabled() {
@@ -415,7 +423,7 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                                     .with("trigger", trigger.to_string()),
                             );
                         }
-                        let _ = self.notices.send(RuntimeNotice::Rejuvenating(trigger));
+                        self.notify(RuntimeNotice::Rejuvenating(trigger));
                         return true;
                     }
                     MabCommand::Channel {
@@ -521,9 +529,17 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                     .with("status", status_name(status)),
             );
         }
-        let _ = self
-            .notices
-            .send(RuntimeNotice::DeliveryFinished { delivery, status });
+        self.notify(RuntimeNotice::DeliveryFinished { delivery, status });
+    }
+
+    /// Offers a notice to the (bounded) notice stream. Notices are
+    /// advisory: when the consumer lags or is gone, the notice is dropped
+    /// and counted rather than buffered or awaited — the service loop
+    /// must never block on an observer.
+    fn notify(&self, notice: RuntimeNotice) {
+        if self.notices.try_send(notice).is_err() && self.telemetry.enabled() {
+            self.telemetry.metrics().counter("runtime.notice_dropped").incr();
+        }
     }
 }
 
@@ -578,7 +594,7 @@ mod tests {
     }
 
     async fn next_finished(
-        notices: &mut mpsc::UnboundedReceiver<RuntimeNotice>,
+        notices: &mut mpsc::Receiver<RuntimeNotice>,
     ) -> DeliveryStatus {
         loop {
             match notices.recv().await.expect("service alive") {

@@ -68,6 +68,7 @@
 
 mod event;
 mod metrics;
+pub mod points;
 mod registry;
 mod sink;
 

@@ -18,7 +18,7 @@ impl Channels for Scripted {
 }
 
 async fn wait_finished(
-    notices: &mut tokio::sync::mpsc::UnboundedReceiver<RuntimeNotice>,
+    notices: &mut tokio::sync::mpsc::Receiver<RuntimeNotice>,
 ) -> DeliveryStatus {
     loop {
         if let RuntimeNotice::DeliveryFinished { status, .. } = notices.recv().await.expect("service alive") { return status }
