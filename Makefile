@@ -11,12 +11,14 @@
 #   make soak   — short deterministic multi-user host soak (E3H)
 #   make gateway-smoke — E6 gateway smoke: 1k alerts over localhost TCP
 #                 with injected drops; asserts zero accepted-then-lost
+#   make store-smoke — E7 soft-state store smoke: concurrent TTL'd
+#                 writes/reads/subscriptions; asserts zero expired-fact reads
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-all doc lint analyze soak gateway-smoke clean
+.PHONY: ci build test test-all doc lint analyze soak gateway-smoke store-smoke clean
 
-ci: build test doc lint analyze soak gateway-smoke
+ci: build test doc lint analyze soak gateway-smoke store-smoke
 
 build:
 	$(CARGO) build --release
@@ -45,6 +47,9 @@ soak:
 
 gateway-smoke:
 	$(CARGO) run --release -q -p simba-bench --bin exp_e6_gateway -- --smoke
+
+store-smoke:
+	$(CARGO) run --release -q -p simba-bench --bin exp_e7_store -- --smoke
 
 clean:
 	$(CARGO) clean

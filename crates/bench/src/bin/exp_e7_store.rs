@@ -1,0 +1,46 @@
+//! Runs the E7 soft-state store experiment and prints its tables.
+//!
+//! Usage: `exp_e7_store [--smoke] [--writers N] [--facts M]
+//! [--subscribers S] [--seed K]`
+//!
+//! `--smoke` is the CI shape (8 writers × 2 000 facts, 4 subscribers, no
+//! throughput floor); the default full shape drives 50 writers × 10 000
+//! facts with 20 subscribers and asserts ≥ 100 000 combined ops/s.
+
+use simba_bench::experiments::e7_store::{run_with, StoreBenchOptions};
+
+fn main() {
+    let mut opts = StoreBenchOptions::full();
+    let mut smoke = false;
+    let mut seed = 42u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => {
+                smoke = true;
+                opts = StoreBenchOptions::smoke();
+            }
+            "--writers" | "--facts" | "--subscribers" | "--seed" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("{flag} needs a number");
+                    std::process::exit(2);
+                };
+                match flag.as_str() {
+                    "--writers" => opts.writers = v as usize,
+                    "--facts" => opts.facts_per_writer = v as usize,
+                    "--subscribers" => opts.subscribers = v as usize,
+                    _ => seed = v,
+                }
+            }
+            other => {
+                eprintln!(
+                    "usage: exp_e7_store [--smoke] [--writers N] [--facts M] \
+                     [--subscribers S] [--seed K]"
+                );
+                eprintln!("unknown flag: {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    run_with(opts, seed, !smoke).print();
+}

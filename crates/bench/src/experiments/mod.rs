@@ -1,5 +1,5 @@
 //! One module per experiment; each reproduces one measured claim from the
-//! paper's §5 (E1–E5) or one design-choice ablation (A1–A6). See
+//! paper's §5 (E1–E7) or one design-choice ablation (A1–A6). See
 //! `DESIGN.md` §5 for the index and `EXPERIMENTS.md` for recorded results.
 
 pub mod a1_strategies;
@@ -15,6 +15,7 @@ pub mod e3_host_soak;
 pub mod e4_wish;
 pub mod e5_faultlog;
 pub mod e6_gateway;
+pub mod e7_store;
 
 use crate::report::Table;
 
@@ -73,6 +74,7 @@ pub fn run_all(seed: u64) -> Vec<ExperimentOutput> {
         e4_wish::run(seed),
         e5_faultlog::run(seed),
         e6_gateway::run(seed),
+        e7_store::run(seed),
         a1_strategies::run(seed),
         a2_wal::run(seed),
         a3_watchdog::run(seed),

@@ -391,8 +391,24 @@ fn telemetry_demo(seed: u64, alerts: u64, json: bool) -> String {
 
     let sink = Arc::new(RingBufferSink::new(4_096));
     let telemetry = Telemetry::with_sink(sink.clone());
+
+    // The soft-state store feeds presence-aware routing: alice is "away"
+    // for the first alert's delivery, so its IM block is skipped; by the
+    // second alert the fact has expired (a lazy read drops it, counting
+    // `store.expired`) and routing reverts to the static profile.
+    let store = simba_store::SoftStateStore::new(Default::default(), telemetry.clone());
+    store.put(
+        simba_store::PRESENCE_SCOPE,
+        "alice",
+        "away",
+        SimDuration::from_secs(45),
+        "wish",
+        SimTime::ZERO,
+    );
+
     let mut mab = MyAlertBuddy::new(config, InMemoryWal::new(), SimTime::ZERO)
-        .with_telemetry(telemetry.clone());
+        .with_telemetry(telemetry.clone())
+        .with_mode_selector(Box::new(simba_runtime::StoreModeSelector::new(store)));
     let mut rng = SimRng::new(seed);
 
     let first_send = |cmds: &[MabCommand]| {
@@ -664,7 +680,16 @@ fn gateway_serve(args: &[String]) -> Outcome {
         known_users: Some(names.iter().cloned().collect()),
         ..GatewayConfig::default()
     };
-    let server = match GatewayServer::bind(config, intake_tx, telemetry.clone()) {
+    // The soft-state store is shared between the gateway (which serves
+    // `simba-cli store put/get/watch`) and the host (whose buddies read
+    // presence facts at delivery start).
+    let store = simba_store::SoftStateStore::new(Default::default(), telemetry.clone());
+    let server = match GatewayServer::bind_with_store(
+        config,
+        intake_tx,
+        telemetry.clone(),
+        Some(store.clone()),
+    ) {
         Ok(server) => server,
         Err(e) => return Outcome::error(format!("cannot bind gateway: {e}\n")),
     };
@@ -688,7 +713,9 @@ fn gateway_serve(args: &[String]) -> Outcome {
     let report = tokio::runtime::block_on(async move {
         let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(5)));
         let (host, _notices) = MabHost::new(shared, HostConfig::default());
-        let mut host = host.with_telemetry(pump_telemetry.clone());
+        let mut host = host
+            .with_telemetry(pump_telemetry.clone())
+            .with_store(store, simba_sim::SimDuration::from_secs(1));
         for name in &names {
             host.add_user(
                 simba_core::subscription::UserId::new(name.clone()),
@@ -712,6 +739,10 @@ fn gateway_serve(args: &[String]) -> Outcome {
         "gateway.decode_err",
         "gateway.unknown_user",
         "gateway.idle_closed",
+        "store.puts",
+        "store.hits",
+        "store.expired",
+        "mab.mode_overridden",
     ] {
         let _ = writeln!(out, "  {:<22} {}", counter, snap.counter(counter));
     }
@@ -819,11 +850,212 @@ fn gateway_probe(args: &[String]) -> Outcome {
     };
     match client.probe() {
         Ok(stats) => Outcome::ok(format!(
-            "gateway {addr}: accepted {}, shed {}, decode_err {}, queue depth {}\n",
-            stats.accepted, stats.shed, stats.decode_err, stats.queue_depth
+            "gateway {addr}: accepted {}, shed {}, decode_err {}, queue depth {}/{}\n",
+            stats.accepted, stats.shed, stats.decode_err, stats.queue_depth, stats.queue_capacity
         )),
         Err(e) => Outcome::error(format!("probe failed: {e}\n")),
     }
+}
+
+/// `store put|get|watch` — soft-state facts through a gateway's
+/// `StateUpdate` / `StateQuery` frames.
+pub fn store(args: &[String]) -> Outcome {
+    match args.first().map(String::as_str) {
+        Some("put") => store_put(&args[1..]),
+        Some("get") => store_get(&args[1..]),
+        Some("watch") => store_watch(&args[1..]),
+        _ => Outcome::usage("store takes put, get, or watch"),
+    }
+}
+
+/// Shared flag parsing for the store commands.
+struct StoreFlags {
+    addr: Option<String>,
+    scope: String,
+    key: Option<String>,
+    value: Option<String>,
+    ttl_ms: u32,
+    source: String,
+    interval_ms: u64,
+    duration_ms: u64,
+}
+
+impl StoreFlags {
+    fn parse(args: &[String]) -> Result<StoreFlags, Outcome> {
+        let mut flags = StoreFlags {
+            addr: None,
+            scope: "presence".to_string(),
+            key: None,
+            value: None,
+            ttl_ms: 30_000,
+            source: "cli".to_string(),
+            interval_ms: 250,
+            duration_ms: 5_000,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--addr" => flags.addr = it.next().cloned(),
+                "--scope" => match it.next() {
+                    Some(v) => flags.scope = v.clone(),
+                    None => return Err(Outcome::usage("--scope needs a name")),
+                },
+                "--key" => flags.key = it.next().cloned(),
+                "--value" => flags.value = it.next().cloned(),
+                "--ttl-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => flags.ttl_ms = v,
+                    None => return Err(Outcome::usage("--ttl-ms needs a number")),
+                },
+                "--source" => match it.next() {
+                    Some(v) => flags.source = v.clone(),
+                    None => return Err(Outcome::usage("--source needs a name")),
+                },
+                "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => flags.interval_ms = v,
+                    _ => return Err(Outcome::usage("--interval-ms needs a positive number")),
+                },
+                "--duration-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => flags.duration_ms = v,
+                    None => return Err(Outcome::usage("--duration-ms needs a number")),
+                },
+                other => return Err(Outcome::usage(&format!("unknown flag {other:?}"))),
+            }
+        }
+        Ok(flags)
+    }
+
+    fn connect(&self) -> Result<simba_gateway::GatewayClient, Outcome> {
+        use simba_gateway::{ClientConfig, GatewayClient};
+        let Some(addr) = &self.addr else {
+            return Err(Outcome::usage("store commands need --addr"));
+        };
+        GatewayClient::connect(addr.clone(), ClientConfig::default())
+            .map_err(|e| Outcome::error(format!("cannot reach gateway at {addr}: {e}\n")))
+    }
+
+    fn key(&self) -> Result<&str, Outcome> {
+        self.key
+            .as_deref()
+            .ok_or_else(|| Outcome::usage("store commands need --key"))
+    }
+}
+
+/// `store put --addr A --key K --value V [--scope S] [--ttl-ms N] [--source S]`.
+fn store_put(args: &[String]) -> Outcome {
+    use simba_gateway::SubmitResult;
+    let flags = match StoreFlags::parse(args) {
+        Ok(f) => f,
+        Err(o) => return o,
+    };
+    let (key, value) = match (flags.key(), &flags.value) {
+        (Ok(k), Some(v)) => (k, v.as_str()),
+        (Err(o), _) => return o,
+        (_, None) => return Outcome::usage("store put needs --value"),
+    };
+    let mut client = match flags.connect() {
+        Ok(c) => c,
+        Err(o) => return o,
+    };
+    match client.state_put(&flags.scope, key, value, flags.ttl_ms, &flags.source) {
+        Ok(SubmitResult::Accepted) => Outcome::ok(format!(
+            "published {}/{} = {:?} (ttl {} ms)\n",
+            flags.scope, key, value, flags.ttl_ms
+        )),
+        Ok(SubmitResult::Rejected { reason, .. }) => {
+            Outcome::error(format!("rejected: {reason}\n"))
+        }
+        Err(e) => Outcome::error(format!("state put failed: {e}\n")),
+    }
+}
+
+/// `store get --addr A --key K [--scope S]`.
+fn store_get(args: &[String]) -> Outcome {
+    let flags = match StoreFlags::parse(args) {
+        Ok(f) => f,
+        Err(o) => return o,
+    };
+    let key = match flags.key() {
+        Ok(k) => k,
+        Err(o) => return o,
+    };
+    let mut client = match flags.connect() {
+        Ok(c) => c,
+        Err(o) => return o,
+    };
+    match client.state_get(&flags.scope, key) {
+        Ok(Some(fact)) => Outcome::ok(format!(
+            "{}/{} = {:?} (generation {}, expires in {} ms)\n",
+            flags.scope, key, fact.value, fact.generation, fact.ttl_remaining_ms
+        )),
+        Ok(None) => Outcome::ok(format!("{}/{}: no live fact\n", flags.scope, key)),
+        Err(e) => Outcome::error(format!("state get failed: {e}\n")),
+    }
+}
+
+/// `store watch --addr A --key K [--scope S] [--interval-ms N]
+/// [--duration-ms N]` — polls the fact and reports each transition
+/// (published, refreshed, expired). The wire protocol is one request in
+/// flight, so watching is polling; the store's own subscription API is
+/// in-process only.
+fn store_watch(args: &[String]) -> Outcome {
+    let flags = match StoreFlags::parse(args) {
+        Ok(f) => f,
+        Err(o) => return o,
+    };
+    let key = match flags.key() {
+        Ok(k) => k,
+        Err(o) => return o,
+    };
+    let mut client = match flags.connect() {
+        Ok(c) => c,
+        Err(o) => return o,
+    };
+    let started = std::time::Instant::now();
+    let deadline = started + std::time::Duration::from_millis(flags.duration_ms);
+    let mut out = String::new();
+    let mut last: Option<u64> = None; // last seen generation
+    let mut changes = 0u64;
+    loop {
+        let seen = match client.state_get(&flags.scope, key) {
+            Ok(fact) => fact,
+            Err(e) => return Outcome::error(format!("{out}state get failed: {e}\n")),
+        };
+        let at = started.elapsed().as_millis();
+        match (&last, &seen) {
+            (None, Some(fact)) => {
+                changes += 1;
+                let _ = writeln!(
+                    out,
+                    "[{at:>6} ms] published {}/{} = {:?} (generation {})",
+                    flags.scope, key, fact.value, fact.generation
+                );
+            }
+            (Some(gen), Some(fact)) if *gen != fact.generation => {
+                changes += 1;
+                let _ = writeln!(
+                    out,
+                    "[{at:>6} ms] refreshed {}/{} = {:?} (generation {})",
+                    flags.scope, key, fact.value, fact.generation
+                );
+            }
+            (Some(_), None) => {
+                changes += 1;
+                let _ = writeln!(out, "[{at:>6} ms] expired {}/{}", flags.scope, key);
+            }
+            _ => {}
+        }
+        last = seen.map(|f| f.generation);
+        if std::time::Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(flags.interval_ms));
+    }
+    let _ = writeln!(
+        out,
+        "watched {}/{} for {} ms: {} change(s)",
+        flags.scope, key, flags.duration_ms, changes
+    );
+    Outcome::ok(out)
 }
 
 fn demo_faultlog(seed: u64, fixes: bool) -> String {
@@ -1067,6 +1299,82 @@ mod tests {
     }
 
     #[test]
+    fn store_cli_flag_errors() {
+        assert_eq!(store(&strings(&[])).code, 2);
+        assert_eq!(store(&strings(&["frobnicate"])).code, 2);
+        assert_eq!(store(&strings(&["put", "--key", "k", "--value", "v"])).code, 2, "needs --addr");
+        assert_eq!(
+            store(&strings(&["put", "--addr", "127.0.0.1:1", "--key", "k"])).code,
+            2,
+            "put needs --value"
+        );
+        assert_eq!(store(&strings(&["get", "--addr", "127.0.0.1:1"])).code, 2, "needs --key");
+        assert_eq!(store(&strings(&["watch", "--interval-ms", "0"])).code, 2);
+        // A dead address is a user error (1), not a usage error (2).
+        let out = store(&strings(&["get", "--addr", "127.0.0.1:1", "--key", "k"]));
+        assert_eq!(out.code, 1, "{}", out.output);
+        assert!(out.output.contains("cannot reach gateway"), "{}", out.output);
+    }
+
+    #[test]
+    fn store_commands_round_trip_through_a_serving_gateway() {
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let serve_addr = addr.clone();
+        let serving = std::thread::spawn(move || {
+            gateway(&strings(&[
+                "serve",
+                "--addr",
+                &serve_addr,
+                "--users",
+                "2",
+                "--duration-ms",
+                "2500",
+            ]))
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if std::net::TcpStream::connect(&addr).is_ok() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "gateway never came up");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        // Publish a short-lived presence fact, read it back, then watch
+        // it decay: the watch window outlives the TTL, so the poll sees
+        // the live fact first and its expiry afterwards.
+        let put = store(&strings(&[
+            "put", "--addr", &addr, "--key", "user000", "--value", "away", "--ttl-ms", "400",
+        ]));
+        assert_eq!(put.code, 0, "{}", put.output);
+        assert!(put.output.contains("published presence/user000"), "{}", put.output);
+
+        let got = store(&strings(&["get", "--addr", &addr, "--key", "user000"]));
+        assert_eq!(got.code, 0, "{}", got.output);
+        assert!(got.output.contains("presence/user000 = \"away\""), "{}", got.output);
+
+        let watched = store(&strings(&[
+            "watch", "--addr", &addr, "--key", "user000",
+            "--interval-ms", "50", "--duration-ms", "800",
+        ]));
+        assert_eq!(watched.code, 0, "{}", watched.output);
+        assert!(watched.output.contains("published presence/user000"), "{}", watched.output);
+        assert!(watched.output.contains("expired presence/user000"), "{}", watched.output);
+
+        let gone = store(&strings(&["get", "--addr", &addr, "--key", "user000"]));
+        assert!(gone.output.contains("no live fact"), "{}", gone.output);
+
+        let served = serving.join().unwrap();
+        assert_eq!(served.code, 0, "{}", served.output);
+        // The serve summary shows the store counters our puts/gets drove.
+        assert!(served.output.contains("store.puts"), "{}", served.output);
+    }
+
+    #[test]
     fn telemetry_demo_prints_events_and_metrics() {
         let out = telemetry(&strings(&["demo", "--seed", "7", "--alerts", "6"]));
         assert_eq!(out.code, 0, "{}", out.output);
@@ -1075,6 +1383,12 @@ mod tests {
         assert!(out.output.contains("delivery.acked"), "{}", out.output);
         // Alert 4 (i % 5 == 4) drives the fallback ladder.
         assert!(out.output.contains("delivery.send_failed"), "{}", out.output);
+        // The soft-state store steered alert 0 (presence "away" skipped
+        // its IM block) and decayed before alert 1; both facts show in
+        // the metrics snapshot.
+        assert!(out.output.contains("mab.mode_overridden"), "{}", out.output);
+        assert!(out.output.contains("store.puts"), "{}", out.output);
+        assert!(out.output.contains("store.expired"), "{}", out.output);
 
         // Same seed ⇒ byte-identical output (the determinism invariant).
         let again = telemetry(&strings(&["demo", "--seed", "7", "--alerts", "6"]));

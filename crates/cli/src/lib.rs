@@ -16,6 +16,9 @@
 //! * `gateway serve|send|probe` — run the framed-TCP ingestion gateway
 //!   in front of a live host fleet, submit alerts to one, or check its
 //!   health counters;
+//! * `store put|get|watch` — publish, read, or poll soft-state facts
+//!   (presence, channel health) through a serving gateway's state
+//!   frames; facts published this way steer the host's delivery routing;
 //! * `telemetry demo|tail` — run an instrumented pipeline and print its
 //!   structured event stream and metrics snapshot, or pretty-print a
 //!   JSON-lines event file captured elsewhere.
@@ -76,6 +79,11 @@ USAGE:
   simba-cli gateway send --addr <a> [--user <u>] [--body <text>]
             [--count <n>] [--channel im|email] [--source <s>]
   simba-cli gateway probe --addr <a>
+  simba-cli store put --addr <a> --key <k> --value <v> [--scope <s>]
+            [--ttl-ms <n>] [--source <s>]
+  simba-cli store get --addr <a> --key <k> [--scope <s>]
+  simba-cli store watch --addr <a> --key <k> [--scope <s>]
+            [--interval-ms <n>] [--duration-ms <n>]
   simba-cli telemetry demo [--seed <n>] [--alerts <n>] [--json]
   simba-cli telemetry tail <file.jsonl>
   simba-cli help
@@ -98,6 +106,7 @@ pub fn run(args: &[String]) -> Outcome {
         Some("demo") => commands::demo(&args[1..]),
         Some("host") => commands::host(&args[1..]),
         Some("gateway") => commands::gateway(&args[1..]),
+        Some("store") => commands::store(&args[1..]),
         Some("telemetry") => commands::telemetry(&args[1..]),
         Some(other) => Outcome::usage(&format!("unknown command {other:?}")),
     }

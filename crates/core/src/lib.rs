@@ -37,6 +37,7 @@ pub mod mdc;
 pub mod mode;
 pub mod profile_xml;
 pub mod rejuvenate;
+pub mod routing;
 pub mod stabilize;
 pub mod subscription;
 pub mod wal;
@@ -53,6 +54,7 @@ pub use mdc::{MasterDaemonController, MdcAction, MdcConfig};
 pub use mode::{AckPolicy, Block, DeliveryMode};
 pub use profile_xml::{registry_from_xml, registry_to_xml, RegistryXmlError};
 pub use rejuvenate::{RejuvenationPolicy, RejuvenationTrigger};
+pub use routing::{apply_routing, ModeSelector, PresenceHint, RoutingContext};
 pub use subscription::{Subscription, SubscriptionRegistry, UserId};
 pub use wal::{FileWal, InMemoryWal, WalError, WalRecord, WriteAheadLog};
 

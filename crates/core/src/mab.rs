@@ -136,6 +136,8 @@ pub struct MabStats {
     pub remote_commands: u64,
     /// Terminal deliveries retired out of the active table.
     pub retired: u64,
+    /// Deliveries whose mode was adjusted by live presence/health facts.
+    pub mode_overridden: u64,
 }
 
 impl MabStats {
@@ -151,6 +153,7 @@ impl MabStats {
         self.replayed += other.replayed;
         self.remote_commands += other.remote_commands;
         self.retired += other.retired;
+        self.mode_overridden += other.mode_overridden;
     }
 }
 
@@ -192,6 +195,7 @@ pub struct MyAlertBuddy<W> {
     hung: bool,
     last_progress_at: SimTime,
     telemetry: Telemetry,
+    mode_selector: Option<Box<dyn crate::routing::ModeSelector>>,
 }
 
 impl<W: WriteAheadLog> MyAlertBuddy<W> {
@@ -214,6 +218,7 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
             hung: false,
             last_progress_at: now,
             telemetry: Telemetry::disabled(),
+            mode_selector: None,
         }
     }
 
@@ -227,6 +232,21 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
     /// Routes events and metrics to `telemetry`.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Consults `selector` for live presence/health facts when starting a
+    /// delivery (builder style). Without one, the static profile always
+    /// wins — exactly the behaviour when every fact has expired.
+    #[must_use]
+    pub fn with_mode_selector(mut self, selector: Box<dyn crate::routing::ModeSelector>) -> Self {
+        self.mode_selector = Some(selector);
+        self
+    }
+
+    /// Consults `selector` for live presence/health facts when starting a
+    /// delivery.
+    pub fn set_mode_selector(&mut self, selector: Box<dyn crate::routing::ModeSelector>) {
+        self.mode_selector = Some(selector);
     }
 
     /// The configuration in force.
@@ -590,6 +610,40 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
                     let Some(mode) = profile.mode(&mode_name) else {
                         continue;
                     };
+                    // Presence-aware mode selection: live soft-state facts
+                    // may skip or demote blocks; absent/expired facts leave
+                    // the static profile untouched.
+                    let mode = match &self.mode_selector {
+                        Some(selector) => {
+                            let ctx = selector.context(&user, now);
+                            match crate::routing::apply_routing(mode, &profile.address_book, &ctx)
+                            {
+                                Some(adjusted) => {
+                                    self.stats.mode_overridden += 1;
+                                    if self.telemetry.enabled() {
+                                        self.telemetry
+                                            .metrics()
+                                            .counter("mab.mode_overridden")
+                                            .incr();
+                                        self.telemetry.emit(
+                                            Event::new("mab.mode_overridden", now.as_millis())
+                                                .with("user", user.0.as_str())
+                                                .with("mode", mode_name.as_str())
+                                                .with(
+                                                    "presence",
+                                                    ctx.presence
+                                                        .map_or("none", |p| p.as_value()),
+                                                )
+                                                .with("unhealthy", ctx.unhealthy.len()),
+                                        );
+                                    }
+                                    adjusted
+                                }
+                                None => mode.clone(),
+                            }
+                        }
+                        None => mode.clone(),
+                    };
                     let alert_out = Alert {
                         id: AlertId(self.next_alert),
                         source: alert.source.clone(),
@@ -602,7 +656,7 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
                     self.next_alert += 1;
                     let (process, commands) = DeliveryProcess::start_observed(
                         alert_out,
-                        mode.clone(),
+                        mode,
                         &profile.address_book,
                         now,
                         self.telemetry.clone(),
@@ -749,6 +803,52 @@ mod tests {
         // The log record is already marked processed.
         assert!(m.wal().unprocessed().is_empty());
         assert_eq!(m.wal().len(), 1);
+    }
+
+    #[derive(Debug)]
+    struct FixedSelector(crate::routing::RoutingContext);
+
+    impl crate::routing::ModeSelector for FixedSelector {
+        fn context(&self, _user: &UserId, _now: SimTime) -> crate::routing::RoutingContext {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn away_presence_overrides_mode_to_skip_im() {
+        let mut m = mab().with_mode_selector(Box::new(FixedSelector(
+            crate::routing::RoutingContext {
+                presence: Some(crate::routing::PresenceHint::Away),
+                ..Default::default()
+            },
+        )));
+        let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(1)), t(1));
+        // The static profile's first block (IM) is skipped: the first (and
+        // only) send goes straight to email.
+        assert!(!cmds.iter().any(|c| matches!(
+            c,
+            MabCommand::Channel { command: DeliveryCommand::Send { comm_type: CommType::Im, .. }, .. }
+        )));
+        assert!(cmds.iter().any(|c| matches!(
+            c,
+            MabCommand::Channel { command: DeliveryCommand::Send { comm_type: CommType::Email, .. }, .. }
+        )));
+        assert_eq!(m.stats().mode_overridden, 1);
+        assert_eq!(m.stats().deliveries_started, 1);
+    }
+
+    #[test]
+    fn empty_context_keeps_static_profile() {
+        let mut m = mab().with_mode_selector(Box::new(FixedSelector(
+            crate::routing::RoutingContext::default(),
+        )));
+        let cmds = m.handle(MabEvent::AlertByIm(sensor_alert(1)), t(1));
+        // No live facts: the static IM-first profile is used untouched.
+        assert!(cmds.iter().any(|c| matches!(
+            c,
+            MabCommand::Channel { command: DeliveryCommand::Send { comm_type: CommType::Im, .. }, .. }
+        )));
+        assert_eq!(m.stats().mode_overridden, 0);
     }
 
     #[test]

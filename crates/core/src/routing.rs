@@ -1,0 +1,252 @@
+//! Presence-aware delivery routing.
+//!
+//! The paper's §5 integration: Aladdin's Soft-State Store and the WISH
+//! user-location service tell SIMBA *where the user is* and *which
+//! channels are healthy*, and MyAlertBuddy folds that into the delivery
+//! mode it starts a delivery with. The static profile stays the source
+//! of truth — soft state only reorders or skips blocks, and when the
+//! facts are absent or expired the profile is used untouched.
+//!
+//! The buddy itself stays a pure state machine: it consults a
+//! [`ModeSelector`] (injected by the runtime, backed by the soft-state
+//! store there) that distills the current facts into a
+//! [`RoutingContext`], and the pure [`apply_routing`] function derives
+//! the adjusted mode. Core never talks to the store directly.
+
+use crate::address::{AddressBook, CommType};
+use crate::mode::DeliveryMode;
+use crate::subscription::UserId;
+use simba_sim::SimTime;
+use std::collections::BTreeSet;
+
+/// Where the user currently is, per the location service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PresenceHint {
+    /// At their desktop — IM-first routing is ideal.
+    AtDesk,
+    /// Reachable, but not at a desktop (phone in hand): desktop IM is
+    /// deprioritized but still worth trying after mobile channels.
+    Mobile,
+    /// Away from every watched device: a desktop IM block would burn its
+    /// whole ack timeout for nothing, so it is skipped outright.
+    Away,
+}
+
+impl PresenceHint {
+    /// Parses the wire/fact value (`"at_desk"` / `"mobile"` / `"away"`).
+    pub fn from_value(value: &str) -> Option<PresenceHint> {
+        match value {
+            "at_desk" => Some(PresenceHint::AtDesk),
+            "mobile" => Some(PresenceHint::Mobile),
+            "away" => Some(PresenceHint::Away),
+            _ => None,
+        }
+    }
+
+    /// The canonical fact value for this hint.
+    pub fn as_value(self) -> &'static str {
+        match self {
+            PresenceHint::AtDesk => "at_desk",
+            PresenceHint::Mobile => "mobile",
+            PresenceHint::Away => "away",
+        }
+    }
+}
+
+/// The soft-state facts relevant to one delivery, distilled. An empty
+/// context (the default) means "no live facts" and always leaves the
+/// static profile untouched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutingContext {
+    /// The user's presence, if a live fact says so.
+    pub presence: Option<PresenceHint>,
+    /// Channel types a live fact reports unhealthy.
+    pub unhealthy: BTreeSet<CommType>,
+}
+
+impl RoutingContext {
+    /// Whether the context carries no facts at all.
+    pub fn is_empty(&self) -> bool {
+        self.presence.is_none() && self.unhealthy.is_empty()
+    }
+}
+
+/// Supplies the [`RoutingContext`] for a user at delivery start. The
+/// runtime's implementation reads the soft-state store; `None`-ish
+/// (empty) contexts fall back to the static profile.
+pub trait ModeSelector: Send + std::fmt::Debug {
+    /// The facts in force for `user` at `now`.
+    fn context(&self, user: &UserId, now: SimTime) -> RoutingContext;
+}
+
+/// How every block in a mode classifies against the address book.
+fn block_type(actions: &[String], book: &AddressBook) -> Option<CommType> {
+    let mut types = actions.iter().filter_map(|name| book.get(name)).map(|a| a.comm_type);
+    let first = types.next()?;
+    types.all(|t| t == first).then_some(first)
+}
+
+/// Derives the delivery mode to start with, given the static `mode` and
+/// the live `ctx`. Returns `None` when the facts change nothing — the
+/// caller then uses the static mode as-is, which is also the behaviour
+/// whenever an adjustment would leave the mode invalid (e.g. every block
+/// skipped): soft state may never make an alert undeliverable.
+///
+/// Rules, in order:
+/// 1. **Away** skips blocks made entirely of IM actions (desktop IM has
+///    nobody in front of it; its ack timeout would only delay backups).
+/// 2. **Mobile** demotes all-IM blocks behind everything else.
+/// 3. Each block whose actions all map to an **unhealthy** channel type
+///    is demoted behind the healthy blocks, preserving relative order.
+pub fn apply_routing(
+    mode: &DeliveryMode,
+    book: &AddressBook,
+    ctx: &RoutingContext,
+) -> Option<DeliveryMode> {
+    if ctx.is_empty() {
+        return None;
+    }
+    let mut keep = Vec::new();
+    let mut demoted = Vec::new();
+    for block in mode.blocks() {
+        let ty = block_type(&block.actions, book);
+        let is_im = ty == Some(CommType::Im);
+        if is_im && ctx.presence == Some(PresenceHint::Away) {
+            continue;
+        }
+        let unhealthy = ty.is_some_and(|t| ctx.unhealthy.contains(&t));
+        let mobile_demoted = is_im && ctx.presence == Some(PresenceHint::Mobile);
+        if unhealthy || mobile_demoted {
+            demoted.push(block.clone());
+        } else {
+            keep.push(block.clone());
+        }
+    }
+    keep.extend(demoted);
+    if keep.len() == mode.len() && keep.iter().zip(mode.blocks()).all(|(a, b)| a == b) {
+        return None;
+    }
+    DeliveryMode::new(mode.name.clone(), keep).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::mode::{AckPolicy, Block};
+    use simba_sim::SimDuration;
+
+    fn book() -> AddressBook {
+        let mut book = AddressBook::new();
+        book.add(Address::new("MSN IM", CommType::Im, "alice@im")).expect("unique");
+        book.add(Address::new("Cell SMS", CommType::Sms, "555-0100")).expect("unique");
+        book.add(Address::new("Work email", CommType::Email, "alice@work")).expect("unique");
+        book
+    }
+
+    fn three_block_mode() -> DeliveryMode {
+        DeliveryMode::new(
+            "Urgent",
+            vec![
+                Block::acked(vec!["MSN IM".into()], SimDuration::from_secs(60)),
+                Block::fire_and_forget(vec!["Cell SMS".into()]),
+                Block::fire_and_forget(vec!["Work email".into()]),
+            ],
+        )
+        .expect("static mode")
+    }
+
+    #[test]
+    fn empty_context_changes_nothing() {
+        assert_eq!(apply_routing(&three_block_mode(), &book(), &RoutingContext::default()), None);
+    }
+
+    #[test]
+    fn at_desk_changes_nothing() {
+        let ctx = RoutingContext { presence: Some(PresenceHint::AtDesk), ..Default::default() };
+        assert_eq!(apply_routing(&three_block_mode(), &book(), &ctx), None);
+    }
+
+    #[test]
+    fn away_skips_im_block() {
+        let ctx = RoutingContext { presence: Some(PresenceHint::Away), ..Default::default() };
+        let adjusted = apply_routing(&three_block_mode(), &book(), &ctx).expect("adjusted");
+        assert_eq!(adjusted.len(), 2);
+        assert_eq!(adjusted.blocks()[0].actions, vec!["Cell SMS".to_string()]);
+        assert_eq!(adjusted.blocks()[1].actions, vec!["Work email".to_string()]);
+    }
+
+    #[test]
+    fn away_never_empties_the_mode() {
+        let im_only = DeliveryMode::new(
+            "ImOnly",
+            vec![Block::acked(vec!["MSN IM".into()], SimDuration::from_secs(60))],
+        )
+        .expect("static mode");
+        let ctx = RoutingContext { presence: Some(PresenceHint::Away), ..Default::default() };
+        // Skipping the only block would make the alert undeliverable;
+        // fall back to the static profile instead.
+        assert_eq!(apply_routing(&im_only, &book(), &ctx), None);
+    }
+
+    #[test]
+    fn mobile_demotes_im_behind_backups() {
+        let ctx = RoutingContext { presence: Some(PresenceHint::Mobile), ..Default::default() };
+        let adjusted = apply_routing(&three_block_mode(), &book(), &ctx).expect("adjusted");
+        assert_eq!(adjusted.len(), 3);
+        assert_eq!(adjusted.blocks()[0].actions, vec!["Cell SMS".to_string()]);
+        assert_eq!(adjusted.blocks()[1].actions, vec!["Work email".to_string()]);
+        assert_eq!(adjusted.blocks()[2].actions, vec!["MSN IM".to_string()]);
+        // The demoted IM block keeps its ack policy.
+        assert_eq!(adjusted.blocks()[2].ack, AckPolicy::Required(SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn unhealthy_channel_demotes_its_block() {
+        let ctx = RoutingContext {
+            presence: None,
+            unhealthy: [CommType::Im].into_iter().collect(),
+        };
+        let adjusted = apply_routing(&three_block_mode(), &book(), &ctx).expect("adjusted");
+        assert_eq!(adjusted.blocks()[0].actions, vec!["Cell SMS".to_string()]);
+        assert_eq!(adjusted.blocks()[2].actions, vec!["MSN IM".to_string()]);
+    }
+
+    #[test]
+    fn mixed_block_is_left_alone() {
+        let mixed = DeliveryMode::new(
+            "Mixed",
+            vec![
+                Block::acked(vec!["MSN IM".into(), "Cell SMS".into()], SimDuration::from_secs(60)),
+                Block::fire_and_forget(vec!["Work email".into()]),
+            ],
+        )
+        .expect("static mode");
+        // A block spanning several channel types still reaches the user
+        // through the healthy one; don't second-guess it.
+        let ctx = RoutingContext { presence: Some(PresenceHint::Away), ..Default::default() };
+        assert_eq!(apply_routing(&mixed, &book(), &ctx), None);
+    }
+
+    #[test]
+    fn unknown_actions_are_left_alone() {
+        let unknown = DeliveryMode::new(
+            "Unknown",
+            vec![
+                Block::fire_and_forget(vec!["No such address".into()]),
+                Block::fire_and_forget(vec!["Work email".into()]),
+            ],
+        )
+        .expect("static mode");
+        let ctx = RoutingContext { presence: Some(PresenceHint::Away), ..Default::default() };
+        assert_eq!(apply_routing(&unknown, &book(), &ctx), None);
+    }
+
+    #[test]
+    fn presence_values_round_trip() {
+        for hint in [PresenceHint::AtDesk, PresenceHint::Mobile, PresenceHint::Away] {
+            assert_eq!(PresenceHint::from_value(hint.as_value()), Some(hint));
+        }
+        assert_eq!(PresenceHint::from_value("gone fishing"), None);
+    }
+}

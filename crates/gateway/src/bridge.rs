@@ -54,10 +54,11 @@ pub struct Submission {
 /// Builds the bounded intake queue: worker threads hold the sender, the
 /// runtime pump owns the receiver.
 pub fn intake(capacity: usize) -> (IntakeSender, IntakeReceiver) {
-    let (tx, rx) = mpsc::channel(capacity.max(1));
+    let capacity = capacity.max(1);
+    let (tx, rx) = mpsc::channel(capacity);
     let depth = Arc::new(AtomicUsize::new(0));
     (
-        IntakeSender { tx, depth: Arc::clone(&depth) },
+        IntakeSender { tx, depth: Arc::clone(&depth), capacity },
         IntakeReceiver { rx, depth },
     )
 }
@@ -67,6 +68,7 @@ pub fn intake(capacity: usize) -> (IntakeSender, IntakeReceiver) {
 pub struct IntakeSender {
     tx: mpsc::Sender<Submission>,
     depth: Arc<AtomicUsize>,
+    capacity: usize,
 }
 
 impl IntakeSender {
@@ -85,6 +87,12 @@ impl IntakeSender {
     /// Current queue depth (approximate under concurrency).
     pub fn depth(&self) -> usize {
         self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The queue's fixed capacity — reported in probe replies so clients
+    /// can judge fullness and back off before they are nacked.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 

@@ -83,6 +83,17 @@ pub enum SubmitResult {
     },
 }
 
+/// A fact read back from the gateway's soft-state store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateFact {
+    /// The stored value.
+    pub value: String,
+    /// Store-wide monotone publication counter.
+    pub generation: u64,
+    /// Milliseconds until the fact expires (as of the read).
+    pub ttl_remaining_ms: u32,
+}
+
 /// A connection to a gateway, reconnecting as needed.
 #[derive(Debug)]
 pub struct GatewayClient {
@@ -142,6 +153,64 @@ impl GatewayClient {
         match self.exchange_with_retry(&Frame::Probe { nonce })? {
             Frame::ProbeReply { nonce: got, stats } if got == nonce => Ok(stats),
             _ => Err(ClientError::Protocol("reply did not match the probe")),
+        }
+    }
+
+    /// Publishes a soft-state fact through the gateway. Like `submit`,
+    /// retries across reconnects make this at-least-once — harmless
+    /// here, since a duplicate put merely refreshes the fact.
+    pub fn state_put(
+        &mut self,
+        scope: &str,
+        key: &str,
+        value: &str,
+        ttl_ms: u32,
+        source: &str,
+    ) -> Result<SubmitResult, ClientError> {
+        self.seq += 1;
+        let seq = self.seq;
+        let request = Frame::StateUpdate {
+            seq,
+            scope: scope.to_string(),
+            key: key.to_string(),
+            value: value.to_string(),
+            ttl_ms,
+            source: source.to_string(),
+        };
+        match self.exchange_with_retry(&request)? {
+            Frame::Ack { seq: got } if got == seq => Ok(SubmitResult::Accepted),
+            Frame::Nack { seq: got, reason, retry_after_ms } if got == seq || got == 0 => {
+                Ok(SubmitResult::Rejected { reason, retry_after_ms })
+            }
+            _ => Err(ClientError::Protocol("reply did not match the state update")),
+        }
+    }
+
+    /// Reads a soft-state fact back; `None` when it is absent or
+    /// expired. A gateway running without a store nacks `Unsupported`,
+    /// surfaced here as a protocol error.
+    pub fn state_get(
+        &mut self,
+        scope: &str,
+        key: &str,
+    ) -> Result<Option<StateFact>, ClientError> {
+        self.seq += 1;
+        let seq = self.seq;
+        let request = Frame::StateQuery {
+            seq,
+            scope: scope.to_string(),
+            key: key.to_string(),
+        };
+        match self.exchange_with_retry(&request)? {
+            Frame::StateReply { seq: got, found, value, generation, ttl_remaining_ms }
+                if got == seq =>
+            {
+                Ok(found.then_some(StateFact { value, generation, ttl_remaining_ms }))
+            }
+            Frame::Nack { reason: NackReason::Unsupported, .. } => {
+                Err(ClientError::Protocol("gateway has no soft-state store"))
+            }
+            _ => Err(ClientError::Protocol("reply did not match the state query")),
         }
     }
 

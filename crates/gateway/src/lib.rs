@@ -37,6 +37,6 @@ mod server;
 
 pub use admission::{RateLimit, TokenBuckets};
 pub use bridge::{intake, pump_into_host, IntakeReceiver, IntakeSender, PumpReport, Submission};
-pub use client::{ClientConfig, ClientError, GatewayClient, SubmitResult};
+pub use client::{ClientConfig, ClientError, GatewayClient, StateFact, SubmitResult};
 pub use proto::{Frame, FrameError, NackReason, ProbeStats, WireChannel};
 pub use server::{GatewayConfig, GatewayServer};

@@ -97,6 +97,9 @@ pub enum NackReason {
     Malformed,
     /// The gateway is shutting down.
     Shutdown,
+    /// The gateway cannot serve this frame kind (e.g. a state operation
+    /// on a gateway with no soft-state store attached). Permanent.
+    Unsupported,
 }
 
 impl NackReason {
@@ -117,6 +120,7 @@ impl NackReason {
             NackReason::UnknownUser => 4,
             NackReason::Malformed => 5,
             NackReason::Shutdown => 6,
+            NackReason::Unsupported => 7,
         }
     }
 
@@ -128,6 +132,7 @@ impl NackReason {
             4 => Some(NackReason::UnknownUser),
             5 => Some(NackReason::Malformed),
             6 => Some(NackReason::Shutdown),
+            7 => Some(NackReason::Unsupported),
             _ => None,
         }
     }
@@ -142,6 +147,7 @@ impl fmt::Display for NackReason {
             NackReason::UnknownUser => "unknown-user",
             NackReason::Malformed => "malformed",
             NackReason::Shutdown => "shutdown",
+            NackReason::Unsupported => "unsupported",
         };
         f.write_str(s)
     }
@@ -158,6 +164,10 @@ pub struct ProbeStats {
     pub decode_err: u64,
     /// Current intake-queue depth.
     pub queue_depth: u32,
+    /// Total intake-queue capacity, so a client can compute fullness
+    /// (`queue_depth / queue_capacity`) and back off *before* being
+    /// nacked rather than after.
+    pub queue_capacity: u32,
 }
 
 /// One protocol frame.
@@ -204,6 +214,47 @@ pub enum Frame {
         /// Counters at reply time.
         stats: ProbeStats,
     },
+    /// Client → server: publish a soft-state fact (presence, channel
+    /// health...) into the gateway's store. Answered with [`Frame::Ack`]
+    /// or [`Frame::Nack`] (`Unsupported` when no store is attached).
+    StateUpdate {
+        /// Client-assigned sequence number echoed by the ack/nack.
+        seq: u64,
+        /// Fact scope (e.g. `presence`, `chanhealth`).
+        scope: String,
+        /// Fact key (e.g. the user name or channel name).
+        key: String,
+        /// Fact value (e.g. `away`, `healthy`).
+        value: String,
+        /// Time-to-live in milliseconds from arrival.
+        ttl_ms: u32,
+        /// Who published it.
+        source: String,
+    },
+    /// Client → server: read one fact back. Answered with
+    /// [`Frame::StateReply`] (or a `Nack` when no store is attached).
+    StateQuery {
+        /// Correlates the reply.
+        seq: u64,
+        /// Fact scope.
+        scope: String,
+        /// Fact key.
+        key: String,
+    },
+    /// Server → client: the fact under a queried `(scope, key)`, if any.
+    StateReply {
+        /// Echo of the query's sequence number.
+        seq: u64,
+        /// Whether a live fact was found (all other fields are zero/empty
+        /// otherwise).
+        found: bool,
+        /// The fact's value.
+        value: String,
+        /// The fact's generation.
+        generation: u64,
+        /// Milliseconds of TTL remaining at reply time.
+        ttl_remaining_ms: u32,
+    },
 }
 
 impl Frame {
@@ -214,6 +265,9 @@ impl Frame {
             Frame::Nack { .. } => 3,
             Frame::Probe { .. } => 4,
             Frame::ProbeReply { .. } => 5,
+            Frame::StateUpdate { .. } => 6,
+            Frame::StateQuery { .. } => 7,
+            Frame::StateReply { .. } => 8,
         }
     }
 }
@@ -285,7 +339,7 @@ impl Header {
             return Err(FrameError::BadVersion(bytes[4]));
         }
         let frame_type = bytes[5];
-        if !(1..=5).contains(&frame_type) {
+        if !(1..=8).contains(&frame_type) {
             return Err(FrameError::UnknownType(frame_type));
         }
         let payload_len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
@@ -386,6 +440,27 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             payload.extend_from_slice(&stats.shed.to_le_bytes());
             payload.extend_from_slice(&stats.decode_err.to_le_bytes());
             payload.extend_from_slice(&stats.queue_depth.to_le_bytes());
+            payload.extend_from_slice(&stats.queue_capacity.to_le_bytes());
+        }
+        Frame::StateUpdate { seq, scope, key, value, ttl_ms, source } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            put_str(&mut payload, scope);
+            put_str(&mut payload, key);
+            put_str(&mut payload, value);
+            payload.extend_from_slice(&ttl_ms.to_le_bytes());
+            put_str(&mut payload, source);
+        }
+        Frame::StateQuery { seq, scope, key } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            put_str(&mut payload, scope);
+            put_str(&mut payload, key);
+        }
+        Frame::StateReply { seq, found, value, generation, ttl_remaining_ms } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            payload.push(u8::from(*found));
+            put_str(&mut payload, value);
+            payload.extend_from_slice(&generation.to_le_bytes());
+            payload.extend_from_slice(&ttl_remaining_ms.to_le_bytes());
         }
     }
     out.extend_from_slice(&MAGIC);
@@ -437,8 +512,36 @@ pub fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, FrameErr
                 shed: r.u64("probe_reply.shed")?,
                 decode_err: r.u64("probe_reply.decode_err")?,
                 queue_depth: r.u32("probe_reply.queue_depth")?,
+                queue_capacity: r.u32("probe_reply.queue_capacity")?,
             };
             Frame::ProbeReply { nonce, stats }
+        }
+        6 => {
+            let seq = r.u64("state_update.seq")?;
+            let scope = r.string("state_update.scope")?;
+            let key = r.string("state_update.key")?;
+            let value = r.string("state_update.value")?;
+            let ttl_ms = r.u32("state_update.ttl_ms")?;
+            let source = r.string("state_update.source")?;
+            Frame::StateUpdate { seq, scope, key, value, ttl_ms, source }
+        }
+        7 => {
+            let seq = r.u64("state_query.seq")?;
+            let scope = r.string("state_query.scope")?;
+            let key = r.string("state_query.key")?;
+            Frame::StateQuery { seq, scope, key }
+        }
+        8 => {
+            let seq = r.u64("state_reply.seq")?;
+            let found = match r.u8("state_reply.found")? {
+                0 => false,
+                1 => true,
+                _ => return Err(FrameError::Malformed("state_reply.found")),
+            };
+            let value = r.string("state_reply.value")?;
+            let generation = r.u64("state_reply.generation")?;
+            let ttl_remaining_ms = r.u32("state_reply.ttl_remaining")?;
+            Frame::StateReply { seq, found, value, generation, ttl_remaining_ms }
         }
         t => return Err(FrameError::UnknownType(t)),
     };
@@ -493,7 +596,29 @@ mod tests {
             Frame::Probe { nonce: 99 },
             Frame::ProbeReply {
                 nonce: 99,
-                stats: ProbeStats { accepted: 10, shed: 2, decode_err: 1, queue_depth: 5 },
+                stats: ProbeStats {
+                    accepted: 10,
+                    shed: 2,
+                    decode_err: 1,
+                    queue_depth: 5,
+                    queue_capacity: 1024,
+                },
+            },
+            Frame::StateUpdate {
+                seq: 11,
+                scope: "presence".into(),
+                key: "alice".into(),
+                value: "away".into(),
+                ttl_ms: 30_000,
+                source: "wish".into(),
+            },
+            Frame::StateQuery { seq: 12, scope: "chanhealth".into(), key: "im".into() },
+            Frame::StateReply {
+                seq: 12,
+                found: true,
+                value: "healthy".into(),
+                generation: 41,
+                ttl_remaining_ms: 12_500,
             },
         ];
         for frame in frames {
@@ -566,6 +691,59 @@ mod tests {
             let (decoded, consumed) = decode_frame(&bytes).expect("encode -> decode");
             prop_assert_eq!(decoded, frame);
             prop_assert_eq!(consumed, bytes.len());
+        }
+
+        /// Satellite 2: the ProbeReply carries depth, shed count, and
+        /// capacity intact for any counter values — the client's back-off
+        /// decision sees exactly what the server measured.
+        #[test]
+        fn probe_reply_round_trips_arbitrary_stats(
+            nonce in proptest::prelude::any::<u64>(),
+            accepted in proptest::prelude::any::<u64>(),
+            shed in proptest::prelude::any::<u64>(),
+            decode_err in proptest::prelude::any::<u64>(),
+            queue_depth in proptest::prelude::any::<u32>(),
+            queue_capacity in proptest::prelude::any::<u32>(),
+        ) {
+            let frame = Frame::ProbeReply {
+                nonce,
+                stats: ProbeStats { accepted, shed, decode_err, queue_depth, queue_capacity },
+            };
+            let bytes = encode_to_vec(&frame);
+            let (decoded, consumed) = decode_frame(&bytes).expect("encode -> decode");
+            prop_assert_eq!(decoded, frame);
+            prop_assert_eq!(consumed, bytes.len());
+        }
+
+        #[test]
+        fn state_frames_round_trip(
+            seq in proptest::prelude::any::<u64>(),
+            scope in "[a-z]{1,16}",
+            key in "\\PC{0,32}",
+            value in "\\PC{0,64}",
+            ttl_ms in proptest::prelude::any::<u32>(),
+            source in "\\PC{0,24}",
+            found in proptest::prelude::any::<bool>(),
+            generation in proptest::prelude::any::<u64>(),
+        ) {
+            let frames = [
+                Frame::StateUpdate {
+                    seq,
+                    scope: scope.clone(),
+                    key: key.clone(),
+                    value: value.clone(),
+                    ttl_ms,
+                    source,
+                },
+                Frame::StateQuery { seq, scope, key },
+                Frame::StateReply { seq, found, value, generation, ttl_remaining_ms: ttl_ms },
+            ];
+            for frame in frames {
+                let bytes = encode_to_vec(&frame);
+                let (decoded, consumed) = decode_frame(&bytes).expect("encode -> decode");
+                prop_assert_eq!(decoded, frame);
+                prop_assert_eq!(consumed, bytes.len());
+            }
         }
 
         #[test]

@@ -28,6 +28,8 @@ use crate::proto::{
 };
 use simba_core::subscription::UserId;
 use simba_core::Telemetry;
+use simba_sim::{SimDuration, SimTime};
+use simba_store::SoftStateStore;
 use simba_telemetry::{CounterHandle, Event};
 use std::collections::BTreeSet;
 use std::io::{Read, Write};
@@ -121,11 +123,22 @@ struct Shared {
     buckets: TokenBuckets,
     stop: AtomicBool,
     epoch: Instant,
+    /// Soft-state store for `StateUpdate` / `StateQuery` frames; absent
+    /// gateways nack those frames `Unsupported`.
+    store: Option<SoftStateStore>,
 }
 
 impl Shared {
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Gateway time as a [`SimTime`] for store operations. Anchored at
+    /// bind, like the host clock is anchored at runtime start — within a
+    /// process the two timelines drift only by the bind delta, which is
+    /// negligible against fact TTLs (seconds).
+    fn sim_now(&self) -> SimTime {
+        SimTime::from_millis(self.now_ms())
     }
 
     fn stats(&self) -> ProbeStats {
@@ -134,6 +147,7 @@ impl Shared {
             shed: self.counters.shed.get(),
             decode_err: self.counters.decode_err.get(),
             queue_depth: self.intake.depth() as u32,
+            queue_capacity: self.intake.capacity() as u32,
         }
     }
 }
@@ -167,6 +181,20 @@ impl GatewayServer {
         intake: IntakeSender,
         telemetry: Telemetry,
     ) -> std::io::Result<GatewayServer> {
+        GatewayServer::bind_with_store(config, intake, telemetry, None)
+    }
+
+    /// [`GatewayServer::bind`] plus a soft-state store: `StateUpdate`
+    /// frames publish facts into it and `StateQuery` frames read them
+    /// back. Share the store with the [`MabHost`](simba_runtime::MabHost)
+    /// (see its `with_store`) so gateway-published presence facts steer
+    /// delivery routing.
+    pub fn bind_with_store(
+        config: GatewayConfig,
+        intake: IntakeSender,
+        telemetry: Telemetry,
+        store: Option<SoftStateStore>,
+    ) -> std::io::Result<GatewayServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
@@ -179,6 +207,7 @@ impl GatewayServer {
             telemetry,
             stop: AtomicBool::new(false),
             epoch: Instant::now(),
+            store,
         });
 
         let (socket_tx, socket_rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
@@ -389,7 +418,12 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                 admit(shared, &slot, seq, channel, user, source, body)
             }
             Frame::Probe { nonce } => Frame::ProbeReply { nonce, stats: shared.stats() },
-            Frame::Ack { .. } | Frame::Nack { .. } | Frame::ProbeReply { .. } => {
+            Frame::StateUpdate { seq, scope, key, value, ttl_ms, source } => {
+                state_update(shared, seq, &scope, &key, value, ttl_ms, source)
+            }
+            Frame::StateQuery { seq, scope, key } => state_query(shared, seq, &scope, &key),
+            Frame::Ack { .. } | Frame::Nack { .. } | Frame::ProbeReply { .. }
+            | Frame::StateReply { .. } => {
                 // Server-to-client frames arriving at the server: a
                 // protocol violation; treat like a decode failure.
                 note_decode_err(shared, &FrameError::Malformed("client sent a server frame"));
@@ -452,6 +486,58 @@ fn admit(
             slot.fetch_sub(1, Ordering::Relaxed);
             shed(shared, seq, NackReason::QueueFull, retry_after, &submission.source)
         }
+    }
+}
+
+/// Publishes a fact into the gateway's store (nacking `Unsupported`
+/// when the gateway runs without one). Publication is unconditional —
+/// soft state is overwrite-on-refresh, so there is no admission pipeline
+/// beyond the store's own per-scope capacity shedding.
+fn state_update(
+    shared: &Shared,
+    seq: u64,
+    scope: &str,
+    key: &str,
+    value: String,
+    ttl_ms: u32,
+    source: String,
+) -> Frame {
+    let Some(store) = &shared.store else {
+        return Frame::Nack { seq, reason: NackReason::Unsupported, retry_after_ms: 0 };
+    };
+    store.put(
+        scope,
+        key,
+        value,
+        SimDuration::from_millis(u64::from(ttl_ms)),
+        source,
+        shared.sim_now(),
+    );
+    Frame::Ack { seq }
+}
+
+/// Reads a fact back. A missing or expired fact is `found: false`, not
+/// an error — absence is a normal answer for soft state.
+fn state_query(shared: &Shared, seq: u64, scope: &str, key: &str) -> Frame {
+    let Some(store) = &shared.store else {
+        return Frame::Nack { seq, reason: NackReason::Unsupported, retry_after_ms: 0 };
+    };
+    let now = shared.sim_now();
+    match store.get(scope, key, now) {
+        Some(fact) => Frame::StateReply {
+            seq,
+            found: true,
+            generation: fact.generation,
+            ttl_remaining_ms: fact.ttl_remaining(now).as_millis().min(u64::from(u32::MAX)) as u32,
+            value: fact.value,
+        },
+        None => Frame::StateReply {
+            seq,
+            found: false,
+            value: String::new(),
+            generation: 0,
+            ttl_remaining_ms: 0,
+        },
     }
 }
 

@@ -282,3 +282,73 @@ fn client_reconnects_after_a_dropped_connection() {
     assert_eq!(client.reconnects, 1);
     server.shutdown();
 }
+
+/// State frames round-trip over real TCP: a put through the gateway is
+/// readable back (value, generation, decaying TTL), absence and expiry
+/// read as `None`, and the probe reports the intake queue's capacity
+/// alongside its depth.
+#[test]
+fn state_facts_round_trip_over_tcp() {
+    let telemetry = telemetry();
+    let store = simba_store::SoftStateStore::new(Default::default(), telemetry.clone());
+    let (intake_tx, _intake_rx) = intake(256);
+    let server = GatewayServer::bind_with_store(
+        GatewayConfig::default(),
+        intake_tx,
+        telemetry.clone(),
+        Some(store.clone()),
+    )
+    .unwrap();
+    let mut client =
+        GatewayClient::connect(server.local_addr().to_string(), ClientConfig::default()).unwrap();
+
+    assert_eq!(
+        client.state_put("presence", "alice", "away", 60_000, "wish").unwrap(),
+        SubmitResult::Accepted
+    );
+    let fact = client.state_get("presence", "alice").unwrap().expect("fact present");
+    assert_eq!(fact.value, "away");
+    assert!(fact.generation >= 1);
+    assert!(fact.ttl_remaining_ms > 0 && fact.ttl_remaining_ms <= 60_000);
+
+    // Absent key: a normal `None`, not an error.
+    assert_eq!(client.state_get("presence", "nobody").unwrap(), None);
+
+    // A short-TTL fact decays on its own.
+    assert_eq!(
+        client.state_put("presence", "bob", "mobile", 50, "wish").unwrap(),
+        SubmitResult::Accepted
+    );
+    std::thread::sleep(Duration::from_millis(120));
+    assert_eq!(client.state_get("presence", "bob").unwrap(), None);
+
+    // Satellite 2: probe carries capacity so clients can judge fullness.
+    let stats = client.probe().unwrap();
+    assert_eq!(stats.queue_capacity, 256);
+    assert!(stats.queue_depth <= stats.queue_capacity);
+
+    server.shutdown();
+    let snap = telemetry.metrics().snapshot();
+    assert!(snap.counter("store.puts") >= 2);
+    assert!(snap.counter("store.hits") >= 1);
+    assert!(snap.counter("store.expired") >= 1);
+}
+
+/// A gateway running without a store refuses state frames with an
+/// explicit `Unsupported` nack instead of pretending to hold facts.
+#[test]
+fn storeless_gateway_nacks_state_frames() {
+    let telemetry = telemetry();
+    let (intake_tx, _intake_rx) = intake(256);
+    let server =
+        GatewayServer::bind(GatewayConfig::default(), intake_tx, telemetry.clone()).unwrap();
+    let mut client =
+        GatewayClient::connect(server.local_addr().to_string(), ClientConfig::default()).unwrap();
+
+    assert_eq!(
+        client.state_put("presence", "alice", "away", 1_000, "wish").unwrap(),
+        SubmitResult::Rejected { reason: NackReason::Unsupported, retry_after_ms: 0 }
+    );
+    assert!(client.state_get("presence", "alice").is_err());
+    server.shutdown();
+}

@@ -1,0 +1,87 @@
+//! Channel-health publication into the soft-state store.
+//!
+//! The paper's §5 integration has the delivery channels themselves feed
+//! the Soft-State Store: a channel that is visibly failing publishes a
+//! short-lived `chanhealth/<channel>` fact, MyAlertBuddy demotes that
+//! channel's delivery blocks while the fact is live, and — because soft
+//! state decays on its own — a channel that simply goes silent reverts
+//! to "unknown" and the static profile takes over. [`HealthReporter`] is
+//! the publishing half: each observation refreshes the fact's TTL, so
+//! health is only ever as stale as the reporting channel's last send.
+
+use simba_sim::{SimDuration, SimTime};
+use simba_store::{SoftStateStore, CHANHEALTH_SCOPE, HEALTHY_VALUE};
+
+/// Publishes `chanhealth/<channel>` facts for one channel. Cheap to
+/// clone; like every substrate in this crate it never reads a wall
+/// clock — the owner supplies `now`.
+#[derive(Debug, Clone)]
+pub struct HealthReporter {
+    store: SoftStateStore,
+    channel: &'static str,
+    ttl: SimDuration,
+}
+
+impl HealthReporter {
+    /// A reporter publishing under `chanhealth/<channel>` with `ttl` per
+    /// fact. Pick the TTL against the channel's traffic cadence: it must
+    /// outlive the gap between sends or health flaps to "unknown".
+    pub fn new(store: SoftStateStore, channel: &'static str, ttl: SimDuration) -> Self {
+        HealthReporter { store, channel, ttl }
+    }
+
+    /// The `chanhealth` key this reporter publishes under.
+    pub fn channel(&self) -> &'static str {
+        self.channel
+    }
+
+    /// Publishes (or refreshes) the healthy fact; returns its generation.
+    pub fn report_healthy(&self, now: SimTime) -> u64 {
+        self.put(HEALTHY_VALUE, now)
+    }
+
+    /// Publishes (or refreshes) an unhealthy fact — `reason` is the
+    /// stored value (`"outage"`, `"degraded"`, ...); anything other than
+    /// the healthy value demotes the channel's blocks.
+    pub fn report_unhealthy(&self, reason: &str, now: SimTime) -> u64 {
+        debug_assert_ne!(reason, HEALTHY_VALUE, "use report_healthy");
+        self.put(reason, now)
+    }
+
+    fn put(&self, value: &str, now: SimTime) -> u64 {
+        self.store
+            .put(CHANHEALTH_SCOPE, self.channel, value, self.ttl, self.channel, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simba_store::StoreConfig;
+    use simba_telemetry::Telemetry;
+
+    fn store() -> SoftStateStore {
+        SoftStateStore::new(StoreConfig::default(), Telemetry::disabled())
+    }
+
+    #[test]
+    fn reports_publish_and_decay() {
+        let store = store();
+        let reporter = HealthReporter::new(store.clone(), "im", SimDuration::from_secs(10));
+        assert_eq!(reporter.channel(), "im");
+
+        let g1 = reporter.report_unhealthy("outage", SimTime::ZERO);
+        let fact = store.get(CHANHEALTH_SCOPE, "im", SimTime::from_secs(1)).unwrap();
+        assert_eq!(fact.value, "outage");
+        assert_eq!(fact.generation, g1);
+
+        // Recovery overwrites with a newer generation...
+        let g2 = reporter.report_healthy(SimTime::from_secs(2));
+        assert!(g2 > g1);
+        let fact = store.get(CHANHEALTH_SCOPE, "im", SimTime::from_secs(3)).unwrap();
+        assert_eq!(fact.value, HEALTHY_VALUE);
+
+        // ...and silence decays to absence (unknown), not to a stale verdict.
+        assert!(store.get(CHANHEALTH_SCOPE, "im", SimTime::from_secs(13)).is_none());
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod email;
+pub mod health;
 pub mod im;
 pub mod latency;
 pub mod loss;
@@ -39,6 +40,7 @@ pub mod observe;
 pub mod presence;
 pub mod sms;
 
+pub use health::HealthReporter;
 pub use latency::LatencyModel;
 pub use loss::LossModel;
 pub use observe::ChannelScope;

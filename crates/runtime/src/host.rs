@@ -131,6 +131,8 @@ pub struct MabHost<C> {
     telemetry: Telemetry,
     tenants: BTreeMap<UserId, Tenant>,
     notice_tx: mpsc::Sender<HostNotice>,
+    store: Option<simba_store::SoftStateStore>,
+    sweeper: Option<JoinHandle<()>>,
 }
 
 impl<C: Channels + Clone> MabHost<C> {
@@ -149,6 +151,8 @@ impl<C: Channels + Clone> MabHost<C> {
             telemetry: Telemetry::disabled(),
             tenants: BTreeMap::new(),
             notice_tx,
+            store: None,
+            sweeper: None,
         };
         (host, notice_rx)
     }
@@ -160,6 +164,36 @@ impl<C: Channels + Clone> MabHost<C> {
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Attaches the soft-state store: services added afterwards consult
+    /// it through a [`crate::StoreModeSelector`] when starting deliveries,
+    /// and a sweeper task expires facts every `sweep_period` of runtime
+    /// time (aborted at shutdown). Publish presence/health facts into the
+    /// same (cloned) store to steer routing.
+    #[must_use]
+    pub fn with_store(
+        mut self,
+        store: simba_store::SoftStateStore,
+        sweep_period: SimDuration,
+    ) -> Self {
+        self.sweeper = Some(crate::presence::spawn_sweeper(
+            store.clone(),
+            self.clock,
+            sweep_period,
+        ));
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached soft-state store, if any.
+    pub fn store(&self) -> Option<&simba_store::SoftStateStore> {
+        self.store.as_ref()
+    }
+
+    /// The host's clock (the timeline its sweeper and services measure).
+    pub fn clock(&self) -> RuntimeClock {
+        self.clock
     }
 
     /// Hosted user count.
@@ -184,22 +218,33 @@ impl<C: Channels + Clone> MabHost<C> {
             return Err(HostError::DuplicateUser(user));
         }
         let retirement = (self.config.retirement_grace, self.config.completed_ring);
+        let selector = || {
+            self.store
+                .clone()
+                .map(|s| Box::new(crate::StoreModeSelector::new(s)) as Box<dyn simba_core::routing::ModeSelector>)
+        };
         let (handle, service, notices) = match &self.config.wal_dir {
             Some(dir) => {
                 std::fs::create_dir_all(dir).map_err(WalError::from)?;
                 let wal = FileWal::open_tolerant(dir.join(format!("{user}.wal")))?;
                 let (service, handle, notices) = MabService::with_wal(config, self.channels.clone(), wal);
-                let service = service
+                let mut service = service
                     .with_retirement(retirement.0, retirement.1)
                     .with_telemetry(self.telemetry.clone());
+                if let Some(selector) = selector() {
+                    service = service.with_mode_selector(selector);
+                }
                 (handle, tokio::spawn(service.run()), notices)
             }
             None => {
                 let (service, handle, notices) =
                     MabService::with_wal(config, self.channels.clone(), InMemoryWal::new());
-                let service = service
+                let mut service = service
                     .with_retirement(retirement.0, retirement.1)
                     .with_telemetry(self.telemetry.clone());
+                if let Some(selector) = selector() {
+                    service = service.with_mode_selector(selector);
+                }
                 (handle, tokio::spawn(service.run()), notices)
             }
         };
@@ -312,6 +357,9 @@ impl<C: Channels + Clone> MabHost<C> {
     /// Dropping the returned host also drops the merged notice sender, so
     /// the notice stream ends once the forwarders drain.
     pub async fn shutdown(self) -> Vec<(UserId, MabStats)> {
+        if let Some(sweeper) = &self.sweeper {
+            sweeper.abort();
+        }
         let mut out = Vec::with_capacity(self.tenants.len());
         for (user, tenant) in self.tenants {
             tenant.handle.stop().await;

@@ -42,11 +42,13 @@
 mod channels;
 mod clock;
 mod host;
+mod presence;
 mod service;
 mod watchdog;
 
 pub use channels::{Channels, LoopbackChannels, SendOutcome, SharedChannels};
 pub use clock::RuntimeClock;
 pub use host::{HostConfig, HostError, HostNotice, HostSnapshot, MabHost, DEFAULT_NOTICE_CAPACITY};
+pub use presence::{chanhealth_key, spawn_sweeper, StoreModeSelector, HEALTHY_VALUE};
 pub use service::{MabHandle, MabService, RuntimeNotice, ServiceSnapshot};
 pub use watchdog::{run_watchdog, run_watchdog_observed, WatchdogReport};

@@ -248,6 +248,19 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
         self
     }
 
+    /// Installs a presence-aware mode selector on the wrapped buddy: live
+    /// soft-state facts then adjust the delivery mode at each delivery
+    /// start, falling back to the static profile when facts are absent or
+    /// expired.
+    #[must_use]
+    pub fn with_mode_selector(
+        mut self,
+        selector: Box<dyn simba_core::routing::ModeSelector>,
+    ) -> Self {
+        self.mab.set_mode_selector(selector);
+        self
+    }
+
     /// Runs until all handles are dropped, [`MabHandle::stop`] is called,
     /// or a rejuvenation triggers. Returns the final stats.
     pub async fn run(mut self) -> MabStats {

@@ -1,0 +1,87 @@
+//! The unit of soft state: a short-lived, generation-stamped fact.
+
+use simba_sim::{SimDuration, SimTime};
+
+/// One soft-state fact: a value published under `(scope, key)` that
+/// expires on its own unless refreshed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    /// The published value (free-form; the conventions live with the
+    /// publishers — e.g. `"away"` under `presence/<user>`).
+    pub value: String,
+    /// Who published it (a gateway source name, a channel name...).
+    pub source: String,
+    /// When it was published.
+    pub published_at: SimTime,
+    /// The instant it stops being true. A fact is expired once
+    /// `now >= expires_at`.
+    pub expires_at: SimTime,
+    /// Store-wide monotone publication counter: a later put always has a
+    /// larger generation, so a reader can order observations and expiry
+    /// can never resurrect an older value.
+    pub generation: u64,
+}
+
+impl Fact {
+    /// Whether the fact is expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now >= self.expires_at
+    }
+
+    /// Time-to-live remaining at `now` (zero when expired).
+    pub fn ttl_remaining(&self, now: SimTime) -> SimDuration {
+        self.expires_at.since(now)
+    }
+}
+
+/// A change notification delivered to subscribers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreEvent {
+    /// A fact was published (new key or refresh of an existing one).
+    Published {
+        /// The fact's scope.
+        scope: String,
+        /// The fact's key.
+        key: String,
+        /// The fact as stored.
+        fact: Fact,
+    },
+    /// A fact expired (noticed lazily by a read or by a sweep).
+    Expired {
+        /// The fact's scope.
+        scope: String,
+        /// The fact's key.
+        key: String,
+        /// Generation of the fact that expired.
+        generation: u64,
+    },
+    /// A fact was shed to keep its scope inside its capacity bound.
+    Evicted {
+        /// The fact's scope.
+        scope: String,
+        /// The fact's key.
+        key: String,
+        /// Generation of the fact that was shed.
+        generation: u64,
+    },
+}
+
+impl StoreEvent {
+    /// The scope the event happened in.
+    pub fn scope(&self) -> &str {
+        match self {
+            StoreEvent::Published { scope, .. }
+            | StoreEvent::Expired { scope, .. }
+            | StoreEvent::Evicted { scope, .. } => scope,
+        }
+    }
+
+    /// The key the event happened to.
+    pub fn key(&self) -> &str {
+        match self {
+            StoreEvent::Published { key, .. }
+            | StoreEvent::Expired { key, .. }
+            | StoreEvent::Evicted { key, .. } => key,
+        }
+    }
+}

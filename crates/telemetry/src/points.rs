@@ -88,6 +88,7 @@ pub const SCOPES: &[&str] = &[
     "watchdog",
     "stabilize",
     "rejuvenate",
+    "store",
     // Simulation-harness scopes (fault taxonomy of the paper's Table 2).
     "sanity",
     "power",
@@ -117,6 +118,7 @@ pub const CRATE_SCOPES: &[(&str, &[&str])] = &[
         &["runtime", "watchdog", "host", "mab", "wal", "delivery"],
     ),
     ("net", &["net"]),
+    ("store", &["store"]),
     ("client", &["client"]),
     ("gateway", &["gateway"]),
     ("xml", &[]),
@@ -167,6 +169,7 @@ pub const POINTS: &[PointDef] = &[
     point!("mab.hangs", [Counter], "mab", "sim: MAB hang faults injected (watchdog-detectable)"),
     point!("mab.im_undeliverable", [Counter], "mab", "sim: IM sends the MAB abandoned as undeliverable"),
     point!("mab.ingest_deferred", [Counter], "mab", "sim: inbound alerts deferred because the MAB was down"),
+    point!("mab.mode_overridden", [Event, Counter], "mab", "a delivery's mode was adjusted by live presence/health facts"),
     point!("mab.outbound_client_failure", [Counter], "mab", "sim: outbound pushes that failed at the client edge"),
     point!("mab.received", [Event, Counter], "mab", "an alert entered the MAB from a source or gateway"),
     point!("mab.rejected", [Event, Counter], "mab", "an alert was rejected at ingest (duplicate, invalid, or shed)"),
@@ -222,6 +225,15 @@ pub const POINTS: &[PointDef] = &[
     point!("stabilize.checks", [Counter], "stabilize", "self-stabilization audits run"),
     point!("stabilize.violation", [Event], "stabilize", "an audit found and repaired an invariant violation"),
     point!("stabilize.violations", [Counter], "stabilize", "invariant violations repaired by audits"),
+    point!("store.evicted", [Counter], "store", "facts shed by per-scope LRU capacity bounds"),
+    point!("store.expired", [Counter], "store", "facts dropped at end of TTL (lazy read or sweep)"),
+    point!("store.hits", [Counter], "store", "store reads that returned a live fact"),
+    point!("store.misses", [Counter], "store", "store reads that found nothing live"),
+    point!("store.puts", [Counter], "store", "facts published into the soft-state store"),
+    point!("store.size", [Gauge], "store", "facts currently held across all shards"),
+    point!("store.sub_dropped", [Counter], "store", "lagging subscribers dropped to keep writers unblocked"),
+    point!("store.subscribers", [Gauge], "store", "live store-event subscribers"),
+    point!("store.sweeps", [Counter], "store", "periodic TTL sweep passes completed"),
     point!("user.duplicate_sightings", [Counter], "user", "sim: times a user saw the same alert more than once"),
     point!("user.email_sent", [Counter], "user", "sim: alert emails that reached a user"),
     point!("user.im_send_failed", [Counter], "user", "sim: MAB-to-user IM pushes that failed"),

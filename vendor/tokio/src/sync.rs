@@ -22,9 +22,29 @@ pub mod mpsc {
         }
 
         impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+        /// Error from [`super::Receiver::try_recv`].
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TryRecvError {
+            /// No message is queued right now.
+            Empty,
+            /// Every sender is gone and the queue is drained.
+            Disconnected,
+        }
+
+        impl std::fmt::Display for TryRecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self {
+                    TryRecvError::Empty => f.write_str("channel empty"),
+                    TryRecvError::Disconnected => f.write_str("channel disconnected"),
+                }
+            }
+        }
+
+        impl std::error::Error for TryRecvError {}
     }
 
-    use error::SendError;
+    use error::{SendError, TryRecvError};
 
     struct Chan<T> {
         queue: VecDeque<T>,
@@ -175,6 +195,21 @@ pub mod mpsc {
                 Poll::Pending
             })
             .await
+        }
+
+        /// The next message without waiting: `Err(Empty)` when none is
+        /// queued, `Err(Disconnected)` once every sender is dropped and
+        /// the queue is drained.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            let mut chan = self.chan.lock().unwrap();
+            if let Some(value) = chan.queue.pop_front() {
+                chan.wake_senders();
+                return Ok(value);
+            }
+            if chan.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
         }
 
         /// Closes the channel; in-flight messages can still be received.
