@@ -13,12 +13,19 @@
 #                 with injected drops; asserts zero accepted-then-lost
 #   make store-smoke — E7 soft-state store smoke: concurrent TTL'd
 #                 writes/reads/subscriptions; asserts zero expired-fact reads
+#   make host-smoke — E8 sharded-host smoke: 2k active of 20k registered
+#                 users through hibernation + group-commit shard logs
+#
+# The four smoke targets each write a machine-readable BENCH_e*.json
+# artifact (schema in EXPERIMENTS.md) and exit non-zero below their
+# throughput floors, so `make ci` both produces the bench trajectory and
+# fails on a regression.
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-all doc lint analyze soak gateway-smoke store-smoke clean
+.PHONY: ci build test test-all doc lint analyze soak gateway-smoke store-smoke host-smoke clean
 
-ci: build test doc lint analyze soak gateway-smoke store-smoke
+ci: build test doc lint analyze soak gateway-smoke store-smoke host-smoke
 
 build:
 	$(CARGO) build --release
@@ -43,13 +50,16 @@ analyze:
 	$(CARGO) run -q -p simba-analyze -- check
 
 soak:
-	$(CARGO) run --release -q -p simba-bench --bin exp_e3_host_soak -- --users 20 --alerts 50 --seed 42
+	$(CARGO) run --release -q -p simba-bench --bin exp_e3_host_soak -- --smoke --seed 42
 
 gateway-smoke:
 	$(CARGO) run --release -q -p simba-bench --bin exp_e6_gateway -- --smoke
 
 store-smoke:
 	$(CARGO) run --release -q -p simba-bench --bin exp_e7_store -- --smoke
+
+host-smoke:
+	$(CARGO) run --release -q -p simba-bench --bin exp_e8_sharded -- --smoke
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,230 @@
+//! Machine-readable bench artifacts: one `BENCH_<id>.json` per
+//! performance experiment, documenting the run's headline metrics and
+//! whether each asserted floor held.
+//!
+//! The schema (versioned via the `schema` field, documented in
+//! `EXPERIMENTS.md`) is deliberately tiny so CI and tooling can parse it
+//! without a JSON library:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "experiment": "E8",
+//!   "mode": "smoke",
+//!   "metrics": [{"name": "throughput", "value": 123456.0, "unit": "alerts/s"}],
+//!   "floors": [{"metric": "throughput", "min": 10000.0, "passed": true}]
+//! }
+//! ```
+//!
+//! The file is written *before* the floor assertions run, so a failed
+//! floor still leaves the measured numbers on disk for the trajectory.
+//! `BENCH_OUT_DIR` overrides the output directory (default: the current
+//! working directory).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Current artifact schema version.
+pub const BENCH_SCHEMA: u32 = 1;
+
+/// Whether the run used the full recorded shape or the CI smoke shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchMode {
+    /// The full-scale shape behind the recorded EXPERIMENTS.md numbers.
+    Full,
+    /// The reduced CI shape (`make ci`): same code paths, lower floors.
+    Smoke,
+}
+
+impl BenchMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            BenchMode::Full => "full",
+            BenchMode::Smoke => "smoke",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    name: String,
+    value: f64,
+    unit: String,
+}
+
+#[derive(Debug, Clone)]
+struct Floor {
+    metric: String,
+    min: f64,
+    passed: bool,
+}
+
+/// One experiment's bench artifact, accumulated then written as JSON.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    experiment: String,
+    mode: BenchMode,
+    metrics: Vec<Metric>,
+    floors: Vec<Floor>,
+}
+
+impl BenchReport {
+    /// Starts a report for `experiment` (e.g. `"E8"`) in `mode`.
+    pub fn new(experiment: &str, mode: BenchMode) -> Self {
+        BenchReport { experiment: experiment.to_string(), mode, metrics: Vec::new(), floors: Vec::new() }
+    }
+
+    /// Records one measured metric.
+    pub fn metric(&mut self, name: &str, value: f64, unit: &str) -> &mut Self {
+        self.metrics.push(Metric { name: name.into(), value, unit: unit.into() });
+        self
+    }
+
+    /// Records a floor check against a previously recorded metric value;
+    /// returns whether it held. The caller asserts *after* [`Self::write`]
+    /// so the artifact survives a failed floor.
+    pub fn floor(&mut self, metric: &str, min: f64, actual: f64) -> bool {
+        let passed = actual >= min;
+        self.floors.push(Floor { metric: metric.into(), min, passed });
+        passed
+    }
+
+    /// True when every recorded floor held.
+    pub fn all_floors_passed(&self) -> bool {
+        self.floors.iter().all(|f| f.passed)
+    }
+
+    /// Renders the artifact as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": {},\n  \"experiment\": {},\n  \"mode\": \"{}\",\n  \"metrics\": [",
+            BENCH_SCHEMA,
+            json_string(&self.experiment),
+            self.mode.as_str()
+        );
+        for (i, m) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"name\": {}, \"value\": {}, \"unit\": {}}}",
+                json_string(&m.name),
+                json_number(m.value),
+                json_string(&m.unit)
+            );
+        }
+        out.push_str("\n  ],\n  \"floors\": [");
+        for (i, f) in self.floors.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"metric\": {}, \"min\": {}, \"passed\": {}}}",
+                json_string(&f.metric),
+                json_number(f.min),
+                f.passed
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<experiment>.json` (lower-cased id) into
+    /// `BENCH_OUT_DIR` (or the current directory) and returns the path.
+    /// IO failure is reported, not fatal — the bench numbers still print.
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = std::env::var_os("BENCH_OUT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{}.json", self.experiment.to_lowercase()));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Minimal JSON string quoting for metric/experiment names.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite number without trailing-noise decimals.
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_schema_metrics_and_floors() {
+        let mut r = BenchReport::new("E8", BenchMode::Smoke);
+        r.metric("throughput", 123456.789, "alerts/s");
+        r.metric("active_peak", 2000.0, "users");
+        assert!(r.floor("throughput", 10_000.0, 123456.789));
+        assert!(!r.floor("active_peak", 5000.0, 2000.0));
+        assert!(!r.all_floors_passed());
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"experiment\": \"E8\""), "{json}");
+        assert!(json.contains("\"mode\": \"smoke\""), "{json}");
+        assert!(json.contains("\"value\": 123456.789"), "{json}");
+        assert!(json.contains("\"value\": 2000"), "{json}");
+        assert!(json.contains("\"passed\": true"), "{json}");
+        assert!(json.contains("\"passed\": false"), "{json}");
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn write_respects_bench_out_dir() {
+        let dir = std::env::temp_dir().join(format!("simba-benchjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Env vars are process-global; restrict this test to one thread's
+        // brief window and restore afterwards.
+        let prev = std::env::var_os("BENCH_OUT_DIR");
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        let mut r = BenchReport::new("E99", BenchMode::Full);
+        r.metric("x", 1.0, "u");
+        let path = r.write().expect("write succeeds");
+        match prev {
+            Some(v) => std::env::set_var("BENCH_OUT_DIR", v),
+            None => std::env::remove_var("BENCH_OUT_DIR"),
+        }
+        assert_eq!(path, dir.join("BENCH_e99.json"));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"mode\": \"full\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,13 +1,27 @@
-//! Runs the E3H multi-user host soak and prints its tables.
+//! Runs the E3H multi-user host soak, prints its tables, and writes
+//! `BENCH_e3h.json` (see `EXPERIMENTS.md` for the schema).
 //!
-//! Usage: `exp_e3_host_soak [--users N] [--alerts M] [--ring R] [--seed S]`
+//! Usage: `exp_e3_host_soak [--smoke] [--users N] [--alerts M] [--ring R]
+//! [--seed S]`
+//!
+//! `--smoke` is the CI shape (20 users × 50 alerts) with the relaxed
+//! smoke throughput floor; the default full shape is 50 users × 200
+//! alerts with the recorded-number regression floor.
 
+use simba_bench::benchjson::BenchMode;
 use simba_bench::experiments::e3_host_soak::{run_with, SoakOptions};
 
 fn main() {
     let mut opts = SoakOptions::new(42);
+    let mut mode = BenchMode::Full;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
+        if flag == "--smoke" {
+            mode = BenchMode::Smoke;
+            opts.users = 20;
+            opts.alerts_per_user = 50;
+            continue;
+        }
         let value = it.next().and_then(|v| v.parse::<u64>().ok());
         match (flag.as_str(), value) {
             ("--users", Some(v)) => opts.users = v as usize,
@@ -15,11 +29,14 @@ fn main() {
             ("--ring", Some(v)) => opts.completed_ring = v as usize,
             ("--seed", Some(v)) => opts.seed = v,
             (other, _) => {
-                eprintln!("usage: exp_e3_host_soak [--users N] [--alerts M] [--ring R] [--seed S]");
+                eprintln!(
+                    "usage: exp_e3_host_soak [--smoke] [--users N] [--alerts M] [--ring R] \
+                     [--seed S]"
+                );
                 eprintln!("unknown or valueless flag: {other:?}");
                 std::process::exit(2);
             }
         }
     }
-    run_with(opts).print();
+    run_with(opts, mode).print();
 }

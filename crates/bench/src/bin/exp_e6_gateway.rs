@@ -1,22 +1,24 @@
-//! Runs the E6 gateway load experiment and prints its tables.
+//! Runs the E6 gateway load experiment, prints its tables, and writes
+//! `BENCH_e6.json` (see `EXPERIMENTS.md` for the schema).
 //!
 //! Usage: `exp_e6_gateway [--smoke] [--users N] [--connections C]
 //! [--alerts M] [--no-drops] [--no-loris]`
 //!
 //! `--smoke` is the CI shape (1 000 alerts over 2 connections, injected
-//! drops, no throughput floor); the default full shape drives 20 000
-//! alerts over 8 connections and asserts ≥ 10 000 accepted alerts/s.
+//! drops, relaxed smoke floor); the default full shape drives 20 000
+//! alerts over 8 connections and asserts >= 10 000 accepted alerts/s.
 
+use simba_bench::benchjson::BenchMode;
 use simba_bench::experiments::e6_gateway::{run_with, GatewayBenchOptions};
 
 fn main() {
     let mut opts = GatewayBenchOptions::full();
-    let mut smoke = false;
+    let mut mode = BenchMode::Full;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--smoke" => {
-                smoke = true;
+                mode = BenchMode::Smoke;
                 opts = GatewayBenchOptions::smoke();
             }
             "--no-drops" => opts.drop_every = None,
@@ -42,5 +44,5 @@ fn main() {
             }
         }
     }
-    run_with(opts, !smoke).print();
+    run_with(opts, mode).print();
 }

@@ -1,23 +1,25 @@
-//! Runs the E7 soft-state store experiment and prints its tables.
+//! Runs the E7 soft-state store experiment, prints its tables, and
+//! writes `BENCH_e7.json` (see `EXPERIMENTS.md` for the schema).
 //!
 //! Usage: `exp_e7_store [--smoke] [--writers N] [--facts M]
 //! [--subscribers S] [--seed K]`
 //!
-//! `--smoke` is the CI shape (8 writers × 2 000 facts, 4 subscribers, no
-//! throughput floor); the default full shape drives 50 writers × 10 000
-//! facts with 20 subscribers and asserts ≥ 100 000 combined ops/s.
+//! `--smoke` is the CI shape (8 writers × 2 000 facts, 4 subscribers,
+//! relaxed smoke floor); the default full shape drives 50 writers ×
+//! 10 000 facts with 20 subscribers and asserts ≥ 100 000 combined ops/s.
 
+use simba_bench::benchjson::BenchMode;
 use simba_bench::experiments::e7_store::{run_with, StoreBenchOptions};
 
 fn main() {
     let mut opts = StoreBenchOptions::full();
-    let mut smoke = false;
+    let mut mode = BenchMode::Full;
     let mut seed = 42u64;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--smoke" => {
-                smoke = true;
+                mode = BenchMode::Smoke;
                 opts = StoreBenchOptions::smoke();
             }
             "--writers" | "--facts" | "--subscribers" | "--seed" => {
@@ -42,5 +44,5 @@ fn main() {
             }
         }
     }
-    run_with(opts, seed, !smoke).print();
+    run_with(opts, seed, mode).print();
 }

@@ -1,0 +1,53 @@
+//! Runs the E8 million-user sharded host experiment and prints its
+//! tables; writes `BENCH_e8.json` (see `EXPERIMENTS.md` for the schema).
+//!
+//! Usage: `exp_e8_sharded [--smoke] [--users N] [--active A] [--waves W]
+//! [--shards S]`
+//!
+//! `--smoke` is the CI shape (2 k active of 20 k registered); the default
+//! full shape registers 1 000 000 users, drives 100 k active ones, and
+//! asserts the recorded single-core throughput floor (see
+//! `FULL_THROUGHPUT_FLOOR` for why the 10×-E3H design target is not
+//! asserted on one core).
+
+use simba_bench::benchjson::BenchMode;
+use simba_bench::experiments::e8_sharded::{run_with, E8Options};
+
+fn main() {
+    let mut opts = E8Options::full();
+    let mut mode = BenchMode::Full;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => {
+                mode = BenchMode::Smoke;
+                opts = E8Options::smoke();
+            }
+            "--users" | "--active" | "--waves" | "--shards" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("{flag} needs a number");
+                    std::process::exit(2);
+                };
+                match flag.as_str() {
+                    "--users" => opts.users = v,
+                    "--active" => opts.active = v,
+                    "--waves" => opts.waves = v,
+                    _ => opts.shards = v,
+                }
+            }
+            other => {
+                eprintln!(
+                    "usage: exp_e8_sharded [--smoke] [--users N] [--active A] [--waves W] \
+                     [--shards S]"
+                );
+                eprintln!("unknown flag: {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.active > opts.users || opts.active == 0 || opts.waves == 0 {
+        eprintln!("need 0 < --active <= --users and --waves >= 1");
+        std::process::exit(2);
+    }
+    run_with(opts, mode).print();
+}

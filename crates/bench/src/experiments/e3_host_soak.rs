@@ -11,6 +11,7 @@
 //! alongside (the virtual clock makes the traffic pattern reproducible;
 //! the wall cost is real scheduler + state-machine work).
 
+use crate::benchjson::{BenchMode, BenchReport};
 use crate::experiments::ExperimentOutput;
 use crate::report::Table;
 use simba_core::address::{Address, AddressBook, CommType};
@@ -364,9 +365,37 @@ pub fn measure(opts: SoakOptions) -> (SoakNumbers, Vec<Table>) {
     (numbers, vec![config, mix, bounds, perf])
 }
 
-/// Runs E3H at a custom scale and packages the result.
-pub fn run_with(opts: SoakOptions) -> ExperimentOutput {
+/// Regression floor for the full-scale soak (recorded ≈ 65 k alerts/s on
+/// the reference single core).
+pub const FULL_THROUGHPUT_FLOOR: f64 = 30_000.0;
+/// Regression floor for the CI smoke shape (`make soak`).
+pub const SMOKE_THROUGHPUT_FLOOR: f64 = 5_000.0;
+
+/// Runs E3H at a custom scale, writes `BENCH_e3h.json`, asserts the
+/// throughput floor, and packages the result.
+pub fn run_with(opts: SoakOptions, mode: BenchMode) -> ExperimentOutput {
     let (numbers, tables) = measure(opts);
+
+    let mut bench = BenchReport::new("E3H", mode);
+    bench
+        .metric("throughput", numbers.throughput, "alerts/s")
+        .metric("total_alerts", numbers.total_alerts as f64, "alerts")
+        .metric("users", numbers.users as f64, "users")
+        .metric("finished", numbers.finished as f64, "deliveries")
+        .metric("peak_in_flight", numbers.peak_in_flight as f64, "deliveries")
+        .metric("wall_secs", numbers.wall_secs, "s");
+    let floor = match mode {
+        BenchMode::Full => FULL_THROUGHPUT_FLOOR,
+        BenchMode::Smoke => SMOKE_THROUGHPUT_FLOOR,
+    };
+    bench.floor("throughput", floor, numbers.throughput);
+    bench.write();
+    assert!(
+        numbers.throughput >= floor,
+        "throughput floor: {:.0} alerts/s < {floor:.0}",
+        numbers.throughput
+    );
+
     ExperimentOutput {
         id: "E3H",
         title: "multi-user MabHost soak (delivery lifecycle retirement)",
@@ -387,7 +416,7 @@ pub fn run_with(opts: SoakOptions) -> ExperimentOutput {
 
 /// Runs E3H at full scale with the given seed.
 pub fn run(seed: u64) -> ExperimentOutput {
-    run_with(SoakOptions::new(seed))
+    run_with(SoakOptions::new(seed), BenchMode::Full)
 }
 
 #[cfg(test)]

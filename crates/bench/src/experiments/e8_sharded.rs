@@ -1,0 +1,412 @@
+//! E8 — million-user sharded host: registration at population scale,
+//! traffic on an active subset, hibernation bounding memory, group
+//! commit bounding log work.
+//!
+//! The tentpole claim (DESIGN.md §12): a deployment hosts *registered*
+//! users in the millions while only the *active* fraction costs memory
+//! and CPU. [`simba_runtime::ShardedHost`] multiplexes thousands of
+//! buddies per shard worker, appends every alert to a group-committed
+//! shard log, and hibernates idle buddies to compact snapshots. This
+//! experiment drives that architecture end to end:
+//!
+//! * register `users` (full scale: 1 000 000) — one bulk message per
+//!   shard, roster entries only, no buddy state;
+//! * drive `waves` rounds of alerts over the first `active` users
+//!   through the full §4.2.1 pipeline (log → ack → classify → route →
+//!   deliver → mark), acked within a 1 ms window;
+//! * assert the ledger: every alert logged, delivered, acked, marked,
+//!   with zero crashes and zero unrouted;
+//! * let the idle sweep park the whole active set and assert memory
+//!   tracks *activations*, not registrations.
+//!
+//! Wall-clock throughput is compared against E3H's task-per-user soak.
+//! On multi-core hardware the share-nothing shards are the scale-out
+//! lever (each worker owns its roster, wheel, and log; nothing is
+//! shared), but this repository's reference environment is a single
+//! core, where E3H's ~65 k alerts/s already saturates the CPU with the
+//! same §4.2.1 pipeline — so E8's honest single-core payoff is *memory
+//! bounded by active users* and *~500 log writes per fsync-equivalent
+//! commit*, at roughly E3H parity throughput. The asserted floor is a
+//! regression guard on that measured number, not the aspirational
+//! multi-core multiplier; `BENCH_e8.json` records the real value so the
+//! trajectory across PRs stays machine-readable.
+
+use crate::benchjson::{BenchMode, BenchReport};
+use crate::experiments::ExperimentOutput;
+use crate::report::Table;
+use simba_core::alert::IncomingAlert;
+use simba_core::subscription::UserId;
+use simba_core::Telemetry;
+use simba_runtime::{
+    Channels, ConfigFactory, SendOutcome, ShardedHost, ShardedHostConfig, ShardedSnapshot,
+};
+use simba_sim::{SimDuration, SimTime};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Experiment shape. [`E8Options::full`] is the recorded configuration;
+/// [`E8Options::smoke`] the CI shape (same code paths, reduced scale).
+#[derive(Debug, Clone, Copy)]
+pub struct E8Options {
+    /// Registered users (roster entries; memory is *not* proportional
+    /// to this).
+    pub users: usize,
+    /// Users that actually receive traffic (buddies built, memory *is*
+    /// proportional to this).
+    pub active: usize,
+    /// Alert waves over the active set; total alerts = active × waves.
+    pub waves: usize,
+    /// Shard workers multiplexing the fleet.
+    pub shards: usize,
+    /// Virtual idle threshold before the sweep parks a buddy.
+    pub hibernate_after: SimDuration,
+}
+
+impl E8Options {
+    /// Full scale: 1 M registered, 100 k active, 10 waves (1 M alerts).
+    pub fn full() -> Self {
+        E8Options {
+            users: 1_000_000,
+            active: 100_000,
+            waves: 10,
+            shards: 8,
+            hibernate_after: SimDuration::from_secs(30),
+        }
+    }
+
+    /// CI smoke: 20 k registered, 2 k active, 5 waves (10 k alerts).
+    pub fn smoke() -> Self {
+        E8Options {
+            users: 20_000,
+            active: 2_000,
+            waves: 5,
+            shards: 4,
+            hibernate_after: SimDuration::from_secs(30),
+        }
+    }
+
+    fn total_alerts(&self) -> u64 {
+        (self.active * self.waves) as u64
+    }
+}
+
+/// Measured headline numbers, exposed for regression tests.
+#[derive(Debug, Clone, Copy)]
+pub struct E8Numbers {
+    /// Registered users.
+    pub users: usize,
+    /// Users that received traffic.
+    pub active: usize,
+    /// Total alerts driven.
+    pub total_alerts: u64,
+    /// Deliveries confirmed by an ack (must equal the total).
+    pub acked: u64,
+    /// Highest concurrent live-buddy count sampled.
+    pub peak_active: usize,
+    /// Buddies parked by the idle sweep after the drain.
+    pub hibernated_final: u64,
+    /// Log appends (one per alert) and processed-marks.
+    pub log_appends: u64,
+    /// Group commits covering all appends + marks.
+    pub group_commits: u64,
+    /// Appends + marks amortized per fsync-equivalent commit.
+    pub writes_per_commit: f64,
+    /// Wall-clock seconds for register + drive + drain.
+    pub wall_secs: f64,
+    /// Alerts per wall-clock second.
+    pub throughput: f64,
+    /// Buddy crashes (must be zero).
+    pub crashes: u64,
+}
+
+/// Every IM send is accepted and acked 1 ms later — the cheapest honest
+/// full-pipeline outcome (ack timers still flow through the shard wheel).
+#[derive(Clone)]
+struct AckFast;
+
+impl Channels for AckFast {
+    fn send(&mut self, _comm_type: simba_core::CommType, _address: &str, _text: &str) -> SendOutcome {
+        SendOutcome::AcceptedWithAck(Duration::from_millis(1))
+    }
+}
+
+/// One shared profile shape per user, rebuilt on every activation (the
+/// factory is the rehydration path's config source).
+fn factory() -> ConfigFactory {
+    use simba_core::address::{Address, AddressBook, CommType};
+    use simba_core::classify::{Classifier, KeywordField};
+    use simba_core::mode::DeliveryMode;
+    use simba_core::rejuvenate::RejuvenationPolicy;
+    use simba_core::subscription::SubscriptionRegistry;
+
+    Arc::new(|user: &UserId| {
+        let mut classifier = Classifier::new();
+        classifier.accept_source("shard-gw", KeywordField::Body, "cfg");
+        classifier.map_keyword("Sensor", "Home");
+        let mut registry = SubscriptionRegistry::new();
+        let profile = registry.register_user(user.clone());
+        let mut book = AddressBook::new();
+        book.add(Address::new("IM", CommType::Im, format!("im:{}", user.0)))
+            .expect("fresh book");
+        book.add(Address::new("EM", CommType::Email, format!("{}@mail", user.0)))
+            .expect("fresh book");
+        profile.address_book = book;
+        profile.define_mode(DeliveryMode::im_then_email(
+            "Urgent",
+            "IM",
+            "EM",
+            SimDuration::from_secs(60),
+        ));
+        registry.subscribe("Home", user.clone(), "Urgent").expect("fresh subscription");
+        simba_core::MabConfig { classifier, registry, rejuvenation: RejuvenationPolicy::default() }
+    })
+}
+
+struct RawE8 {
+    final_snap: ShardedSnapshot,
+    peak_active: usize,
+}
+
+async fn drive(opts: E8Options) -> RawE8 {
+    let config = ShardedHostConfig {
+        shards: opts.shards,
+        hibernate_after: opts.hibernate_after,
+        ..ShardedHostConfig::default()
+    };
+    let (host, _notices) =
+        ShardedHost::new(AckFast, config, factory(), Telemetry::disabled()).expect("in-memory host");
+
+    // Population-scale registration: one bulk message per shard.
+    let users: Vec<UserId> = (0..opts.users).map(|i| UserId::new(format!("user{i:06}"))).collect();
+    let active: Vec<UserId> = users[..opts.active].to_vec();
+    host.register_many(users).await;
+
+    let total = opts.total_alerts();
+    let mut peak_active = 0usize;
+    for wave in 0..opts.waves {
+        let body = format!("Sensor wave {wave} ON");
+        for user in &active {
+            let alert = IncomingAlert::from_im("shard-gw", body.clone(), SimTime::ZERO);
+            assert!(host.submit_im(user, alert).await, "shard worker died mid-bench");
+        }
+        // 5 ms virtual: the 1 ms ack timers of this wave fire and retire
+        // before the next wave lands.
+        tokio::time::sleep(Duration::from_millis(5)).await;
+    }
+
+    // Drain: every delivery acked, nothing in flight. Sampled sparsely —
+    // a snapshot walks the full roster.
+    let mut drained = None;
+    for _ in 0..120 {
+        let snap = host.snapshot().await;
+        peak_active = peak_active.max(snap.active);
+        if snap.acked == total && snap.in_flight == 0 {
+            drained = Some(snap);
+            break;
+        }
+        tokio::time::sleep(Duration::from_millis(50)).await;
+    }
+    let drained = drained.expect("deliveries failed to drain: lifecycle leak");
+    assert_eq!(drained.stats.received_im, total, "every alert entered the pipeline");
+    assert_eq!(drained.unrouted, 0, "every user was registered");
+    assert_eq!(drained.crashes, 0, "no buddy may crash in the clean run");
+
+    // Let the idle sweep park the whole active set: memory tracks
+    // activations, not registrations.
+    tokio::time::sleep(Duration::from_secs(90)).await;
+    let final_snap = host.shutdown().await;
+    assert_eq!(final_snap.active, 0, "idle buddies must all hibernate");
+    assert_eq!(final_snap.hibernated, opts.active, "every activation parked");
+    assert_eq!(final_snap.log.appends, total, "one log append per alert");
+    assert_eq!(final_snap.log.marks, total, "one processed-mark per alert");
+    RawE8 { final_snap, peak_active }
+}
+
+/// Runs E8 and returns the headline numbers plus tables.
+pub fn measure(opts: E8Options) -> (E8Numbers, Vec<Table>) {
+    let wall = std::time::Instant::now();
+    let raw = tokio::runtime::block_on_test(true, async move { drive(opts).await });
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let total = opts.total_alerts();
+    let commits = raw.final_snap.log.group_commits.max(1);
+
+    let numbers = E8Numbers {
+        users: opts.users,
+        active: opts.active,
+        total_alerts: total,
+        acked: raw.final_snap.acked,
+        peak_active: raw.peak_active,
+        hibernated_final: raw.final_snap.hibernated as u64,
+        log_appends: raw.final_snap.log.appends,
+        group_commits: raw.final_snap.log.group_commits,
+        writes_per_commit: (raw.final_snap.log.appends + raw.final_snap.log.marks) as f64
+            / commits as f64,
+        wall_secs,
+        throughput: if wall_secs > 0.0 { total as f64 / wall_secs } else { f64::INFINITY },
+        crashes: raw.final_snap.crashes,
+    };
+
+    let mut config = Table::new(
+        "E8: sharded host configuration",
+        &["registered", "active", "waves", "total alerts", "shards"],
+    );
+    config.row(&[
+        numbers.users.to_string(),
+        numbers.active.to_string(),
+        opts.waves.to_string(),
+        total.to_string(),
+        opts.shards.to_string(),
+    ]);
+
+    let mut ledger = Table::new(
+        "E8: delivery ledger (all asserted)",
+        &["alerts", "acked", "log appends", "marks", "crashes", "unrouted"],
+    );
+    ledger.row(&[
+        total.to_string(),
+        numbers.acked.to_string(),
+        numbers.log_appends.to_string(),
+        raw.final_snap.log.marks.to_string(),
+        numbers.crashes.to_string(),
+        raw.final_snap.unrouted.to_string(),
+    ]);
+
+    let mut bounded = Table::new(
+        "E8: memory tracks active users, not registered",
+        &["registered", "peak live buddies", "hibernated after sweep", "live floor"],
+    );
+    bounded.row(&[
+        numbers.users.to_string(),
+        numbers.peak_active.to_string(),
+        numbers.hibernated_final.to_string(),
+        "0".into(),
+    ]);
+
+    let mut log = Table::new(
+        "E8: group commit amortization",
+        &["appends + marks", "group commits", "writes/commit", "segments rotated"],
+    );
+    log.row(&[
+        (numbers.log_appends + raw.final_snap.log.marks).to_string(),
+        numbers.group_commits.to_string(),
+        format!("{:.1}", numbers.writes_per_commit),
+        raw.final_snap.log.segments_rotated.to_string(),
+    ]);
+
+    let mut perf = Table::new(
+        "E8: wall-clock throughput",
+        &["alerts", "wall seconds", "alerts/s"],
+    );
+    perf.row(&[
+        total.to_string(),
+        format!("{:.2}", numbers.wall_secs),
+        format!("{:.0}", numbers.throughput),
+    ]);
+
+    (numbers, vec![config, ledger, bounded, log, perf])
+}
+
+/// Floor thresholds (alerts/s), regression guards on the recorded
+/// single-core numbers (full ≈ 55 k, smoke ≈ 110 k on the reference
+/// machine), set low enough to tolerate run-to-run variance and a loaded
+/// CI box. The design target of 10× E3H is a multi-core property (one
+/// core per share-nothing shard); a single core cannot express it, so it
+/// is documented in `EXPERIMENTS.md` rather than asserted here.
+pub const FULL_THROUGHPUT_FLOOR: f64 = 30_000.0;
+/// See [`FULL_THROUGHPUT_FLOOR`].
+pub const SMOKE_THROUGHPUT_FLOOR: f64 = 20_000.0;
+
+/// Runs E8 at the given shape, writes `BENCH_e8.json`, asserts floors.
+pub fn run_with(opts: E8Options, mode: BenchMode) -> ExperimentOutput {
+    let (numbers, tables) = measure(opts);
+
+    let mut bench = BenchReport::new("E8", mode);
+    bench
+        .metric("throughput", numbers.throughput, "alerts/s")
+        .metric("total_alerts", numbers.total_alerts as f64, "alerts")
+        .metric("registered_users", numbers.users as f64, "users")
+        .metric("active_users", numbers.active as f64, "users")
+        .metric("peak_live_buddies", numbers.peak_active as f64, "buddies")
+        .metric("hibernated_final", numbers.hibernated_final as f64, "buddies")
+        .metric("writes_per_commit", numbers.writes_per_commit, "writes")
+        .metric("wall_secs", numbers.wall_secs, "s");
+    let floor = match mode {
+        BenchMode::Full => FULL_THROUGHPUT_FLOOR,
+        BenchMode::Smoke => SMOKE_THROUGHPUT_FLOOR,
+    };
+    bench.floor("throughput", floor, numbers.throughput);
+    // The structural floor: live buddies never exceed the active subset.
+    bench.floor(
+        "peak_live_buddies_bounded",
+        0.0,
+        (numbers.active as f64) - (numbers.peak_active as f64),
+    );
+    bench.write();
+    assert!(
+        numbers.throughput >= floor,
+        "throughput floor: {:.0} alerts/s < {floor:.0}",
+        numbers.throughput
+    );
+    assert!(
+        numbers.peak_active <= numbers.active,
+        "live buddies exceeded the active subset: {} > {}",
+        numbers.peak_active,
+        numbers.active
+    );
+
+    ExperimentOutput {
+        id: "E8",
+        title: "million-user sharded host (hibernation + group-commit shard logs)",
+        paper_claim: "§3.3/§4.2.1: per-user agents at deployment scale with pessimistic logging — \
+                      reproduced as shard workers multiplexing hibernating buddies",
+        tables,
+        notes: vec![
+            format!(
+                "{} alerts across {} active of {} registered users at {:.0} alerts/s \
+                 ({:.1}× E3H's recorded 65 k/s task-per-user soak, on one core; \
+                 shards are share-nothing, so cores scale the multiplier)",
+                numbers.total_alerts,
+                numbers.active,
+                numbers.users,
+                numbers.throughput,
+                numbers.throughput / 65_000.0
+            ),
+            format!(
+                "group commit amortized {:.1} log writes per commit; every buddy parked \
+                 back to a snapshot after the idle sweep (live floor 0)",
+                numbers.writes_per_commit
+            ),
+        ],
+    }
+}
+
+/// Runs E8 at full scale (the recorded shape).
+pub fn run(_seed: u64) -> ExperimentOutput {
+    run_with(E8Options::full(), BenchMode::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_smoke_ledger_balances_and_parks() {
+        // Tiny shape; the ledger + hibernation assertions run inside
+        // drive(). No throughput floor at test scale.
+        let opts = E8Options {
+            users: 2_000,
+            active: 200,
+            waves: 3,
+            shards: 2,
+            hibernate_after: SimDuration::from_secs(30),
+        };
+        let (n, _) = measure(opts);
+        assert_eq!(n.total_alerts, 600);
+        assert_eq!(n.acked, 600);
+        assert_eq!(n.crashes, 0);
+        assert_eq!(n.hibernated_final, 200);
+        assert!(n.peak_active <= 200);
+        assert!(n.peak_active > 0, "the active subset must actually build buddies");
+        assert!(n.writes_per_commit > 1.0, "group commit must amortize writes");
+    }
+}

@@ -16,6 +16,7 @@ pub mod e4_wish;
 pub mod e5_faultlog;
 pub mod e6_gateway;
 pub mod e7_store;
+pub mod e8_sharded;
 
 use crate::report::Table;
 
@@ -75,6 +76,7 @@ pub fn run_all(seed: u64) -> Vec<ExperimentOutput> {
         e5_faultlog::run(seed),
         e6_gateway::run(seed),
         e7_store::run(seed),
+        e8_sharded::run(seed),
         a1_strategies::run(seed),
         a2_wal::run(seed),
         a3_watchdog::run(seed),

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchjson;
 pub mod experiments;
 pub mod faultlog;
 pub mod harness;

@@ -519,12 +519,69 @@ fn telemetry_tail(path: &str) -> Outcome {
     Outcome::ok(out)
 }
 
-/// `host [--users N] [--alerts M] [--ring R] [--seed S]` — run the
-/// multi-user MabHost soak interactively and report the outcome mix,
-/// bounded-state peaks/floors, and wall-clock throughput.
+/// `host --sharded [--users N] [--active A] [--waves W] [--shards S]` —
+/// run the sharded/hibernating host (the E8 pipeline) at an interactive
+/// scale and report roster vs live-buddy bounds, group-commit
+/// amortization, and throughput.
+fn host_sharded(args: &[String]) -> Outcome {
+    use simba_bench::experiments::e8_sharded::{measure, E8Options};
+
+    // Interactive default: a thousandth of the full E8 shape.
+    let mut opts = E8Options::smoke();
+    opts.users = 1_000;
+    opts.active = 100;
+    opts.waves = 5;
+    opts.shards = 4;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let field = match flag.as_str() {
+            "--users" => &mut opts.users,
+            "--active" => &mut opts.active,
+            "--waves" => &mut opts.waves,
+            "--shards" => &mut opts.shards,
+            other => return Outcome::usage(&format!("unknown flag {other:?}")),
+        };
+        match it.next().and_then(|v| v.parse().ok()) {
+            Some(v) => *field = v,
+            None => return Outcome::usage(&format!("{flag} needs a number")),
+        }
+    }
+    if opts.active == 0 || opts.active > opts.users || opts.waves == 0 || opts.shards == 0 {
+        return Outcome::usage("need 0 < --active <= --users, --waves >= 1, --shards >= 1");
+    }
+    let (numbers, tables) = measure(opts);
+    let mut out = format!(
+        "sharded host: {} registered, {} active x {} waves over {} shards\n\n",
+        opts.users, opts.active, opts.waves, opts.shards
+    );
+    for t in &tables {
+        out.push_str(&t.to_text());
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "peak live buddies {} (of {} registered); {} hibernated after the sweep",
+        numbers.peak_active, numbers.users, numbers.hibernated_final
+    );
+    let _ = writeln!(
+        out,
+        "{} alerts acked at {:.0} alerts/s; {:.0} log writes per group commit",
+        numbers.acked, numbers.throughput, numbers.writes_per_commit
+    );
+    Outcome::ok(out)
+}
+
+/// `host [--sharded] [--users N] [--alerts M] [--ring R] [--seed S]` —
+/// run the multi-user MabHost soak interactively and report the outcome
+/// mix, bounded-state peaks/floors, and wall-clock throughput. With
+/// `--sharded`, run the sharded/hibernating host instead (see
+/// [`host_sharded`] for its flags).
 pub fn host(args: &[String]) -> Outcome {
     use simba_bench::experiments::e3_host_soak::{measure, SoakOptions};
 
+    if args.first().is_some_and(|a| a == "--sharded") {
+        return host_sharded(&args[1..]);
+    }
     let mut opts = SoakOptions::new(42);
     // Interactive default: a tenth of the full soak, still mixed-outcome.
     opts.users = 10;
@@ -1230,6 +1287,22 @@ mod tests {
             "{}",
             out.output
         );
+    }
+
+    #[test]
+    fn host_sharded_reports_bounds_and_commit_amortization() {
+        let out = host(&strings(&["--sharded", "--users", "200", "--active", "20", "--waves", "3"]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(
+            out.output.contains("sharded host: 200 registered, 20 active x 3 waves"),
+            "{}",
+            out.output
+        );
+        assert!(out.output.contains("log writes per group commit"), "{}", out.output);
+        assert!(out.output.contains("20 hibernated after the sweep"), "{}", out.output);
+        assert_eq!(host(&strings(&["--sharded", "--active", "0"])).code, 2);
+        assert_eq!(host(&strings(&["--sharded", "--waves", "none"])).code, 2);
+        assert_eq!(host(&strings(&["--sharded", "--frobnicate"])).code, 2);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   summary tables;
 //! * `host` — soak a multi-user `MabHost` fleet with mixed
 //!   ack/timeout/failure outcomes and report the outcome mix,
-//!   bounded-state peaks, routing totals, and throughput;
+//!   bounded-state peaks, routing totals, and throughput; with
+//!   `--sharded`, run the sharded/hibernating host and report roster vs
+//!   live-buddy bounds and group-commit amortization instead;
 //! * `gateway serve|send|probe` — run the framed-TCP ingestion gateway
 //!   in front of a live host fleet, submit alerts to one, or check its
 //!   health counters;
@@ -74,6 +76,8 @@ USAGE:
   simba-cli demo pipeline  [--seed <n>] [--alerts <n>]
   simba-cli demo faultlog  [--seed <n>] [--fixes]
   simba-cli host [--users <n>] [--alerts <n>] [--ring <n>] [--seed <n>]
+  simba-cli host --sharded [--users <n>] [--active <n>] [--waves <n>]
+            [--shards <n>]
   simba-cli gateway serve [--addr <a>] [--users <n>] [--duration-ms <n>]
             [--workers <n>] [--queue <n>] [--rate <alerts/s>] [--source <s>]
   simba-cli gateway send --addr <a> [--user <u>] [--body <text>]

@@ -22,6 +22,7 @@ use crate::alert::{Alert, AlertId};
 use crate::mode::{AckPolicy, DeliveryMode};
 use simba_sim::{SimDuration, SimTime};
 use simba_telemetry::{Event, Telemetry};
+use std::rc::Rc;
 
 /// Identifies one send attempt within a delivery process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -193,7 +194,7 @@ pub struct AttemptRecord {
 #[derive(Debug)]
 pub struct DeliveryProcess {
     alert: Alert,
-    mode: DeliveryMode,
+    mode: Rc<DeliveryMode>,
     block_idx: usize,
     status: DeliveryStatus,
     attempts: Vec<AttemptRecord>,
@@ -211,7 +212,12 @@ pub struct DeliveryProcess {
 impl DeliveryProcess {
     /// Creates the process and fires the first block. Returns the process
     /// plus the initial commands.
-    pub fn start(alert: Alert, mode: DeliveryMode, book: &AddressBook, now: SimTime) -> (Self, Vec<DeliveryCommand>) {
+    pub fn start(
+        alert: Alert,
+        mode: impl Into<Rc<DeliveryMode>>,
+        book: &AddressBook,
+        now: SimTime,
+    ) -> (Self, Vec<DeliveryCommand>) {
         DeliveryProcess::start_observed(alert, mode, book, now, Telemetry::disabled())
     }
 
@@ -220,14 +226,14 @@ impl DeliveryProcess {
     /// `telemetry` as the state machine runs.
     pub fn start_observed(
         alert: Alert,
-        mode: DeliveryMode,
+        mode: impl Into<Rc<DeliveryMode>>,
         book: &AddressBook,
         now: SimTime,
         telemetry: Telemetry,
     ) -> (Self, Vec<DeliveryCommand>) {
         let mut p = DeliveryProcess {
             alert,
-            mode,
+            mode: mode.into(),
             block_idx: 0,
             status: DeliveryStatus::InProgress,
             attempts: Vec::new(),
@@ -433,8 +439,11 @@ impl DeliveryProcess {
         self.current_timer = None;
 
         let mut idx = idx;
+        // A cheap handle on the (shared) mode so the block loop below can
+        // mutate `self` while iterating the block's actions.
+        let mode = Rc::clone(&self.mode);
         loop {
-            let Some(block) = self.mode.blocks().get(idx) else {
+            let Some(block) = mode.blocks().get(idx) else {
                 self.status = DeliveryStatus::Exhausted { at: now };
                 if self.telemetry.enabled() {
                     self.telemetry.metrics().counter("delivery.exhausted").incr();
@@ -445,14 +454,14 @@ impl DeliveryProcess {
             self.block_idx = idx;
 
             // "Only actions that map to enabled addresses at that time are
-            // performed."
-            let enabled: Vec<_> = block
+            // performed." Borrowed straight out of the book — cloning the
+            // whole enabled set per block showed up in the alert hot path.
+            let enabled = block
                 .actions
                 .iter()
                 .filter_map(|name| book.get(name).filter(|a| a.enabled))
-                .cloned()
-                .collect();
-            if enabled.is_empty() {
+                .count();
+            if enabled == 0 {
                 // Disabled/unknown block: automatic immediate fallback.
                 if self.telemetry.enabled() {
                     self.telemetry.metrics().counter("delivery.block_skipped").incr();
@@ -464,16 +473,20 @@ impl DeliveryProcess {
             }
             if self.telemetry.enabled() {
                 self.telemetry.metrics().counter("delivery.block_entered").incr();
-                self.telemetry.metrics().counter("delivery.sends").add(enabled.len() as u64);
+                self.telemetry.metrics().counter("delivery.sends").add(enabled as u64);
                 self.telemetry.emit(
                     self.event("delivery.block_entered", now)
                         .with("block", idx)
-                        .with("actions", enabled.len())
+                        .with("actions", enabled)
                         .with("fallback", idx > 0),
                 );
             }
 
-            for addr in enabled {
+            for addr in block
+                .actions
+                .iter()
+                .filter_map(|name| book.get(name).filter(|a| a.enabled))
+            {
                 let attempt = AttemptId(self.next_attempt);
                 self.next_attempt += 1;
                 self.current.push(attempt);
@@ -488,8 +501,8 @@ impl DeliveryProcess {
                 cmds.push(DeliveryCommand::Send {
                     attempt,
                     comm_type: addr.comm_type,
-                    address_name: addr.friendly_name,
-                    address_value: addr.value,
+                    address_name: addr.friendly_name.clone(),
+                    address_value: addr.value.clone(),
                     alert: self.alert.id,
                     text: self.alert.text.clone(),
                 });

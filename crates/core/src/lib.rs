@@ -38,6 +38,8 @@ pub mod mode;
 pub mod profile_xml;
 pub mod rejuvenate;
 pub mod routing;
+pub mod shardlog;
+pub mod snapshot;
 pub mod stabilize;
 pub mod subscription;
 pub mod wal;
@@ -55,6 +57,8 @@ pub use mode::{AckPolicy, Block, DeliveryMode};
 pub use profile_xml::{registry_from_xml, registry_to_xml, RegistryXmlError};
 pub use rejuvenate::{RejuvenationPolicy, RejuvenationTrigger};
 pub use routing::{apply_routing, ModeSelector, PresenceHint, RoutingContext};
+pub use shardlog::{ShardLog, ShardLogConfig, ShardLogHandle, ShardLogStats, UserShardWal};
+pub use snapshot::{BuddySnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use subscription::{Subscription, SubscriptionRegistry, UserId};
 pub use wal::{FileWal, InMemoryWal, WalError, WalRecord, WriteAheadLog};
 

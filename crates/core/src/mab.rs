@@ -13,15 +13,18 @@
 //! tests exercise "MyAlertBuddy may crash or get terminated due to some
 //! anomaly" at arbitrary moments.
 
+use crate::address::AddressBook;
 use crate::alert::{Alert, AlertId, IncomingAlert};
 use crate::classify::Classifier;
 use crate::delivery::{AttemptId, DeliveryCommand, DeliveryEvent, DeliveryProcess, DeliveryStatus};
 use crate::rejuvenate::{RejuvenationPolicy, RejuvenationTrigger};
+use crate::snapshot::BuddySnapshot;
 use crate::subscription::{SubscriptionRegistry, UserId};
 use crate::wal::{WalRecord, WriteAheadLog};
 use simba_sim::{SimDuration, SimTime};
 use simba_telemetry::{Event, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
 
 /// Default capacity of the completed-delivery ring.
 pub const DEFAULT_COMPLETED_CAP: usize = 256;
@@ -402,6 +405,44 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
         out
     }
 
+    /// Whether the buddy can hibernate: alive, no tracked deliveries, no
+    /// unprocessed log records. Everything else it holds is counters.
+    pub fn is_idle(&self) -> bool {
+        !self.crashed && self.deliveries.is_empty() && !self.wal.has_unprocessed()
+    }
+
+    /// Captures the compact hibernation snapshot, or `None` when the
+    /// buddy is not [idle](MyAlertBuddy::is_idle). `user` tags the
+    /// snapshot with its owner (checked again at rehydration). The caller
+    /// drops the buddy afterwards — [`MyAlertBuddy::into_wal`] first if
+    /// the log must outlive it.
+    pub fn hibernate(&self, user: &UserId, _now: SimTime) -> Option<BuddySnapshot> {
+        if !self.is_idle() {
+            return None;
+        }
+        Some(BuddySnapshot {
+            user: user.clone(),
+            stats: self.stats,
+            next_delivery: self.next_delivery,
+            next_alert: self.next_alert,
+            last_progress_at: self.last_progress_at,
+        })
+    }
+
+    /// Rebuilds a buddy from a hibernation snapshot: counters and id
+    /// watermarks resume where hibernation left them, so stats survive
+    /// any number of hibernate/rehydrate cycles and delivery/alert ids
+    /// are never reused. Configuration is rebuilt by the caller (it is
+    /// derivable state, deliberately not serialized).
+    pub fn rehydrate(config: MabConfig, wal: W, snapshot: &BuddySnapshot, now: SimTime) -> Self {
+        let mut buddy = MyAlertBuddy::new(config, wal, now);
+        buddy.stats = snapshot.stats;
+        buddy.next_delivery = snapshot.next_delivery;
+        buddy.next_alert = snapshot.next_alert;
+        buddy.last_progress_at = snapshot.last_progress_at.max(SimTime::ZERO);
+        buddy
+    }
+
     /// Replays unprocessed log records (the restart protocol). Returns the
     /// commands to execute; acks are *not* re-sent.
     pub fn recover(&mut self, now: SimTime) -> Vec<MabCommand> {
@@ -444,14 +485,17 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
             }
             MabEvent::Delivery { id, event } => {
                 if let Some((user, process)) = self.deliveries.get_mut(&id) {
+                    // Borrow the profile's book directly (`registry` and
+                    // `deliveries` are disjoint fields); cloning it per
+                    // delivery event dominated the hot path.
+                    let empty = AddressBook::default();
                     let book = self
                         .config
                         .registry
                         .user(user)
-                        .map(|p| p.address_book.clone())
-                        .unwrap_or_default();
-                    let user = user.clone();
-                    for command in process.handle(event, &book, now) {
+                        .map(|p| &p.address_book)
+                        .unwrap_or(&empty);
+                    for command in process.handle(event, book, now) {
                         cmds.push(MabCommand::Channel {
                             delivery: id,
                             user: user.clone(),
@@ -543,6 +587,7 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
             received_at: now,
             alert,
             processed: false,
+            user: None,
         };
         self.route_logged(record, now, cmds);
     }
@@ -607,7 +652,7 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
                     let Some(profile) = self.config.registry.user(&user) else {
                         continue;
                     };
-                    let Some(mode) = profile.mode(&mode_name) else {
+                    let Some(mode) = profile.mode_shared(&mode_name) else {
                         continue;
                     };
                     // Presence-aware mode selection: live soft-state facts
@@ -616,7 +661,7 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
                     let mode = match &self.mode_selector {
                         Some(selector) => {
                             let ctx = selector.context(&user, now);
-                            match crate::routing::apply_routing(mode, &profile.address_book, &ctx)
+                            match crate::routing::apply_routing(&mode, &profile.address_book, &ctx)
                             {
                                 Some(adjusted) => {
                                     self.stats.mode_overridden += 1;
@@ -637,12 +682,12 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
                                                 .with("unhealthy", ctx.unhealthy.len()),
                                         );
                                     }
-                                    adjusted
+                                    Rc::new(adjusted)
                                 }
-                                None => mode.clone(),
+                                None => mode,
                             }
                         }
-                        None => mode.clone(),
+                        None => mode,
                     };
                     let alert_out = Alert {
                         id: AlertId(self.next_alert),

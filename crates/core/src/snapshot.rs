@@ -1,0 +1,329 @@
+//! Hibernation snapshots: the compact, durable form of an *idle*
+//! MyAlertBuddy.
+//!
+//! A million registered users cannot each keep a live buddy resident —
+//! the sharded host (`simba-runtime`) hibernates buddies that have no
+//! in-flight deliveries and no unprocessed log records, keeping only a
+//! [`BuddySnapshot`] (a few dozen bytes) until the next routed alert or
+//! replay demand rehydrates them. The snapshot carries exactly the state
+//! that must survive the round trip: running totals and the monotonic
+//! id watermarks (delivery/alert ids are never reused, even across
+//! hibernate/rehydrate cycles).
+//!
+//! The encoding is versioned and CRC-guarded. Decoding a corrupt or
+//! foreign-version snapshot fails loudly ([`SnapshotError`]) so the host
+//! can fall back to the §4.2.1 recovery path: start a fresh buddy and
+//! replay the shard log. Nothing a snapshot holds is required for
+//! *correctness* — alerts live in the write-ahead log — so losing one
+//! costs counters, never deliveries.
+
+use crate::mab::MabStats;
+use crate::subscription::UserId;
+use simba_sim::SimTime;
+
+/// Current encoding version. Bump on any layout change; decoders reject
+/// versions they do not know instead of guessing.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// The 4-byte magic prefix of every encoded snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SBSN";
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte string ended before the declared content did.
+    Truncated,
+    /// The magic prefix is wrong — this is not a snapshot at all.
+    BadMagic,
+    /// The version is not one this build can decode.
+    BadVersion(
+        /// The version found.
+        u16,
+    ),
+    /// The checksum did not match: the payload was damaged at rest.
+    BadCrc {
+        /// CRC stored in the snapshot.
+        stored: u32,
+        /// CRC computed over the payload actually read.
+        computed: u32,
+    },
+    /// A field inside the payload was malformed.
+    Malformed(
+        /// Which field.
+        &'static str,
+    ),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "snapshot magic mismatch"),
+            SnapshotError::BadVersion(v) => write!(f, "snapshot version {v} unsupported"),
+            SnapshotError::BadCrc { stored, computed } => {
+                write!(f, "snapshot crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            SnapshotError::Malformed(field) => write!(f, "snapshot field malformed: {field}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The serializable state of an idle buddy.
+///
+/// Captured by [`crate::MyAlertBuddy::hibernate`] and restored by
+/// [`crate::MyAlertBuddy::rehydrate`]. "Idle" means no tracked
+/// deliveries and no unprocessed log records, so delivery state never
+/// needs to be encoded — only counters and watermarks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuddySnapshot {
+    /// The owning user (integrity check at rehydration: a snapshot routed
+    /// to the wrong slot is rejected like a corrupt one).
+    pub user: UserId,
+    /// Running totals at hibernation; rehydration resumes them so
+    /// fleet-level accounting survives any number of hibernation cycles.
+    pub stats: MabStats,
+    /// The delivery-id watermark (ids below this are burned).
+    pub next_delivery: u64,
+    /// The outbound alert-id watermark.
+    pub next_alert: u64,
+    /// When the buddy last made pipeline progress.
+    pub last_progress_at: SimTime,
+}
+
+impl BuddySnapshot {
+    /// Serializes to the versioned, CRC-trailed wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let user = self.user.0.as_bytes();
+        let mut out = Vec::with_capacity(4 + 2 + 4 + user.len() + 14 * 8 + 4);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(user.len() as u32).to_le_bytes());
+        out.extend_from_slice(user);
+        for v in self.counter_words() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and verifies an encoded snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any structural or checksum problem is reported as a
+    /// [`SnapshotError`]; the caller should treat every variant the same
+    /// way — discard the snapshot and recover from the log.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 4 + 2 + 4 + 4 {
+            return Err(SnapshotError::Truncated);
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(SnapshotError::BadCrc { stored, computed });
+        }
+        let mut r = Reader { bytes: body, pos: 0 };
+        if r.take(4)? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u16::from_le_bytes(r.take(2)?.try_into().map_err(|_| SnapshotError::Truncated)?);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let user_len = u32::from_le_bytes(r.take(4)?.try_into().map_err(|_| SnapshotError::Truncated)?) as usize;
+        let user = std::str::from_utf8(r.take(user_len)?)
+            .map_err(|_| SnapshotError::Malformed("user"))?
+            .to_string();
+        let mut words = [0u64; 14];
+        for w in &mut words {
+            *w = u64::from_le_bytes(r.take(8)?.try_into().map_err(|_| SnapshotError::Truncated)?);
+        }
+        if r.pos != body.len() {
+            return Err(SnapshotError::Malformed("trailing bytes"));
+        }
+        Ok(BuddySnapshot {
+            user: UserId(user),
+            stats: MabStats {
+                received_im: words[0],
+                received_email: words[1],
+                acked: words[2],
+                rejected: words[3],
+                routed: words[4],
+                unsubscribed: words[5],
+                deliveries_started: words[6],
+                replayed: words[7],
+                remote_commands: words[8],
+                retired: words[9],
+                mode_overridden: words[10],
+            },
+            next_delivery: words[11],
+            next_alert: words[12],
+            last_progress_at: SimTime::from_millis(words[13]),
+        })
+    }
+
+    /// The fixed-width payload words, in encoding order.
+    fn counter_words(&self) -> [u64; 14] {
+        let s = &self.stats;
+        [
+            s.received_im,
+            s.received_email,
+            s.acked,
+            s.rejected,
+            s.routed,
+            s.unsubscribed,
+            s.deliveries_started,
+            s.replayed,
+            s.remote_commands,
+            s.retired,
+            s.mode_overridden,
+            self.next_delivery,
+            self.next_alert,
+            self.last_progress_at.as_millis(),
+        ]
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> BuddySnapshot {
+        BuddySnapshot {
+            user: UserId::new("alice"),
+            stats: MabStats {
+                received_im: 10,
+                received_email: 2,
+                acked: 10,
+                rejected: 1,
+                routed: 9,
+                unsubscribed: 2,
+                deliveries_started: 9,
+                replayed: 3,
+                remote_commands: 0,
+                retired: 9,
+                mode_overridden: 4,
+            },
+            next_delivery: 9,
+            next_alert: 9,
+            last_progress_at: SimTime::from_secs(1234),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let snap = snapshot();
+        let bytes = snap.encode();
+        assert_eq!(BuddySnapshot::decode(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let mut bytes = snapshot().encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            BuddySnapshot::decode(&bytes),
+            Err(SnapshotError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = snapshot().encode();
+        for cut in [0, 3, 9, bytes.len() - 5] {
+            let err = BuddySnapshot::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::BadCrc { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let snap = snapshot();
+        let mut bytes = snap.encode();
+        // Rewrite the version field and re-seal the CRC so only the
+        // version check can object.
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert_eq!(
+            BuddySnapshot::decode(&bytes),
+            Err(SnapshotError::BadVersion(0xFFFF))
+        );
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut bytes = snapshot().encode();
+        bytes[0] = b'X';
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert_eq!(BuddySnapshot::decode(&bytes), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn empty_input_is_truncated_not_panic() {
+        assert_eq!(BuddySnapshot::decode(&[]), Err(SnapshotError::Truncated));
+    }
+}

@@ -12,6 +12,7 @@ use crate::address::AddressBook;
 use crate::mode::DeliveryMode;
 use simba_sim::SimTime;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// A user identifier.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -110,18 +111,26 @@ impl std::error::Error for SubscriptionError {}
 pub struct UserProfile {
     /// The user's addresses.
     pub address_book: AddressBook,
-    modes: BTreeMap<String, DeliveryMode>,
+    /// Shared so a routed alert hands its [`DeliveryMode`] to the delivery
+    /// process without a deep clone (the alert hot path).
+    modes: BTreeMap<String, Rc<DeliveryMode>>,
 }
 
 impl UserProfile {
     /// Registers (or replaces) a delivery mode under its name.
     pub fn define_mode(&mut self, mode: DeliveryMode) {
-        self.modes.insert(mode.name.clone(), mode);
+        self.modes.insert(mode.name.clone(), Rc::new(mode));
     }
 
     /// Looks a mode up by name.
     pub fn mode(&self, name: &str) -> Option<&DeliveryMode> {
-        self.modes.get(name)
+        self.modes.get(name).map(|m| &**m)
+    }
+
+    /// Like [`UserProfile::mode`], but returning the shared handle — the
+    /// cheap way to start a delivery with this mode.
+    pub fn mode_shared(&self, name: &str) -> Option<Rc<DeliveryMode>> {
+        self.modes.get(name).cloned()
     }
 
     /// Names of all defined modes.

@@ -13,6 +13,7 @@
 //! duplicate, which timestamp dedup discards at the user).
 
 use crate::alert::{IncomingAlert, Urgency};
+use crate::subscription::UserId;
 use simba_sim::SimTime;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -30,6 +31,10 @@ pub struct WalRecord {
     pub alert: IncomingAlert,
     /// Whether routing completed.
     pub processed: bool,
+    /// Which buddy the record belongs to. Per-user logs leave this `None`
+    /// (the file itself scopes the owner); shard logs multiplex many
+    /// buddies into one file and tag every record with its owner.
+    pub user: Option<UserId>,
 }
 
 /// Errors from a write-ahead log.
@@ -90,6 +95,13 @@ pub trait WriteAheadLog {
     /// set.
     fn unprocessed(&self) -> Vec<WalRecord>;
 
+    /// Whether any record is still unprocessed. The hibernation sweep
+    /// calls this on every idle candidate, so implementations should
+    /// answer without building the full replay set.
+    fn has_unprocessed(&self) -> bool {
+        !self.unprocessed().is_empty()
+    }
+
     /// Total records in the log.
     fn len(&self) -> usize;
 
@@ -125,6 +137,7 @@ impl WriteAheadLog for InMemoryWal {
                 received_at,
                 alert: alert.clone(),
                 processed: false,
+                user: None,
             },
         );
         Ok(id)
@@ -142,6 +155,10 @@ impl WriteAheadLog for InMemoryWal {
 
     fn unprocessed(&self) -> Vec<WalRecord> {
         self.records.values().filter(|r| !r.processed).cloned().collect()
+    }
+
+    fn has_unprocessed(&self) -> bool {
+        self.records.values().any(|r| !r.processed)
     }
 
     fn len(&self) -> usize {
@@ -308,6 +325,7 @@ fn parse_line(
                         urgency,
                     },
                     processed: false,
+                    user: None,
                 },
             );
             Ok(())
@@ -329,7 +347,7 @@ fn parse_line(
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -343,7 +361,7 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> String {
+pub(crate) fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -390,6 +408,7 @@ impl WriteAheadLog for FileWal {
                 received_at,
                 alert: alert.clone(),
                 processed: false,
+                user: None,
             },
         );
         Ok(id)
@@ -408,6 +427,10 @@ impl WriteAheadLog for FileWal {
 
     fn unprocessed(&self) -> Vec<WalRecord> {
         self.records.values().filter(|r| !r.processed).cloned().collect()
+    }
+
+    fn has_unprocessed(&self) -> bool {
+        self.records.values().any(|r| !r.processed)
     }
 
     fn len(&self) -> usize {

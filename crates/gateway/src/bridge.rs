@@ -22,7 +22,7 @@ use crate::proto::WireChannel;
 use simba_core::alert::IncomingAlert;
 use simba_core::subscription::UserId;
 use simba_core::Telemetry;
-use simba_runtime::{Channels, MabHost, RuntimeClock};
+use simba_runtime::{Channels, MabHost, RuntimeClock, ShardedHost};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -152,6 +152,59 @@ pub async fn pump_into_host<C: Channels + Clone>(
         };
         submission.slot.fetch_sub(1, Ordering::Relaxed);
         if routed {
+            report.routed += 1;
+        } else {
+            report.unrouted += 1;
+        }
+    }
+    depth_gauge.set(0);
+    report
+}
+
+/// Drains the intake queue into a [`ShardedHost`], the population-scale
+/// counterpart of [`pump_into_host`].
+///
+/// The semantics of the report shift with the architecture: the sharded
+/// host resolves user → buddy *inside* the owning shard worker, so the
+/// pump only learns whether the submission was accepted onto the shard's
+/// queue. `routed` therefore counts accepted hand-offs and `unrouted`
+/// counts shard-queue sheds; submissions for unregistered users surface
+/// in [`ShardedHost::snapshot`] (and the `host.unrouted` point) instead.
+pub async fn pump_into_sharded_host(
+    host: &ShardedHost,
+    mut intake: IntakeReceiver,
+    telemetry: &Telemetry,
+) -> PumpReport {
+    let clock = RuntimeClock::start();
+    let depth_gauge = telemetry.metrics().gauge("gateway.queue_depth");
+    let mut report = PumpReport::default();
+    loop {
+        let submission = match tokio::time::timeout(PUMP_TICK, intake.rx.recv()).await {
+            Err(_elapsed) => continue, // idle tick: keeps the shim executor alive
+            Ok(None) => break,         // every sender dropped and the queue drained
+            Ok(Some(submission)) => submission,
+        };
+        intake.depth.fetch_sub(1, Ordering::Relaxed);
+        depth_gauge.set(intake.depth.load(Ordering::Relaxed) as u64);
+        let now = clock.now();
+        let accepted = match submission.channel {
+            WireChannel::Im => {
+                let alert = IncomingAlert::from_im(submission.source, submission.body, now);
+                host.submit_im(&submission.user, alert).await
+            }
+            WireChannel::Email => {
+                let alert = IncomingAlert::from_email(
+                    submission.source,
+                    "gateway",
+                    "alert",
+                    submission.body,
+                    now,
+                );
+                host.submit_email(&submission.user, alert).await
+            }
+        };
+        submission.slot.fetch_sub(1, Ordering::Relaxed);
+        if accepted {
             report.routed += 1;
         } else {
             report.unrouted += 1;

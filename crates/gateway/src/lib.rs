@@ -17,8 +17,9 @@
 //!   (`gateway.shed`, `gateway.decode_err`, `gateway.idle_closed`);
 //! * [`GatewayClient`] — a blocking client with reconnect and bounded
 //!   retry (at-least-once submission);
-//! * [`pump_into_host`] — the bridge draining admitted submissions into
-//!   a `MabHost` running on the tokio-shim runtime.
+//! * [`pump_into_host`] / [`pump_into_sharded_host`] — the bridges
+//!   draining admitted submissions into a `MabHost` (task per user) or a
+//!   `ShardedHost` (population scale) running on the tokio-shim runtime.
 //!
 //! The contract the whole stack hangs off: **a submission is acked only
 //! after it sits in the bounded intake queue, and the queue is fully
@@ -36,7 +37,10 @@ pub mod proto;
 mod server;
 
 pub use admission::{RateLimit, TokenBuckets};
-pub use bridge::{intake, pump_into_host, IntakeReceiver, IntakeSender, PumpReport, Submission};
+pub use bridge::{
+    intake, pump_into_host, pump_into_sharded_host, IntakeReceiver, IntakeSender, PumpReport,
+    Submission,
+};
 pub use client::{ClientConfig, ClientError, GatewayClient, StateFact, SubmitResult};
 pub use proto::{Frame, FrameError, NackReason, ProbeStats, WireChannel};
 pub use server::{GatewayConfig, GatewayServer};

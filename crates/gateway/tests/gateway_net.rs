@@ -113,6 +113,78 @@ fn submissions_flow_through_tcp_into_the_host() {
     assert_eq!(started, 100, "every accepted alert started a delivery");
 }
 
+/// The same TCP path drained into the population-scale [`ShardedHost`]
+/// via [`pump_into_sharded_host`]: every accepted submission reaches the
+/// owning shard worker and starts a delivery.
+#[test]
+fn submissions_flow_through_tcp_into_the_sharded_host() {
+    use simba_gateway::pump_into_sharded_host;
+    use simba_runtime::{ShardedHost, ShardedHostConfig};
+
+    let telemetry = telemetry();
+    let (intake_tx, intake_rx) = intake(256);
+    let server =
+        GatewayServer::bind(GatewayConfig::default(), intake_tx, telemetry.clone()).unwrap();
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = ["alice", "bob", "carol"]
+        .into_iter()
+        .map(|name| {
+            std::thread::spawn(move || {
+                let mut client =
+                    GatewayClient::connect(addr.to_string(), ClientConfig::default()).unwrap();
+                let mut accepted = 0u64;
+                for i in 0..40 {
+                    let result = client
+                        .submit(WireChannel::Im, name, "gw-src", &format!("Sensor {i} ON"))
+                        .unwrap();
+                    assert_eq!(result, SubmitResult::Accepted);
+                    accepted += 1;
+                }
+                accepted
+            })
+        })
+        .collect();
+
+    let supervisor = std::thread::spawn(move || {
+        let total: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        server.shutdown();
+        total
+    });
+
+    let host_telemetry = telemetry.clone();
+    let (report, snap) = tokio::runtime::block_on(async move {
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(5)));
+        let config = ShardedHostConfig {
+            shards: 2,
+            hibernate_after: simba_sim::SimDuration::ZERO,
+            ..ShardedHostConfig::default()
+        };
+        let factory: simba_runtime::ConfigFactory =
+            Arc::new(|user: &UserId| user_config(&user.0));
+        let (host, _notices) =
+            ShardedHost::new(shared, config, factory, host_telemetry.clone()).unwrap();
+        host.register_many(
+            ["alice", "bob", "carol"].into_iter().map(UserId::new).collect(),
+        )
+        .await;
+        let report = pump_into_sharded_host(&host, intake_rx, &host_telemetry).await;
+        let snap = host.shutdown().await;
+        (report, snap)
+    });
+
+    let sent = supervisor.join().unwrap();
+    assert_eq!(sent, 120);
+    assert_eq!(report.routed, 120, "every accepted submission reached a shard");
+    assert_eq!(report.unrouted, 0);
+    assert_eq!(snap.unrouted, 0, "all three users were registered");
+    assert_eq!(snap.stats.received_im, 120);
+    assert_eq!(snap.stats.deliveries_started, 120);
+    let metrics = telemetry.metrics().snapshot();
+    assert_eq!(metrics.counter("gateway.accepted"), 120);
+    assert_eq!(metrics.counter("host.routed"), 120);
+}
+
 /// Regression: a client that sends a partial frame and stalls must not
 /// block other connections, and its worker must be reclaimed after
 /// `idle_timeout` — `shutdown()` joining proves nothing leaked.

@@ -14,6 +14,10 @@
 //! For deployments, [`MabHost`] runs one service per user over
 //! [`SharedChannels`] with per-user WALs, routing alerts to the owning
 //! buddy and retiring terminal deliveries so fleet state stays bounded.
+//! At population scale, [`ShardedHost`] replaces task-per-user with a
+//! fixed pool of shard workers multiplexing thousands of buddies each
+//! over group-committed shard logs, hibernating idle buddies to compact
+//! snapshots so memory tracks *active* users rather than registered ones.
 //!
 //! ```no_run
 //! use simba_runtime::{LoopbackChannels, MabService, RuntimeNotice};
@@ -44,11 +48,13 @@ mod clock;
 mod host;
 mod presence;
 mod service;
+mod shard;
 mod watchdog;
 
 pub use channels::{Channels, LoopbackChannels, SendOutcome, SharedChannels};
 pub use clock::RuntimeClock;
 pub use host::{HostConfig, HostError, HostNotice, HostSnapshot, MabHost, DEFAULT_NOTICE_CAPACITY};
+pub use shard::{ConfigFactory, ShardedHost, ShardedHostConfig, ShardedSnapshot};
 pub use presence::{chanhealth_key, spawn_sweeper, StoreModeSelector, HEALTHY_VALUE};
 pub use service::{MabHandle, MabService, RuntimeNotice, ServiceSnapshot};
 pub use watchdog::{run_watchdog, run_watchdog_observed, WatchdogReport};

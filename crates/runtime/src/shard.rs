@@ -1,0 +1,1147 @@
+//! The sharded million-user host.
+//!
+//! [`MabHost`](crate::MabHost) runs one service *task* per user — the
+//! right shape for hundreds of tenants, the wrong one for a million. The
+//! [`ShardedHost`] here is the scale shape: a fixed pool of shard workers
+//! (default: one per core), each multiplexing thousands of buddies over
+//! one [`ShardLog`] with **group commit** (one fsync per batch, not per
+//! alert) and **hibernation** (idle buddies are serialized to a compact
+//! CRC-guarded [`BuddySnapshot`] and rebuilt on the next routed alert or
+//! replay demand), so resident memory tracks *active* users while the
+//! roster tracks *registered* ones.
+//!
+//! The worker loop is the §4.2.1 pipeline batched:
+//!
+//! 1. **handle** — drain up to `batch_max` inbound messages plus due
+//!    timer-wheel entries through each buddy's state machine; WAL appends
+//!    and processed-marks buffer in the shard log, observable effects
+//!    (acks, sends, notices) are *staged*;
+//! 2. **commit** — one [`ShardLog::commit`] makes the whole batch
+//!    durable with a single fsync;
+//! 3. **execute** — release the staged effects. Send outcomes feed back
+//!    into the buddies immediately (fallback blocks, ack scheduling);
+//!    those delivery events never touch the log, so no second fsync is
+//!    needed before their effects run.
+//!
+//! Durability ordering is preserved exactly as in the single-user
+//! service: no ack leaves the host before the commit covering its log
+//! record returns. A buddy whose processed-mark fails crashes *alone* —
+//! its stats fold into the shard, a fresh incarnation replays its log
+//! records — and the shard worker (with every other buddy on it) keeps
+//! running.
+
+use crate::channels::{Channels, SendOutcome};
+use crate::clock::RuntimeClock;
+use crate::host::{HostNotice, DEFAULT_NOTICE_CAPACITY};
+use crate::service::RuntimeNotice;
+use simba_core::alert::IncomingAlert;
+use simba_core::delivery::{AttemptId, DeliveryCommand, DeliveryEvent, DeliveryStatus, TimerId};
+use simba_core::mab::{DeliveryId, MabCommand, MabEvent, MabStats, MyAlertBuddy, RetiredDelivery};
+use simba_core::shardlog::{ShardLog, ShardLogConfig, ShardLogStats, DEFAULT_SEGMENT_MAX_BYTES};
+use simba_core::snapshot::BuddySnapshot;
+use simba_core::subscription::UserId;
+use simba_core::wal::WalError;
+use simba_core::{MabConfig, Telemetry, UserShardWal};
+use simba_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::sync::{mpsc, oneshot};
+use tokio::task::JoinHandle;
+
+/// Builds a user's [`MabConfig`] on demand. Configuration is derivable
+/// state (profiles, subscriptions), deliberately not serialized into
+/// hibernation snapshots; the factory is called at every activation —
+/// first alert, rehydration, replay demand, and post-crash restart.
+pub type ConfigFactory = Arc<dyn Fn(&UserId) -> MabConfig + Send + Sync>;
+
+/// Configuration for a [`ShardedHost`].
+#[derive(Debug, Clone)]
+pub struct ShardedHostConfig {
+    /// Worker count. Users are pinned to shards by a stable hash of
+    /// their id, so restarts over the same `log_dir` must keep the same
+    /// count (records of re-homed users still replay, on their old
+    /// shard's log).
+    pub shards: usize,
+    /// Directory for the per-shard segmented logs (`shard-NNN/`).
+    /// `None` keeps each shard log in memory.
+    pub log_dir: Option<PathBuf>,
+    /// Segment-rotation threshold for each shard log.
+    pub segment_max_bytes: u64,
+    /// Most inbound messages a worker drains before committing; bounds
+    /// both ack latency and the blast radius of one commit.
+    pub batch_max: usize,
+    /// Idle time after which a buddy hibernates. [`SimDuration::ZERO`]
+    /// disables the sweep (buddies stay resident once activated).
+    pub hibernate_after: SimDuration,
+    /// How long a terminal delivery lingers before retirement.
+    pub retirement_grace: SimDuration,
+    /// Per-buddy completed-ring capacity (0 keeps no retired summaries —
+    /// the benchmark shape).
+    pub completed_ring: usize,
+    /// Capacity of the merged [`HostNotice`] stream; overflow is dropped
+    /// and counted under `host.notice_dropped`.
+    pub notice_capacity: usize,
+    /// Capacity of each shard's inbound queue; submitters await space,
+    /// so a hot shard exerts backpressure instead of buffering unboundedly.
+    pub queue_capacity: usize,
+}
+
+impl Default for ShardedHostConfig {
+    fn default() -> Self {
+        ShardedHostConfig {
+            shards: default_shards(),
+            log_dir: None,
+            segment_max_bytes: DEFAULT_SEGMENT_MAX_BYTES,
+            batch_max: 256,
+            hibernate_after: SimDuration::from_mins(5),
+            retirement_grace: SimDuration::ZERO,
+            completed_ring: 0,
+            notice_capacity: DEFAULT_NOTICE_CAPACITY,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// One worker per available core, at least one.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// The stable shard assignment: FNV-1a over the user id. Hand-rolled so
+/// the mapping never changes underneath on-disk logs.
+fn shard_of(user: &UserId, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in user.0.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
+/// Aggregated state of one shard — or, merged, of the whole host.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardedSnapshot {
+    /// Registered users (roster entries: fresh + hibernated + active).
+    pub users: usize,
+    /// Buddies currently resident in memory.
+    pub active: usize,
+    /// Buddies currently hibernated to snapshots.
+    pub hibernated: usize,
+    /// Merged running totals across resident, hibernated, and folded
+    /// (crashed / rejuvenated) buddies.
+    pub stats: MabStats,
+    /// Deliveries still executing blocks, summed over resident buddies.
+    pub in_flight: usize,
+    /// Deliveries tracked (in-flight plus awaiting retirement).
+    pub tracked: usize,
+    /// Retired deliveries that ended acknowledged.
+    pub acked: u64,
+    /// Retired deliveries that ended unconfirmed.
+    pub unconfirmed: u64,
+    /// Retired deliveries that exhausted every block.
+    pub exhausted: u64,
+    /// Hibernation transitions performed.
+    pub hibernations: u64,
+    /// Rehydrations performed (snapshot decoded and resumed).
+    pub rehydrations: u64,
+    /// Buddies that crashed and were restarted by the worker.
+    pub crashes: u64,
+    /// Snapshots rejected at rehydration (corrupt, truncated, foreign);
+    /// each fell back to a fresh buddy plus shard-log replay.
+    pub corrupt_snapshots: u64,
+    /// Alerts refused because the user was not registered.
+    pub unrouted: u64,
+    /// Shard-log totals (appends, marks, group commits, rotations).
+    pub log: ShardLogStats,
+}
+
+impl ShardedSnapshot {
+    /// Folds another shard's snapshot into this one.
+    pub fn merge(&mut self, other: &ShardedSnapshot) {
+        self.users += other.users;
+        self.active += other.active;
+        self.hibernated += other.hibernated;
+        self.stats.merge(other.stats);
+        self.in_flight += other.in_flight;
+        self.tracked += other.tracked;
+        self.acked += other.acked;
+        self.unconfirmed += other.unconfirmed;
+        self.exhausted += other.exhausted;
+        self.hibernations += other.hibernations;
+        self.rehydrations += other.rehydrations;
+        self.crashes += other.crashes;
+        self.corrupt_snapshots += other.corrupt_snapshots;
+        self.unrouted += other.unrouted;
+        self.log.appends += other.log.appends;
+        self.log.marks += other.log.marks;
+        self.log.group_commits += other.log.group_commits;
+        self.log.segments_rotated += other.log.segments_rotated;
+    }
+}
+
+/// What the front door sends a shard worker.
+enum ShardMsg {
+    /// Add users to the roster (bulk — registration is just a map entry).
+    Register(Vec<UserId>),
+    /// An IM-borne alert for a user.
+    Im(UserId, IncomingAlert),
+    /// An email-borne alert for a user.
+    Email(UserId, IncomingAlert),
+    /// An external user acknowledgement for a delivery attempt.
+    Ack {
+        user: UserId,
+        delivery: DeliveryId,
+        attempt: AttemptId,
+    },
+    /// Reply with this shard's snapshot.
+    Snapshot(oneshot::Sender<ShardedSnapshot>),
+    /// Test hook: hibernate a user now (if idle); replies whether it did.
+    Hibernate(UserId, oneshot::Sender<bool>),
+    /// Test hook: fail the user's next processed-mark.
+    InjectMarkFailure(UserId),
+    /// Test hook: flip a byte in the user's stored hibernation snapshot;
+    /// replies whether there was one to damage.
+    CorruptSnapshot(UserId, oneshot::Sender<bool>),
+    /// Drain, commit, reply with the final snapshot, and exit.
+    Stop(oneshot::Sender<ShardedSnapshot>),
+}
+
+/// The roster slot for one registered user.
+enum UserSlot {
+    /// Registered; never activated (or reset after a crash/rejuvenation,
+    /// awaiting its next alert to restart and replay).
+    Fresh,
+    /// Hibernated: the encoded [`BuddySnapshot`], a few dozen bytes.
+    Hibernated(Box<[u8]>),
+    /// Resident.
+    Active(Box<ActiveBuddy>),
+}
+
+/// A resident buddy plus its worker-side bookkeeping.
+struct ActiveBuddy {
+    mab: MyAlertBuddy<UserShardWal<Rc<RefCell<ShardLog>>>>,
+    /// Monotonic per-worker activation id; timer-wheel entries carry the
+    /// incarnation they were scheduled under, so wakeups for a buddy
+    /// that has since hibernated, crashed, or restarted are stale by
+    /// comparison and dropped.
+    incarnation: u64,
+    /// Last alert/ack activity, for the hibernation sweep.
+    last_event_at: SimTime,
+}
+
+/// What a timer-wheel entry delivers when it fires.
+enum TimerFire {
+    /// A delivery-mode block timer.
+    Block(TimerId),
+    /// A channel-simulated user acknowledgement
+    /// ([`SendOutcome::AcceptedWithAck`]).
+    Ack(AttemptId),
+}
+
+struct TimerEntry {
+    user: UserId,
+    delivery: DeliveryId,
+    fire: TimerFire,
+    incarnation: u64,
+}
+
+/// Delivery outcomes counted at retirement.
+#[derive(Debug, Clone, Copy, Default)]
+struct Outcomes {
+    acked: u64,
+    unconfirmed: u64,
+    exhausted: u64,
+}
+
+struct ShardHandle {
+    tx: mpsc::Sender<ShardMsg>,
+    depth: Arc<AtomicUsize>,
+    task: JoinHandle<()>,
+}
+
+/// The sharded host front door: routes by user hash, registers in bulk,
+/// snapshots and shuts down by fan-out.
+pub struct ShardedHost {
+    shards: Vec<ShardHandle>,
+}
+
+impl ShardedHost {
+    /// Builds the host and spawns its shard workers. `factory` rebuilds a
+    /// user's [`MabConfig`] at every activation. Telemetry must be
+    /// supplied here (workers capture it at spawn); pass
+    /// [`Telemetry::disabled`] on hot benchmark paths.
+    ///
+    /// # Errors
+    ///
+    /// Opening a shard's on-disk log fails ([`ShardedHostConfig::log_dir`]
+    /// set but unusable).
+    pub fn new<C: Channels + Clone>(
+        channels: C,
+        config: ShardedHostConfig,
+        factory: ConfigFactory,
+        telemetry: Telemetry,
+    ) -> Result<(Self, mpsc::Receiver<HostNotice>), WalError> {
+        let shard_count = config.shards.max(1);
+        let (notice_tx, notice_rx) = mpsc::channel(config.notice_capacity.max(1));
+        let mut shards = Vec::with_capacity(shard_count);
+        for index in 0..shard_count {
+            let log_config = match &config.log_dir {
+                Some(dir) => {
+                    let shard_dir = dir.join(format!("shard-{index:03}"));
+                    std::fs::create_dir_all(&shard_dir).map_err(WalError::from)?;
+                    ShardLogConfig {
+                        dir: Some(shard_dir),
+                        segment_max_bytes: config.segment_max_bytes,
+                    }
+                }
+                None => ShardLogConfig {
+                    dir: None,
+                    segment_max_bytes: config.segment_max_bytes,
+                },
+            };
+            let log = Rc::new(RefCell::new(ShardLog::open(log_config)?));
+            let (tx, rx) = mpsc::channel(config.queue_capacity.max(1));
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker = Worker {
+                rx,
+                depth: Arc::clone(&depth),
+                channels: channels.clone(),
+                clock: RuntimeClock::start(),
+                telemetry: telemetry.clone(),
+                factory: Arc::clone(&factory),
+                notices: notice_tx.clone(),
+                log,
+                roster: HashMap::new(),
+                timers: BTreeMap::new(),
+                timer_seq: 0,
+                next_incarnation: 0,
+                touched: BTreeSet::new(),
+                folded: MabStats::default(),
+                outcomes: Outcomes::default(),
+                hibernations: 0,
+                rehydrations: 0,
+                crashes: 0,
+                corrupt_snapshots: 0,
+                unrouted: 0,
+                batch_max: config.batch_max.max(1),
+                hibernate_after: config.hibernate_after,
+                sweep_every: sweep_period(config.hibernate_after),
+                last_sweep: SimTime::ZERO,
+                retirement_grace: config.retirement_grace,
+                completed_ring: config.completed_ring,
+            };
+            let task = tokio::spawn(worker.run());
+            shards.push(ShardHandle { tx, depth, task });
+        }
+        Ok((ShardedHost { shards }, notice_rx))
+    }
+
+    /// Worker count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers one user (a roster entry on their shard; no buddy is
+    /// built until their first alert).
+    pub async fn register(&self, user: UserId) {
+        self.register_many(vec![user]).await;
+    }
+
+    /// Registers users in bulk, partitioned by shard — the path that
+    /// makes a million registrations one message per shard, not a
+    /// million round trips.
+    pub async fn register_many(&self, users: Vec<UserId>) {
+        let mut per_shard: Vec<Vec<UserId>> = vec![Vec::new(); self.shards.len()];
+        for user in users {
+            per_shard[shard_of(&user, self.shards.len())].push(user);
+        }
+        for (index, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.send(index, ShardMsg::Register(batch)).await;
+            }
+        }
+    }
+
+    /// Routes an IM-borne alert to the owning user's shard. Returns
+    /// `false` only when the shard worker is gone; an unregistered user
+    /// is counted by the worker under `host.unrouted`.
+    pub async fn submit_im(&self, user: &UserId, alert: IncomingAlert) -> bool {
+        let shard = shard_of(user, self.shards.len());
+        self.send(shard, ShardMsg::Im(user.clone(), alert)).await
+    }
+
+    /// Like [`ShardedHost::submit_im`] for an email-borne alert.
+    pub async fn submit_email(&self, user: &UserId, alert: IncomingAlert) -> bool {
+        let shard = shard_of(user, self.shards.len());
+        self.send(shard, ShardMsg::Email(user.clone(), alert)).await
+    }
+
+    /// Reports an external user acknowledgement for a delivery attempt.
+    pub async fn ack(&self, user: &UserId, delivery: DeliveryId, attempt: AttemptId) {
+        let shard = shard_of(user, self.shards.len());
+        self.send(shard, ShardMsg::Ack { user: user.clone(), delivery, attempt })
+            .await;
+    }
+
+    /// Snapshots every shard and merges the results.
+    pub async fn snapshot(&self) -> ShardedSnapshot {
+        let mut merged = ShardedSnapshot::default();
+        for (index, _) in self.shards.iter().enumerate() {
+            let (reply_tx, reply_rx) = oneshot::channel();
+            if self.send(index, ShardMsg::Snapshot(reply_tx)).await {
+                if let Ok(snap) = reply_rx.await {
+                    merged.merge(&snap);
+                }
+            }
+        }
+        merged
+    }
+
+    /// Sum of inbound queue depths across shards (a load signal).
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.depth.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Test hook: asks the owning shard to hibernate `user` now; resolves
+    /// `true` when the buddy was idle and is now a snapshot.
+    pub async fn force_hibernate(&self, user: &UserId) -> bool {
+        let shard = shard_of(user, self.shards.len());
+        let (reply_tx, reply_rx) = oneshot::channel();
+        if !self.send(shard, ShardMsg::Hibernate(user.clone(), reply_tx)).await {
+            return false;
+        }
+        reply_rx.await.unwrap_or(false)
+    }
+
+    /// Test hook: the user's next processed-mark fails, crashing exactly
+    /// that buddy.
+    pub async fn inject_mark_failure(&self, user: &UserId) {
+        let shard = shard_of(user, self.shards.len());
+        self.send(shard, ShardMsg::InjectMarkFailure(user.clone())).await;
+    }
+
+    /// Test hook: damages the user's stored hibernation snapshot so the
+    /// next activation must take the corrupt-fallback path. Resolves
+    /// `true` when a snapshot existed to damage.
+    pub async fn corrupt_snapshot(&self, user: &UserId) -> bool {
+        let shard = shard_of(user, self.shards.len());
+        let (reply_tx, reply_rx) = oneshot::channel();
+        if !self.send(shard, ShardMsg::CorruptSnapshot(user.clone(), reply_tx)).await {
+            return false;
+        }
+        reply_rx.await.unwrap_or(false)
+    }
+
+    /// Stops every worker (each drains, commits, and compacts nothing
+    /// further) and returns the merged final snapshot.
+    pub async fn shutdown(self) -> ShardedSnapshot {
+        let mut merged = ShardedSnapshot::default();
+        for shard in self.shards {
+            let (reply_tx, reply_rx) = oneshot::channel();
+            shard.depth.fetch_add(1, Ordering::Relaxed);
+            if shard.tx.send(ShardMsg::Stop(reply_tx)).await.is_ok() {
+                if let Ok(snap) = reply_rx.await {
+                    merged.merge(&snap);
+                }
+            }
+            let _ = shard.task.await;
+        }
+        merged
+    }
+
+    async fn send(&self, shard: usize, msg: ShardMsg) -> bool {
+        let handle = &self.shards[shard];
+        handle.depth.fetch_add(1, Ordering::Relaxed);
+        if handle.tx.send(msg).await.is_err() {
+            handle.depth.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for ShardedHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHost")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Half the hibernation threshold, at least 1 ms: a buddy hibernates no
+/// later than 1.5× its idle threshold.
+fn sweep_period(hibernate_after: SimDuration) -> SimDuration {
+    SimDuration::from_millis((hibernate_after.as_millis() / 2).max(1))
+}
+
+/// Field-wise saturating subtraction: removes a rehydrated snapshot's
+/// totals from the folded aggregate they were parked in.
+fn stats_sub(total: &mut MabStats, part: MabStats) {
+    total.received_im = total.received_im.saturating_sub(part.received_im);
+    total.received_email = total.received_email.saturating_sub(part.received_email);
+    total.acked = total.acked.saturating_sub(part.acked);
+    total.rejected = total.rejected.saturating_sub(part.rejected);
+    total.routed = total.routed.saturating_sub(part.routed);
+    total.unsubscribed = total.unsubscribed.saturating_sub(part.unsubscribed);
+    total.deliveries_started = total.deliveries_started.saturating_sub(part.deliveries_started);
+    total.replayed = total.replayed.saturating_sub(part.replayed);
+    total.remote_commands = total.remote_commands.saturating_sub(part.remote_commands);
+    total.retired = total.retired.saturating_sub(part.retired);
+    total.mode_overridden = total.mode_overridden.saturating_sub(part.mode_overridden);
+}
+
+/// One shard worker: owns its roster, its log, and its timer wheel.
+struct Worker<C> {
+    rx: mpsc::Receiver<ShardMsg>,
+    depth: Arc<AtomicUsize>,
+    channels: C,
+    clock: RuntimeClock,
+    telemetry: Telemetry,
+    factory: ConfigFactory,
+    notices: mpsc::Sender<HostNotice>,
+    log: Rc<RefCell<ShardLog>>,
+    roster: HashMap<UserId, UserSlot>,
+    /// The central timer wheel: `(deadline, seq)` → entry. Replaces the
+    /// per-timer spawned tasks of [`crate::MabService`]; at shard scale,
+    /// one `BTreeMap` beats ten thousand sleeping tasks.
+    timers: BTreeMap<(SimTime, u64), TimerEntry>,
+    timer_seq: u64,
+    next_incarnation: u64,
+    /// Users that saw events this batch — the retirement-sweep set.
+    touched: BTreeSet<UserId>,
+    /// Totals of buddies no longer resident: hibernated (subtracted back
+    /// at rehydration), crashed, and rejuvenated.
+    folded: MabStats,
+    outcomes: Outcomes,
+    hibernations: u64,
+    rehydrations: u64,
+    crashes: u64,
+    corrupt_snapshots: u64,
+    unrouted: u64,
+    batch_max: usize,
+    hibernate_after: SimDuration,
+    sweep_every: SimDuration,
+    last_sweep: SimTime,
+    retirement_grace: SimDuration,
+    completed_ring: usize,
+}
+
+enum Flow {
+    Continue,
+    Stop(oneshot::Sender<ShardedSnapshot>),
+}
+
+impl<C: Channels> Worker<C> {
+    async fn run(mut self) {
+        // Startup replay demand: any user with unprocessed records gets a
+        // buddy (auto-registered — the log proves they existed) whose
+        // `recover()` replays them before new traffic is accepted.
+        let now = self.clock.now();
+        self.last_sweep = now;
+        let mut staged = Vec::new();
+        let demand = self.log.borrow().users_with_unprocessed();
+        for user in demand {
+            self.roster.entry(user.clone()).or_insert(UserSlot::Fresh);
+            self.activate(&user, now, &mut staged);
+        }
+        self.finish_batch(staged, now);
+
+        loop {
+            let wait = self.idle_wait();
+            let inbound = tokio::time::timeout(wait, self.rx.recv()).await;
+            let now = self.clock.now();
+            let mut staged = Vec::new();
+            let mut stop = None;
+            match inbound {
+                Ok(Some(msg)) => {
+                    let mut drained = 1usize;
+                    match self.handle_msg(msg, now, &mut staged) {
+                        Flow::Stop(reply) => stop = Some(reply),
+                        Flow::Continue => {
+                            while stop.is_none() && drained < self.batch_max {
+                                match self.rx.try_recv() {
+                                    Ok(msg) => {
+                                        drained += 1;
+                                        if let Flow::Stop(reply) =
+                                            self.handle_msg(msg, now, &mut staged)
+                                        {
+                                            stop = Some(reply);
+                                        }
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                    }
+                    self.depth.fetch_sub(drained, Ordering::Relaxed);
+                }
+                Ok(None) => {
+                    // Front door dropped without shutdown: make what we
+                    // have durable and exit.
+                    let _ = self.commit_once();
+                    return;
+                }
+                Err(_) => {} // idle tick: timers and sweeps only
+            }
+            self.fire_due_timers(now, &mut staged);
+            self.finish_batch(staged, now);
+            self.maybe_sweep(now);
+            if let Some(reply) = stop {
+                self.retire_all(now);
+                let _ = self.commit_once();
+                let _ = reply.send(self.shard_snapshot());
+                return;
+            }
+        }
+    }
+
+    /// Time until the next timer deadline or hibernation sweep, clamped
+    /// to [1 ms, 1 s] so the worker stays responsive without spinning.
+    fn idle_wait(&self) -> Duration {
+        let now = self.clock.now();
+        let mut deadline = self.last_sweep + self.sweep_every;
+        if let Some(((at, _), _)) = self.timers.iter().next() {
+            if *at < deadline {
+                deadline = *at;
+            }
+        }
+        Duration::from_millis(deadline.since(now).as_millis().clamp(1, 1_000))
+    }
+
+    fn handle_msg(
+        &mut self,
+        msg: ShardMsg,
+        now: SimTime,
+        staged: &mut Vec<(UserId, MabCommand)>,
+    ) -> Flow {
+        match msg {
+            ShardMsg::Register(users) => {
+                if self.telemetry.enabled() && !users.is_empty() {
+                    self.telemetry.metrics().counter("host.users").add(users.len() as u64);
+                }
+                for user in users {
+                    self.roster.entry(user).or_insert(UserSlot::Fresh);
+                }
+            }
+            ShardMsg::Im(user, alert) => {
+                self.route(user, MabEvent::AlertByIm(alert), now, staged);
+            }
+            ShardMsg::Email(user, alert) => {
+                self.route(user, MabEvent::AlertByEmail(alert), now, staged);
+            }
+            ShardMsg::Ack { user, delivery, attempt } => {
+                let live = matches!(
+                    self.roster.get(&user),
+                    Some(UserSlot::Active(active)) if active.mab.delivery_status(delivery).is_some()
+                );
+                if live {
+                    self.touch(&user, now);
+                    self.feed(
+                        &user,
+                        MabEvent::Delivery { id: delivery, event: DeliveryEvent::Acked { attempt } },
+                        now,
+                        staged,
+                    );
+                } else if self.telemetry.enabled() {
+                    self.telemetry.metrics().counter("runtime.stale_dropped").incr();
+                }
+            }
+            ShardMsg::Snapshot(reply) => {
+                self.retire_all(now);
+                let _ = reply.send(self.shard_snapshot());
+            }
+            ShardMsg::Hibernate(user, reply) => {
+                let _ = reply.send(self.try_hibernate(&user, now));
+            }
+            ShardMsg::InjectMarkFailure(user) => {
+                self.log.borrow_mut().inject_mark_failure(&user);
+            }
+            ShardMsg::CorruptSnapshot(user, reply) => {
+                let damaged = match self.roster.get_mut(&user) {
+                    Some(UserSlot::Hibernated(bytes)) if !bytes.is_empty() => {
+                        let mid = bytes.len() / 2;
+                        bytes[mid] ^= 0x01;
+                        true
+                    }
+                    _ => false,
+                };
+                let _ = reply.send(damaged);
+            }
+            ShardMsg::Stop(reply) => return Flow::Stop(reply),
+        }
+        Flow::Continue
+    }
+
+    /// The routing step: activate (rehydrating if hibernated) and feed.
+    fn route(
+        &mut self,
+        user: UserId,
+        event: MabEvent,
+        now: SimTime,
+        staged: &mut Vec<(UserId, MabCommand)>,
+    ) {
+        if !self.roster.contains_key(&user) {
+            self.unrouted += 1;
+            if self.telemetry.enabled() {
+                self.telemetry.metrics().counter("host.unrouted").incr();
+            }
+            return;
+        }
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("host.routed").incr();
+        }
+        self.activate(&user, now, staged);
+        self.touch(&user, now);
+        self.feed(&user, event, now, staged);
+    }
+
+    fn touch(&mut self, user: &UserId, now: SimTime) {
+        self.touched.insert(user.clone());
+        if let Some(UserSlot::Active(active)) = self.roster.get_mut(user) {
+            active.last_event_at = now;
+        }
+    }
+
+    /// Ensures `user` is resident: rehydrates a hibernated snapshot
+    /// (falling back to a fresh buddy on corruption — the shard log, not
+    /// the snapshot, is the source of truth) or builds a fresh buddy, then
+    /// runs the §4.2.1 restart protocol and stages its replay commands.
+    fn activate(&mut self, user: &UserId, now: SimTime, staged: &mut Vec<(UserId, MabCommand)>) {
+        match self.roster.get(user) {
+            None | Some(UserSlot::Active(_)) => return,
+            Some(UserSlot::Fresh | UserSlot::Hibernated(_)) => {}
+        }
+        let prev = self.roster.insert(user.clone(), UserSlot::Fresh);
+        let wal = UserShardWal::new(Rc::clone(&self.log), user.clone());
+        let mut mab = match prev {
+            Some(UserSlot::Hibernated(bytes)) => match BuddySnapshot::decode(&bytes) {
+                Ok(snap) if snap.user == *user => {
+                    stats_sub(&mut self.folded, snap.stats);
+                    self.rehydrations += 1;
+                    if self.telemetry.enabled() {
+                        self.telemetry.metrics().counter("host.rehydrated").incr();
+                    }
+                    MyAlertBuddy::rehydrate((self.factory)(user), wal, &snap, now)
+                }
+                _ => {
+                    // Corrupt, truncated, or foreign snapshot: counters are
+                    // lost (they stay folded), deliveries are not — the
+                    // fresh buddy replays its shard-log records below.
+                    self.corrupt_snapshots += 1;
+                    if self.telemetry.enabled() {
+                        self.telemetry.metrics().counter("host.snapshot_corrupt").incr();
+                    }
+                    MyAlertBuddy::new((self.factory)(user), wal, now)
+                }
+            },
+            _ => MyAlertBuddy::new((self.factory)(user), wal, now),
+        };
+        mab.set_retirement(self.retirement_grace, self.completed_ring);
+        mab.set_telemetry(self.telemetry.clone());
+        let recovery = mab.recover(now);
+        staged.extend(recovery.into_iter().map(|cmd| (user.clone(), cmd)));
+        if mab.is_crashed() {
+            // Replay itself crashed the buddy (e.g. an injected mark
+            // failure): fold it and leave the slot Fresh for the next
+            // activation to retry.
+            self.fold_crash(user, mab.stats());
+            return;
+        }
+        self.touched.insert(user.clone());
+        let incarnation = self.next_incarnation;
+        self.next_incarnation += 1;
+        self.roster.insert(
+            user.clone(),
+            UserSlot::Active(Box::new(ActiveBuddy { mab, incarnation, last_event_at: now })),
+        );
+    }
+
+    fn fold_crash(&mut self, user: &UserId, stats: MabStats) {
+        self.folded.merge(stats);
+        self.crashes += 1;
+        self.roster.insert(user.clone(), UserSlot::Fresh);
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("host.buddy_crashed").incr();
+        }
+    }
+
+    /// Feeds one event through a resident buddy, staging its commands. A
+    /// crash crashes that buddy alone: stats fold, the slot resets, and a
+    /// fresh incarnation immediately replays the user's log records — the
+    /// shard worker never stops.
+    fn feed(
+        &mut self,
+        user: &UserId,
+        event: MabEvent,
+        now: SimTime,
+        staged: &mut Vec<(UserId, MabCommand)>,
+    ) {
+        let Some(UserSlot::Active(active)) = self.roster.get_mut(user) else {
+            return;
+        };
+        let commands = active.mab.handle(event, now);
+        let crashed = active.mab.is_crashed().then(|| active.mab.stats());
+        staged.extend(commands.into_iter().map(|cmd| (user.clone(), cmd)));
+        if let Some(stats) = crashed {
+            self.fold_crash(user, stats);
+            self.activate(user, now, staged);
+        }
+    }
+
+    /// Fires every due timer-wheel entry; entries whose incarnation no
+    /// longer matches the resident buddy are stale and dropped.
+    fn fire_due_timers(&mut self, now: SimTime, staged: &mut Vec<(UserId, MabCommand)>) {
+        while let Some(((at, seq), entry)) = self.timers.pop_first() {
+            if at > now {
+                self.timers.insert((at, seq), entry);
+                break;
+            }
+            let current = matches!(
+                self.roster.get(&entry.user),
+                Some(UserSlot::Active(active)) if active.incarnation == entry.incarnation
+            );
+            if !current {
+                if self.telemetry.enabled() {
+                    self.telemetry.metrics().counter("runtime.stale_dropped").incr();
+                }
+                continue;
+            }
+            let event = match entry.fire {
+                TimerFire::Block(timer) => DeliveryEvent::TimerFired { timer },
+                TimerFire::Ack(attempt) => DeliveryEvent::Acked { attempt },
+            };
+            self.touched.insert(entry.user.clone());
+            self.feed(
+                &entry.user,
+                MabEvent::Delivery { id: entry.delivery, event },
+                now,
+                staged,
+            );
+        }
+    }
+
+    /// Phases 2 and 3: one group commit, then release the staged effects.
+    /// Restarted buddies' replay commands loop back through another
+    /// commit+execute round, so their marks are durable too.
+    fn finish_batch(&mut self, staged: Vec<(UserId, MabCommand)>, now: SimTime) {
+        let mut staged = staged;
+        let mut rounds = 0usize;
+        loop {
+            let dirty = self.log.borrow().is_dirty();
+            if staged.is_empty() && !dirty {
+                break;
+            }
+            if self.commit_once().is_err() {
+                // The batch is not durable: withhold every staged effect
+                // (no acks, no sends). The buffered tail stays pending and
+                // is retried with the next batch's commit.
+                staged.clear();
+                break;
+            }
+            if staged.is_empty() {
+                break;
+            }
+            let batch = std::mem::take(&mut staged);
+            let restarts = self.execute(batch, now);
+            for user in restarts {
+                if let Some(UserSlot::Active(active)) = self.roster.get_mut(&user) {
+                    let stats = active.mab.stats();
+                    self.folded.merge(stats);
+                    self.roster.insert(user.clone(), UserSlot::Fresh);
+                    self.activate(&user, now, &mut staged);
+                }
+            }
+            rounds += 1;
+            if rounds >= 8 {
+                break;
+            }
+        }
+        self.retire_touched(now);
+        if self.telemetry.enabled() {
+            self.telemetry
+                .metrics()
+                .gauge("host.shard_depth")
+                .set(self.depth.load(Ordering::Relaxed) as u64);
+        }
+    }
+
+    /// One [`ShardLog::commit`] (a no-op when clean), with the commit and
+    /// rotation counters surfaced as `host.*` metrics.
+    fn commit_once(&mut self) -> Result<(), WalError> {
+        let before = self.log.borrow().stats();
+        let result = self.log.borrow_mut().commit();
+        if self.telemetry.enabled() {
+            let after = self.log.borrow().stats();
+            let commits = after.group_commits.saturating_sub(before.group_commits);
+            if commits > 0 {
+                self.telemetry.metrics().counter("host.group_commits").add(commits);
+            }
+            let rotations = after.segments_rotated.saturating_sub(before.segments_rotated);
+            if rotations > 0 {
+                self.telemetry.metrics().counter("host.segments_rotated").add(rotations);
+            }
+            if result.is_err() {
+                self.telemetry.metrics().counter("host.commit_failed").incr();
+            }
+        }
+        result
+    }
+
+    /// Phase 3: acks and notices go out, sends hit the channels and their
+    /// outcomes feed straight back into the owning buddy (fallback blocks
+    /// run immediately; ack windows and block timers go on the wheel).
+    /// Returns users whose buddy requested rejuvenation — the caller
+    /// restarts them (the worker plays the MDC role at shard scale).
+    fn execute(&mut self, batch: Vec<(UserId, MabCommand)>, now: SimTime) -> Vec<UserId> {
+        let mut rejuvenating = Vec::new();
+        let mut queue = batch;
+        while !queue.is_empty() {
+            let mut follow = Vec::new();
+            for (user, command) in queue {
+                match command {
+                    MabCommand::AckIm { to, .. } => {
+                        if self.telemetry.enabled() {
+                            self.telemetry.metrics().counter("runtime.acks_sent").incr();
+                        }
+                        self.notify(user, RuntimeNotice::AckSent { source: to });
+                    }
+                    MabCommand::Rejuvenate(trigger) => {
+                        if self.telemetry.enabled() {
+                            self.telemetry.metrics().counter("runtime.rejuvenations").incr();
+                        }
+                        self.notify(user.clone(), RuntimeNotice::Rejuvenating(trigger));
+                        rejuvenating.push(user);
+                    }
+                    MabCommand::Channel { delivery, command, .. } => match command {
+                        DeliveryCommand::Send {
+                            attempt, comm_type, address_value, text, ..
+                        } => {
+                            let outcome = self.channels.send(comm_type, &address_value, &text);
+                            if self.telemetry.enabled() {
+                                self.telemetry.metrics().counter("runtime.sends").incr();
+                            }
+                            let event = match outcome {
+                                SendOutcome::Accepted => DeliveryEvent::SendAccepted { attempt },
+                                SendOutcome::AcceptedWithAck(after) => {
+                                    self.schedule(
+                                        &user,
+                                        delivery,
+                                        TimerFire::Ack(attempt),
+                                        SimDuration::from_millis(after.as_millis() as u64),
+                                        now,
+                                    );
+                                    DeliveryEvent::SendAccepted { attempt }
+                                }
+                                SendOutcome::Failed(failure) => {
+                                    DeliveryEvent::SendFailed { attempt, failure }
+                                }
+                            };
+                            self.feed(
+                                &user,
+                                MabEvent::Delivery { id: delivery, event },
+                                now,
+                                &mut follow,
+                            );
+                        }
+                        DeliveryCommand::StartTimer { timer, after } => {
+                            self.schedule(&user, delivery, TimerFire::Block(timer), after, now);
+                        }
+                    },
+                }
+            }
+            queue = follow;
+        }
+        rejuvenating
+    }
+
+    fn schedule(
+        &mut self,
+        user: &UserId,
+        delivery: DeliveryId,
+        fire: TimerFire,
+        after: SimDuration,
+        now: SimTime,
+    ) {
+        let Some(UserSlot::Active(active)) = self.roster.get(user) else {
+            return;
+        };
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.insert(
+            (now + after, seq),
+            TimerEntry { user: user.clone(), delivery, fire, incarnation: active.incarnation },
+        );
+    }
+
+    /// Retires due terminal deliveries on every buddy touched this batch,
+    /// counting outcomes and emitting one `DeliveryFinished` per retired
+    /// delivery.
+    fn retire_touched(&mut self, now: SimTime) {
+        let touched = std::mem::take(&mut self.touched);
+        for user in touched {
+            self.retire_user(&user, now);
+        }
+    }
+
+    fn retire_all(&mut self, now: SimTime) {
+        let users: Vec<UserId> = self
+            .roster
+            .iter()
+            .filter(|(_, slot)| matches!(slot, UserSlot::Active(_)))
+            .map(|(user, _)| user.clone())
+            .collect();
+        for user in users {
+            self.retire_user(&user, now);
+        }
+    }
+
+    fn retire_user(&mut self, user: &UserId, now: SimTime) {
+        let retired = match self.roster.get_mut(user) {
+            Some(UserSlot::Active(active)) => active.mab.retire_terminal(now),
+            _ => return,
+        };
+        self.note_retired(user, retired);
+    }
+
+    fn note_retired(&mut self, user: &UserId, retired: Vec<RetiredDelivery>) {
+        for summary in retired {
+            match summary.status {
+                DeliveryStatus::Acked { .. } => self.outcomes.acked += 1,
+                DeliveryStatus::Unconfirmed { .. } => self.outcomes.unconfirmed += 1,
+                DeliveryStatus::Exhausted { .. } => self.outcomes.exhausted += 1,
+                DeliveryStatus::InProgress => {}
+            }
+            self.notify(
+                user.clone(),
+                RuntimeNotice::DeliveryFinished { delivery: summary.id, status: summary.status },
+            );
+        }
+    }
+
+    /// The hibernation sweep: every `sweep_every`, buddies idle past the
+    /// threshold are retired-then-hibernated.
+    fn maybe_sweep(&mut self, now: SimTime) {
+        if self.hibernate_after == SimDuration::ZERO || now.since(self.last_sweep) < self.sweep_every
+        {
+            return;
+        }
+        self.last_sweep = now;
+        let due: Vec<UserId> = self
+            .roster
+            .iter()
+            .filter_map(|(user, slot)| match slot {
+                UserSlot::Active(active)
+                    if now.since(active.last_event_at) >= self.hibernate_after =>
+                {
+                    Some(user.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        for user in due {
+            self.try_hibernate(&user, now);
+        }
+    }
+
+    /// Retires leftovers, then hibernates `user` if idle. Counters park in
+    /// the folded aggregate (and are subtracted back out at rehydration,
+    /// so totals are never double-counted).
+    fn try_hibernate(&mut self, user: &UserId, now: SimTime) -> bool {
+        self.retire_user(user, now);
+        let Some(UserSlot::Active(active)) = self.roster.get(user) else {
+            return false;
+        };
+        let Some(snapshot) = active.mab.hibernate(user, now) else {
+            return false;
+        };
+        let bytes = snapshot.encode().into_boxed_slice();
+        self.folded.merge(snapshot.stats);
+        self.hibernations += 1;
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter("host.hibernated").incr();
+        }
+        self.roster.insert(user.clone(), UserSlot::Hibernated(bytes));
+        true
+    }
+
+    fn notify(&self, user: UserId, notice: RuntimeNotice) {
+        if self.notices.try_send(HostNotice { user, notice }).is_err()
+            && self.telemetry.enabled()
+        {
+            self.telemetry.metrics().counter("host.notice_dropped").incr();
+        }
+    }
+
+    fn shard_snapshot(&self) -> ShardedSnapshot {
+        let mut snap = ShardedSnapshot {
+            users: self.roster.len(),
+            stats: self.folded,
+            acked: self.outcomes.acked,
+            unconfirmed: self.outcomes.unconfirmed,
+            exhausted: self.outcomes.exhausted,
+            hibernations: self.hibernations,
+            rehydrations: self.rehydrations,
+            crashes: self.crashes,
+            corrupt_snapshots: self.corrupt_snapshots,
+            unrouted: self.unrouted,
+            log: self.log.borrow().stats(),
+            ..ShardedSnapshot::default()
+        };
+        for slot in self.roster.values() {
+            match slot {
+                UserSlot::Active(active) => {
+                    snap.active += 1;
+                    snap.stats.merge(active.mab.stats());
+                    snap.in_flight += active.mab.in_flight();
+                    snap.tracked += active.mab.tracked();
+                }
+                UserSlot::Hibernated(_) => snap.hibernated += 1,
+                UserSlot::Fresh => {}
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable_and_spread() {
+        let a = UserId::new("alice");
+        assert_eq!(shard_of(&a, 8), shard_of(&a, 8));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256 {
+            seen.insert(shard_of(&UserId::new(format!("user{i}")), 8));
+        }
+        assert_eq!(seen.len(), 8, "256 users should reach all 8 shards");
+    }
+
+    #[test]
+    fn sweep_period_is_half_threshold_with_floor() {
+        assert_eq!(sweep_period(SimDuration::from_millis(100)), SimDuration::from_millis(50));
+        assert_eq!(sweep_period(SimDuration::ZERO), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn stats_subtraction_reverses_merge() {
+        let mut total = MabStats { received_im: 5, acked: 5, routed: 4, ..MabStats::default() };
+        let part = MabStats { received_im: 2, acked: 2, routed: 1, ..MabStats::default() };
+        let mut merged = total;
+        merged.merge(part);
+        stats_sub(&mut merged, part);
+        assert_eq!(merged, total);
+        // Saturation, never underflow.
+        stats_sub(&mut total, MabStats { received_im: 99, ..MabStats::default() });
+        assert_eq!(total.received_im, 0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Integration tests for the sharded host: hibernation lifecycle and its
+//! races, corrupt-snapshot fallback, crash-replay over on-disk shard
+//! logs, and the one-buddy-crashes-alone group-commit contract.
+
+use simba_core::address::{Address, AddressBook, CommType};
+use simba_core::classify::{Classifier, KeywordField};
+use simba_core::delivery::{AttemptId, SendFailure};
+use simba_core::mab::DeliveryId;
+use simba_core::mode::DeliveryMode;
+use simba_core::rejuvenate::RejuvenationPolicy;
+use simba_core::shardlog::{ShardLog, ShardLogConfig};
+use simba_core::subscription::{SubscriptionRegistry, UserId};
+use simba_core::{DeliveryStatus, IncomingAlert, MabConfig, Telemetry};
+use simba_runtime::{
+    ConfigFactory, HostNotice, LoopbackChannels, RuntimeNotice, SendOutcome, SharedChannels,
+    ShardedHost, ShardedHostConfig,
+};
+use simba_sim::{SimDuration, SimTime};
+use simba_telemetry::RingBufferSink;
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::sync::mpsc;
+
+fn user_config(name: &str) -> MabConfig {
+    let mut classifier = Classifier::new();
+    classifier.accept_source("aladdin-gw", KeywordField::Body, "cfg");
+    classifier.map_keyword("Sensor", "Home");
+    let mut registry = SubscriptionRegistry::new();
+    let user = UserId::new(name);
+    let profile = registry.register_user(user.clone());
+    let mut book = AddressBook::new();
+    book.add(Address::new("IM", CommType::Im, format!("im:{name}"))).unwrap();
+    book.add(Address::new("EM", CommType::Email, format!("{name}@mail"))).unwrap();
+    profile.address_book = book;
+    profile.define_mode(DeliveryMode::im_then_email(
+        "Urgent",
+        "IM",
+        "EM",
+        SimDuration::from_secs(60),
+    ));
+    registry.subscribe("Home", user, "Urgent").unwrap();
+    MabConfig { classifier, registry, rejuvenation: RejuvenationPolicy::default() }
+}
+
+fn factory() -> ConfigFactory {
+    Arc::new(|user: &UserId| user_config(&user.0))
+}
+
+fn sensor_alert(text: &str) -> IncomingAlert {
+    IncomingAlert::from_im("aladdin-gw", text, SimTime::ZERO)
+}
+
+/// A config with auto-hibernation off; tests drive it explicitly.
+fn test_config(shards: usize) -> ShardedHostConfig {
+    ShardedHostConfig {
+        shards,
+        hibernate_after: SimDuration::ZERO,
+        ..ShardedHostConfig::default()
+    }
+}
+
+async fn next_finished(notices: &mut mpsc::Receiver<HostNotice>) -> (UserId, DeliveryStatus) {
+    loop {
+        let HostNotice { user, notice } = notices.recv().await.expect("host alive");
+        if let RuntimeNotice::DeliveryFinished { status, .. } = notice {
+            return (user, status);
+        }
+    }
+}
+
+#[tokio::test(start_paused = true)]
+async fn routes_and_delivers_across_shards() {
+    let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(100)));
+    let (host, mut notices) = ShardedHost::new(
+        shared.clone(),
+        test_config(4),
+        factory(),
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let users: Vec<UserId> = (0..8).map(|i| UserId::new(format!("user{i}"))).collect();
+    host.register_many(users.clone()).await;
+    for user in &users {
+        assert!(host.submit_im(user, sensor_alert("Sensor ON")).await);
+    }
+    for _ in 0..8 {
+        let (_, status) = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Acked { .. }));
+    }
+    let snap = host.snapshot().await;
+    assert_eq!(snap.users, 8);
+    assert_eq!(snap.stats.deliveries_started, 8);
+    assert_eq!(snap.acked, 8);
+    assert_eq!(snap.in_flight, 0);
+    assert_eq!(snap.tracked, 0);
+    assert_eq!(snap.unrouted, 0);
+    // Only the owning user's IM address saw each alert.
+    shared.with(|c| assert_eq!(c.sent().len(), 8));
+    let final_snap = host.shutdown().await;
+    assert_eq!(final_snap.stats.deliveries_started, 8);
+    assert_eq!(final_snap.log.appends, 8);
+    assert_eq!(final_snap.log.marks, 8);
+    // Group commit: every append+mark was covered by some commit.
+    assert!(final_snap.log.group_commits >= 1);
+}
+
+#[tokio::test(start_paused = true)]
+async fn unregistered_user_is_counted_not_routed() {
+    let shared = SharedChannels::new(LoopbackChannels::accept_all());
+    let (host, _notices) =
+        ShardedHost::new(shared, test_config(2), factory(), Telemetry::disabled()).unwrap();
+    host.register(UserId::new("alice")).await;
+    host.submit_im(&UserId::new("mallory"), sensor_alert("Sensor ON")).await;
+    // Allow the worker to drain.
+    tokio::time::sleep(Duration::from_millis(10)).await;
+    let snap = host.snapshot().await;
+    assert_eq!(snap.unrouted, 1);
+    assert_eq!(snap.stats.received_im, 0);
+}
+
+#[tokio::test(start_paused = true)]
+async fn hibernate_and_rehydrate_preserves_totals_exactly_once() {
+    let sink = Arc::new(RingBufferSink::new(64));
+    let telemetry = Telemetry::with_sink(sink);
+    let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(100)));
+    let (host, mut notices) =
+        ShardedHost::new(shared.clone(), test_config(1), factory(), telemetry.clone()).unwrap();
+    let alice = UserId::new("alice");
+    host.register(alice.clone()).await;
+
+    host.submit_im(&alice, sensor_alert("Sensor 1 ON")).await;
+    let (_, status) = next_finished(&mut notices).await;
+    assert!(matches!(status, DeliveryStatus::Acked { .. }));
+
+    assert!(host.force_hibernate(&alice).await, "idle buddy must hibernate");
+    let parked = host.snapshot().await;
+    assert_eq!(parked.active, 0);
+    assert_eq!(parked.hibernated, 1);
+    assert_eq!(parked.hibernations, 1);
+    // Folded totals keep the fleet accounting intact while parked.
+    assert_eq!(parked.stats.received_im, 1);
+    assert_eq!(parked.stats.deliveries_started, 1);
+
+    // The next routed alert rehydrates and delivers exactly once.
+    host.submit_im(&alice, sensor_alert("Sensor 2 ON")).await;
+    let (_, status) = next_finished(&mut notices).await;
+    assert!(matches!(status, DeliveryStatus::Acked { .. }));
+    let resumed = host.snapshot().await;
+    assert_eq!(resumed.active, 1);
+    assert_eq!(resumed.hibernated, 0);
+    assert_eq!(resumed.rehydrations, 1);
+    // No double counting: totals resumed, not re-added.
+    assert_eq!(resumed.stats.received_im, 2);
+    assert_eq!(resumed.stats.deliveries_started, 2);
+    // Exactly one IM send per alert — nothing lost, nothing duplicated.
+    shared.with(|c| assert_eq!(c.sent().len(), 2));
+    let metrics = telemetry.metrics().snapshot();
+    assert_eq!(metrics.counter("host.hibernated"), 1);
+    assert_eq!(metrics.counter("host.rehydrated"), 1);
+    host.shutdown().await;
+}
+
+#[tokio::test(start_paused = true)]
+async fn hibernation_refused_while_delivery_in_flight() {
+    // The race: an alert is mid-delivery when the hibernation sweep picks
+    // the buddy. Hibernation must refuse (not idle), and the later routed
+    // alert must still deliver exactly once.
+    let shared = SharedChannels::new(LoopbackChannels::accept_all());
+    let (host, mut notices) =
+        ShardedHost::new(shared.clone(), test_config(1), factory(), Telemetry::disabled()).unwrap();
+    let alice = UserId::new("alice");
+    host.register(alice.clone()).await;
+    host.submit_im(&alice, sensor_alert("Sensor ON")).await;
+    tokio::time::sleep(Duration::from_millis(10)).await;
+
+    // In flight (accept_all: no ack yet, 60 s block window pending).
+    assert!(!host.force_hibernate(&alice).await, "in-flight buddy must not hibernate");
+
+    // The user acks; the delivery retires; now hibernation succeeds.
+    host.ack(&alice, DeliveryId(0), AttemptId(0)).await;
+    let (_, status) = next_finished(&mut notices).await;
+    assert!(matches!(status, DeliveryStatus::Acked { .. }));
+    assert!(host.force_hibernate(&alice).await);
+
+    // Rehydrate on the next alert; the stale 60 s block timer from the
+    // pre-hibernation incarnation must not produce a duplicate send.
+    host.submit_im(&alice, sensor_alert("Sensor 2 ON")).await;
+    host.ack(&alice, DeliveryId(1), AttemptId(0)).await;
+    let (_, status) = next_finished(&mut notices).await;
+    assert!(matches!(status, DeliveryStatus::Acked { .. }));
+    tokio::time::sleep(Duration::from_secs(120)).await;
+    shared.with(|c| assert_eq!(c.sent().len(), 2, "one send per alert, no stale-timer dupes"));
+    let snap = host.shutdown().await;
+    assert_eq!(snap.stats.deliveries_started, 2);
+    assert_eq!(snap.acked, 2);
+}
+
+#[tokio::test(start_paused = true)]
+async fn corrupt_snapshot_falls_back_to_fresh_buddy_and_replay() {
+    let sink = Arc::new(RingBufferSink::new(64));
+    let telemetry = Telemetry::with_sink(sink);
+    let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(100)));
+    let (host, mut notices) =
+        ShardedHost::new(shared.clone(), test_config(1), factory(), telemetry.clone()).unwrap();
+    let alice = UserId::new("alice");
+    host.register(alice.clone()).await;
+    host.submit_im(&alice, sensor_alert("Sensor 1 ON")).await;
+    next_finished(&mut notices).await;
+    assert!(host.force_hibernate(&alice).await);
+    assert!(host.corrupt_snapshot(&alice).await, "a parked snapshot must exist");
+
+    // The damaged snapshot is rejected (CRC); a fresh buddy takes over and
+    // the alert still delivers — the shard log, not the snapshot, is the
+    // source of truth.
+    host.submit_im(&alice, sensor_alert("Sensor 2 ON")).await;
+    let (_, status) = next_finished(&mut notices).await;
+    assert!(matches!(status, DeliveryStatus::Acked { .. }));
+    let snap = host.snapshot().await;
+    assert_eq!(snap.corrupt_snapshots, 1);
+    assert_eq!(snap.rehydrations, 0);
+    // The parked totals stay folded, so nothing is lost fleet-wide.
+    assert_eq!(snap.stats.received_im, 2);
+    assert_eq!(snap.stats.deliveries_started, 2);
+    assert_eq!(telemetry.metrics().snapshot().counter("host.snapshot_corrupt"), 1);
+    shared.with(|c| assert_eq!(c.sent().len(), 2));
+    host.shutdown().await;
+}
+
+#[tokio::test(start_paused = true)]
+async fn restart_replays_committed_unmarked_records_only() {
+    let dir = std::env::temp_dir().join(format!("simba-shardhost-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let carol = UserId::new("carol");
+    let on_disk = |shards: usize| ShardedHostConfig {
+        log_dir: Some(dir.clone()),
+        ..test_config(shards)
+    };
+
+    // Session 1: a delivered (marked) alert.
+    {
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+        let (host, mut notices) =
+            ShardedHost::new(shared, on_disk(1), factory(), Telemetry::disabled()).unwrap();
+        host.register(carol.clone()).await;
+        host.submit_im(&carol, sensor_alert("Sensor A ON")).await;
+        next_finished(&mut notices).await;
+        host.shutdown().await;
+    }
+
+    // Between sessions, simulate the two crash windows directly against
+    // the shard log. One record is appended AND committed but never
+    // marked (the buddy died after the ack, before routing completed);
+    // a second is appended but the process dies before the group commit
+    // fsyncs — that one was never acked, so losing it is correct.
+    {
+        let mut log =
+            ShardLog::open(ShardLogConfig::on_disk(dir.join("shard-000"))).unwrap();
+        assert_eq!(log.unprocessed_len(), 0, "session 1 marked its record");
+        log.append(&carol, &sensor_alert("Sensor B ON"), SimTime::from_secs(1)).unwrap();
+        log.commit().unwrap();
+        log.append(&carol, &sensor_alert("Sensor C lost ON"), SimTime::from_secs(2)).unwrap();
+        // No commit: dropped with the "process".
+    }
+
+    // Session 2: startup replay must deliver exactly the committed,
+    // unmarked record — not the marked one, not the torn tail.
+    let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+    let (host, mut notices) =
+        ShardedHost::new(shared.clone(), on_disk(1), factory(), Telemetry::disabled()).unwrap();
+    let (user, status) = next_finished(&mut notices).await;
+    assert_eq!(user, carol);
+    assert!(matches!(status, DeliveryStatus::Acked { .. }));
+    let snap = host.snapshot().await;
+    assert_eq!(snap.stats.replayed, 1);
+    assert_eq!(snap.stats.deliveries_started, 1);
+    shared.with(|c| {
+        assert_eq!(c.sent().len(), 1);
+        assert!(c.sent()[0].2.contains("Sensor B"), "only the committed record replays");
+    });
+    host.shutdown().await;
+
+    // After the replay marked it, a third session finds a clean log.
+    let log = ShardLog::open(ShardLogConfig::on_disk(dir.join("shard-000"))).unwrap();
+    assert_eq!(log.unprocessed_len(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[tokio::test(start_paused = true)]
+async fn mark_failure_crashes_one_buddy_not_the_shard() {
+    // PR 2's contract under group commit: a failed processed-mark crashes
+    // the affected buddy only. Its shard-mates keep delivering, and a
+    // fresh incarnation of the crashed buddy replays its records.
+    let sink = Arc::new(RingBufferSink::new(128));
+    let telemetry = Telemetry::with_sink(sink);
+    let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+    let (host, mut notices) =
+        ShardedHost::new(shared.clone(), test_config(1), factory(), telemetry.clone()).unwrap();
+    let alice = UserId::new("alice");
+    let bob = UserId::new("bob");
+    host.register_many(vec![alice.clone(), bob.clone()]).await;
+
+    host.inject_mark_failure(&alice).await;
+    host.submit_im(&alice, sensor_alert("Sensor A ON")).await;
+    host.submit_im(&bob, sensor_alert("Sensor B ON")).await;
+
+    // Both users' deliveries finish: bob's untouched, alice's via the
+    // restarted incarnation's replay.
+    let mut finished = std::collections::BTreeSet::new();
+    while finished.len() < 2 {
+        let (user, status) = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Acked { .. }), "{user}: {status:?}");
+        finished.insert(user);
+    }
+    assert!(finished.contains(&alice) && finished.contains(&bob));
+
+    let snap = host.snapshot().await;
+    assert_eq!(snap.crashes, 1, "exactly one buddy crashed");
+    assert_eq!(snap.stats.replayed, 1, "the crashed buddy's record replayed");
+    assert_eq!(snap.stats.received_im, 2);
+    assert_eq!(telemetry.metrics().snapshot().counter("host.buddy_crashed"), 1);
+
+    // The shard worker survived: both buddies keep delivering.
+    host.submit_im(&alice, sensor_alert("Sensor A2 ON")).await;
+    host.submit_im(&bob, sensor_alert("Sensor B2 ON")).await;
+    for _ in 0..2 {
+        let (_, status) = next_finished(&mut notices).await;
+        assert!(matches!(status, DeliveryStatus::Acked { .. }));
+    }
+    let final_snap = host.shutdown().await;
+    assert_eq!(final_snap.crashes, 1);
+    assert_eq!(final_snap.stats.received_im, 4);
+    // Replay may duplicate the crashed buddy's send (§4.2.1: the user-side
+    // dedup absorbs it); bob's two sends stay exactly two.
+    shared.with(|c| {
+        let to_bob = c.sent().iter().filter(|(_, addr, _)| addr == "im:bob").count();
+        assert_eq!(to_bob, 2);
+    });
+}
+
+#[tokio::test(start_paused = true)]
+async fn idle_sweep_hibernates_automatically() {
+    let config = ShardedHostConfig {
+        shards: 1,
+        hibernate_after: SimDuration::from_millis(200),
+        ..ShardedHostConfig::default()
+    };
+    let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+    let (host, mut notices) =
+        ShardedHost::new(shared, config, factory(), Telemetry::disabled()).unwrap();
+    let users: Vec<UserId> = (0..3).map(|i| UserId::new(format!("user{i}"))).collect();
+    host.register_many(users.clone()).await;
+    for user in &users {
+        host.submit_im(user, sensor_alert("Sensor ON")).await;
+    }
+    for _ in 0..3 {
+        next_finished(&mut notices).await;
+    }
+    // Past the idle threshold, the sweep parks all three.
+    tokio::time::sleep(Duration::from_secs(2)).await;
+    let snap = host.snapshot().await;
+    assert_eq!(snap.active, 0, "idle buddies must hibernate: {snap:?}");
+    assert_eq!(snap.hibernated, 3);
+    assert_eq!(snap.hibernations, 3);
+    assert_eq!(snap.stats.deliveries_started, 3);
+
+    // Traffic brings one back.
+    host.submit_im(&users[0], sensor_alert("Sensor again ON")).await;
+    next_finished(&mut notices).await;
+    let snap = host.snapshot().await;
+    assert_eq!(snap.active, 1);
+    assert_eq!(snap.hibernated, 2);
+    assert_eq!(snap.rehydrations, 1);
+    host.shutdown().await;
+}
+
+#[tokio::test(start_paused = true)]
+async fn im_failure_falls_back_to_email_under_sharding() {
+    let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+    let (host, mut notices) =
+        ShardedHost::new(shared.clone(), test_config(1), factory(), Telemetry::disabled()).unwrap();
+    let alice = UserId::new("alice");
+    host.register(alice.clone()).await;
+    shared.with(|c| c.script("im:alice", SendOutcome::Failed(SendFailure::RecipientUnreachable)));
+    host.submit_im(&alice, sensor_alert("Sensor ON")).await;
+    let (_, status) = next_finished(&mut notices).await;
+    assert!(matches!(status, DeliveryStatus::Unconfirmed { block: 1, .. }));
+    let snap = host.shutdown().await;
+    assert_eq!(snap.unconfirmed, 1);
+}

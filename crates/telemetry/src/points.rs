@@ -154,8 +154,16 @@ pub const POINTS: &[PointDef] = &[
     point!("gateway.queue_depth", [Gauge], "gateway", "current depth of the gateway's ingest queue"),
     point!("gateway.shed", [Event, Counter], "gateway", "an alert was load-shed instead of enqueued"),
     point!("gateway.unknown_user", [Event, Counter], "gateway", "an alert named a user no MAB is hosting"),
+    point!("host.buddy_crashed", [Counter], "host", "buddies that crashed on a shard worker and were restarted with log replay"),
+    point!("host.commit_failed", [Counter], "host", "shard-log group commits that failed (the batch's effects were withheld)"),
+    point!("host.group_commits", [Counter], "host", "shard-log group commits (one fsync each in file mode)"),
+    point!("host.hibernated", [Counter], "host", "idle buddies hibernated to compact snapshots by the sharded host"),
     point!("host.notice_dropped", [Counter], "host", "MAB notices dropped because the host's notice queue was full"),
+    point!("host.rehydrated", [Counter], "host", "hibernated buddies rebuilt from snapshots on routed demand"),
     point!("host.routed", [Counter], "host", "alerts the multi-user host routed to a per-user MAB"),
+    point!("host.segments_rotated", [Counter], "host", "shard-log segment rotations (history compacted to live records)"),
+    point!("host.shard_depth", [Gauge], "host", "current inbound queue depth of a shard worker"),
+    point!("host.snapshot_corrupt", [Counter], "host", "hibernation snapshots rejected at rehydration; each fell back to shard-log replay"),
     point!("host.unrouted", [Event, Counter], "host", "an alert arrived for a user the host does not run"),
     point!("host.user_added", [Event], "host", "a per-user MAB runtime was started on the host"),
     point!("host.user_stopped", [Event], "host", "a per-user MAB runtime was retired from the host"),
