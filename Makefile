@@ -14,7 +14,10 @@
 #   make store-smoke — E7 soft-state store smoke: concurrent TTL'd
 #                 writes/reads/subscriptions; asserts zero expired-fact reads
 #   make host-smoke — E8 sharded-host smoke: 2k active of 20k registered
-#                 users through hibernation + group-commit shard logs
+#                 users through hibernation + group-commit shard logs;
+#                 on machines with >= 2 CPUs it also runs the thread-per-
+#                 shard multi-core comparison (multiplier asserted >= 2x
+#                 only when >= 4 cores are available)
 #
 # The four smoke targets each write a machine-readable BENCH_e*.json
 # artifact (schema in EXPERIMENTS.md) and exit non-zero below their
@@ -60,6 +63,14 @@ store-smoke:
 
 host-smoke:
 	$(CARGO) run --release -q -p simba-bench --bin exp_e8_sharded -- --smoke
+	@cores=$$(nproc 2>/dev/null || echo 1); \
+	if [ "$$cores" -ge 2 ]; then \
+		threads=$$cores; [ "$$threads" -gt 8 ] && threads=8; \
+		echo "host-smoke: $$cores cores, running multi-core E8 with $$threads shard threads"; \
+		$(CARGO) run --release -q -p simba-bench --bin exp_e8_sharded -- --smoke --threads $$threads; \
+	else \
+		echo "host-smoke: single core, skipping the multi-core E8 comparison"; \
+	fi
 
 clean:
 	$(CARGO) clean

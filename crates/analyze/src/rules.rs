@@ -46,6 +46,10 @@ pub const RULES: &[(&str, &str)] = &[
         "an unbounded channel constructor outside the sim crate",
     ),
     (
+        "hygiene.shared-mutability",
+        "Rc or RefCell outside test code in core or runtime (shard state must stay Send for thread-per-shard)",
+    ),
+    (
         "hygiene.forbid-unsafe",
         "a workspace crate root is missing #![forbid(unsafe_code)]",
     ),
@@ -74,6 +78,13 @@ pub const TELEMETRY_EXEMPT_CRATES: &[&str] = &["telemetry"];
 /// Crates allowed to build unbounded channels (simulation decks model
 /// infinite queues deliberately).
 pub const UNBOUNDED_EXEMPT_CRATES: &[&str] = &["sim"];
+
+/// Crates whose non-test code must not use `Rc` / `RefCell`: their
+/// futures run on shard threads, so shared state must be `Send`
+/// (`Arc`/`Mutex` or per-shard ownership). Single-threaded interior
+/// mutability here reintroduces the !Send types the thread-per-shard
+/// executor migration removed.
+pub const SHARED_MUT_CRATES: &[&str] = &["core", "runtime"];
 
 fn is_known_rule(rule: &str) -> bool {
     RULES.iter().any(|(id, _)| *id == rule)
@@ -322,6 +333,23 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
                 message: format!("`{}` has no backpressure", u.what),
                 help: Some(
                     "use a bounded channel and account for drops, like MabHost's notice stream".into(),
+                ),
+            });
+        }
+    }
+
+    for s in &facts.shared_mut {
+        if !s.in_test && SHARED_MUT_CRATES.contains(&crate_name) {
+            findings.push(Finding {
+                rule: "hygiene.shared-mutability",
+                file: file.rel_path.clone(),
+                line: s.line,
+                message: format!(
+                    "`{}` outside test code in `{}` — shard futures must stay `Send`",
+                    s.what, crate_name
+                ),
+                help: Some(
+                    "use Arc/Mutex (or keep the state owned by one shard), or suppress with a reason".into(),
                 ),
             });
         }

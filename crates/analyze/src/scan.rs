@@ -86,6 +86,18 @@ pub struct UnboundedSite {
     pub in_test: bool,
 }
 
+/// An `Rc<`/`RefCell<` (or `Rc::`/`RefCell::`) reference — single-thread
+/// shared mutability, which pins the surrounding future to one thread.
+#[derive(Debug, Clone)]
+pub struct SharedMutSite {
+    /// 1-based line.
+    pub line: u32,
+    /// `"Rc"` or `"RefCell"`.
+    pub what: &'static str,
+    /// Inside test code.
+    pub in_test: bool,
+}
+
 /// A `// simba-analyze: allow(rule, ...): reason` directive. It covers
 /// findings on its own line (trailing comment) and on the next line
 /// (comment-above style).
@@ -110,6 +122,8 @@ pub struct FileFacts {
     pub sleeps_in_async: Vec<SleepSite>,
     /// Unbounded channel constructors.
     pub unbounded: Vec<UnboundedSite>,
+    /// `Rc` / `RefCell` references.
+    pub shared_mut: Vec<SharedMutSite>,
     /// Suppression directives.
     pub suppressions: Vec<Suppression>,
     /// The file carries `#![forbid(unsafe_code)]`.
@@ -262,6 +276,22 @@ pub fn scan_source(source: &str, whole_file_is_test: bool) -> FileFacts {
                 what: "unbounded_channel()",
                 in_test: tested,
             });
+        }
+
+        // `Rc<`, `Rc::`, `RefCell<`, `RefCell::` — both the type position
+        // and the constructor path, so inferred `let x = Rc::new(..)`
+        // bindings are caught too. (`use std::rc::Rc;` ends in `;` and
+        // matches neither.)
+        if let Some(what @ ("Rc" | "RefCell")) = tok.kind.ident() {
+            let type_pos = punct_at(i + 1, '<');
+            let path_pos = punct_at(i + 1, ':') && punct_at(i + 2, ':');
+            if type_pos || path_pos {
+                facts.shared_mut.push(SharedMutSite {
+                    line: tok.line,
+                    what: if what == "Rc" { "Rc" } else { "RefCell" },
+                    in_test: tested,
+                });
+            }
         }
 
         // `mpsc::channel()` — std's zero-argument constructor is the
@@ -608,6 +638,27 @@ mod tests {
         assert_eq!(facts.unbounded.len(), 2);
         assert_eq!(facts.unbounded[0].what, "unbounded_channel()");
         assert_eq!(facts.unbounded[1].what, "std::sync::mpsc::channel()");
+    }
+
+    #[test]
+    fn rc_and_refcell_sites() {
+        let src = r#"
+            use std::rc::Rc;
+            struct S { log: Rc<RefCell<Log>> }
+            fn f() { let x = Rc::new(1); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { let y = RefCell::new(2); }
+            }
+        "#;
+        let facts = scan_source(src, false);
+        let got: Vec<(&str, bool)> =
+            facts.shared_mut.iter().map(|s| (s.what, s.in_test)).collect();
+        // The `use` line matches neither `<` nor `::` after `Rc`.
+        assert_eq!(
+            got,
+            vec![("Rc", false), ("RefCell", false), ("Rc", false), ("RefCell", true)]
+        );
     }
 
     #[test]

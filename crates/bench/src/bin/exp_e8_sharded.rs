@@ -2,20 +2,25 @@
 //! tables; writes `BENCH_e8.json` (see `EXPERIMENTS.md` for the schema).
 //!
 //! Usage: `exp_e8_sharded [--smoke] [--users N] [--active A] [--waves W]
-//! [--shards S]`
+//! [--shards S] [--threads T]`
 //!
 //! `--smoke` is the CI shape (2 k active of 20 k registered); the default
 //! full shape registers 1 000 000 users, drives 100 k active ones, and
-//! asserts the recorded single-core throughput floor (see
-//! `FULL_THROUGHPUT_FLOOR` for why the 10×-E3H design target is not
-//! asserted on one core).
+//! asserts the recorded single-core throughput floor.
+//!
+//! `--threads T` switches to the multi-core comparison: the same build is
+//! driven once on one shard thread and once on `T`, both in real time,
+//! and the multiplier is recorded (asserted ≥ 2× on machines with ≥ 4
+//! cores). It replaces the shape flags — the comparison runs the fixed
+//! multicore shape so recorded multipliers stay comparable.
 
 use simba_bench::benchjson::BenchMode;
-use simba_bench::experiments::e8_sharded::{run_with, E8Options};
+use simba_bench::experiments::e8_sharded::{run_multicore, run_with, E8Options};
 
 fn main() {
     let mut opts = E8Options::full();
     let mut mode = BenchMode::Full;
+    let mut threads: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -23,7 +28,7 @@ fn main() {
                 mode = BenchMode::Smoke;
                 opts = E8Options::smoke();
             }
-            "--users" | "--active" | "--waves" | "--shards" => {
+            "--users" | "--active" | "--waves" | "--shards" | "--threads" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("{flag} needs a number");
                     std::process::exit(2);
@@ -32,18 +37,27 @@ fn main() {
                     "--users" => opts.users = v,
                     "--active" => opts.active = v,
                     "--waves" => opts.waves = v,
+                    "--threads" => threads = Some(v),
                     _ => opts.shards = v,
                 }
             }
             other => {
                 eprintln!(
                     "usage: exp_e8_sharded [--smoke] [--users N] [--active A] [--waves W] \
-                     [--shards S]"
+                     [--shards S] [--threads T]"
                 );
                 eprintln!("unknown flag: {other:?}");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(threads) = threads {
+        if threads < 2 {
+            eprintln!("--threads needs at least 2 shard threads to compare against 1");
+            std::process::exit(2);
+        }
+        run_multicore(threads, mode).print();
+        return;
     }
     if opts.active > opts.users || opts.active == 0 || opts.waves == 0 {
         eprintln!("need 0 < --active <= --users and --waves >= 1");

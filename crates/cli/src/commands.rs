@@ -519,10 +519,12 @@ fn telemetry_tail(path: &str) -> Outcome {
     Outcome::ok(out)
 }
 
-/// `host --sharded [--users N] [--active A] [--waves W] [--shards S]` —
-/// run the sharded/hibernating host (the E8 pipeline) at an interactive
-/// scale and report roster vs live-buddy bounds, group-commit
-/// amortization, and throughput.
+/// `host --sharded [--users N] [--active A] [--waves W] [--shards S]
+/// [--threads]` — run the sharded/hibernating host (the E8 pipeline) at
+/// an interactive scale and report roster vs live-buddy bounds,
+/// group-commit amortization, and throughput. `--threads` pins each
+/// shard worker to its own OS thread (the multi-core mode) instead of
+/// the deterministic single-threaded executor.
 fn host_sharded(args: &[String]) -> Outcome {
     use simba_bench::experiments::e8_sharded::{measure, E8Options};
 
@@ -539,6 +541,10 @@ fn host_sharded(args: &[String]) -> Outcome {
             "--active" => &mut opts.active,
             "--waves" => &mut opts.waves,
             "--shards" => &mut opts.shards,
+            "--threads" => {
+                opts.threads = true;
+                continue;
+            }
             other => return Outcome::usage(&format!("unknown flag {other:?}")),
         };
         match it.next().and_then(|v| v.parse().ok()) {
@@ -549,10 +555,19 @@ fn host_sharded(args: &[String]) -> Outcome {
     if opts.active == 0 || opts.active > opts.users || opts.waves == 0 || opts.shards == 0 {
         return Outcome::usage("need 0 < --active <= --users, --waves >= 1, --shards >= 1");
     }
+    if opts.threads {
+        // Real threads pace on wall time; the virtual-time hibernation
+        // default (30 s) would keep the post-run park from completing.
+        opts.hibernate_after = simba_sim::SimDuration::from_millis(250);
+    }
     let (numbers, tables) = measure(opts);
     let mut out = format!(
-        "sharded host: {} registered, {} active x {} waves over {} shards\n\n",
-        opts.users, opts.active, opts.waves, opts.shards
+        "sharded host: {} registered, {} active x {} waves over {} shards{}\n\n",
+        opts.users,
+        opts.active,
+        opts.waves,
+        opts.shards,
+        if opts.threads { " (thread-per-shard)" } else { "" }
     );
     for t in &tables {
         out.push_str(&t.to_text());
@@ -1303,6 +1318,17 @@ mod tests {
         assert_eq!(host(&strings(&["--sharded", "--active", "0"])).code, 2);
         assert_eq!(host(&strings(&["--sharded", "--waves", "none"])).code, 2);
         assert_eq!(host(&strings(&["--sharded", "--frobnicate"])).code, 2);
+    }
+
+    #[test]
+    fn host_sharded_threads_runs_thread_per_shard() {
+        let out = host(&strings(&[
+            "--sharded", "--users", "200", "--active", "20", "--waves", "2", "--shards", "2",
+            "--threads",
+        ]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("(thread-per-shard)"), "{}", out.output);
+        assert!(out.output.contains("20 hibernated after the sweep"), "{}", out.output);
     }
 
     #[test]

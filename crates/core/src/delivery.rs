@@ -22,7 +22,7 @@ use crate::alert::{Alert, AlertId};
 use crate::mode::{AckPolicy, DeliveryMode};
 use simba_sim::{SimDuration, SimTime};
 use simba_telemetry::{Event, Telemetry};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifies one send attempt within a delivery process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -194,7 +194,7 @@ pub struct AttemptRecord {
 #[derive(Debug)]
 pub struct DeliveryProcess {
     alert: Alert,
-    mode: Rc<DeliveryMode>,
+    mode: Arc<DeliveryMode>,
     block_idx: usize,
     status: DeliveryStatus,
     attempts: Vec<AttemptRecord>,
@@ -214,7 +214,7 @@ impl DeliveryProcess {
     /// plus the initial commands.
     pub fn start(
         alert: Alert,
-        mode: impl Into<Rc<DeliveryMode>>,
+        mode: impl Into<Arc<DeliveryMode>>,
         book: &AddressBook,
         now: SimTime,
     ) -> (Self, Vec<DeliveryCommand>) {
@@ -226,7 +226,7 @@ impl DeliveryProcess {
     /// `telemetry` as the state machine runs.
     pub fn start_observed(
         alert: Alert,
-        mode: impl Into<Rc<DeliveryMode>>,
+        mode: impl Into<Arc<DeliveryMode>>,
         book: &AddressBook,
         now: SimTime,
         telemetry: Telemetry,
@@ -441,7 +441,7 @@ impl DeliveryProcess {
         let mut idx = idx;
         // A cheap handle on the (shared) mode so the block loop below can
         // mutate `self` while iterating the block's actions.
-        let mode = Rc::clone(&self.mode);
+        let mode = Arc::clone(&self.mode);
         loop {
             let Some(block) = mode.blocks().get(idx) else {
                 self.status = DeliveryStatus::Exhausted { at: now };

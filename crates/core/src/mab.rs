@@ -24,7 +24,7 @@ use crate::wal::{WalRecord, WriteAheadLog};
 use simba_sim::{SimDuration, SimTime};
 use simba_telemetry::{Event, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Default capacity of the completed-delivery ring.
 pub const DEFAULT_COMPLETED_CAP: usize = 256;
@@ -682,7 +682,7 @@ impl<W: WriteAheadLog> MyAlertBuddy<W> {
                                                 .with("unhealthy", ctx.unhealthy.len()),
                                         );
                                     }
-                                    Rc::new(adjusted)
+                                    Arc::new(adjusted)
                                 }
                                 None => mode,
                             }

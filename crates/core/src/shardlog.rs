@@ -511,7 +511,8 @@ fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
 /// The shard worker owns the log and hands each active buddy a facade
 /// scoped to its user; the facade tags appends, checks mark ownership,
 /// and scopes the replay set. `L` is anything that can lend the log out
-/// mutably — the runtime uses `Rc<RefCell<ShardLog>>` inside a worker.
+/// mutably — the runtime uses `Arc<Mutex<ShardLog>>` inside a worker
+/// (uncontended: the log never leaves its shard's thread).
 #[derive(Debug, Clone)]
 pub struct UserShardWal<L> {
     log: L,
@@ -531,17 +532,12 @@ impl<L: ShardLogHandle> UserShardWal<L> {
 }
 
 /// Lends a [`ShardLog`] out for one operation. Implemented for
-/// `Rc<RefCell<ShardLog>>` (single-threaded shard workers) and
-/// `Arc<Mutex<ShardLog>>`.
+/// `Arc<Mutex<ShardLog>>` — the only handle shape the runtime uses, so
+/// buddies (and the futures that drive them) stay `Send` even though
+/// each log lives and dies on one shard thread.
 pub trait ShardLogHandle {
     /// Runs `f` with exclusive access to the log.
     fn with_log<R>(&self, f: impl FnOnce(&mut ShardLog) -> R) -> R;
-}
-
-impl ShardLogHandle for std::rc::Rc<std::cell::RefCell<ShardLog>> {
-    fn with_log<R>(&self, f: impl FnOnce(&mut ShardLog) -> R) -> R {
-        f(&mut self.borrow_mut())
-    }
 }
 
 impl ShardLogHandle for std::sync::Arc<std::sync::Mutex<ShardLog>> {
@@ -578,8 +574,7 @@ impl<L: ShardLogHandle> WriteAheadLog for UserShardWal<L> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn alert(body: &str, origin_secs: u64) -> IncomingAlert {
         IncomingAlert::from_im("aladdin-gw", body, SimTime::from_secs(origin_secs))
@@ -754,9 +749,9 @@ mod tests {
 
     #[test]
     fn user_facade_scopes_the_shared_log() {
-        let log = Rc::new(RefCell::new(ShardLog::open(ShardLogConfig::in_memory()).unwrap()));
-        let mut alice = UserShardWal::new(Rc::clone(&log), user("alice"));
-        let mut bob = UserShardWal::new(Rc::clone(&log), user("bob"));
+        let log = Arc::new(Mutex::new(ShardLog::open(ShardLogConfig::in_memory()).unwrap()));
+        let mut alice = UserShardWal::new(Arc::clone(&log), user("alice"));
+        let mut bob = UserShardWal::new(Arc::clone(&log), user("bob"));
         let a = alice.append(&alert("for alice", 1), t(1)).unwrap();
         let b = bob.append(&alert("for bob", 2), t(2)).unwrap();
         assert_eq!(alice.unprocessed().len(), 1);
@@ -767,7 +762,7 @@ mod tests {
         alice.mark_processed(a).unwrap();
         assert!(!alice.has_unprocessed());
         assert!(bob.has_unprocessed());
-        assert_eq!(log.borrow().unprocessed_len(), 1);
+        assert_eq!(log.with_log(|l| l.unprocessed_len()), 1);
     }
 
     #[test]

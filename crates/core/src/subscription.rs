@@ -12,7 +12,7 @@ use crate::address::AddressBook;
 use crate::mode::DeliveryMode;
 use simba_sim::SimTime;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A user identifier.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -113,13 +113,13 @@ pub struct UserProfile {
     pub address_book: AddressBook,
     /// Shared so a routed alert hands its [`DeliveryMode`] to the delivery
     /// process without a deep clone (the alert hot path).
-    modes: BTreeMap<String, Rc<DeliveryMode>>,
+    modes: BTreeMap<String, Arc<DeliveryMode>>,
 }
 
 impl UserProfile {
     /// Registers (or replaces) a delivery mode under its name.
     pub fn define_mode(&mut self, mode: DeliveryMode) {
-        self.modes.insert(mode.name.clone(), Rc::new(mode));
+        self.modes.insert(mode.name.clone(), Arc::new(mode));
     }
 
     /// Looks a mode up by name.
@@ -129,7 +129,7 @@ impl UserProfile {
 
     /// Like [`UserProfile::mode`], but returning the shared handle — the
     /// cheap way to start a delivery with this mode.
-    pub fn mode_shared(&self, name: &str) -> Option<Rc<DeliveryMode>> {
+    pub fn mode_shared(&self, name: &str) -> Option<Arc<DeliveryMode>> {
         self.modes.get(name).cloned()
     }
 

@@ -8,8 +8,15 @@
 //! degrades throughput visibly rather than latency silently.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long a bucket may sit at full burst before the sweep drops it.
+/// Eviction is lossless at that point — a recreated bucket starts at
+/// full burst, exactly the state the evicted one had — so the window
+/// only bounds how much memory source churn can pin, not behaviour.
+pub const DEFAULT_IDLE_EVICT_WINDOW: Duration = Duration::from_secs(60);
 
 /// Token-bucket parameters applied independently to every alert source.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,18 +33,46 @@ struct Bucket {
     refreshed: Instant,
 }
 
+#[derive(Debug)]
+struct BucketMap {
+    buckets: HashMap<String, Bucket>,
+    /// When the idle sweep last ran; `None` until the first take.
+    last_sweep: Option<Instant>,
+}
+
 /// Per-source token buckets behind one lock (sources are few; the
 /// critical section is a handful of float ops).
+///
+/// The map is bounded under source churn: once a bucket has been idle
+/// long enough to refill to full burst *and* a further idle window has
+/// passed, an amortized sweep (at most once per window, piggybacked on
+/// a take) evicts it. A source that returns later gets a fresh
+/// full-burst bucket — indistinguishable from the evicted one.
 #[derive(Debug)]
 pub struct TokenBuckets {
     limit: Option<RateLimit>,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    idle_window: Duration,
+    /// Buckets dropped by the sweep since the last [`TokenBuckets::take_evicted`].
+    evicted: AtomicU64,
+    buckets: Mutex<BucketMap>,
 }
 
 impl TokenBuckets {
-    /// Buckets enforcing `limit`; `None` admits everything.
+    /// Buckets enforcing `limit`; `None` admits everything. Idle buckets
+    /// are evicted after [`DEFAULT_IDLE_EVICT_WINDOW`].
     pub fn new(limit: Option<RateLimit>) -> Self {
-        TokenBuckets { limit, buckets: Mutex::new(HashMap::new()) }
+        TokenBuckets::with_idle_window(limit, DEFAULT_IDLE_EVICT_WINDOW)
+    }
+
+    /// [`TokenBuckets::new`] with an explicit idle-eviction window, for
+    /// tests and tuned deployments.
+    pub fn with_idle_window(limit: Option<RateLimit>, idle_window: Duration) -> Self {
+        TokenBuckets {
+            limit,
+            idle_window,
+            evicted: AtomicU64::new(0),
+            buckets: Mutex::new(BucketMap { buckets: HashMap::new(), last_sweep: None }),
+        }
     }
 
     /// Takes one token for `source`, or reports how many milliseconds
@@ -55,11 +90,24 @@ impl TokenBuckets {
         }
         // Rate state is self-healing (tokens refill from wall time), so a
         // poisoned map is safe to keep using.
-        let mut buckets = self
+        let mut map = self
             .buckets
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let bucket = buckets.entry(source.to_string()).or_insert_with(|| Bucket {
+        // Amortized idle sweep: at most once per window, so steady
+        // traffic pays O(map/window) per take, not O(map).
+        let due = match map.last_sweep {
+            None => {
+                map.last_sweep = Some(now);
+                false
+            }
+            Some(last) => now.saturating_duration_since(last) >= self.idle_window,
+        };
+        if due {
+            map.last_sweep = Some(now);
+            self.sweep(&mut map, now, limit);
+        }
+        let bucket = map.buckets.entry(source.to_string()).or_insert_with(|| Bucket {
             tokens: f64::from(limit.burst),
             refreshed: now,
         });
@@ -77,12 +125,37 @@ impl TokenBuckets {
         }
     }
 
+    /// Drops every bucket whose source has been idle past the point of
+    /// refilling to full burst plus the idle window. `per_sec >= 1` here
+    /// (zero-rate limits never reach the map).
+    fn sweep(&self, map: &mut BucketMap, now: Instant, limit: RateLimit) {
+        let window = self.idle_window.as_secs_f64();
+        let before = map.buckets.len();
+        map.buckets.retain(|_, bucket| {
+            let idle = now.saturating_duration_since(bucket.refreshed).as_secs_f64();
+            let to_full =
+                (f64::from(limit.burst) - bucket.tokens).max(0.0) / f64::from(limit.per_sec);
+            idle < to_full + window
+        });
+        let evicted = (before - map.buckets.len()) as u64;
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
     /// Number of sources currently tracked.
     pub fn tracked_sources(&self) -> usize {
         self.buckets
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .buckets
             .len()
+    }
+
+    /// Buckets evicted since the last call (for the
+    /// `gateway.buckets_evicted` counter); resets the tally.
+    pub fn take_evicted(&self) -> u64 {
+        self.evicted.swap(0, Ordering::Relaxed)
     }
 }
 
@@ -132,6 +205,74 @@ mod tests {
     fn zero_rate_statically_refuses() {
         let buckets = TokenBuckets::new(Some(RateLimit { burst: 5, per_sec: 0 }));
         assert_eq!(buckets.try_take("gw"), Err(1_000));
+    }
+
+    #[test]
+    fn source_churn_keeps_the_map_bounded() {
+        // The regression this pins: before eviction, every source name
+        // ever seen stayed in the map forever, so a stream of one-shot
+        // sources (churned connection IDs, probing scanners) grew the
+        // gateway's memory without bound.
+        let limit = RateLimit { burst: 4, per_sec: 2 };
+        let buckets = TokenBuckets::with_idle_window(Some(limit), Duration::from_secs(1));
+        let t0 = Instant::now();
+        // 10 k distinct sources, one submission each, 10 ms apart.
+        for i in 0..10_000u32 {
+            let now = t0 + Duration::from_millis(u64::from(i) * 10);
+            assert_eq!(buckets.try_take_at(&format!("src-{i}"), now), Ok(()));
+        }
+        // A bucket lives at most time_to_full (a burst-4 bucket one
+        // token down refills in 0.5 s) + the 1 s idle window + up to one
+        // window of sweep lag: ≤ 2.5 s ≈ 250 sources at this pace. Far
+        // below 10 000 — the map tracks recent sources, not history.
+        let tracked = buckets.tracked_sources();
+        assert!(tracked <= 300, "map should stay bounded, tracked {tracked}");
+        assert_eq!(buckets.take_evicted() as usize + tracked, 10_000);
+        assert_eq!(buckets.take_evicted(), 0, "take_evicted drains the tally");
+    }
+
+    #[test]
+    fn eviction_is_lossless_at_full_burst() {
+        let limit = RateLimit { burst: 2, per_sec: 1 };
+        let buckets = TokenBuckets::with_idle_window(Some(limit), Duration::from_secs(1));
+        let t0 = Instant::now();
+        assert_eq!(buckets.try_take_at("gw", t0), Ok(()));
+        assert_eq!(buckets.try_take_at("gw", t0), Ok(()));
+        assert!(buckets.try_take_at("gw", t0).is_err(), "burst spent");
+        // 2 s refills both tokens, +1 s idle window passes: the sweep
+        // (triggered by an unrelated take) may drop the bucket.
+        let t1 = t0 + Duration::from_secs(4);
+        assert_eq!(buckets.try_take_at("other", t1), Ok(()));
+        assert_eq!(buckets.tracked_sources(), 1, "idle full bucket evicted");
+        assert_eq!(buckets.take_evicted(), 1);
+        // The source returns: fresh bucket at full burst — exactly what
+        // the evicted one had refilled to. No behaviour change.
+        assert_eq!(buckets.try_take_at("gw", t1), Ok(()));
+        assert_eq!(buckets.try_take_at("gw", t1), Ok(()));
+        assert!(buckets.try_take_at("gw", t1).is_err());
+    }
+
+    #[test]
+    fn drained_buckets_survive_the_idle_window_until_refilled() {
+        // A drained bucket still encodes rate-limit debt; it must not be
+        // evicted after merely the idle window, or a throttled source
+        // could reset its own limit by pausing. burst 10 at 1/s: 10 s to
+        // refill, so at window + 2 s the bucket must still be tracked.
+        let limit = RateLimit { burst: 10, per_sec: 1 };
+        let buckets = TokenBuckets::with_idle_window(Some(limit), Duration::from_secs(1));
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            assert_eq!(buckets.try_take_at("gw", t0), Ok(()));
+        }
+        let t1 = t0 + Duration::from_secs(3);
+        assert_eq!(buckets.try_take_at("other", t1), Ok(()));
+        assert_eq!(buckets.tracked_sources(), 2, "drained bucket retained");
+        assert_eq!(buckets.take_evicted(), 0);
+        // Three tokens refilled by t1; the debt is intact.
+        for _ in 0..3 {
+            assert_eq!(buckets.try_take_at("gw", t1), Ok(()));
+        }
+        assert!(buckets.try_take_at("gw", t1).is_err());
     }
 
     #[test]

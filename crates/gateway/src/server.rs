@@ -91,6 +91,7 @@ impl Default for GatewayConfig {
 #[derive(Clone)]
 struct Counters {
     accepted: CounterHandle,
+    buckets_evicted: CounterHandle,
     shed: CounterHandle,
     decode_err: CounterHandle,
     unknown_user: CounterHandle,
@@ -104,6 +105,7 @@ impl Counters {
         let m = telemetry.metrics();
         Counters {
             accepted: m.counter("gateway.accepted"),
+            buckets_evicted: m.counter("gateway.buckets_evicted"),
             shed: m.counter("gateway.shed"),
             decode_err: m.counter("gateway.decode_err"),
             unknown_user: m.counter("gateway.unknown_user"),
@@ -463,7 +465,14 @@ fn admit(
     if slot.load(Ordering::Relaxed) >= shared.config.per_conn_inflight {
         return shed(shared, seq, NackReason::ConnBusy, retry_after, &source);
     }
-    if let Err(wait_ms) = shared.buckets.try_take(&source) {
+    let admitted = shared.buckets.try_take(&source);
+    // Surface any buckets the amortized idle sweep just dropped, on
+    // whichever worker's take triggered it.
+    let evicted = shared.buckets.take_evicted();
+    if evicted > 0 {
+        shared.counters.buckets_evicted.add(evicted);
+    }
+    if let Err(wait_ms) = admitted {
         return shed(shared, seq, NackReason::RateLimited, wait_ms, &source);
     }
     let submission = Submission {

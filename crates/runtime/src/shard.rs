@@ -43,15 +43,19 @@ use simba_core::subscription::UserId;
 use simba_core::wal::WalError;
 use simba_core::{MabConfig, Telemetry, UserShardWal};
 use simba_sim::{SimDuration, SimTime};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::PathBuf;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 use tokio::sync::{mpsc, oneshot};
 use tokio::task::JoinHandle;
+
+/// The shard log handle a worker shares with its buddies' WAL facades.
+/// `Arc<Mutex<_>>` rather than `Rc<RefCell<_>>` so the worker future is
+/// `Send` and can be pinned to a dedicated OS thread; the mutex is
+/// uncontended — a log never leaves its shard's event loop.
+type SharedShardLog = Arc<Mutex<ShardLog>>;
 
 /// Builds a user's [`MabConfig`] on demand. Configuration is derivable
 /// state (profiles, subscriptions), deliberately not serialized into
@@ -89,6 +93,13 @@ pub struct ShardedHostConfig {
     /// Capacity of each shard's inbound queue; submitters await space,
     /// so a hot shard exerts backpressure instead of buffering unboundedly.
     pub queue_capacity: usize,
+    /// Run each shard worker on its own dedicated OS thread, each with
+    /// its own single-threaded event loop (thread-per-shard). `false`
+    /// spawns workers as tasks on the caller's executor — the
+    /// deterministic shape `start_paused` tests rely on. Threaded
+    /// workers keep real time (each thread's clock is wall-anchored), so
+    /// virtual-time control from the caller does not reach them.
+    pub threads: bool,
 }
 
 impl Default for ShardedHostConfig {
@@ -103,6 +114,7 @@ impl Default for ShardedHostConfig {
             completed_ring: 0,
             notice_capacity: DEFAULT_NOTICE_CAPACITY,
             queue_capacity: 1024,
+            threads: false,
         }
     }
 }
@@ -227,7 +239,7 @@ enum UserSlot {
 
 /// A resident buddy plus its worker-side bookkeeping.
 struct ActiveBuddy {
-    mab: MyAlertBuddy<UserShardWal<Rc<RefCell<ShardLog>>>>,
+    mab: MyAlertBuddy<UserShardWal<SharedShardLog>>,
     /// Monotonic per-worker activation id; timer-wheel entries carry the
     /// incarnation they were scheduled under, so wakeups for a buddy
     /// that has since hibernated, crashed, or restarted are stale by
@@ -261,10 +273,17 @@ struct Outcomes {
     exhausted: u64,
 }
 
+/// How a shard worker runs: a task on the caller's executor, or a
+/// dedicated OS thread driving its own event loop.
+enum ShardTask {
+    Local(JoinHandle<()>),
+    Thread(std::thread::JoinHandle<()>),
+}
+
 struct ShardHandle {
     tx: mpsc::Sender<ShardMsg>,
     depth: Arc<AtomicUsize>,
-    task: JoinHandle<()>,
+    task: ShardTask,
 }
 
 /// The sharded host front door: routes by user hash, registers in bulk,
@@ -274,15 +293,19 @@ pub struct ShardedHost {
 }
 
 impl ShardedHost {
-    /// Builds the host and spawns its shard workers. `factory` rebuilds a
-    /// user's [`MabConfig`] at every activation. Telemetry must be
-    /// supplied here (workers capture it at spawn); pass
-    /// [`Telemetry::disabled`] on hot benchmark paths.
+    /// Builds the host and spawns its shard workers — as tasks on the
+    /// caller's executor, or (with [`ShardedHostConfig::threads`]) one
+    /// dedicated OS thread per shard, each pinned to its own
+    /// single-threaded event loop; cross-shard traffic flows only over
+    /// the bounded routing channels and the snapshot/notice fan-in.
+    /// `factory` rebuilds a user's [`MabConfig`] at every activation.
+    /// Telemetry must be supplied here (workers capture it at spawn);
+    /// pass [`Telemetry::disabled`] on hot benchmark paths.
     ///
     /// # Errors
     ///
     /// Opening a shard's on-disk log fails ([`ShardedHostConfig::log_dir`]
-    /// set but unusable).
+    /// set but unusable), or a shard thread cannot be spawned.
     pub fn new<C: Channels + Clone>(
         channels: C,
         config: ShardedHostConfig,
@@ -307,17 +330,30 @@ impl ShardedHost {
                     segment_max_bytes: config.segment_max_bytes,
                 },
             };
-            let log = Rc::new(RefCell::new(ShardLog::open(log_config)?));
+            let log = Arc::new(Mutex::new(ShardLog::open(log_config)?));
             let (tx, rx) = mpsc::channel(config.queue_capacity.max(1));
             let depth = Arc::new(AtomicUsize::new(0));
-            let worker = Worker {
+            // Deferred so a threaded worker anchors its clock on its own
+            // thread's event loop, not the spawning one's. Everything the
+            // closure captures is `Send` — the compile-time proof lives in
+            // the `shard_worker_future_is_send` test below.
+            let worker_depth = Arc::clone(&depth);
+            let worker_channels = channels.clone();
+            let worker_telemetry = telemetry.clone();
+            let worker_factory = Arc::clone(&factory);
+            let worker_notices = notice_tx.clone();
+            let batch_max = config.batch_max.max(1);
+            let hibernate_after = config.hibernate_after;
+            let retirement_grace = config.retirement_grace;
+            let completed_ring = config.completed_ring;
+            let build = move || Worker {
                 rx,
-                depth: Arc::clone(&depth),
-                channels: channels.clone(),
+                depth: worker_depth,
+                channels: worker_channels,
                 clock: RuntimeClock::start(),
-                telemetry: telemetry.clone(),
-                factory: Arc::clone(&factory),
-                notices: notice_tx.clone(),
+                telemetry: worker_telemetry,
+                factory: worker_factory,
+                notices: worker_notices,
                 log,
                 roster: HashMap::new(),
                 timers: BTreeMap::new(),
@@ -331,14 +367,22 @@ impl ShardedHost {
                 crashes: 0,
                 corrupt_snapshots: 0,
                 unrouted: 0,
-                batch_max: config.batch_max.max(1),
-                hibernate_after: config.hibernate_after,
-                sweep_every: sweep_period(config.hibernate_after),
+                batch_max,
+                hibernate_after,
+                sweep_every: sweep_period(hibernate_after),
                 last_sweep: SimTime::ZERO,
-                retirement_grace: config.retirement_grace,
-                completed_ring: config.completed_ring,
+                retirement_grace,
+                completed_ring,
             };
-            let task = tokio::spawn(worker.run());
+            let task = if config.threads {
+                let thread = std::thread::Builder::new()
+                    .name(format!("simba-shard-{index:03}"))
+                    .spawn(move || tokio::runtime::block_on(build().run()))
+                    .map_err(WalError::from)?;
+                ShardTask::Thread(thread)
+            } else {
+                ShardTask::Local(tokio::spawn(build().run()))
+            };
             shards.push(ShardHandle { tx, depth, task });
         }
         Ok((ShardedHost { shards }, notice_rx))
@@ -452,7 +496,16 @@ impl ShardedHost {
                     merged.merge(&snap);
                 }
             }
-            let _ = shard.task.await;
+            match shard.task {
+                ShardTask::Local(task) => {
+                    let _ = task.await;
+                }
+                // The worker replied to Stop and is exiting; the join is
+                // a formality, not a wait for work.
+                ShardTask::Thread(thread) => {
+                    let _ = thread.join();
+                }
+            }
         }
         merged
     }
@@ -507,7 +560,7 @@ struct Worker<C> {
     telemetry: Telemetry,
     factory: ConfigFactory,
     notices: mpsc::Sender<HostNotice>,
-    log: Rc<RefCell<ShardLog>>,
+    log: SharedShardLog,
     roster: HashMap<UserId, UserSlot>,
     /// The central timer wheel: `(deadline, seq)` → entry. Replaces the
     /// per-timer spawned tasks of [`crate::MabService`]; at shard scale,
@@ -540,6 +593,12 @@ enum Flow {
 }
 
 impl<C: Channels> Worker<C> {
+    /// Exclusive access to the shard log (uncontended: only this worker
+    /// and its buddies' WAL facades — same thread — ever lock it).
+    fn lock_log(&self) -> MutexGuard<'_, ShardLog> {
+        self.log.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     async fn run(mut self) {
         // Startup replay demand: any user with unprocessed records gets a
         // buddy (auto-registered — the log proves they existed) whose
@@ -547,7 +606,7 @@ impl<C: Channels> Worker<C> {
         let now = self.clock.now();
         self.last_sweep = now;
         let mut staged = Vec::new();
-        let demand = self.log.borrow().users_with_unprocessed();
+        let demand = self.lock_log().users_with_unprocessed();
         for user in demand {
             self.roster.entry(user.clone()).or_insert(UserSlot::Fresh);
             self.activate(&user, now, &mut staged);
@@ -662,7 +721,7 @@ impl<C: Channels> Worker<C> {
                 let _ = reply.send(self.try_hibernate(&user, now));
             }
             ShardMsg::InjectMarkFailure(user) => {
-                self.log.borrow_mut().inject_mark_failure(&user);
+                self.lock_log().inject_mark_failure(&user);
             }
             ShardMsg::CorruptSnapshot(user, reply) => {
                 let damaged = match self.roster.get_mut(&user) {
@@ -720,7 +779,7 @@ impl<C: Channels> Worker<C> {
             Some(UserSlot::Fresh | UserSlot::Hibernated(_)) => {}
         }
         let prev = self.roster.insert(user.clone(), UserSlot::Fresh);
-        let wal = UserShardWal::new(Rc::clone(&self.log), user.clone());
+        let wal = UserShardWal::new(Arc::clone(&self.log), user.clone());
         let mut mab = match prev {
             Some(UserSlot::Hibernated(bytes)) => match BuddySnapshot::decode(&bytes) {
                 Ok(snap) if snap.user == *user => {
@@ -835,7 +894,7 @@ impl<C: Channels> Worker<C> {
         let mut staged = staged;
         let mut rounds = 0usize;
         loop {
-            let dirty = self.log.borrow().is_dirty();
+            let dirty = self.lock_log().is_dirty();
             if staged.is_empty() && !dirty {
                 break;
             }
@@ -876,10 +935,14 @@ impl<C: Channels> Worker<C> {
     /// One [`ShardLog::commit`] (a no-op when clean), with the commit and
     /// rotation counters surfaced as `host.*` metrics.
     fn commit_once(&mut self) -> Result<(), WalError> {
-        let before = self.log.borrow().stats();
-        let result = self.log.borrow_mut().commit();
+        let (before, result, after) = {
+            let mut log = self.lock_log();
+            let before = log.stats();
+            let result = log.commit();
+            let after = log.stats();
+            (before, result, after)
+        };
         if self.telemetry.enabled() {
-            let after = self.log.borrow().stats();
             let commits = after.group_commits.saturating_sub(before.group_commits);
             if commits > 0 {
                 self.telemetry.metrics().counter("host.group_commits").add(commits);
@@ -1092,7 +1155,7 @@ impl<C: Channels> Worker<C> {
             crashes: self.crashes,
             corrupt_snapshots: self.corrupt_snapshots,
             unrouted: self.unrouted,
-            log: self.log.borrow().stats(),
+            log: self.lock_log().stats(),
             ..ShardedSnapshot::default()
         };
         for slot in self.roster.values() {
@@ -1114,6 +1177,26 @@ impl<C: Channels> Worker<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Compile-time proof that shard-worker futures can cross onto their
+    /// dedicated OS threads: `run()`'s future must be `Send` for every
+    /// `Channels` impl, and everything a `ShardMsg` carries must be too.
+    /// Regressing any buddy internals to `Rc`/`RefCell` (PR 6's hot-path
+    /// shape) fails this function's type-check, not a runtime test.
+    #[test]
+    fn shard_worker_future_is_send() {
+        fn assert_send<T: Send>() {}
+        #[allow(dead_code)]
+        fn worker_run_is_send<C: Channels + Clone>(worker: Worker<C>) {
+            fn assert_future_send<F: std::future::Future + Send>(_: &F) {}
+            let future = worker.run();
+            assert_future_send(&future);
+            drop(future);
+        }
+        assert_send::<ShardMsg>();
+        assert_send::<ActiveBuddy>();
+        assert_send::<ShardedHostConfig>();
+    }
 
     #[test]
     fn shard_assignment_is_stable_and_spread() {

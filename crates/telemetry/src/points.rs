@@ -147,6 +147,7 @@ pub const POINTS: &[PointDef] = &[
     point!("delivery.sends", [Counter], "delivery", "delivery send attempts across every channel"),
     point!("delivery.unconfirmed", [Event, Counter], "delivery", "an alert ended unconfirmed after its final step"),
     point!("gateway.accepted", [Counter], "gateway", "TCP connections accepted by the ingestion gateway"),
+    point!("gateway.buckets_evicted", [Counter], "gateway", "idle per-source rate-limit buckets evicted from the admission map"),
     point!("gateway.conn_opened", [Counter], "gateway", "gateway connections that completed the protocol handshake"),
     point!("gateway.conn_shed", [Event, Counter], "gateway", "a connection was closed by admission control at accept time"),
     point!("gateway.decode_err", [Event, Counter], "gateway", "an inbound frame failed to decode and was discarded"),

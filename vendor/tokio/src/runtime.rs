@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Wake, Waker};
 use std::time::Duration;
 
@@ -17,16 +17,37 @@ pub(crate) type TimerKey = (Duration, u64);
 type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 
 /// The queue wakers push onto. Shared behind `Arc` because `Waker` must be
-/// `Send + Sync` even though this executor never leaves its thread.
-struct ReadyQueue(Mutex<VecDeque<TaskId>>);
+/// `Send + Sync`: the executor itself never leaves its thread, but wakes
+/// may arrive from other threads (cross-thread channel sends), so `push`
+/// also notifies the condvar a parked executor waits on.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+    parked: Condvar,
+}
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.0.lock().unwrap().push_back(id);
+        self.queue.lock().unwrap().push_back(id);
+        self.parked.notify_one();
     }
 
     fn pop(&self) -> Option<TaskId> {
-        self.0.lock().unwrap().pop_front()
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    /// Blocks until the queue is non-empty or `timeout` elapses (forever
+    /// with `None`). The emptiness check happens under the same lock that
+    /// `push` holds, so a wake between "queue drained" and "park" is
+    /// never lost.
+    fn park(&self, timeout: Option<Duration>) {
+        let guard = self.queue.lock().unwrap();
+        if !guard.is_empty() {
+            return;
+        }
+        match timeout {
+            Some(wait) => drop(self.parked.wait_timeout(guard, wait).unwrap()),
+            None => drop(self.parked.wait(guard).unwrap()),
+        }
     }
 }
 
@@ -58,8 +79,14 @@ pub(crate) struct Executor {
     ready: Arc<ReadyQueue>,
     timers: RefCell<BTreeMap<TimerKey, Waker>>,
     next_timer: Cell<u64>,
+    /// Base offset of the runtime clock. Paused: the whole clock (only
+    /// `idle_step` moves it). Unpaused: the epoch `real_anchor` extends.
     now: Cell<Duration>,
     paused: Cell<bool>,
+    /// `Some` while running unpaused: real elapsed time since this anchor
+    /// is added to `now`, so a busy worker's clock tracks wall time
+    /// instead of freezing between idle steps.
+    real_anchor: Cell<Option<std::time::Instant>>,
     advances: RefCell<Vec<Advance>>,
     next_advance: Cell<u64>,
 }
@@ -88,22 +115,38 @@ impl Executor {
         Executor {
             tasks: RefCell::new(HashMap::new()),
             next_task: Cell::new(0),
-            ready: Arc::new(ReadyQueue(Mutex::new(VecDeque::new()))),
+            ready: Arc::new(ReadyQueue {
+                queue: Mutex::new(VecDeque::new()),
+                parked: Condvar::new(),
+            }),
             timers: RefCell::new(BTreeMap::new()),
             next_timer: Cell::new(0),
             now: Cell::new(Duration::ZERO),
             paused: Cell::new(paused),
+            real_anchor: Cell::new(if paused { None } else { Some(std::time::Instant::now()) }),
             advances: RefCell::new(Vec::new()),
             next_advance: Cell::new(0),
         }
     }
 
-    /// Virtual time since the runtime epoch.
+    /// Time since the runtime epoch: virtual when paused, real elapsed
+    /// time when unpaused.
     pub(crate) fn now(&self) -> Duration {
-        self.now.get()
+        match self.real_anchor.get() {
+            Some(anchor) => self.now.get() + anchor.elapsed(),
+            None => self.now.get(),
+        }
     }
 
     pub(crate) fn set_paused(&self, paused: bool) {
+        if paused {
+            // Fold real elapsed time into the base so the clock is
+            // continuous across the transition.
+            self.now.set(self.now());
+            self.real_anchor.set(None);
+        } else if self.real_anchor.get().is_none() {
+            self.real_anchor.set(Some(std::time::Instant::now()));
+        }
         self.paused.set(paused);
     }
 
@@ -183,7 +226,7 @@ impl Executor {
             let due = {
                 let timers = self.timers.borrow();
                 match timers.keys().next().copied() {
-                    Some(key) if key.0 <= self.now.get() => key,
+                    Some(key) if key.0 <= self.now() => key,
                     _ => break,
                 }
             };
@@ -194,8 +237,14 @@ impl Executor {
     }
 
     /// Nothing is runnable: move time forward to the next timer deadline
-    /// or pending `advance` target. Returns false when neither exists.
+    /// or pending `advance` target. Returns false when neither exists
+    /// (an unpaused executor instead parks and waits for a cross-thread
+    /// wake, so it only returns false once genuinely wedged — see
+    /// `block_on_test`).
     fn idle_step(&self) -> bool {
+        if !self.paused.get() {
+            return self.idle_step_real();
+        }
         let now = self.now.get();
         let next_timer = self.timers.borrow().keys().next().copied();
         let next_advance = self
@@ -208,9 +257,6 @@ impl Executor {
         if let Some((deadline, _)) = next_timer {
             let timer_first = next_advance.map_or(true, |(target, _)| deadline <= target);
             if timer_first {
-                if !self.paused.get() {
-                    std::thread::sleep(deadline.saturating_sub(now));
-                }
                 self.now.set(now.max(deadline));
                 self.fire_due_timers();
                 return true;
@@ -218,20 +264,68 @@ impl Executor {
         }
         if let Some((target, id)) = next_advance {
             self.now.set(now.max(target));
-            let entry = {
-                let mut advances = self.advances.borrow_mut();
-                advances
-                    .iter()
-                    .position(|a| a.id == id)
-                    .map(|pos| advances.remove(pos))
-            };
-            if let Some(advance) = entry {
-                advance.waker.wake();
-            }
+            self.complete_advance(id);
             self.fire_due_timers();
             return true;
         }
         false
+    }
+
+    /// Unpaused idle: park on the ready queue's condvar until the next
+    /// timer/advance deadline or a wake from another thread — an executor
+    /// blocked on a cross-thread channel must notice the sender. Always
+    /// returns true: with no deadline it parks indefinitely, like a real
+    /// runtime blocked on external I/O.
+    fn idle_step_real(&self) -> bool {
+        let next_timer = self.timers.borrow().keys().next().map(|k| k.0);
+        let next_advance = self
+            .advances
+            .borrow()
+            .iter()
+            .min_by_key(|a| a.target)
+            .map(|a| a.target);
+        let deadline = match (next_timer, next_advance) {
+            (Some(t), Some(a)) => Some(t.min(a)),
+            (t, a) => t.or(a),
+        };
+        match deadline {
+            Some(deadline) => {
+                // A wake may arrive before the deadline (nothing due yet:
+                // the caller's loop re-parks for the remainder) and
+                // wait_timeout may undershoot slightly (same remedy), so
+                // the clock is never forced past real time.
+                let wait = deadline.saturating_sub(self.now());
+                if !wait.is_zero() {
+                    self.ready.park(Some(wait));
+                }
+            }
+            None => self.ready.park(None),
+        }
+        let due: Vec<u64> = self
+            .advances
+            .borrow()
+            .iter()
+            .filter(|a| a.target <= self.now())
+            .map(|a| a.id)
+            .collect();
+        for id in due {
+            self.complete_advance(id);
+        }
+        self.fire_due_timers();
+        true
+    }
+
+    fn complete_advance(&self, id: u64) {
+        let entry = {
+            let mut advances = self.advances.borrow_mut();
+            advances
+                .iter()
+                .position(|a| a.id == id)
+                .map(|pos| advances.remove(pos))
+        };
+        if let Some(advance) = entry {
+            advance.waker.wake();
+        }
     }
 }
 
@@ -339,6 +433,51 @@ mod tests {
             });
             advance(Duration::from_millis(10)).await;
             assert!(hit.get());
+        });
+    }
+
+    #[test]
+    fn unpaused_executor_parks_until_cross_thread_wake() {
+        // With no timers registered, an unpaused executor must park on
+        // the condvar (not panic) and wake when another thread's send
+        // pushes onto its ready queue.
+        let (tx, mut rx) = crate::sync::mpsc::channel::<u8>(1);
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tx.try_send(7).unwrap();
+        });
+        let got = crate::runtime::block_on(async move { rx.recv().await });
+        sender.join().unwrap();
+        assert_eq!(got, Some(7));
+    }
+
+    #[test]
+    fn unpaused_clock_tracks_real_time_while_busy() {
+        // Yields back to the executor once without registering a timer.
+        struct YieldOnce(bool);
+        impl std::future::Future for YieldOnce {
+            type Output = ();
+            fn poll(
+                mut self: std::pin::Pin<&mut Self>,
+                cx: &mut std::task::Context<'_>,
+            ) -> std::task::Poll<()> {
+                if self.0 {
+                    std::task::Poll::Ready(())
+                } else {
+                    self.0 = true;
+                    cx.waker().wake_by_ref();
+                    std::task::Poll::Pending
+                }
+            }
+        }
+        crate::runtime::block_on(async {
+            let start = Instant::now();
+            // Busy-spin (with yields) rather than sleeping: the clock
+            // must advance even though the executor never goes idle.
+            while start.elapsed() < Duration::from_millis(20) {
+                YieldOnce(false).await;
+            }
+            assert!(start.elapsed() >= Duration::from_millis(20));
         });
     }
 
