@@ -18,17 +18,20 @@
 #                 on machines with >= 2 CPUs it also runs the thread-per-
 #                 shard multi-core comparison (multiplier asserted >= 2x
 #                 only when >= 4 cores are available)
+#   make ledger-smoke — E9 durable delivery ledger smoke: 4 workers x
+#                 20k deliveries with injected worker kills and forced
+#                 lease expiries; asserts zero lost, zero double-effect
 #
-# The four smoke targets each write a machine-readable BENCH_e*.json
+# The five smoke targets each write a machine-readable BENCH_e*.json
 # artifact (schema in EXPERIMENTS.md) and exit non-zero below their
 # throughput floors, so `make ci` both produces the bench trajectory and
 # fails on a regression.
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-all doc lint analyze soak gateway-smoke store-smoke host-smoke clean
+.PHONY: ci build test test-all doc lint analyze soak gateway-smoke store-smoke host-smoke ledger-smoke clean
 
-ci: build test doc lint analyze soak gateway-smoke store-smoke host-smoke
+ci: build test doc lint analyze soak gateway-smoke store-smoke host-smoke ledger-smoke
 
 build:
 	$(CARGO) build --release
@@ -47,7 +50,7 @@ lint:
 	# Informational second pass: surface every unwrap in the crates the
 	# dependability argument leans on. simba-analyze is the hard gate
 	# (it understands test code and suppressions); this just prints.
-	$(CARGO) clippy -p simba-core -p simba-runtime -p simba-gateway -p simba-net --lib -- -W clippy::unwrap_used
+	$(CARGO) clippy -p simba-core -p simba-runtime -p simba-gateway -p simba-net -p simba-ledger --lib -- -W clippy::unwrap_used
 
 analyze:
 	$(CARGO) run -q -p simba-analyze -- check
@@ -71,6 +74,9 @@ host-smoke:
 	else \
 		echo "host-smoke: single core, skipping the multi-core E8 comparison"; \
 	fi
+
+ledger-smoke:
+	$(CARGO) run --release -q -p simba-bench --bin exp_e9_ledger -- --smoke
 
 clean:
 	$(CARGO) clean

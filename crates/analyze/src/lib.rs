@@ -15,7 +15,7 @@
 //!   names and out-of-scope emissions are errors; the README table is
 //!   generated from the registry and checked against it.
 //! * **Dependability hygiene** — no `.unwrap()`/`.expect()` outside
-//!   tests in `core`/`runtime`/`gateway`/`net`, no `thread::sleep`
+//!   tests in `core`/`runtime`/`gateway`/`net`/`ledger`, no `thread::sleep`
 //!   inside async code, no unbounded channels outside the sim crate,
 //!   and `#![forbid(unsafe_code)]` on every crate root.
 //!

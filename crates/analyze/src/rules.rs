@@ -35,7 +35,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "hygiene.unwrap",
-        ".unwrap()/.expect() outside test code in core, runtime, gateway, or net",
+        ".unwrap()/.expect() outside test code in core, runtime, gateway, net, or ledger",
     ),
     (
         "hygiene.sleep-in-async",
@@ -47,7 +47,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "hygiene.shared-mutability",
-        "Rc or RefCell outside test code in core or runtime (shard state must stay Send for thread-per-shard)",
+        "Rc or RefCell outside test code in core, runtime, or ledger (shard and worker state must stay Send)",
     ),
     (
         "hygiene.forbid-unsafe",
@@ -70,7 +70,7 @@ pub const RULES: &[(&str, &str)] = &[
 /// Crates whose non-test code must not call `.unwrap()` / `.expect()` —
 /// the layers the paper's watchdog/self-stabilization stack depends on
 /// staying up.
-pub const HYGIENE_UNWRAP_CRATES: &[&str] = &["core", "runtime", "gateway", "net"];
+pub const HYGIENE_UNWRAP_CRATES: &[&str] = &["core", "runtime", "gateway", "net", "ledger"];
 
 /// Crates exempt from every telemetry rule (the vocabulary itself).
 pub const TELEMETRY_EXEMPT_CRATES: &[&str] = &["telemetry"];
@@ -84,7 +84,7 @@ pub const UNBOUNDED_EXEMPT_CRATES: &[&str] = &["sim"];
 /// (`Arc`/`Mutex` or per-shard ownership). Single-threaded interior
 /// mutability here reintroduces the !Send types the thread-per-shard
 /// executor migration removed.
-pub const SHARED_MUT_CRATES: &[&str] = &["core", "runtime"];
+pub const SHARED_MUT_CRATES: &[&str] = &["core", "runtime", "ledger"];
 
 fn is_known_rule(rule: &str) -> bool {
     RULES.iter().any(|(id, _)| *id == rule)

@@ -1,0 +1,53 @@
+//! Runs the E9 durable-delivery-ledger experiment and prints its tables;
+//! writes `BENCH_e9.json` (see `EXPERIMENTS.md` for the schema).
+//!
+//! Usage: `exp_e9_ledger [--smoke] [--deliveries N] [--workers W]
+//! [--kills K] [--batch B]`
+//!
+//! `--smoke` is the CI shape (4 workers × 20 k deliveries, 2 killed);
+//! the default full shape drains 100 k deliveries and asserts the 50 k
+//! deliveries/s floor. Both shapes kill workers mid-run and force-expire
+//! every outstanding lease, then assert zero lost and zero
+//! double-visible-send.
+
+use simba_bench::benchjson::BenchMode;
+use simba_bench::experiments::e9_ledger::{run_with, E9Options};
+
+fn main() {
+    let mut opts = E9Options::full();
+    let mut mode = BenchMode::Full;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => {
+                mode = BenchMode::Smoke;
+                opts = E9Options::smoke();
+            }
+            "--deliveries" | "--workers" | "--kills" | "--batch" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("{flag} needs a number");
+                    std::process::exit(2);
+                };
+                match flag.as_str() {
+                    "--deliveries" => opts.deliveries = v,
+                    "--workers" => opts.workers = v,
+                    "--kills" => opts.kills = v,
+                    _ => opts.batch = v,
+                }
+            }
+            other => {
+                eprintln!(
+                    "usage: exp_e9_ledger [--smoke] [--deliveries N] [--workers W] \
+                     [--kills K] [--batch B]"
+                );
+                eprintln!("unknown flag: {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.workers == 0 || opts.kills >= opts.workers || opts.deliveries == 0 {
+        eprintln!("need --workers >= 1, --kills < --workers, --deliveries >= 1");
+        std::process::exit(2);
+    }
+    run_with(opts, mode).print();
+}

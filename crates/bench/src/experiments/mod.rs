@@ -17,6 +17,7 @@ pub mod e5_faultlog;
 pub mod e6_gateway;
 pub mod e7_store;
 pub mod e8_sharded;
+pub mod e9_ledger;
 
 use crate::report::Table;
 
@@ -77,6 +78,7 @@ pub fn run_all(seed: u64) -> Vec<ExperimentOutput> {
         e6_gateway::run(seed),
         e7_store::run(seed),
         e8_sharded::run(seed),
+        e9_ledger::run(seed),
         a1_strategies::run(seed),
         a2_wal::run(seed),
         a3_watchdog::run(seed),

@@ -23,7 +23,10 @@
 //!   frames; facts published this way steer the host's delivery routing;
 //! * `telemetry demo|tail` — run an instrumented pipeline and print its
 //!   structured event stream and metrics snapshot, or pretty-print a
-//!   JSON-lines event file captured elsewhere.
+//!   JSON-lines event file captured elsewhere;
+//! * `ledger ls|dlq|retry` — inspect a durable delivery ledger's
+//!   pending/leased/retrying records, list its dead-lettered sends with
+//!   their last errors, or requeue the dead letters for fresh attempts.
 //!
 //! All command logic lives here (testable); `main.rs` is a thin shim.
 
@@ -90,6 +93,9 @@ USAGE:
             [--interval-ms <n>] [--duration-ms <n>]
   simba-cli telemetry demo [--seed <n>] [--alerts <n>] [--json]
   simba-cli telemetry tail <file.jsonl>
+  simba-cli ledger ls --dir <dir>
+  simba-cli ledger dlq --dir <dir>
+  simba-cli ledger retry --dir <dir>
   simba-cli help
 
 `explain` fires the delivery mode against the address book and reports the
@@ -112,6 +118,7 @@ pub fn run(args: &[String]) -> Outcome {
         Some("gateway") => commands::gateway(&args[1..]),
         Some("store") => commands::store(&args[1..]),
         Some("telemetry") => commands::telemetry(&args[1..]),
+        Some("ledger") => commands::ledger(&args[1..]),
         Some(other) => Outcome::usage(&format!("unknown command {other:?}")),
     }
 }

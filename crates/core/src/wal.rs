@@ -347,7 +347,10 @@ fn parse_line(
     }
 }
 
-pub(crate) fn escape(s: &str) -> String {
+/// Escapes tabs, newlines, and backslashes so `s` survives a
+/// tab-separated, newline-terminated journal line. Shared by every
+/// journal in the workspace (shard WALs, the delivery ledger).
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -361,7 +364,8 @@ pub(crate) fn escape(s: &str) -> String {
     out
 }
 
-pub(crate) fn unescape(s: &str) -> String {
+/// Inverse of [`escape`].
+pub fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

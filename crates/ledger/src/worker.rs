@@ -1,0 +1,443 @@
+//! The ledger worker pool: N workers draining leases into channel
+//! adapters, with per-worker kill switches for crash injection.
+//!
+//! The pool reuses the thread-per-shard runner shape from
+//! `runtime::shard`: each worker is either a task on the current tokio
+//! executor (`threads: false` — the deterministic shape `start_paused`
+//! tests rely on) or an OS thread running its own `block_on` (`threads:
+//! true` — real parallelism for benchmarks and production).
+//!
+//! A worker's cycle is *lease → commit → send → record → commit*: the
+//! lease grants are durable before any send happens (so a crash can only
+//! ever re-deliver, never lose), and outcomes group-commit after the
+//! batch. A killed worker stops dead between sends — it records nothing
+//! — and its leases expire for any surviving worker to resume, which is
+//! exactly the crash the idempotency keys exist to absorb.
+
+use crate::ledger::{LeasedWork, LedgerError, SharedLedger, WorkerId};
+use simba_sim::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+/// How a channel adapter resolved one outbound send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelResult {
+    /// The send produced its visible effect.
+    Sent,
+    /// The adapter had already seen this idempotency key and suppressed
+    /// the duplicate — the effect exists from an earlier attempt.
+    Duplicate,
+    /// The send failed; the ledger schedules a retry or dead-letters.
+    Failed(String),
+}
+
+/// The send interface workers drain leases into. `runtime` bridges this
+/// to its `Channels` services; tests provide scripted fakes.
+pub trait LedgerChannels: Send {
+    /// Performs (or dedupes, or fails) one outbound send.
+    fn send(&mut self, work: &LeasedWork) -> ChannelResult;
+}
+
+/// How workers read the current time. [`SimTime`] is process-relative,
+/// so the pool takes the clock as a closure: benchmarks anchor it to a
+/// wall-clock epoch, deterministic tests to the paused tokio clock.
+pub type LedgerClock = Arc<dyn Fn() -> SimTime + Send + Sync>;
+
+/// Worker pool configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerPoolConfig {
+    /// How many workers to spawn.
+    pub workers: usize,
+    /// Most leases granted per cycle.
+    pub batch: usize,
+    /// `true`: one OS thread per worker. `false`: tokio tasks on the
+    /// current executor.
+    pub threads: bool,
+    /// How long an idle worker sleeps before re-polling the ledger.
+    pub idle_backoff: SimDuration,
+}
+
+impl Default for WorkerPoolConfig {
+    fn default() -> Self {
+        WorkerPoolConfig {
+            workers: 4,
+            batch: 64,
+            threads: false,
+            idle_backoff: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// Aggregated outcome totals across the pool's workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Sends that produced their visible effect.
+    pub sent: u64,
+    /// Sends the adapter absorbed as idempotent duplicates.
+    pub deduped: u64,
+    /// Sends that failed (each schedules a retry or dead-letter).
+    pub failed: u64,
+    /// Outcome reports rejected because the lease had moved on — the
+    /// losing side of a lease-expiry race.
+    pub stale_reports: u64,
+    /// Non-empty lease batches drained.
+    pub lease_batches: u64,
+    /// Commit failures (the affected leases were left to expire).
+    pub io_errors: u64,
+    /// Workers that died to their kill switch.
+    pub killed: u64,
+}
+
+impl PoolStats {
+    fn absorb(&mut self, other: PoolStats) {
+        self.sent += other.sent;
+        self.deduped += other.deduped;
+        self.failed += other.failed;
+        self.stale_reports += other.stale_reports;
+        self.lease_batches += other.lease_batches;
+        self.io_errors += other.io_errors;
+        self.killed += other.killed;
+    }
+}
+
+enum WorkerTask {
+    Local(tokio::task::JoinHandle<PoolStats>),
+    Thread(std::thread::JoinHandle<PoolStats>),
+}
+
+struct WorkerHandle {
+    kill: Arc<AtomicBool>,
+    task: WorkerTask,
+}
+
+/// A running pool of ledger workers. Construct with
+/// [`LedgerWorkerPool::spawn`], inject crashes with
+/// [`LedgerWorkerPool::kill`], and finish with
+/// [`LedgerWorkerPool::drain`].
+pub struct LedgerWorkerPool {
+    stop: Arc<AtomicBool>,
+    workers: Vec<WorkerHandle>,
+}
+
+impl LedgerWorkerPool {
+    /// Spawns `config.workers` workers against `ledger`. `channels`
+    /// supplies each worker its own adapter (its length caps the worker
+    /// count); `clock` supplies the shared notion of now.
+    ///
+    /// # Errors
+    ///
+    /// Thread spawn failure (`threads: true` only).
+    pub fn spawn(
+        ledger: SharedLedger,
+        channels: Vec<Box<dyn LedgerChannels>>,
+        clock: LedgerClock,
+        config: WorkerPoolConfig,
+    ) -> std::io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for (index, adapter) in channels.into_iter().enumerate().take(config.workers.max(1)) {
+            let kill = Arc::new(AtomicBool::new(false));
+            let worker = Worker {
+                id: WorkerId::new(format!("worker-{index:03}")),
+                ledger: Arc::clone(&ledger),
+                channels: adapter,
+                clock: Arc::clone(&clock),
+                batch: config.batch.max(1),
+                idle: Duration::from_millis(config.idle_backoff.as_millis().max(1)),
+                yield_between_batches: !config.threads,
+                kill: Arc::clone(&kill),
+                stop: Arc::clone(&stop),
+                stats: PoolStats::default(),
+            };
+            let task = if config.threads {
+                let thread = std::thread::Builder::new()
+                    .name(format!("simba-ledger-{index:03}"))
+                    .spawn(move || tokio::runtime::block_on(worker.run()))?;
+                WorkerTask::Thread(thread)
+            } else {
+                WorkerTask::Local(tokio::spawn(worker.run()))
+            };
+            workers.push(WorkerHandle { kill, task });
+        }
+        Ok(LedgerWorkerPool { stop, workers })
+    }
+
+    /// How many workers are running.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Throws worker `index`'s kill switch: it dies between sends
+    /// without recording outcomes, abandoning any leases it holds.
+    pub fn kill(&self, index: usize) {
+        if let Some(handle) = self.workers.get(index) {
+            handle.kill.store(true, Ordering::Release);
+        }
+    }
+
+    /// Tells every worker to exit once the ledger drains, then joins
+    /// them and returns the pooled totals. Dead letters do not block a
+    /// drain; live leases held by killed workers do until they expire —
+    /// the caller controls that via lease duration or
+    /// `force_expire_leases`.
+    pub async fn drain(self) -> PoolStats {
+        self.stop.store(true, Ordering::Release);
+        let mut total = PoolStats::default();
+        for handle in self.workers {
+            match handle.task {
+                WorkerTask::Local(task) => {
+                    if let Ok(stats) = task.await {
+                        total.absorb(stats);
+                    }
+                }
+                // The worker saw `stop` and is exiting; the join is a
+                // formality, not a wait for work.
+                WorkerTask::Thread(thread) => {
+                    if let Ok(stats) = thread.join() {
+                        total.absorb(stats);
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+struct Worker {
+    id: WorkerId,
+    ledger: SharedLedger,
+    channels: Box<dyn LedgerChannels>,
+    clock: LedgerClock,
+    batch: usize,
+    idle: Duration,
+    yield_between_batches: bool,
+    kill: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    stats: PoolStats,
+}
+
+impl Worker {
+    fn killed(&self) -> bool {
+        self.kill.load(Ordering::Acquire)
+    }
+
+    async fn run(mut self) -> PoolStats {
+        loop {
+            if self.killed() {
+                self.stats.killed = 1;
+                return self.stats;
+            }
+            let now = (self.clock)();
+            // Lease, then make the grants durable *before* sending: a
+            // crash after this point re-delivers, never loses.
+            let work = {
+                let mut ledger = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
+                let work = ledger.lease(&self.id, now, self.batch);
+                if !work.is_empty() && ledger.commit().is_err() {
+                    self.stats.io_errors += 1;
+                    // Non-durable leases must not be acted on; they sit
+                    // leased in memory until they expire and retry.
+                    Vec::new()
+                } else {
+                    work
+                }
+            };
+            if work.is_empty() {
+                let drained = self
+                    .ledger
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_drained();
+                if self.stop.load(Ordering::Acquire) && drained {
+                    return self.stats;
+                }
+                tokio::time::sleep(self.idle).await;
+                continue;
+            }
+            self.stats.lease_batches += 1;
+            let mut outcomes = Vec::with_capacity(work.len());
+            for item in &work {
+                // The kill switch models a crash: stop dead between
+                // sends, record nothing — not even sends already
+                // performed. Their leases expire, another worker
+                // re-sends, and the adapter's idempotency filter keeps
+                // the visible effect single.
+                if self.killed() {
+                    self.stats.killed = 1;
+                    return self.stats;
+                }
+                outcomes.push((item.id, self.channels.send(item)));
+            }
+            let now = (self.clock)();
+            {
+                let mut ledger = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
+                for (id, outcome) in outcomes {
+                    let result = match &outcome {
+                        ChannelResult::Sent => ledger.record_sent(&self.id, id, now),
+                        ChannelResult::Duplicate => ledger.record_duplicate(&self.id, id, now),
+                        ChannelResult::Failed(error) => {
+                            ledger.record_failed(&self.id, id, error, now)
+                        }
+                    };
+                    match result {
+                        Ok(()) => match outcome {
+                            ChannelResult::Sent => self.stats.sent += 1,
+                            ChannelResult::Duplicate => self.stats.deduped += 1,
+                            ChannelResult::Failed(_) => self.stats.failed += 1,
+                        },
+                        Err(LedgerError::StaleLease { .. }) => self.stats.stale_reports += 1,
+                        Err(_) => self.stats.io_errors += 1,
+                    }
+                }
+                if ledger.commit().is_err() {
+                    self.stats.io_errors += 1;
+                }
+            }
+            if self.yield_between_batches {
+                // On a shared executor a worker that always finds work
+                // would otherwise starve its siblings (and the caller).
+                tokio::time::sleep(Duration::from_millis(1)).await;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{DeliveryLedger, LedgerConfig};
+    use simba_core::address::CommType;
+    use simba_core::subscription::UserId;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    /// Scripted adapter: dedupes on idempotency key like the real
+    /// `simba_net` filter, optionally failing the first N sends.
+    struct FakeChannels {
+        effects: Arc<Mutex<HashMap<String, u32>>>,
+        fail_first: Arc<Mutex<u32>>,
+    }
+
+    impl LedgerChannels for FakeChannels {
+        fn send(&mut self, work: &LeasedWork) -> ChannelResult {
+            let mut failures = self.fail_first.lock().unwrap_or_else(PoisonError::into_inner);
+            if *failures > 0 {
+                *failures -= 1;
+                return ChannelResult::Failed("injected".to_string());
+            }
+            drop(failures);
+            let mut effects = self.effects.lock().unwrap_or_else(PoisonError::into_inner);
+            let count = effects.entry(work.idempotency_key.clone()).or_insert(0);
+            if *count > 0 {
+                ChannelResult::Duplicate
+            } else {
+                *count += 1;
+                ChannelResult::Sent
+            }
+        }
+    }
+
+    type EffectCounts = Arc<Mutex<HashMap<String, u32>>>;
+
+    fn pool_fixture(
+        workers: usize,
+        fail_first: u32,
+    ) -> (SharedLedger, Vec<Box<dyn LedgerChannels>>, EffectCounts) {
+        let config = LedgerConfig {
+            lease_duration: SimDuration::from_millis(50),
+            base_backoff: SimDuration::from_millis(2),
+            max_backoff: SimDuration::from_millis(10),
+            ..LedgerConfig::in_memory()
+        };
+        let ledger = Arc::new(Mutex::new(
+            DeliveryLedger::open(config).expect("in-memory open cannot fail"),
+        ));
+        let effects = Arc::new(Mutex::new(HashMap::new()));
+        let failures = Arc::new(Mutex::new(fail_first));
+        let channels: Vec<Box<dyn LedgerChannels>> = (0..workers)
+            .map(|_| {
+                Box::new(FakeChannels {
+                    effects: Arc::clone(&effects),
+                    fail_first: Arc::clone(&failures),
+                }) as Box<dyn LedgerChannels>
+            })
+            .collect();
+        (ledger, channels, effects)
+    }
+
+    fn paused_clock() -> LedgerClock {
+        let epoch = tokio::time::Instant::now();
+        Arc::new(move || {
+            SimTime::from_millis(tokio::time::Instant::now().duration_since(epoch).as_millis() as u64)
+        })
+    }
+
+    fn enqueue_n(ledger: &SharedLedger, n: u64) {
+        let mut guard = ledger.lock().unwrap_or_else(PoisonError::into_inner);
+        for i in 0..n {
+            let user = UserId::new(format!("user-{i}"));
+            guard.enqueue(&user, i, CommType::Im, "im:addr", "alert", SimTime::ZERO);
+        }
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn pool_drains_everything_exactly_once() {
+        let (ledger, channels, effects) = pool_fixture(3, 0);
+        enqueue_n(&ledger, 200);
+        let pool = LedgerWorkerPool::spawn(
+            Arc::clone(&ledger),
+            channels,
+            paused_clock(),
+            WorkerPoolConfig { workers: 3, batch: 16, ..WorkerPoolConfig::default() },
+        )
+        .expect("local spawn cannot fail");
+        let stats = pool.drain().await;
+        assert_eq!(stats.sent + stats.deduped, 200);
+        assert!(ledger.lock().unwrap_or_else(PoisonError::into_inner).is_drained());
+        let effects = effects.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(effects.len(), 200);
+        assert!(effects.values().all(|&c| c == 1), "every effect exactly once");
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn failures_retry_until_sent() {
+        let (ledger, channels, effects) = pool_fixture(2, 30);
+        enqueue_n(&ledger, 50);
+        let pool = LedgerWorkerPool::spawn(
+            Arc::clone(&ledger),
+            channels,
+            paused_clock(),
+            WorkerPoolConfig { workers: 2, batch: 8, ..WorkerPoolConfig::default() },
+        )
+        .expect("local spawn cannot fail");
+        let stats = pool.drain().await;
+        assert_eq!(stats.sent + stats.deduped, 50);
+        assert_eq!(stats.failed, 30, "every injected failure was retried");
+        let effects = effects.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(effects.values().all(|&c| c == 1));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn killed_workers_leases_are_resumed_by_survivors() {
+        let (ledger, channels, effects) = pool_fixture(2, 0);
+        enqueue_n(&ledger, 100);
+        let pool = LedgerWorkerPool::spawn(
+            Arc::clone(&ledger),
+            channels,
+            paused_clock(),
+            WorkerPoolConfig { workers: 2, batch: 8, ..WorkerPoolConfig::default() },
+        )
+        .expect("local spawn cannot fail");
+        // Let the pool get into flight, then kill worker 0 mid-stream.
+        tokio::time::sleep(Duration::from_millis(3)).await;
+        pool.kill(0);
+        let stats = pool.drain().await;
+        assert_eq!(stats.killed, 1);
+        assert_eq!(stats.sent + stats.deduped, 100, "survivor finished the work");
+        assert!(ledger.lock().unwrap_or_else(PoisonError::into_inner).is_drained());
+        let effects = effects.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(effects.len(), 100);
+        assert!(effects.values().all(|&c| c == 1), "kills caused no double effect");
+    }
+}

@@ -1,0 +1,119 @@
+//! Idempotent-send filtering for channel adapters.
+//!
+//! The delivery ledger (`simba-ledger`) is at-least-once internally: a
+//! worker that dies between performing a send and recording it leaves a
+//! lease that expires, and another worker re-sends. Every outbound send
+//! carries the record's stable idempotency key (`user/delivery/channel`),
+//! and the adapter in front of a channel service passes it through an
+//! [`IdempotencyFilter`]: the first occurrence proceeds, every later one
+//! is reported as a duplicate and suppressed — so the *visible* effect of
+//! an alert on a channel is exactly-once.
+//!
+//! The filter's memory is bounded: keys are retired FIFO once `capacity`
+//! is exceeded. Size it above the worst-case redelivery window (keys
+//! stop arriving once the ledger marks the record sent), not above the
+//! total send volume.
+
+use std::collections::{HashSet, VecDeque};
+
+/// Bounded first-seen filter over idempotency keys.
+#[derive(Debug)]
+pub struct IdempotencyFilter {
+    capacity: usize,
+    seen: HashSet<String>,
+    order: VecDeque<String>,
+    deduped: u64,
+    evicted: u64,
+}
+
+impl IdempotencyFilter {
+    /// A filter remembering at most `capacity` keys (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        IdempotencyFilter {
+            capacity,
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+            deduped: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Whether `key` is fresh. The first call for a key returns `true`
+    /// (and remembers it); every later call returns `false` until the
+    /// key ages out of the bounded window.
+    pub fn first_seen(&mut self, key: &str) -> bool {
+        if self.seen.contains(key) {
+            self.deduped += 1;
+            return false;
+        }
+        self.seen.insert(key.to_string());
+        self.order.push_back(key.to_string());
+        while self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+                self.evicted += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `key` has been seen, without recording anything.
+    pub fn contains(&self, key: &str) -> bool {
+        self.seen.contains(key)
+    }
+
+    /// Keys currently remembered.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no keys are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Duplicates suppressed so far.
+    pub fn deduped(&self) -> u64 {
+        self.deduped
+    }
+
+    /// Keys retired by the capacity bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_occurrence_passes_later_ones_dedupe() {
+        let mut filter = IdempotencyFilter::new(16);
+        assert!(filter.first_seen("alice/1/IM"));
+        assert!(!filter.first_seen("alice/1/IM"));
+        assert!(!filter.first_seen("alice/1/IM"));
+        assert!(filter.first_seen("alice/1/SMS"), "another channel is another key");
+        assert_eq!(filter.deduped(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_retires_oldest_keys() {
+        let mut filter = IdempotencyFilter::new(2);
+        assert!(filter.first_seen("a"));
+        assert!(filter.first_seen("b"));
+        assert!(filter.first_seen("c"), "capacity 2: inserting c retires a");
+        assert_eq!(filter.len(), 2);
+        assert_eq!(filter.evicted(), 1);
+        assert!(!filter.contains("a"));
+        assert!(filter.first_seen("a"), "a aged out, so it reads as fresh again");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut filter = IdempotencyFilter::new(0);
+        assert!(filter.first_seen("x"));
+        assert!(!filter.first_seen("x"), "the most recent key is always remembered");
+    }
+}

@@ -18,8 +18,10 @@
 //!   end-to-end dependability means in this paper.
 //!
 //! Shared building blocks: [`latency`] (delay distributions), [`loss`]
-//! (drop processes including a Gilbert–Elliott burst model), and [`outage`]
-//! (service up/down schedules). Each service optionally records per-channel
+//! (drop processes including a Gilbert–Elliott burst model), [`outage`]
+//! (service up/down schedules), and [`dedupe`] (bounded idempotency-key
+//! filtering so the delivery ledger's at-least-once redeliveries stay
+//! exactly-once in visible effect). Each service optionally records per-channel
 //! sends, rejections, losses, and transit latency through an
 //! [`observe::ChannelScope`] (install one with `with_telemetry`).
 //!
@@ -30,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dedupe;
 pub mod email;
 pub mod health;
 pub mod im;
@@ -40,6 +43,7 @@ pub mod observe;
 pub mod presence;
 pub mod sms;
 
+pub use dedupe::IdempotencyFilter;
 pub use health::HealthReporter;
 pub use latency::LatencyModel;
 pub use loss::LossModel;

@@ -133,6 +133,7 @@ pub struct MabHost<C> {
     notice_tx: mpsc::Sender<HostNotice>,
     store: Option<simba_store::SoftStateStore>,
     sweeper: Option<JoinHandle<()>>,
+    ledger: Option<simba_ledger::SharedLedger>,
 }
 
 impl<C: Channels + Clone> MabHost<C> {
@@ -153,6 +154,7 @@ impl<C: Channels + Clone> MabHost<C> {
             notice_tx,
             store: None,
             sweeper: None,
+            ledger: None,
         };
         (host, notice_rx)
     }
@@ -189,6 +191,25 @@ impl<C: Channels + Clone> MabHost<C> {
     /// The attached soft-state store, if any.
     pub fn store(&self) -> Option<&simba_store::SoftStateStore> {
         self.store.as_ref()
+    }
+
+    /// Attaches a durable delivery ledger: services added afterwards
+    /// enqueue their channel attempts into it (one durable record per
+    /// `(delivery, channel)`, group-committed before the attempt is
+    /// acknowledged) instead of sending inline. Run a
+    /// `simba_ledger::LedgerWorkerPool` over the same handle — with
+    /// [`crate::LedgerChannelBridge`] in front of the channel adapters —
+    /// to perform the sends; crash-recovery then becomes "any worker
+    /// resumes any lease" instead of "replay one buddy's WAL".
+    #[must_use]
+    pub fn with_ledger(mut self, ledger: simba_ledger::SharedLedger) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// The attached delivery ledger, if any.
+    pub fn ledger(&self) -> Option<&simba_ledger::SharedLedger> {
+        self.ledger.as_ref()
     }
 
     /// The host's clock (the timeline its sweeper and services measure).
@@ -234,6 +255,9 @@ impl<C: Channels + Clone> MabHost<C> {
                 if let Some(selector) = selector() {
                     service = service.with_mode_selector(selector);
                 }
+                if let Some(ledger) = &self.ledger {
+                    service = service.with_ledger(ledger.clone(), user.clone());
+                }
                 (handle, tokio::spawn(service.run()), notices)
             }
             None => {
@@ -244,6 +268,9 @@ impl<C: Channels + Clone> MabHost<C> {
                     .with_telemetry(self.telemetry.clone());
                 if let Some(selector) = selector() {
                     service = service.with_mode_selector(selector);
+                }
+                if let Some(ledger) = &self.ledger {
+                    service = service.with_ledger(ledger.clone(), user.clone());
                 }
                 (handle, tokio::spawn(service.run()), notices)
             }

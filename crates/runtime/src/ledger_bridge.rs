@@ -1,0 +1,111 @@
+//! Bridges ledger workers onto the runtime's channel adapters.
+//!
+//! The ledger worker pool speaks [`LedgerChannels`]; the runtime's
+//! services speak [`Channels`]. The bridge adapts one to the other and
+//! installs the exactly-once half of the ledger's contract: every
+//! outbound send passes its stable idempotency key through a bounded
+//! [`IdempotencyFilter`] *before* reaching the channel, so the
+//! at-least-once redeliveries that crashes and lease expiries produce
+//! never become double-visible sends.
+//!
+//! The filter sits in front of the channel (not behind it) deliberately:
+//! a redelivery exists precisely because the ledger does not know whether
+//! the first send happened, and the only component that can know is the
+//! adapter that performed it.
+
+use crate::channels::{Channels, SendOutcome};
+use simba_ledger::{ChannelResult, LeasedWork, LedgerChannels};
+use simba_net::dedupe::IdempotencyFilter;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Default idempotency window. Keys stop arriving once their record goes
+/// terminal, so this bounds the *redelivery* window, not total volume.
+pub const DEFAULT_DEDUPE_CAPACITY: usize = 64 * 1024;
+
+/// A [`LedgerChannels`] adapter over any [`Channels`] implementation,
+/// deduplicating on idempotency keys.
+///
+/// The filter is shared: clone the bridge (or build several from one
+/// [`SharedFilter`]) so every worker in a pool consults the same seen-set
+/// — worker A's send must suppress worker B's redelivery.
+#[derive(Debug)]
+pub struct LedgerChannelBridge<C> {
+    channels: C,
+    filter: SharedFilter,
+}
+
+/// The filter handle shared across a pool's bridges.
+pub type SharedFilter = Arc<Mutex<IdempotencyFilter>>;
+
+/// A fresh shared filter remembering up to `capacity` keys.
+pub fn shared_filter(capacity: usize) -> SharedFilter {
+    Arc::new(Mutex::new(IdempotencyFilter::new(capacity)))
+}
+
+impl<C: Channels> LedgerChannelBridge<C> {
+    /// Bridges `channels` behind its own filter of
+    /// [`DEFAULT_DEDUPE_CAPACITY`] keys.
+    pub fn new(channels: C) -> Self {
+        LedgerChannelBridge { channels, filter: shared_filter(DEFAULT_DEDUPE_CAPACITY) }
+    }
+
+    /// Bridges `channels` behind an existing shared filter — the pool
+    /// shape, one filter across N workers' bridges.
+    pub fn with_filter(channels: C, filter: SharedFilter) -> Self {
+        LedgerChannelBridge { channels, filter }
+    }
+
+    /// The shared filter (e.g. to hand to further bridges).
+    pub fn filter(&self) -> SharedFilter {
+        Arc::clone(&self.filter)
+    }
+}
+
+impl<C: Channels> LedgerChannels for LedgerChannelBridge<C> {
+    fn send(&mut self, work: &LeasedWork) -> ChannelResult {
+        let fresh = self
+            .filter
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .first_seen(&work.idempotency_key);
+        if !fresh {
+            return ChannelResult::Duplicate;
+        }
+        match self.channels.send(work.channel, &work.address, &work.text) {
+            // The ledger owns no ack lifecycle; an accepted-with-ack send
+            // is simply accepted from its point of view.
+            SendOutcome::Accepted | SendOutcome::AcceptedWithAck(_) => ChannelResult::Sent,
+            SendOutcome::Failed(failure) => ChannelResult::Failed(failure.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::LoopbackChannels;
+    use simba_core::address::CommType;
+
+    fn work(key: &str) -> LeasedWork {
+        LeasedWork {
+            id: 1,
+            channel: CommType::Im,
+            address: "im:alice".to_string(),
+            text: "alert".to_string(),
+            idempotency_key: key.to_string(),
+            attempt: 1,
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_never_reach_the_channel() {
+        let filter = shared_filter(16);
+        let mut a = LedgerChannelBridge::with_filter(LoopbackChannels::accept_all(), Arc::clone(&filter));
+        let mut b = LedgerChannelBridge::with_filter(LoopbackChannels::accept_all(), filter);
+        assert_eq!(a.send(&work("alice/1/IM")), ChannelResult::Sent);
+        // The redelivery lands on a *different* worker's bridge and is
+        // still suppressed: the filter is shared.
+        assert_eq!(b.send(&work("alice/1/IM")), ChannelResult::Duplicate);
+        assert_eq!(a.send(&work("alice/2/IM")), ChannelResult::Sent);
+    }
+}

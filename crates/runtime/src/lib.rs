@@ -46,6 +46,7 @@
 mod channels;
 mod clock;
 mod host;
+mod ledger_bridge;
 mod presence;
 mod service;
 mod shard;
@@ -54,6 +55,9 @@ mod watchdog;
 pub use channels::{Channels, LoopbackChannels, SendOutcome, SharedChannels};
 pub use clock::RuntimeClock;
 pub use host::{HostConfig, HostError, HostNotice, HostSnapshot, MabHost, DEFAULT_NOTICE_CAPACITY};
+pub use ledger_bridge::{
+    shared_filter, LedgerChannelBridge, SharedFilter, DEFAULT_DEDUPE_CAPACITY,
+};
 pub use shard::{ConfigFactory, ShardedHost, ShardedHostConfig, ShardedSnapshot};
 pub use presence::{chanhealth_key, spawn_sweeper, StoreModeSelector, HEALTHY_VALUE};
 pub use service::{MabHandle, MabService, RuntimeNotice, ServiceSnapshot};

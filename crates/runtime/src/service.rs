@@ -11,7 +11,9 @@
 use crate::channels::{Channels, SendOutcome};
 use crate::clock::RuntimeClock;
 use simba_core::alert::IncomingAlert;
-use simba_core::delivery::{AttemptId, DeliveryCommand, DeliveryEvent, DeliveryStatus};
+use simba_core::delivery::{
+    AttemptId, DeliveryCommand, DeliveryEvent, DeliveryStatus, SendFailure,
+};
 use simba_core::mab::{DeliveryId, MabCommand, MabEvent, MabStats, MyAlertBuddy};
 use simba_core::rejuvenate::RejuvenationTrigger;
 use simba_core::wal::{InMemoryWal, WriteAheadLog};
@@ -184,6 +186,17 @@ pub struct MabService<C, W = InMemoryWal> {
     live: HashMap<DeliveryId, LiveDelivery>,
     next_gen: u64,
     telemetry: Telemetry,
+    /// When set, channel attempts are enqueued into the durable delivery
+    /// ledger (owned by a worker pool) instead of being sent inline.
+    ledger: Option<LedgerSink>,
+}
+
+/// Where ledger-routed sends go: the shared ledger plus the identity the
+/// idempotency keys are minted under.
+#[derive(Debug, Clone)]
+struct LedgerSink {
+    ledger: simba_ledger::SharedLedger,
+    user: simba_core::subscription::UserId,
 }
 
 impl<C: Channels> MabService<C, InMemoryWal> {
@@ -225,6 +238,7 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
             live: HashMap::new(),
             next_gen: 0,
             telemetry: Telemetry::disabled(),
+            ledger: None,
         };
         (service, MabHandle { tx }, notice_rx)
     }
@@ -258,6 +272,24 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
         selector: Box<dyn simba_core::routing::ModeSelector>,
     ) -> Self {
         self.mab.set_mode_selector(selector);
+        self
+    }
+
+    /// Routes this service's channel attempts into a durable delivery
+    /// ledger under `user`'s identity. Each Send command then enqueues
+    /// one `(delivery, channel)` record (group-committed before the
+    /// attempt is acknowledged to the buddy) and a ledger worker pool —
+    /// not this service — performs the send, retries with backoff, and
+    /// dead-letters; see `simba_ledger`. Attempts report `SendAccepted`
+    /// at enqueue: acceptance means "durably owned by the ledger", the
+    /// §4.2.1 durable-before-ack contract moved one layer down.
+    #[must_use]
+    pub fn with_ledger(
+        mut self,
+        ledger: simba_ledger::SharedLedger,
+        user: simba_core::subscription::UserId,
+    ) -> Self {
+        self.ledger = Some(LedgerSink { ledger, user });
         self
     }
 
@@ -453,6 +485,53 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                         } => {
                             let gen = self.generation(delivery);
                             self.attempt_owner.insert((delivery, attempt), gen);
+                            if let Some(sink) = &self.ledger {
+                                // Ledger-owned attempt: durable enqueue,
+                                // then acknowledge the handoff. A worker
+                                // pool performs the send and owns the
+                                // retry/backoff/dead-letter lifecycle.
+                                let accepted = {
+                                    let mut ledger = sink
+                                        .ledger
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                    ledger.enqueue(
+                                        &sink.user,
+                                        delivery.0,
+                                        comm_type,
+                                        &address_value,
+                                        &text,
+                                        self.clock.now(),
+                                    );
+                                    ledger.commit().is_ok()
+                                };
+                                if self.telemetry.enabled() {
+                                    self.telemetry.metrics().counter("runtime.sends").incr();
+                                    self.telemetry.emit(
+                                        Event::new(
+                                            "runtime.send",
+                                            self.clock.now().as_millis(),
+                                        )
+                                        .with("channel", comm_type.to_string())
+                                        .with("accepted", accepted),
+                                    );
+                                }
+                                let event = if accepted {
+                                    DeliveryEvent::SendAccepted { attempt }
+                                } else {
+                                    DeliveryEvent::SendFailed {
+                                        attempt,
+                                        failure: SendFailure::ChannelDown,
+                                    }
+                                };
+                                let now = self.clock.now();
+                                follow_ups.extend(self.mab.handle(
+                                    MabEvent::Delivery { id: delivery, event },
+                                    now,
+                                ));
+                                self.notify_if_finished(delivery);
+                                continue;
+                            }
                             let outcome = self.channels.send(comm_type, &address_value, &text);
                             if self.telemetry.enabled() {
                                 self.telemetry.metrics().counter("runtime.sends").incr();

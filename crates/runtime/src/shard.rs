@@ -100,6 +100,12 @@ pub struct ShardedHostConfig {
     /// workers keep real time (each thread's clock is wall-anchored), so
     /// virtual-time control from the caller does not reach them.
     pub threads: bool,
+    /// When set, shard workers enqueue channel attempts into this
+    /// durable delivery ledger (acknowledging the handoff as accepted)
+    /// instead of sending inline; a `simba_ledger::LedgerWorkerPool`
+    /// over the same handle performs the sends with retry, backoff, and
+    /// idempotency-key dedupe.
+    pub ledger: Option<simba_ledger::SharedLedger>,
 }
 
 impl Default for ShardedHostConfig {
@@ -115,6 +121,7 @@ impl Default for ShardedHostConfig {
             notice_capacity: DEFAULT_NOTICE_CAPACITY,
             queue_capacity: 1024,
             threads: false,
+            ledger: None,
         }
     }
 }
@@ -346,6 +353,7 @@ impl ShardedHost {
             let hibernate_after = config.hibernate_after;
             let retirement_grace = config.retirement_grace;
             let completed_ring = config.completed_ring;
+            let worker_ledger = config.ledger.clone();
             let build = move || Worker {
                 rx,
                 depth: worker_depth,
@@ -373,6 +381,7 @@ impl ShardedHost {
                 last_sweep: SimTime::ZERO,
                 retirement_grace,
                 completed_ring,
+                ledger: worker_ledger,
             };
             let task = if config.threads {
                 let thread = std::thread::Builder::new()
@@ -585,6 +594,8 @@ struct Worker<C> {
     last_sweep: SimTime,
     retirement_grace: SimDuration,
     completed_ring: usize,
+    /// Channel attempts go here instead of `channels` when set.
+    ledger: Option<simba_ledger::SharedLedger>,
 }
 
 enum Flow {
@@ -987,6 +998,43 @@ impl<C: Channels> Worker<C> {
                         DeliveryCommand::Send {
                             attempt, comm_type, address_value, text, ..
                         } => {
+                            if let Some(ledger) = &self.ledger {
+                                // Ledger-owned attempt: durable enqueue,
+                                // acknowledge the handoff, and let the
+                                // worker pool own send/retry/dead-letter.
+                                let accepted = {
+                                    let mut guard =
+                                        ledger.lock().unwrap_or_else(PoisonError::into_inner);
+                                    guard.enqueue(
+                                        &user,
+                                        delivery.0,
+                                        comm_type,
+                                        &address_value,
+                                        &text,
+                                        now,
+                                    );
+                                    guard.commit().is_ok()
+                                };
+                                if self.telemetry.enabled() {
+                                    self.telemetry.metrics().counter("runtime.sends").incr();
+                                }
+                                let event = if accepted {
+                                    DeliveryEvent::SendAccepted { attempt }
+                                } else {
+                                    DeliveryEvent::SendFailed {
+                                        attempt,
+                                        failure:
+                                            simba_core::delivery::SendFailure::ChannelDown,
+                                    }
+                                };
+                                self.feed(
+                                    &user,
+                                    MabEvent::Delivery { id: delivery, event },
+                                    now,
+                                    &mut follow,
+                                );
+                                continue;
+                            }
                             let outcome = self.channels.send(comm_type, &address_value, &text);
                             if self.telemetry.enabled() {
                                 self.telemetry.metrics().counter("runtime.sends").incr();

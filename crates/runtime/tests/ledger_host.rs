@@ -1,0 +1,142 @@
+//! End-to-end ledger-routed delivery: a `MabHost` whose services enqueue
+//! channel attempts into the durable ledger instead of sending inline,
+//! a worker pool draining the leases through the idempotency bridge into
+//! the loopback channels, and the acceptance invariant — every alert's
+//! visible effect happens exactly once — checked at the channel.
+
+use simba_core::address::{Address, AddressBook, CommType};
+use simba_core::classify::{Classifier, KeywordField};
+use simba_core::mode::{Block, DeliveryMode};
+use simba_core::rejuvenate::RejuvenationPolicy;
+use simba_core::subscription::{SubscriptionRegistry, UserId};
+use simba_core::{IncomingAlert, MabConfig};
+use simba_ledger::{
+    DeliveryLedger, LedgerChannels, LedgerClock, LedgerConfig, LedgerWorkerPool, WorkerPoolConfig,
+};
+use simba_runtime::{
+    shared_filter, HostConfig, HostNotice, LedgerChannelBridge, LoopbackChannels, MabHost,
+    RuntimeNotice, SharedChannels,
+};
+use simba_sim::{SimDuration, SimTime};
+use simba_telemetry::{RingBufferSink, Telemetry};
+use std::sync::{Arc, Mutex, PoisonError};
+
+fn user_config(name: &str) -> MabConfig {
+    let mut classifier = Classifier::new();
+    classifier.accept_source("aladdin-gw", KeywordField::Body, "cfg");
+    classifier.map_keyword("Sensor", "Home");
+    let mut registry = SubscriptionRegistry::new();
+    let user = UserId::new(name);
+    let profile = registry.register_user(user.clone());
+    let mut book = AddressBook::new();
+    book.add(Address::new("IM", CommType::Im, format!("im:{name}"))).expect("unique");
+    profile.address_book = book;
+    profile.define_mode(
+        DeliveryMode::new("Urgent", vec![Block::fire_and_forget(vec!["IM".into()])])
+            .expect("valid mode"),
+    );
+    registry.subscribe("Home", user, "Urgent").expect("subscribed");
+    MabConfig { classifier, registry, rejuvenation: RejuvenationPolicy::default() }
+}
+
+async fn wait_finished(notices: &mut tokio::sync::mpsc::Receiver<HostNotice>, n: usize) {
+    let mut finished = 0;
+    while finished < n {
+        let HostNotice { notice, .. } = notices.recv().await.expect("notice stream alive");
+        if matches!(notice, RuntimeNotice::DeliveryFinished { .. }) {
+            finished += 1;
+        }
+    }
+}
+
+/// Host accepts alerts by committing them to the ledger; the pool owns
+/// the sends. Kill one worker mid-flight: the survivor resumes its
+/// leases and the channel still sees each alert exactly once.
+#[tokio::test(start_paused = true)]
+async fn ledger_routed_host_delivers_exactly_once_despite_a_worker_kill() {
+    let telemetry = Telemetry::with_sink(Arc::new(RingBufferSink::new(512)));
+    let channels = SharedChannels::new(LoopbackChannels::accept_all());
+    let ledger = Arc::new(Mutex::new(
+        DeliveryLedger::open(LedgerConfig {
+            lease_duration: SimDuration::from_millis(40),
+            base_backoff: SimDuration::from_millis(2),
+            max_backoff: SimDuration::from_millis(10),
+            ..LedgerConfig::in_memory()
+        })
+        .expect("in-memory open")
+        .with_telemetry(telemetry.clone()),
+    ));
+
+    let (host, mut notices) = MabHost::new(channels.clone(), HostConfig::default());
+    let mut host = host.with_telemetry(telemetry.clone()).with_ledger(Arc::clone(&ledger));
+    let users = 8usize;
+    for i in 0..users {
+        let name = format!("user-{i}");
+        host.add_user(UserId::new(&name), user_config(&name)).expect("user added");
+    }
+
+    // The pool: two workers, each bridging into the same loopback
+    // channels behind one shared idempotency filter.
+    let filter = shared_filter(1024);
+    let adapters: Vec<Box<dyn LedgerChannels>> = (0..2)
+        .map(|_| {
+            Box::new(LedgerChannelBridge::with_filter(channels.clone(), Arc::clone(&filter)))
+                as Box<dyn LedgerChannels>
+        })
+        .collect();
+    let epoch = tokio::time::Instant::now();
+    let clock: LedgerClock = Arc::new(move || {
+        SimTime::from_millis(tokio::time::Instant::now().duration_since(epoch).as_millis() as u64)
+    });
+    let pool = LedgerWorkerPool::spawn(
+        Arc::clone(&ledger),
+        adapters,
+        clock,
+        WorkerPoolConfig { workers: 2, batch: 4, ..WorkerPoolConfig::default() },
+    )
+    .expect("local spawn cannot fail");
+
+    // Submit one alert per user. The host reports DeliveryFinished as
+    // soon as the attempt is durably owned by the ledger — acceptance
+    // is a commit, not a send.
+    for i in 0..users {
+        let alert =
+            IncomingAlert::from_im("aladdin-gw", format!("Sensor {i} ON"), SimTime::ZERO);
+        assert!(host.submit_im(&UserId::new(format!("user-{i}")), alert).await);
+    }
+    wait_finished(&mut notices, users).await;
+
+    // Crash one of the two workers mid-drain; the survivor picks up the
+    // expired leases.
+    pool.kill(0);
+    let stats = pool.drain().await;
+    assert_eq!(stats.sent + stats.deduped, users as u64, "every attempt closed");
+    assert!(
+        ledger.lock().unwrap_or_else(PoisonError::into_inner).is_drained(),
+        "ledger fully drained"
+    );
+
+    channels.with(|c| {
+        let sent = c.sent().to_vec();
+        assert_eq!(sent.len(), users, "exactly one visible send per alert: {sent:?}");
+        for i in 0..users {
+            assert_eq!(
+                sent.iter()
+                    .filter(|(ct, addr, _)| *ct == CommType::Im && addr == &format!("im:user-{i}"))
+                    .count(),
+                1,
+                "user-{i} saw the alert exactly once"
+            );
+        }
+    });
+
+    host.shutdown().await;
+    let snap = telemetry.metrics().snapshot();
+    assert_eq!(snap.counter("ledger.enqueued"), users as u64);
+    assert_eq!(snap.counter("ledger.commit_batch") > 0, true);
+    assert_eq!(
+        snap.counter("ledger.leased") >= users as u64,
+        true,
+        "every record leased at least once"
+    );
+}

@@ -89,6 +89,7 @@ pub const SCOPES: &[&str] = &[
     "stabilize",
     "rejuvenate",
     "store",
+    "ledger",
     // Simulation-harness scopes (fault taxonomy of the paper's Table 2).
     "sanity",
     "power",
@@ -119,6 +120,7 @@ pub const CRATE_SCOPES: &[(&str, &[&str])] = &[
     ),
     ("net", &["net"]),
     ("store", &["store"]),
+    ("ledger", &["ledger"]),
     ("client", &["client"]),
     ("gateway", &["gateway"]),
     ("xml", &[]),
@@ -170,6 +172,13 @@ pub const POINTS: &[PointDef] = &[
     point!("host.user_stopped", [Event], "host", "a per-user MAB runtime was retired from the host"),
     point!("host.users", [Counter], "host", "per-user MAB runtimes started over the host's lifetime"),
     point!("im.one_way", [Summary], "im", "sim: one-way source-to-client IM latency (paper fig. E1)"),
+    point!("ledger.commit_batch", [Counter], "ledger", "delivery-ledger group commits (one fsync each in file mode)"),
+    point!("ledger.dead_lettered", [Counter], "ledger", "records parked in the bounded dead-letter queue after max attempts"),
+    point!("ledger.enqueued", [Counter], "ledger", "channel attempts enqueued as durable ledger records"),
+    point!("ledger.idempotent_dedup", [Counter], "ledger", "redelivered sends absorbed by idempotency-key dedupe (at-least-once made exactly-once-visible)"),
+    point!("ledger.lease_expired", [Counter], "ledger", "expired leases reclaimed from (presumed-dead) workers"),
+    point!("ledger.leased", [Counter], "ledger", "time-bounded leases granted to ledger workers"),
+    point!("ledger.retried", [Counter], "ledger", "failed sends rescheduled with exponential backoff"),
     point!("mab.ack", [Event], "mab", "MAB observed a user acknowledgement for an alert"),
     point!("mab.acked", [Counter], "mab", "alerts acknowledged while owned by the MAB"),
     point!("mab.crashed", [Event], "mab", "the MAB detected or simulated an abnormal termination"),

@@ -17,6 +17,8 @@
 //! * [`sources`] — the five alert services from the paper.
 //! * [`baselines`] — comparison delivery strategies.
 //! * [`runtime`] — tokio-based live runtime.
+//! * [`ledger`] — durable delivery ledger: leased work queue with retry,
+//!   backoff, and idempotency keys.
 //! * [`telemetry`] — structured events + metrics spine (see
 //!   `README.md` § Observability).
 //!
@@ -29,6 +31,7 @@ pub use simba_baselines as baselines;
 pub use simba_client as client;
 pub use simba_core as core;
 pub use simba_gateway as gateway;
+pub use simba_ledger as ledger;
 pub use simba_net as net;
 pub use simba_runtime as runtime;
 pub use simba_sim as sim;
