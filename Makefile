@@ -7,7 +7,14 @@
 #   make test-all — every workspace member's tests
 #   make doc    — rustdoc for all workspace crates (no deps)
 #   make lint   — clippy, warnings as errors
-#   make analyze — simba-analyze: telemetry registry + hygiene pass
+#   make analyze — simba-analyze: telemetry registry + hygiene pass +
+#                 cross-file concurrency/durability rules; fails on any
+#                 unsuppressed finding and writes ANALYZE_REPORT.json
+#                 (schema in crates/analyze/README.md) next to the
+#                 BENCH_e*.json artifacts
+#   make tsan   — sharded-host + ledger crash-matrix tests under
+#                 ThreadSanitizer when a nightly toolchain is installed;
+#                 prints a notice and succeeds otherwise
 #   make soak   — short deterministic multi-user host soak (E3H)
 #   make gateway-smoke — E6 gateway smoke: 1k alerts over localhost TCP
 #                 with injected drops; asserts zero accepted-then-lost
@@ -29,7 +36,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-all doc lint analyze soak gateway-smoke store-smoke host-smoke ledger-smoke clean
+.PHONY: ci build test test-all doc lint analyze tsan soak gateway-smoke store-smoke host-smoke ledger-smoke clean
 
 ci: build test doc lint analyze soak gateway-smoke store-smoke host-smoke ledger-smoke
 
@@ -53,7 +60,28 @@ lint:
 	$(CARGO) clippy -p simba-core -p simba-runtime -p simba-gateway -p simba-net -p simba-ledger --lib -- -W clippy::unwrap_used
 
 analyze:
-	$(CARGO) run -q -p simba-analyze -- check
+	$(CARGO) run -q -p simba-analyze -- check --report ANALYZE_REPORT.json
+
+# ThreadSanitizer pass over the code paths with real cross-thread
+# sharing: the thread-per-shard host and the ledger crash matrix.
+# -Z sanitizer=thread needs a nightly toolchain and std rebuilt with
+# sanitizer instrumentation (-Z build-std); when rustup has no nightly
+# (the offline CI image ships stable only) this prints a notice and
+# succeeds, so `make tsan` is safe to run anywhere.
+tsan:
+	@if ! rustup run nightly rustc --version >/dev/null 2>&1; then \
+		echo "tsan: no nightly toolchain installed — skipping (rustup toolchain install nightly, then re-run \`make tsan\`)"; \
+	elif [ ! -f "$$(rustup run nightly rustc --print sysroot)/lib/rustlib/src/rust/library/Cargo.lock" ]; then \
+		echo "tsan: nightly lacks rust-src (needed for -Z build-std) — skipping (rustup component add rust-src --toolchain nightly)"; \
+	else \
+		echo "tsan: running sharded_threads + ledger crash matrix under ThreadSanitizer"; \
+		RUSTFLAGS="-Z sanitizer=thread" \
+		rustup run nightly $(CARGO) test -Z build-std --target x86_64-unknown-linux-gnu \
+			-p simba-runtime --test sharded_threads -- --test-threads=1 && \
+		RUSTFLAGS="-Z sanitizer=thread" \
+		rustup run nightly $(CARGO) test -Z build-std --target x86_64-unknown-linux-gnu \
+			-p simba-ledger --test crash_matrix -- --test-threads=1; \
+	fi
 
 soak:
 	$(CARGO) run --release -q -p simba-bench --bin exp_e3_host_soak -- --smoke --seed 42

@@ -16,9 +16,38 @@ pub struct Finding {
     pub message: String,
     /// Optional fix hint (rendered as `= help:`).
     pub help: Option<String>,
+    /// Covered by a well-formed `// simba-analyze: allow(...)` waiver.
+    /// Suppressed findings stay in the report (JSON keeps them, text
+    /// counts them) but do not fail the run.
+    pub suppressed: bool,
 }
 
 impl Finding {
+    /// Constructs an unsuppressed finding.
+    pub fn new(
+        rule: &'static str,
+        file: impl Into<String>,
+        line: u32,
+        message: impl Into<String>,
+        help: Option<String>,
+    ) -> Self {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            message: message.into(),
+            help,
+            suppressed: false,
+        }
+    }
+
+    /// Severity in the stable JSON schema. Every current rule is an
+    /// `error` (the run fails while any is unsuppressed); the field
+    /// exists so adding a `warning` tier later cannot break consumers.
+    pub fn severity(&self) -> &'static str {
+        "error"
+    }
+
     /// rustc-style rendering:
     ///
     /// ```text
@@ -29,7 +58,7 @@ impl Finding {
     /// ```
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "error[{}]: {}", self.rule, self.message);
+        let _ = writeln!(out, "{}[{}]: {}", self.severity(), self.rule, self.message);
         let _ = writeln!(out, "  --> {}:{}", self.file, self.line);
         if let Some(help) = &self.help {
             let _ = writeln!(out, "  = help: {help}");
@@ -43,15 +72,20 @@ impl Finding {
     }
 
     /// One JSON object (no trailing newline). Hand-rolled like the rest of
-    /// the workspace — no serde offline.
+    /// the workspace — no serde offline. Stable schema (documented in
+    /// `crates/analyze/README.md`): `rule`, `severity`, `file`, `line`,
+    /// `suppressed` always present in that order, then `message` and an
+    /// optional `help`.
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"",
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"suppressed\":{},\"message\":\"{}\"",
             escape_json(self.rule),
+            self.severity(),
             escape_json(&self.file),
             self.line,
+            self.suppressed,
             escape_json(&self.message)
         );
         if let Some(help) = &self.help {
@@ -62,8 +96,15 @@ impl Finding {
     }
 }
 
-/// Renders a full report in the requested format, returning the text and
-/// whether the run is clean.
+/// Number of findings not covered by a waiver — the count that decides
+/// the exit status.
+pub fn unsuppressed_count(findings: &[Finding]) -> usize {
+    findings.iter().filter(|f| !f.suppressed).count()
+}
+
+/// Renders a full report in the requested format. JSON keeps every
+/// finding (suppressed ones flagged); text prints only unsuppressed
+/// findings and counts the waived ones in the summary line.
 pub fn render_report(findings: &[Finding], json: bool) -> String {
     if json {
         let mut out = String::from("[");
@@ -79,18 +120,26 @@ pub fn render_report(findings: &[Finding], json: bool) -> String {
         out
     } else {
         let mut out = String::new();
-        for f in findings {
+        let active: Vec<&Finding> = findings.iter().filter(|f| !f.suppressed).collect();
+        let waived = findings.len() - active.len();
+        for f in &active {
             out.push_str(&f.render_text());
             out.push('\n');
         }
-        if findings.is_empty() {
-            out.push_str("simba-analyze: workspace clean\n");
+        let waived_note = match waived {
+            0 => String::new(),
+            1 => " (1 finding waived by allow directives)".to_string(),
+            n => format!(" ({n} findings waived by allow directives)"),
+        };
+        if active.is_empty() {
+            let _ = writeln!(out, "simba-analyze: workspace clean{waived_note}");
         } else {
             let _ = writeln!(
                 out,
-                "simba-analyze: {} finding{}",
-                findings.len(),
-                if findings.len() == 1 { "" } else { "s" }
+                "simba-analyze: {} finding{}{}",
+                active.len(),
+                if active.len() == 1 { "" } else { "s" },
+                waived_note
             );
         }
         out
@@ -108,6 +157,7 @@ mod tests {
             line: 405,
             message: "`.unwrap()` outside test code".into(),
             help: Some("handle the error".into()),
+            suppressed: false,
         }
     }
 
@@ -121,15 +171,34 @@ mod tests {
     }
 
     #[test]
-    fn json_is_parseable_shape() {
+    fn json_schema_is_stable() {
         let json = finding().render_json();
-        assert!(json.starts_with("{\"rule\":\"hygiene.unwrap\""), "{json}");
-        assert!(json.contains("\"line\":405"), "{json}");
+        assert!(
+            json.starts_with(
+                "{\"rule\":\"hygiene.unwrap\",\"severity\":\"error\",\"file\":\"crates/core/src/wal.rs\",\"line\":405,\"suppressed\":false,\"message\":"
+            ),
+            "{json}"
+        );
+        let mut waived = finding();
+        waived.suppressed = true;
+        assert!(waived.render_json().contains("\"suppressed\":true"));
     }
 
     #[test]
     fn empty_report() {
         assert_eq!(render_report(&[], true), "[]\n");
         assert!(render_report(&[], false).contains("workspace clean"));
+    }
+
+    #[test]
+    fn suppressed_findings_kept_in_json_counted_in_text() {
+        let mut waived = finding();
+        waived.suppressed = true;
+        let report = render_report(std::slice::from_ref(&waived), true);
+        assert!(report.contains("\"suppressed\":true"), "{report}");
+        let text = render_report(std::slice::from_ref(&waived), false);
+        assert!(text.contains("workspace clean (1 finding waived"), "{text}");
+        assert!(!text.contains("error["), "{text}");
+        assert_eq!(unsuppressed_count(std::slice::from_ref(&waived)), 0);
     }
 }

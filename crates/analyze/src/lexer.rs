@@ -70,6 +70,20 @@ pub fn lex(source: &str) -> Vec<Token> {
     .run()
 }
 
+/// Lookahead helper for raw-string openers: starting just after the
+/// `r` prefix, returns `Some(n)` when `n` `#`s followed by a `"` come
+/// next (a real raw-string opener), `None` otherwise.
+fn raw_opener_hashes<I: Iterator<Item = (usize, char)>>(mut it: I) -> Option<usize> {
+    let mut hashes = 0usize;
+    loop {
+        match it.next().map(|(_, c)| c) {
+            Some('#') => hashes += 1,
+            Some('"') => return Some(hashes),
+            _ => return None,
+        }
+    }
+}
+
 struct Lexer<'a> {
     chars: std::iter::Peekable<std::str::CharIndices<'a>>,
     src: &'a str,
@@ -189,9 +203,18 @@ impl<'a> Lexer<'a> {
 
     /// At an `r` or `b`: could be `r"..."`, `r#"..."#`, `b"..."`,
     /// `br#"..."#`, `b'x'`, `r#ident`, or a plain identifier.
+    ///
+    /// Decides with *pure lookahead* before consuming anything: a
+    /// raw-string form is committed to only when `#`s-then-`"` really
+    /// follows the prefix. (An earlier version consumed the `b`/`r`
+    /// first and mislexed every identifier starting with `br` —
+    /// `break` came out as `Ident("r")` + `Ident("eak")`.)
     fn ident_or_prefixed_literal(&mut self, line: u32) {
-        let start_is_b = self.peek() == Some('b');
-        match (self.peek(), self.peek2()) {
+        let mut it = self.chars.clone();
+        let first = it.next().map(|(_, c)| c);
+        let after_first = it.clone();
+        let second = it.next().map(|(_, c)| c);
+        match (first, second) {
             // b'x' byte char
             (Some('b'), Some('\'')) => {
                 self.bump();
@@ -203,29 +226,43 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 self.cooked_string(line, '"');
             }
-            // r"..."  r#"..."#  r#ident  br"..."
-            (Some('r'), Some('"')) | (Some('r'), Some('#')) | (Some('b'), Some('r')) => {
-                if start_is_b {
+            // br"..." / br##"..."## byte raw string — but only when a
+            // quote follows the hashes; `break` is an identifier.
+            (Some('b'), Some('r')) => match raw_opener_hashes(it) {
+                Some(hashes) => {
                     self.bump(); // b
-                }
-                self.bump(); // r
-                let mut hashes = 0usize;
-                while self.peek() == Some('#') {
-                    self.bump();
-                    hashes += 1;
-                }
-                if self.peek() == Some('"') {
-                    self.bump();
+                    self.bump(); // r
+                    for _ in 0..=hashes {
+                        self.bump(); // the #s and the opening quote
+                    }
                     self.raw_string(line, hashes);
-                } else if hashes > 0 {
-                    // r#ident — a raw identifier; lex the word.
-                    self.ident(line);
-                } else {
-                    // A lone `r` identifier (e.g. variable named r) —
-                    // already consumed; emit it.
-                    self.push(TokenKind::Ident("r".to_string()), line);
                 }
+                None => self.ident(line),
+            },
+            // r"..." raw string
+            (Some('r'), Some('"')) => {
+                self.bump(); // r
+                self.bump(); // "
+                self.raw_string(line, 0);
             }
+            // r#"..."# raw string, or r#ident raw identifier
+            (Some('r'), Some('#')) => match raw_opener_hashes(after_first) {
+                Some(hashes) => {
+                    self.bump(); // r
+                    for _ in 0..=hashes {
+                        self.bump(); // the #s and the opening quote
+                    }
+                    self.raw_string(line, hashes);
+                }
+                None => {
+                    // r#ident — skip the prefix, lex the word itself.
+                    self.bump(); // r
+                    while self.peek() == Some('#') {
+                        self.bump();
+                    }
+                    self.ident(line);
+                }
+            },
             _ => self.ident(line),
         }
     }
@@ -475,5 +512,33 @@ mod tests {
     #[test]
     fn raw_ident() {
         assert_eq!(idents("let r#async = 1;"), vec!["let", "async"]);
+    }
+
+    #[test]
+    fn br_prefixed_idents_are_not_raw_strings() {
+        // Regression: identifiers starting with `br` must lex whole.
+        assert_eq!(idents("while broken { break; }"), vec!["while", "broken", "break"]);
+        assert_eq!(idents("let bridge = br; brand()"), vec!["let", "bridge", "br", "brand"]);
+        // ...while genuine byte raw strings still lex as strings.
+        assert_eq!(strings(r#"let x = br"bytes";"#), vec!["bytes"]);
+        assert_eq!(strings(r###"let y = br##"raw bytes"##;"###), vec!["raw bytes"]);
+    }
+
+    #[test]
+    fn tokens_inside_raw_strings_stay_inert() {
+        // Nothing inside a raw string may surface as an identifier a
+        // rule could match — only the Str token carries the contents.
+        let src = r###"let s = r#"x.unwrap() thread::sleep mpsc::channel()"#;"###;
+        assert_eq!(idents(src), vec!["let", "s"]);
+        assert_eq!(strings(src), vec!["x.unwrap() thread::sleep mpsc::channel()"]);
+        // Inner quote/hash runs shorter than the delimiter stay inside.
+        assert_eq!(strings(r###"r##"a "# b"##"###), vec![r##"a "# b"##]);
+    }
+
+    #[test]
+    fn tokens_inside_nested_block_comments_stay_inert() {
+        let src = "/* outer /* x.unwrap() \"str\" */ still comment */ after";
+        assert_eq!(idents(src), vec!["after"]);
+        assert!(strings(src).is_empty());
     }
 }

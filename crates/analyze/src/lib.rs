@@ -18,37 +18,54 @@
 //!   tests in `core`/`runtime`/`gateway`/`net`/`ledger`, no `thread::sleep`
 //!   inside async code, no unbounded channels outside the sim crate,
 //!   and `#![forbid(unsafe_code)]` on every crate root.
+//! * **Concurrency & durability contracts** — a cross-file pass
+//!   (`model` + `graph`) extracts per-function event streams (guard
+//!   acquisitions and live-ranges, calls, `.await` points) and checks
+//!   three invariants the type system cannot see: no cycle in the
+//!   workspace lock-order graph (`concurrency.lock-order`), no blocking
+//!   call or await while a guard is live
+//!   (`concurrency.blocking-under-guard`), and no ack without a
+//!   dominating durable commit (`durability.ack-before-commit`, seeded
+//!   from the annotated registry in `contracts`).
 //!
 //! True positives that are genuinely fine carry an inline waiver with a
 //! mandatory reason: `// simba-analyze: allow(<rule>): <reason>`.
+//! Waived findings stay in the JSON report with `"suppressed":true`.
 //!
 //! Run as `cargo run -p simba-analyze -- check` (or `make analyze`);
-//! exit status 0 means clean.
+//! exit status 0 means no unsuppressed findings.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod contracts;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
 
 use diag::Finding;
-use scan::{ApiKind, FileFacts};
+use scan::{ApiKind, FileFacts, Suppression};
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
 /// The path of the registry module, relative to the workspace root.
 pub const POINTS_RS: &str = "crates/telemetry/src/points.rs";
 
-/// A full workspace pass: every finding, post-suppression, sorted by
-/// file then line.
+/// A full workspace pass: every finding — waived ones included, with
+/// [`Finding::suppressed`] set — sorted by file then line. The run is
+/// passing when [`diag::unsuppressed_count`] is zero.
 pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let files = workspace::discover(root)?;
     let mut findings = Vec::new();
     let mut all_sites: Vec<(String, ApiKind, bool)> = Vec::new();
     let mut points_rs_facts: Option<FileFacts> = None;
+    let mut suppressions_by_file: BTreeMap<String, Vec<Suppression>> = BTreeMap::new();
+    let mut models: Vec<graph::FileFunctions> = Vec::new();
 
     for file in &files {
         let source = std::fs::read_to_string(&file.abs_path)?;
@@ -56,7 +73,14 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
 
         let mut file_findings = rules::file_findings(file, &facts);
         file_findings.extend(rules::forbid_unsafe_finding(file, &facts));
-        findings.extend(rules::apply_suppressions(file_findings, &facts.suppressions));
+        rules::mark_suppressed(&mut file_findings, &facts.suppressions);
+        findings.extend(file_findings);
+
+        models.push(graph::FileFunctions {
+            crate_name: file.crate_name.clone(),
+            rel_path: file.rel_path.clone(),
+            functions: model::extract(&source, file.is_test_file),
+        });
 
         if !rules::TELEMETRY_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
             all_sites.extend(
@@ -66,10 +90,21 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                     .map(|s| (s.name.clone(), s.api, s.in_test)),
             );
         }
+        suppressions_by_file.insert(file.rel_path.clone(), facts.suppressions.clone());
         if file.rel_path == POINTS_RS {
             points_rs_facts = Some(facts);
         }
     }
+
+    // The cross-file concurrency/durability pass; its findings carry the
+    // file the *site* is in, so waivers come from that file's directives.
+    let mut graph_findings = graph::check(&models);
+    for f in &mut graph_findings {
+        if let Some(sups) = suppressions_by_file.get(&f.file) {
+            rules::mark_suppressed(std::slice::from_mut(f), sups);
+        }
+    }
+    findings.extend(graph_findings);
 
     findings.extend(rules::unemitted_points(
         &all_sites,

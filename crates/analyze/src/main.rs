@@ -10,7 +10,9 @@ const USAGE: &str = "\
 simba-analyze — workspace static analysis for telemetry contracts and hygiene
 
 USAGE:
-    simba-analyze check [--json] [--root <dir>]   run every rule; exit 1 on findings
+    simba-analyze check [--json] [--report <path>] [--root <dir>]
+                                                  run every rule; exit 1 on unsuppressed findings;
+                                                  --report writes the full JSON report to <path>
     simba-analyze points                          print the registry as a markdown table
     simba-analyze dump [--root <dir>]             list every telemetry call site
     simba-analyze rules                           list rule ids and descriptions
@@ -20,12 +22,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut json = false;
+    let mut report_path: Option<PathBuf> = None;
     let mut root_arg: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "check" | "points" | "dump" | "rules" if cmd.is_none() => cmd = Some(a.clone()),
             "--json" => json = true,
+            "--report" => match it.next() {
+                Some(path) => report_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --report needs a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match it.next() {
                 Some(dir) => root_arg = Some(PathBuf::from(dir)),
                 None => {
@@ -94,8 +104,14 @@ fn main() -> ExitCode {
         },
         "check" => match check_workspace(&root) {
             Ok(findings) => {
+                if let Some(path) = &report_path {
+                    if let Err(e) = std::fs::write(path, diag::render_report(&findings, true)) {
+                        eprintln!("error: cannot write report to {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
                 print!("{}", diag::render_report(&findings, json));
-                if findings.is_empty() {
+                if diag::unsuppressed_count(&findings) == 0 {
                     ExitCode::SUCCESS
                 } else {
                     ExitCode::FAILURE

@@ -54,6 +54,18 @@ pub const RULES: &[(&str, &str)] = &[
         "a workspace crate root is missing #![forbid(unsafe_code)]",
     ),
     (
+        "concurrency.lock-order",
+        "a cycle in the workspace lock-order graph (two sites acquire the same locks in conflicting orders)",
+    ),
+    (
+        "concurrency.blocking-under-guard",
+        "blocking I/O, commit, thread::sleep, channel recv, or .await reached (directly or one call deep) while a Mutex/RwLock guard is live",
+    ),
+    (
+        "durability.ack-before-commit",
+        "an ack-classified call or construction on a path with no dominating commit-classified call (§4.2.1 durable-before-ack; registry in crates/analyze/src/contracts.rs)",
+    ),
+    (
         "docs.points-table",
         "the README Observability table is out of sync with points.rs",
     ),
@@ -179,6 +191,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
                 if !api_matches_kind(site.api, def.kinds) {
                     let kinds: Vec<&str> = def.kinds.iter().map(|k| k.label()).collect();
                     findings.push(Finding {
+                suppressed: false,
                         rule: "telemetry.kind-mismatch",
                         file: file.rel_path.clone(),
                         line: site.line,
@@ -208,6 +221,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
                 if let Some((suggestion, d)) = nearest {
                     if d <= 1 {
                         findings.push(Finding {
+                suppressed: false,
                             rule: "telemetry.misspelled-point",
                             file: file.rel_path.clone(),
                             line: site.line,
@@ -222,6 +236,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
                 }
                 if dotted && scope_known {
                     findings.push(Finding {
+                suppressed: false,
                         rule: "telemetry.unknown-point",
                         file: file.rel_path.clone(),
                         line: site.line,
@@ -237,6 +252,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
                     // A production emission outside every known scope is a
                     // naming violation even when we can't guess the intent.
                     findings.push(Finding {
+                suppressed: false,
                         rule: "telemetry.naming",
                         file: file.rel_path.clone(),
                         line: site.line,
@@ -256,6 +272,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
             if !site.in_test && site.api != ApiKind::NameCmp {
                 if !name_shape_ok(&site.name) {
                     findings.push(Finding {
+                suppressed: false,
                         rule: "telemetry.naming",
                         file: file.rel_path.clone(),
                         line: site.line,
@@ -269,6 +286,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
                     let scope = site.name.split('.').next().unwrap_or_default();
                     if !scopes.contains(&scope) {
                         findings.push(Finding {
+                suppressed: false,
                             rule: "telemetry.naming",
                             file: file.rel_path.clone(),
                             line: site.line,
@@ -300,6 +318,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
     for u in &facts.unwraps {
         if !u.in_test && HYGIENE_UNWRAP_CRATES.contains(&crate_name) {
             findings.push(Finding {
+                suppressed: false,
                 rule: "hygiene.unwrap",
                 file: file.rel_path.clone(),
                 line: u.line,
@@ -316,6 +335,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
 
     for s in &facts.sleeps_in_async {
         findings.push(Finding {
+                suppressed: false,
             rule: "hygiene.sleep-in-async",
             file: file.rel_path.clone(),
             line: s.line,
@@ -327,6 +347,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
     for u in &facts.unbounded {
         if !u.in_test && !UNBOUNDED_EXEMPT_CRATES.contains(&crate_name) {
             findings.push(Finding {
+                suppressed: false,
                 rule: "hygiene.unbounded-channel",
                 file: file.rel_path.clone(),
                 line: u.line,
@@ -341,6 +362,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
     for s in &facts.shared_mut {
         if !s.in_test && SHARED_MUT_CRATES.contains(&crate_name) {
             findings.push(Finding {
+                suppressed: false,
                 rule: "hygiene.shared-mutability",
                 file: file.rel_path.clone(),
                 line: s.line,
@@ -358,6 +380,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
     for s in &facts.suppressions {
         if s.rules.is_empty() || s.rules.iter().all(|r| !is_known_rule(r)) {
             findings.push(Finding {
+                suppressed: false,
                 rule: "suppression.unknown-rule",
                 file: file.rel_path.clone(),
                 line: s.line,
@@ -373,6 +396,7 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
             });
         } else if s.reason.is_empty() {
             findings.push(Finding {
+                suppressed: false,
                 rule: "suppression.missing-reason",
                 file: file.rel_path.clone(),
                 line: s.line,
@@ -387,22 +411,30 @@ pub fn file_findings(file: &SourceFile, facts: &FileFacts) -> Vec<Finding> {
     findings
 }
 
+/// Marks findings covered by a well-formed suppression on the same line
+/// or the line above. Suppression-rule findings are never suppressible.
+/// (Marked findings stay in the report — the JSON keeps them with
+/// `"suppressed":true` — but do not fail the run.)
+pub fn mark_suppressed(findings: &mut [Finding], suppressions: &[Suppression]) {
+    for f in findings {
+        if f.rule.starts_with("suppression.") {
+            continue;
+        }
+        f.suppressed = suppressions.iter().any(|s| {
+            !s.reason.is_empty()
+                && (s.line == f.line || s.line + 1 == f.line)
+                && s.rules.iter().any(|r| r == f.rule)
+        });
+    }
+}
+
 /// Drops findings covered by a well-formed suppression on the same line
 /// or the line above. Suppression-rule findings are never suppressible.
 pub fn apply_suppressions(findings: Vec<Finding>, suppressions: &[Suppression]) -> Vec<Finding> {
+    let mut findings = findings;
+    mark_suppressed(&mut findings, suppressions);
+    findings.retain(|f| !f.suppressed);
     findings
-        .into_iter()
-        .filter(|f| {
-            if f.rule.starts_with("suppression.") {
-                return true;
-            }
-            !suppressions.iter().any(|s| {
-                !s.reason.is_empty()
-                    && (s.line == f.line || s.line + 1 == f.line)
-                    && s.rules.iter().any(|r| r == f.rule)
-            })
-        })
-        .collect()
 }
 
 /// Workspace-level telemetry check: every registered point must be
@@ -449,6 +481,7 @@ pub fn unemitted_points(
         }
         if !seen {
             findings.push(Finding {
+                suppressed: false,
                 rule: "telemetry.unemitted-point",
                 file: points_rs_path.to_string(),
                 line: line_of.get(def.name).copied().unwrap_or(1),
@@ -467,6 +500,7 @@ pub fn unemitted_points(
 pub fn forbid_unsafe_finding(file: &SourceFile, facts: &FileFacts) -> Option<Finding> {
     if file.is_crate_root && !facts.has_forbid_unsafe {
         Some(Finding {
+            suppressed: false,
             rule: "hygiene.forbid-unsafe",
             file: file.rel_path.clone(),
             line: 1,
@@ -494,6 +528,7 @@ pub fn check_readme_table(readme: &str, readme_path: &str) -> Vec<Finding> {
     let end = readme.find(TABLE_END);
     let (Some(b), Some(e)) = (begin, end) else {
         return vec![Finding {
+            suppressed: false,
             rule: "docs.points-table",
             file: readme_path.to_string(),
             line: 1,
@@ -505,6 +540,7 @@ pub fn check_readme_table(readme: &str, readme_path: &str) -> Vec<Finding> {
     };
     if e < b {
         return vec![Finding {
+            suppressed: false,
             rule: "docs.points-table",
             file: readme_path.to_string(),
             line: 1,
@@ -516,6 +552,7 @@ pub fn check_readme_table(readme: &str, readme_path: &str) -> Vec<Finding> {
     if body != expected.trim() {
         let line = readme[..b].lines().count() as u32 + 1;
         return vec![Finding {
+            suppressed: false,
             rule: "docs.points-table",
             file: readme_path.to_string(),
             line,

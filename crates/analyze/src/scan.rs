@@ -344,7 +344,8 @@ fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
 }
 
 /// `in_test[i]`: token `i` is inside a `#[test]` / `#[cfg(test)]` item.
-fn test_regions(tokens: &[Token], whole_file: bool) -> Vec<bool> {
+/// (Shared with `model`, which needs per-function test marks.)
+pub(crate) fn test_regions(tokens: &[Token], whole_file: bool) -> Vec<bool> {
     let mut marks = vec![whole_file; tokens.len()];
     if whole_file {
         return marks;

@@ -237,6 +237,37 @@ fn suppression_does_not_cover_other_rules_or_far_lines() {
     assert_eq!(rules_fired(&findings), vec!["hygiene.unwrap"]);
 }
 
+#[test]
+fn same_line_directive_takes_precedence_over_line_above() {
+    // Both placements are legal; when both exist the finding is covered
+    // (each directive is judged on its own merits — the same-line one
+    // matches, the line-above one also matches, nothing double-fires).
+    let src = "fn f() {\n    // simba-analyze: allow(hygiene.unwrap): above\n    y.unwrap(); // simba-analyze: allow(hygiene.unwrap): same line\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+
+    // A same-line directive covers its own line only — the line *below*
+    // it is out of reach (directives reach down, never up).
+    let src = "fn f() {\n    g(); // simba-analyze: allow(hygiene.unwrap): reaches line 2 and 3 only\n\n    y.unwrap();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    assert_eq!(rules_fired(&findings), vec!["hygiene.unwrap"]);
+    assert_eq!(findings[0].line, 4);
+}
+
+#[test]
+fn unknown_rule_directive_cannot_waive_itself() {
+    // suppression.* findings are never suppressible: a typo'd allow that
+    // carries its own allow(suppression.unknown-rule) must still fire.
+    let src = "fn f() {\n    // simba-analyze: allow(suppression.unknown-rule): nice try\n    // simba-analyze: allow(hygiene.unwrp): typo\n    y.unwrap();\n}\n";
+    let findings = findings_for("core", "crates/core/src/fixture.rs", src);
+    let mut fired = rules_fired(&findings);
+    fired.sort_unstable();
+    // One unknown-rule finding (the typo); the allow(suppression.unknown-rule)
+    // directive names a real rule so it is well-formed — it just has no
+    // power, because suppression.* findings are never suppressible.
+    assert_eq!(fired, vec!["hygiene.unwrap", "suppression.unknown-rule"]);
+}
+
 // ------------------------------------------------------------------- docs
 
 #[test]
@@ -276,9 +307,21 @@ fn this_workspace_is_clean() {
     )))
     .expect("workspace root");
     let findings = simba_analyze::check_workspace(&root).expect("scan succeeds");
+    let live: Vec<_> = findings.iter().filter(|f| !f.suppressed).collect();
     assert!(
-        findings.is_empty(),
+        live.is_empty(),
         "workspace must be analyze-clean at merge:\n{}",
         simba_analyze::diag::render_report(&findings, false)
     );
+    // The cross-file pass must actually have engaged: the workspace's
+    // intended hold-the-lock-across-commit shapes carry waivers for the
+    // concurrency/durability rules, so their findings must be present
+    // (suppressed) rather than silently never produced.
+    for rule in ["concurrency.blocking-under-guard", "durability.ack-before-commit"] {
+        assert!(
+            findings.iter().any(|f| f.rule == rule && f.suppressed),
+            "expected waived {rule} findings from the cross-file pass; got none — \
+             did the model/graph pass stop seeing the workspace?"
+        );
+    }
 }

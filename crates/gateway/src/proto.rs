@@ -496,6 +496,7 @@ pub fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, FrameErr
             let body = r.string("submit.body")?;
             Frame::Submit { seq, channel, user, source, body }
         }
+        // simba-analyze: allow(durability.ack-before-commit): the decoder reconstructs a peer's frame from wire bytes; nothing is being acknowledged here
         2 => Frame::Ack { seq: r.u64("ack.seq")? },
         3 => {
             let seq = r.u64("nack.seq")?;

@@ -308,6 +308,7 @@ fn worker_loop(shared: &Shared, socket_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
             socket_rx
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // simba-analyze: allow(concurrency.blocking-under-guard): std's Receiver is !Sync — the mutex IS the handoff, and idle workers are meant to block here
                 .recv()
         };
         match stream {
@@ -522,6 +523,7 @@ fn state_update(
         source,
         shared.sim_now(),
     );
+    // simba-analyze: allow(durability.ack-before-commit): soft state (§4.2.2) — facts expire and are republished by their source; there is nothing durable to commit
     Frame::Ack { seq }
 }
 

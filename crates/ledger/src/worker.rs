@@ -234,6 +234,7 @@ impl Worker {
             let work = {
                 let mut ledger = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
                 let work = ledger.lease(&self.id, now, self.batch);
+                // simba-analyze: allow(concurrency.blocking-under-guard): a lease is only actionable once durable — lease+commit must be atomic under the ledger lock
                 if !work.is_empty() && ledger.commit().is_err() {
                     self.stats.io_errors += 1;
                     // Non-durable leases must not be acted on; they sit
@@ -290,6 +291,7 @@ impl Worker {
                         Err(_) => self.stats.io_errors += 1,
                     }
                 }
+                // simba-analyze: allow(concurrency.blocking-under-guard): outcome records and their commit are one batch; releasing mid-way would let a sibling lease half-recorded work
                 if ledger.commit().is_err() {
                     self.stats.io_errors += 1;
                 }

@@ -503,6 +503,7 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                                         &text,
                                         self.clock.now(),
                                     );
+                                    // simba-analyze: allow(concurrency.blocking-under-guard): enqueue+commit is the atomic handoff to the worker pool; the guard scope IS the durability point
                                     ledger.commit().is_ok()
                                 };
                                 if self.telemetry.enabled() {
@@ -545,9 +546,11 @@ impl<C: Channels, W: WriteAheadLog + Send + 'static> MabService<C, W> {
                                 );
                             }
                             let event = match outcome {
+                                // simba-analyze: allow(durability.ack-before-commit): direct (unledgered) send path — this mirrors the adapter's synchronous accept; durable-before-ack applies to the ledgered path
                                 SendOutcome::Accepted => DeliveryEvent::SendAccepted { attempt },
                                 SendOutcome::AcceptedWithAck(after) => {
                                     self.spawn_ack(delivery, attempt, gen, after);
+                                    // simba-analyze: allow(durability.ack-before-commit): direct (unledgered) send path — the adapter accepted synchronously
                                     DeliveryEvent::SendAccepted { attempt }
                                 }
                                 SendOutcome::Failed(failure) => {

@@ -949,6 +949,7 @@ impl<C: Channels> Worker<C> {
         let (before, result, after) = {
             let mut log = self.lock_log();
             let before = log.stats();
+            // simba-analyze: allow(concurrency.blocking-under-guard): group commit is the WAL's durability point, and the log lock is uncontended (worker-thread-only) by design
             let result = log.commit();
             let after = log.stats();
             (before, result, after)
@@ -1013,6 +1014,7 @@ impl<C: Channels> Worker<C> {
                                         &text,
                                         now,
                                     );
+                                    // simba-analyze: allow(concurrency.blocking-under-guard): enqueue+commit is the atomic handoff to the delivery workers; the guard scope IS the durability point
                                     guard.commit().is_ok()
                                 };
                                 if self.telemetry.enabled() {
@@ -1040,6 +1042,7 @@ impl<C: Channels> Worker<C> {
                                 self.telemetry.metrics().counter("runtime.sends").incr();
                             }
                             let event = match outcome {
+                                // simba-analyze: allow(durability.ack-before-commit): direct (unledgered) send path — this mirrors the adapter's synchronous accept; durable-before-ack applies to the ledgered path
                                 SendOutcome::Accepted => DeliveryEvent::SendAccepted { attempt },
                                 SendOutcome::AcceptedWithAck(after) => {
                                     self.schedule(
@@ -1049,6 +1052,7 @@ impl<C: Channels> Worker<C> {
                                         SimDuration::from_millis(after.as_millis() as u64),
                                         now,
                                     );
+                                    // simba-analyze: allow(durability.ack-before-commit): direct (unledgered) send path — the adapter accepted synchronously
                                     DeliveryEvent::SendAccepted { attempt }
                                 }
                                 SendOutcome::Failed(failure) => {
