@@ -28,17 +28,23 @@
 #   make ledger-smoke — E9 durable delivery ledger smoke: 4 workers x
 #                 20k deliveries with injected worker kills and forced
 #                 lease expiries; asserts zero lost, zero double-effect
+#   make rules-smoke — E10 rules smoke: single-thread rule-evaluation
+#                 floor plus the 10k-alarm storm collapsed into exactly
+#                 one digest delivery with critical cut-through
+#   make trajectory — merge the BENCH_e*.json artifacts into
+#                 BENCH_TRAJECTORY.json (schema in EXPERIMENTS.md) and
+#                 fail if any merged artifact recorded a failed floor
 #
-# The five smoke targets each write a machine-readable BENCH_e*.json
+# The six smoke targets each write a machine-readable BENCH_e*.json
 # artifact (schema in EXPERIMENTS.md) and exit non-zero below their
-# throughput floors, so `make ci` both produces the bench trajectory and
-# fails on a regression.
+# throughput floors; `make trajectory` then merges them, so `make ci`
+# both produces the bench trajectory and fails on a regression.
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-all doc lint analyze tsan soak gateway-smoke store-smoke host-smoke ledger-smoke clean
+.PHONY: ci build test test-all doc lint analyze tsan soak gateway-smoke store-smoke host-smoke ledger-smoke rules-smoke trajectory clean
 
-ci: build test doc lint analyze soak gateway-smoke store-smoke host-smoke ledger-smoke
+ci: build test doc lint analyze soak gateway-smoke store-smoke host-smoke ledger-smoke rules-smoke trajectory
 
 build:
 	$(CARGO) build --release
@@ -105,6 +111,12 @@ host-smoke:
 
 ledger-smoke:
 	$(CARGO) run --release -q -p simba-bench --bin exp_e9_ledger -- --smoke
+
+rules-smoke:
+	$(CARGO) run --release -q -p simba-bench --bin exp_e10_rules -- --smoke
+
+trajectory:
+	$(CARGO) run --release -q -p simba-bench --bin bench_trajectory
 
 clean:
 	$(CARGO) clean

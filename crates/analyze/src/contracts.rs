@@ -144,11 +144,12 @@ pub fn blocking_what(name: &str, qualifier: Option<&str>, empty_args: bool) -> O
 /// or ingestion hot path where a lock convoy or deadlock loses alerts.
 /// (`telemetry` buffers under its own sink lock by design; `bench`,
 /// `sim`, `cli`, and `client` drive the system rather than serve it.)
-pub const CONCURRENCY_CRATES: &[&str] = &["core", "runtime", "gateway", "net", "ledger", "store"];
+pub const CONCURRENCY_CRATES: &[&str] =
+    &["core", "runtime", "gateway", "net", "ledger", "store", "rules"];
 
 /// Crates the `durability.ack-before-commit` rule applies to: the ones
 /// that construct ack-classified frames or events.
-pub const DURABILITY_CRATES: &[&str] = &["core", "runtime", "gateway", "ledger"];
+pub const DURABILITY_CRATES: &[&str] = &["core", "runtime", "gateway", "ledger", "rules"];
 
 #[cfg(test)]
 mod tests {

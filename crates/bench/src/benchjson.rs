@@ -147,6 +147,332 @@ impl BenchReport {
     }
 }
 
+/// One per-experiment artifact read back from disk by [`aggregate`].
+#[derive(Debug, Clone)]
+pub struct BenchArtifact {
+    /// Schema version the file declared.
+    pub schema: u32,
+    /// Experiment id (e.g. `"E10"`).
+    pub experiment: String,
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// `(name, value, unit)` per recorded metric.
+    pub metrics: Vec<(String, f64, String)>,
+    /// `(metric, min, passed)` per recorded floor.
+    pub floors: Vec<(String, f64, bool)>,
+}
+
+impl BenchArtifact {
+    /// True when every floor in the artifact held.
+    pub fn all_floors_passed(&self) -> bool {
+        self.floors.iter().all(|(_, _, passed)| *passed)
+    }
+}
+
+/// Scans `dir` for `BENCH_e*.json` artifacts, parses each (tolerantly:
+/// unreadable or malformed files are skipped with a warning on stderr),
+/// and writes the merged `BENCH_TRAJECTORY.json` (trajectory schema v1,
+/// documented in `EXPERIMENTS.md`) into the same directory. Returns the
+/// trajectory path and the parsed artifacts, sorted by experiment
+/// number (E2 before E10).
+///
+/// # Errors
+///
+/// Fails when `dir` cannot be read or the trajectory cannot be written;
+/// individual bad artifacts are skipped, not fatal.
+pub fn aggregate(dir: &std::path::Path) -> Result<(PathBuf, Vec<BenchArtifact>), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut artifacts = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !(name.starts_with("BENCH_e") && name.ends_with(".json")) {
+            continue;
+        }
+        let path = entry.path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("warning: skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        match parse_artifact(&text) {
+            Some(artifact) => artifacts.push(artifact),
+            None => eprintln!("warning: skipping {}: not a bench artifact", path.display()),
+        }
+    }
+    // E2 before E10: sort by the numeric tail of the id, then the id.
+    let numeric = |id: &str| -> u64 {
+        id.chars().filter(|c| c.is_ascii_digit()).fold(0u64, |n, c| {
+            n.saturating_mul(10).saturating_add(u64::from(c) - u64::from('0'))
+        })
+    };
+    artifacts.sort_by(|a, b| {
+        numeric(&a.experiment)
+            .cmp(&numeric(&b.experiment))
+            .then_with(|| a.experiment.cmp(&b.experiment))
+    });
+
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"kind\": \"trajectory\",\n  \"experiments\": [");
+    for (i, a) in artifacts.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"experiment\": {}, \"mode\": {}, \"floors_passed\": {}, \"metrics\": [",
+            json_string(&a.experiment),
+            json_string(&a.mode),
+            a.all_floors_passed()
+        );
+        for (j, (name, value, unit)) in a.metrics.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{sep}{{\"name\": {}, \"value\": {}, \"unit\": {}}}",
+                json_string(name),
+                json_number(*value),
+                json_string(unit)
+            );
+        }
+        out.push_str("], \"floors\": [");
+        for (j, (metric, min, passed)) in a.floors.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{sep}{{\"metric\": {}, \"min\": {}, \"passed\": {}}}",
+                json_string(metric),
+                json_number(*min),
+                passed
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ]\n}\n");
+
+    let path = dir.join("BENCH_TRAJECTORY.json");
+    std::fs::write(&path, out).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok((path, artifacts))
+}
+
+/// Extracts a [`BenchArtifact`] from parsed JSON; `None` when the shape
+/// is not a v1 bench artifact.
+fn parse_artifact(text: &str) -> Option<BenchArtifact> {
+    let json = Json::parse(text)?;
+    let schema = json.get("schema")?.as_f64()? as u32;
+    let experiment = json.get("experiment")?.as_str()?.to_string();
+    let mode = json.get("mode")?.as_str()?.to_string();
+    let mut metrics = Vec::new();
+    for m in json.get("metrics")?.as_array()? {
+        metrics.push((
+            m.get("name")?.as_str()?.to_string(),
+            m.get("value")?.as_f64()?,
+            m.get("unit")?.as_str()?.to_string(),
+        ));
+    }
+    let mut floors = Vec::new();
+    for f in json.get("floors")?.as_array()? {
+        floors.push((
+            f.get("metric")?.as_str()?.to_string(),
+            f.get("min")?.as_f64()?,
+            f.get("passed")?.as_bool()?,
+        ));
+    }
+    Some(BenchArtifact { schema, experiment, mode, metrics, floors })
+}
+
+/// A minimal JSON value, just enough to read back the artifacts this
+/// module writes (the repo is std-only — no JSON library).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() { Some(value) } else { None }
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b't' => parse_literal(bytes, pos, b"true", Json::Bool(true)),
+        b'f' => parse_literal(bytes, pos, b"false", Json::Bool(false)),
+        b'n' => parse_literal(bytes, pos, b"null", Json::Null),
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &[u8], value: Json) -> Option<Json> {
+    if bytes[*pos..].starts_with(word) {
+        *pos += word.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos]).ok()?.parse().ok().map(Json::Num)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5)?;
+                        let code =
+                            u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (artifact strings are ASCII in
+                // practice, but names are caller-controlled).
+                let rest = std::str::from_utf8(&bytes[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return None;
+        }
+        *pos += 1;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Json::Obj(fields));
+            }
+            _ => return None,
+        }
+    }
+}
+
 /// Minimal JSON string quoting for metric/experiment names.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -205,6 +531,61 @@ mod tests {
     #[test]
     fn json_string_escapes_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn artifact_round_trips_through_the_parser() {
+        let mut r = BenchReport::new("E10", BenchMode::Full);
+        r.metric("evals_per_sec", 1_234_567.891, "evals/s");
+        r.metric("digest_deliveries", 1.0, "deliveries");
+        r.floor("evals_per_sec", 100_000.0, 1_234_567.891);
+        r.floor("digest_single", 0.0, -1.0);
+        let a = parse_artifact(&r.to_json()).expect("own output parses");
+        assert_eq!(a.schema, BENCH_SCHEMA);
+        assert_eq!(a.experiment, "E10");
+        assert_eq!(a.mode, "full");
+        assert_eq!(a.metrics[0], ("evals_per_sec".into(), 1_234_567.891, "evals/s".into()));
+        assert_eq!(a.floors[1], ("digest_single".into(), 0.0, false));
+        assert!(!a.all_floors_passed());
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_trailing_noise() {
+        assert!(parse_artifact("not json").is_none());
+        assert!(parse_artifact("{\"schema\": 1}").is_none());
+        assert!(Json::parse("{\"a\": 1} trailing").is_none());
+        assert!(Json::parse("{\"a\": [true, null, \"x\\u0041\"]}").is_some());
+    }
+
+    #[test]
+    fn aggregate_merges_artifacts_in_experiment_order() {
+        let dir = std::env::temp_dir().join(format!("simba-trajectory-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut e10 = BenchReport::new("E10", BenchMode::Smoke);
+        e10.metric("evals_per_sec", 500_000.0, "evals/s");
+        e10.floor("evals_per_sec", 40_000.0, 500_000.0);
+        std::fs::write(dir.join("BENCH_e10.json"), e10.to_json()).unwrap();
+        let mut e9 = BenchReport::new("E9", BenchMode::Smoke);
+        e9.metric("throughput", 80_000.0, "deliveries/s");
+        e9.floor("throughput", 20_000.0, 80_000.0);
+        std::fs::write(dir.join("BENCH_e9.json"), e9.to_json()).unwrap();
+        // A malformed artifact is skipped, not fatal.
+        std::fs::write(dir.join("BENCH_ebad.json"), "{oops").unwrap();
+
+        let (path, artifacts) = aggregate(&dir).expect("aggregate");
+        assert_eq!(path, dir.join("BENCH_TRAJECTORY.json"));
+        let ids: Vec<&str> = artifacts.iter().map(|a| a.experiment.as_str()).collect();
+        assert_eq!(ids, ["E9", "E10"], "numeric order, not lexicographic");
+        assert!(artifacts.iter().all(BenchArtifact::all_floors_passed));
+
+        let merged = std::fs::read_to_string(&path).unwrap();
+        assert!(merged.contains("\"kind\": \"trajectory\""), "{merged}");
+        let json = Json::parse(&merged).expect("trajectory parses");
+        let experiments = json.get("experiments").unwrap().as_array().unwrap();
+        assert_eq!(experiments.len(), 2);
+        assert_eq!(experiments[1].get("experiment").unwrap().as_str(), Some("E10"));
+        assert_eq!(experiments[1].get("floors_passed").unwrap().as_bool(), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

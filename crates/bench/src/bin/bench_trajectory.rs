@@ -1,0 +1,53 @@
+//! Merges the per-experiment `BENCH_e*.json` artifacts into
+//! `BENCH_TRAJECTORY.json` (trajectory schema v1, see `EXPERIMENTS.md`)
+//! and prints a one-line summary per experiment.
+//!
+//! Usage: `bench_trajectory [dir]` — default directory is
+//! `BENCH_OUT_DIR`, falling back to the current directory (matching
+//! where the `exp_*` bins write their artifacts).
+//!
+//! Exits 1 when any merged artifact recorded a failed floor, so `make
+//! ci` gates on the whole trajectory, not just the last bench run.
+
+use simba_bench::benchjson::aggregate;
+use std::path::PathBuf;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("BENCH_OUT_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let (path, artifacts) = match aggregate(&dir) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if artifacts.is_empty() {
+        println!("no BENCH_e*.json artifacts in {} — wrote empty trajectory", dir.display());
+    }
+    let mut all_passed = true;
+    for a in &artifacts {
+        let floors = a.floors.len();
+        let held = a.floors.iter().filter(|(_, _, passed)| *passed).count();
+        all_passed &= held == floors;
+        let headline = a
+            .metrics
+            .first()
+            .map(|(name, value, unit)| format!("{name}={value:.0} {unit}"))
+            .unwrap_or_else(|| "no metrics".to_string());
+        println!(
+            "{:<4} [{}] {headline}; floors {held}/{floors} {}",
+            a.experiment,
+            a.mode,
+            if held == floors { "ok" } else { "FAILED" }
+        );
+    }
+    println!("trajectory -> {}", path.display());
+    if !all_passed {
+        eprintln!("error: at least one bench floor failed in the trajectory");
+        std::process::exit(1);
+    }
+}

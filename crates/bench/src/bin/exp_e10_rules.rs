@@ -1,0 +1,57 @@
+//! Runs the E10 rules experiment and prints its tables; writes
+//! `BENCH_e10.json` (see `EXPERIMENTS.md` for the schema).
+//!
+//! Usage: `exp_e10_rules [--smoke] [--users N] [--evals N]
+//! [--storm-alarms N] [--normals N]`
+//!
+//! `--smoke` is the CI shape (64 users × 80 k timed evaluations, same
+//! 10 k-alarm storm); the default full shape times 400 k evaluations
+//! and asserts the 100 k evals/s single-thread floor. Both shapes run
+//! the storm and assert one digest delivery, one critical cut-through,
+//! and exactly-once non-storm traffic.
+
+use simba_bench::benchjson::BenchMode;
+use simba_bench::experiments::e10_rules::{run_with, E10Options};
+
+fn main() {
+    let mut opts = E10Options::full();
+    let mut mode = BenchMode::Full;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => {
+                mode = BenchMode::Smoke;
+                opts = E10Options::smoke();
+            }
+            "--users" | "--evals" | "--storm-alarms" | "--normals" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("{flag} needs a number");
+                    std::process::exit(2);
+                };
+                match flag.as_str() {
+                    "--users" => opts.users = v,
+                    "--evals" => opts.evals = v,
+                    "--storm-alarms" => opts.storm_alarms = v,
+                    _ => opts.normals = v,
+                }
+            }
+            other => {
+                eprintln!(
+                    "usage: exp_e10_rules [--smoke] [--users N] [--evals N] \
+                     [--storm-alarms N] [--normals N]"
+                );
+                eprintln!("unknown flag: {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.users == 0 || opts.evals == 0 || !opts.evals.is_multiple_of(4) {
+        eprintln!("need --users >= 1 and --evals a positive multiple of 4");
+        std::process::exit(2);
+    }
+    if opts.storm_alarms < 2 || opts.normals == 0 || opts.normals > opts.storm_alarms {
+        eprintln!("need --storm-alarms >= 2 and 1 <= --normals <= --storm-alarms");
+        std::process::exit(2);
+    }
+    run_with(opts, mode).print();
+}

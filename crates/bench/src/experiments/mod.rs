@@ -18,6 +18,7 @@ pub mod e6_gateway;
 pub mod e7_store;
 pub mod e8_sharded;
 pub mod e9_ledger;
+pub mod e10_rules;
 
 use crate::report::Table;
 
@@ -79,6 +80,7 @@ pub fn run_all(seed: u64) -> Vec<ExperimentOutput> {
         e7_store::run(seed),
         e8_sharded::run(seed),
         e9_ledger::run(seed),
+        e10_rules::run(seed),
         a1_strategies::run(seed),
         a2_wal::run(seed),
         a3_watchdog::run(seed),

@@ -2,7 +2,7 @@
 
 use crate::Outcome;
 use simba_core::address::AddressBook;
-use simba_core::alert::{Alert, AlertId, Urgency};
+use simba_core::alert::{Alert, AlertId, IncomingAlert, Urgency};
 use simba_core::delivery::{
     AttemptOutcome, DeliveryCommand, DeliveryEvent, DeliveryProcess, SendFailure,
 };
@@ -1230,6 +1230,226 @@ pub fn ledger(args: &[String]) -> Outcome {
     }
 }
 
+/// `rules ls|add|rm|test --dir <dir> --user <u> ...` — manage and dry-run
+/// a user's alert rules against a rules log on disk.
+pub fn rules(args: &[String]) -> Outcome {
+    use simba_rules::{
+        severity_from_name, severity_name, DigestConfig, RuleAction, RuleEngine, RuleSpec,
+        RulesConfig,
+    };
+
+    let Some(action) = args.first() else {
+        return Outcome::usage("rules takes an action (ls, add, rm, or test)");
+    };
+    // Flags shared across the actions; unknown ones are usage errors.
+    let mut dir = None;
+    let mut user = None;
+    let mut name = None;
+    let mut predicate = None;
+    let mut rule_action = "deliver".to_string();
+    let mut severity = None;
+    let mut dedupe = None;
+    let mut window_ms = 60_000u64;
+    let mut max_count = 0u32;
+    let mut exemplars = 3u8;
+    let mut key = None;
+    let mut id = None;
+    let mut disabled = false;
+    let mut source = None;
+    let mut kind = String::new();
+    let mut body = String::new();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(Outcome::usage(&format!("{what} needs a value"))),
+        };
+        match flag.as_str() {
+            "--dir" => dir = Some(match value("--dir") { Ok(v) => v, Err(e) => return e }),
+            "--user" => user = Some(match value("--user") { Ok(v) => v, Err(e) => return e }),
+            "--name" => name = Some(match value("--name") { Ok(v) => v, Err(e) => return e }),
+            "--predicate" => {
+                predicate = Some(match value("--predicate") { Ok(v) => v, Err(e) => return e });
+            }
+            "--action" => {
+                rule_action = match value("--action") { Ok(v) => v, Err(e) => return e };
+            }
+            "--severity" => {
+                let v = match value("--severity") { Ok(v) => v, Err(e) => return e };
+                match severity_from_name(&v) {
+                    Some(s) => severity = Some(s),
+                    None => {
+                        return Outcome::usage(&format!(
+                            "--severity must be low, normal, or critical, not {v:?}"
+                        ))
+                    }
+                }
+            }
+            "--dedupe" => dedupe = Some(match value("--dedupe") { Ok(v) => v, Err(e) => return e }),
+            "--window-ms" => {
+                let v = match value("--window-ms") { Ok(v) => v, Err(e) => return e };
+                match v.parse() {
+                    Ok(n) => window_ms = n,
+                    Err(_) => return Outcome::usage("--window-ms must be a number"),
+                }
+            }
+            "--max-count" => {
+                let v = match value("--max-count") { Ok(v) => v, Err(e) => return e };
+                match v.parse() {
+                    Ok(n) => max_count = n,
+                    Err(_) => return Outcome::usage("--max-count must be a number"),
+                }
+            }
+            "--exemplars" => {
+                let v = match value("--exemplars") { Ok(v) => v, Err(e) => return e };
+                match v.parse() {
+                    Ok(n) => exemplars = n,
+                    Err(_) => return Outcome::usage("--exemplars must be a small number"),
+                }
+            }
+            "--key" => key = Some(match value("--key") { Ok(v) => v, Err(e) => return e }),
+            "--id" => {
+                let v = match value("--id") { Ok(v) => v, Err(e) => return e };
+                match v.parse() {
+                    Ok(n) => id = Some(n),
+                    Err(_) => return Outcome::usage("--id must be a number"),
+                }
+            }
+            "--disabled" => disabled = true,
+            "--source" => source = Some(match value("--source") { Ok(v) => v, Err(e) => return e }),
+            "--kind" => kind = match value("--kind") { Ok(v) => v, Err(e) => return e },
+            "--body" => body = match value("--body") { Ok(v) => v, Err(e) => return e },
+            other => return Outcome::usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return Outcome::usage("--dir is required");
+    };
+    let Some(user) = user else {
+        return Outcome::usage("--user is required");
+    };
+    let engine = match RuleEngine::open(RulesConfig::on_disk(&dir)) {
+        Ok(e) => e,
+        Err(e) => return Outcome::error(format!("cannot open rules log at {dir}: {e}\n")),
+    };
+
+    // Renders one stored rule the way `ls` and `add` report it.
+    let render = |rule: &simba_rules::AlertRule| {
+        let mut line = format!(
+            "  #{} [{}] {:<10} {:?} when {}",
+            rule.id,
+            if rule.spec.enabled { "on " } else { "off" },
+            rule.spec.action.label(),
+            rule.spec.name,
+            rule.spec.predicate_src,
+        );
+        if let Some(sev) = rule.spec.severity {
+            let _ = write!(line, " severity={}", severity_name(sev));
+        }
+        if let Some(d) = &rule.spec.dedupe {
+            let _ = write!(line, " dedupe={d:?}");
+        }
+        if let RuleAction::Digest(config) = &rule.spec.action {
+            let _ = write!(line, " window={}ms", config.window_ms);
+            if config.max_count > 0 {
+                let _ = write!(line, " cap={}", config.max_count);
+            }
+            if let Some(k) = &config.key {
+                let _ = write!(line, " key={k:?}");
+            }
+        }
+        line
+    };
+
+    match action.as_str() {
+        "ls" => {
+            let rules = engine.list(&user);
+            let mut out = format!("{user}: {} rule(s)\n", rules.len());
+            for rule in &rules {
+                let _ = writeln!(out, "{}", render(rule));
+            }
+            Outcome::ok(out)
+        }
+        "add" => {
+            let Some(name) = name else {
+                return Outcome::usage("rules add needs --name");
+            };
+            let Some(predicate) = predicate else {
+                return Outcome::usage("rules add needs --predicate");
+            };
+            let action = match rule_action.as_str() {
+                "deliver" => RuleAction::Deliver,
+                "suppress" => RuleAction::Suppress,
+                "digest" => RuleAction::Digest(DigestConfig {
+                    window_ms,
+                    max_count,
+                    max_exemplars: exemplars,
+                    key,
+                }),
+                other => {
+                    return Outcome::usage(&format!(
+                        "--action must be deliver, suppress, or digest, not {other:?}"
+                    ))
+                }
+            };
+            let spec = RuleSpec {
+                name,
+                enabled: !disabled,
+                severity,
+                dedupe,
+                predicate_src: predicate,
+                action,
+            };
+            match engine.upsert(&user, id, spec) {
+                Ok(rule) => Outcome::ok(format!("stored\n{}\n", render(&rule))),
+                Err(e) => Outcome::error(format!("rejected: {e}\n")),
+            }
+        }
+        "rm" => {
+            let Some(id) = id else {
+                return Outcome::usage("rules rm needs --id");
+            };
+            match engine.delete(&user, id) {
+                Ok(true) => Outcome::ok(format!("deleted rule #{id} for {user}\n")),
+                Ok(false) => Outcome::ok(format!("no rule #{id} for {user} (nothing to do)\n")),
+                Err(e) => Outcome::error(format!("delete failed: {e}\n")),
+            }
+        }
+        "test" => {
+            let Some(source) = source else {
+                return Outcome::usage("rules test needs --source");
+            };
+            let alert = if kind.is_empty() {
+                IncomingAlert::from_im(source, body, SimTime::ZERO)
+            } else {
+                IncomingAlert::from_email(source, "cli", kind, body, SimTime::ZERO)
+            };
+            let decision = engine.evaluate(&user, &alert, 0);
+            let out = match decision {
+                simba_rules::Decision::Deliver { rule: None, .. } => {
+                    "deliver (no rule matched — the default path)\n".to_string()
+                }
+                simba_rules::Decision::Deliver { rule: Some(id), severity } => {
+                    let mut line = format!("deliver (rule #{id}");
+                    if let Some(sev) = severity {
+                        let _ = write!(line, ", severity override {}", severity_name(sev));
+                    }
+                    line.push_str(")\n");
+                    line
+                }
+                simba_rules::Decision::Suppress { rule, reason } => {
+                    format!("suppress (rule #{rule}, {reason:?})\n")
+                }
+                simba_rules::Decision::Digest { rule, key, deadline_ms, .. } => format!(
+                    "digest (rule #{rule}): absorbed into window {key:?}, flushes at t+{deadline_ms}ms\n"
+                ),
+            };
+            Outcome::ok(out)
+        }
+        other => Outcome::usage(&format!("unknown rules action {other:?}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1408,6 +1628,129 @@ mod tests {
 
         assert_eq!(ledger(&strings(&["ls"])).code, 2);
         assert_eq!(ledger(&strings(&["scrub", "--dir", &dir_s])).code, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rules_ls_add_rm_test_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "simba-cli-rules-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        // Empty listing first.
+        let out = rules(&strings(&["ls", "--dir", &dir_s, "--user", "ada"]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("ada: 0 rule(s)"), "{}", out.output);
+
+        // Add a digest rule and a suppress rule.
+        let out = rules(&strings(&[
+            "add", "--dir", &dir_s, "--user", "ada", "--name", "storm",
+            "--predicate", "source == flappy", "--action", "digest",
+            "--window-ms", "5000", "--max-count", "100", "--severity", "low",
+        ]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("#1"), "{}", out.output);
+        assert!(out.output.contains("window=5000ms"), "{}", out.output);
+        let out = rules(&strings(&[
+            "add", "--dir", &dir_s, "--user", "ada", "--name", "mute",
+            "--predicate", "body contains noise", "--action", "suppress",
+        ]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("#2"), "{}", out.output);
+
+        // The log is durable: a fresh engine (new CLI call) sees both, with
+        // the predicate canonicalized.
+        let out = rules(&strings(&["ls", "--dir", &dir_s, "--user", "ada"]));
+        assert!(out.output.contains("ada: 2 rule(s)"), "{}", out.output);
+        assert!(out.output.contains("source == \"flappy\""), "{}", out.output);
+        assert!(out.output.contains("severity=low"), "{}", out.output);
+
+        // Dry-run: a flappy alert is absorbed; ordinary traffic delivers.
+        let out = rules(&strings(&[
+            "test", "--dir", &dir_s, "--user", "ada", "--source", "flappy",
+        ]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("digest (rule #1)"), "{}", out.output);
+        let out = rules(&strings(&[
+            "test", "--dir", &dir_s, "--user", "ada", "--source", "calm",
+        ]));
+        assert!(out.output.contains("no rule matched"), "{}", out.output);
+
+        // Remove the digest rule; the removal is durable and idempotent.
+        let out = rules(&strings(&["rm", "--dir", &dir_s, "--user", "ada", "--id", "1"]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("deleted rule #1"), "{}", out.output);
+        let out = rules(&strings(&["rm", "--dir", &dir_s, "--user", "ada", "--id", "1"]));
+        assert!(out.output.contains("nothing to do"), "{}", out.output);
+        let out = rules(&strings(&["ls", "--dir", &dir_s, "--user", "ada"]));
+        assert!(out.output.contains("ada: 1 rule(s)"), "{}", out.output);
+
+        // A bad predicate is a user error (1); bad flags are usage (2).
+        let out = rules(&strings(&[
+            "add", "--dir", &dir_s, "--user", "ada", "--name", "x",
+            "--predicate", "source ==",
+        ]));
+        assert_eq!(out.code, 1, "{}", out.output);
+        assert_eq!(rules(&strings(&["ls"])).code, 2);
+        assert_eq!(rules(&strings(&["ls", "--dir", &dir_s])).code, 2);
+        assert_eq!(rules(&strings(&["scrub", "--dir", &dir_s, "--user", "a"])).code, 2);
+        assert_eq!(
+            rules(&strings(&["add", "--dir", &dir_s, "--user", "a", "--severity", "loud"])).code,
+            2
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_cli_retry_feeds_workers_and_journal_survives_reopen() {
+        use simba_core::subscription::UserId;
+        use simba_ledger::{DeliveryLedger, LedgerConfig, WorkerId};
+
+        let dir = std::env::temp_dir().join(format!(
+            "simba-cli-ledger-retry-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        // Drive a record into the DLQ.
+        {
+            let mut config = LedgerConfig::on_disk(&dir);
+            config.max_attempts = 1;
+            let mut l = DeliveryLedger::open(config).unwrap();
+            l.enqueue(&UserId::new("ada"), 7, CommType::Email, "ada@mail", "alert", SimTime::ZERO);
+            let work = l.lease(&WorkerId::new("w"), SimTime::ZERO, 1);
+            l.record_failed(&WorkerId::new("w"), work[0].id, "smtp down", SimTime::ZERO).unwrap();
+            l.commit().unwrap();
+        }
+        let out = ledger(&strings(&["dlq", "--dir", &dir_s]));
+        assert!(out.output.contains("1 dead-lettered"), "{}", out.output);
+
+        // Requeue through the CLI code path.
+        let out = ledger(&strings(&["retry", "--dir", &dir_s]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("requeued 1"), "{}", out.output);
+
+        // A worker can now lease the requeued record and finish it; the
+        // whole history journals through another reopen.
+        {
+            let mut l = DeliveryLedger::open(LedgerConfig::on_disk(&dir)).unwrap();
+            let work = l.lease(&WorkerId::new("w2"), SimTime::from_secs(1), 4);
+            assert_eq!(work.len(), 1, "requeued record must be leasable");
+            assert_eq!(work[0].address, "ada@mail");
+            l.record_sent(&WorkerId::new("w2"), work[0].id, SimTime::from_secs(1)).unwrap();
+            l.commit().unwrap();
+        }
+        let out = ledger(&strings(&["ls", "--dir", &dir_s]));
+        assert!(out.output.contains("0 pending"), "{}", out.output);
+        assert!(out.output.contains("0 dead-lettered"), "{}", out.output);
+        let out = ledger(&strings(&["dlq", "--dir", &dir_s]));
+        assert!(out.output.contains("0 dead-lettered"), "{}", out.output);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

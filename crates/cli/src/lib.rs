@@ -26,7 +26,10 @@
 //!   JSON-lines event file captured elsewhere;
 //! * `ledger ls|dlq|retry` — inspect a durable delivery ledger's
 //!   pending/leased/retrying records, list its dead-lettered sends with
-//!   their last errors, or requeue the dead letters for fresh attempts.
+//!   their last errors, or requeue the dead letters for fresh attempts;
+//! * `rules ls|add|rm|test` — manage a user's alert rules in a rules log
+//!   (list, add/replace, delete) and dry-run an alert against them to see
+//!   which rule would fire and what the engine would decide.
 //!
 //! All command logic lives here (testable); `main.rs` is a thin shim.
 
@@ -96,6 +99,14 @@ USAGE:
   simba-cli ledger ls --dir <dir>
   simba-cli ledger dlq --dir <dir>
   simba-cli ledger retry --dir <dir>
+  simba-cli rules ls --dir <dir> --user <u>
+  simba-cli rules add --dir <dir> --user <u> --name <n> --predicate <p>
+            [--action deliver|suppress|digest] [--severity low|normal|critical]
+            [--dedupe <template>] [--window-ms <n>] [--max-count <n>]
+            [--exemplars <n>] [--key <template>] [--id <n>] [--disabled]
+  simba-cli rules rm --dir <dir> --user <u> --id <n>
+  simba-cli rules test --dir <dir> --user <u> --source <s> [--kind <k>]
+            [--body <text>]
   simba-cli help
 
 `explain` fires the delivery mode against the address book and reports the
@@ -119,6 +130,7 @@ pub fn run(args: &[String]) -> Outcome {
         Some("store") => commands::store(&args[1..]),
         Some("telemetry") => commands::telemetry(&args[1..]),
         Some("ledger") => commands::ledger(&args[1..]),
+        Some("rules") => commands::rules(&args[1..]),
         Some(other) => Outcome::usage(&format!("unknown command {other:?}")),
     }
 }

@@ -101,6 +101,65 @@ impl IncomingAlert {
     }
 }
 
+/// A storm of correlated alerts collapsed into one deliverable summary.
+///
+/// The rules pipeline's windowed correlator (crate `simba-rules`) absorbs
+/// bursts that share a correlation key and flushes them as one of these:
+/// a count, the window's first/last origin timestamps, and a bounded set
+/// of exemplar payloads. [`DigestAlert::to_incoming`] renders it as a
+/// normal [`IncomingAlert`] so the delivery pipeline needs no new path —
+/// a flapping source costs the user one delivery, not thousands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestAlert {
+    /// The user the digest belongs to.
+    pub user: String,
+    /// The correlation key the burst shared (default `user/source/kind`).
+    pub key: String,
+    /// Source of the correlated alerts.
+    pub source: String,
+    /// Kind (subject/category) of the correlated alerts.
+    pub kind: String,
+    /// How many alerts the digest absorbed.
+    pub count: u64,
+    /// Origin timestamp of the first absorbed alert.
+    pub first: SimTime,
+    /// Origin timestamp of the last absorbed alert.
+    pub last: SimTime,
+    /// Up to `max_exemplars` payload bodies, first-come.
+    pub exemplars: Vec<String>,
+    /// Highest urgency observed across the burst.
+    pub urgency: Urgency,
+}
+
+impl DigestAlert {
+    /// Renders the digest as a deliverable [`IncomingAlert`]. The subject
+    /// carries the count and kind; the body carries the window bounds and
+    /// exemplars. The origin timestamp is the window's *last* alert, so
+    /// user-side timestamp dedup treats each flushed window as distinct.
+    pub fn to_incoming(&self) -> IncomingAlert {
+        let mut body = format!(
+            "{} alerts from {}/{} between t+{}ms and t+{}ms",
+            self.count,
+            self.source,
+            self.kind,
+            self.first.as_millis(),
+            self.last.as_millis(),
+        );
+        for exemplar in &self.exemplars {
+            body.push_str("\n  e.g. ");
+            body.push_str(exemplar);
+        }
+        IncomingAlert {
+            source: self.source.clone(),
+            sender_name: String::new(),
+            subject: format!("digest: {}x {}", self.count, self.kind),
+            body,
+            origin_timestamp: self.last,
+            urgency: self.urgency,
+        }
+    }
+}
+
 /// A classified alert flowing through MyAlertBuddy's routing stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alert {

@@ -45,7 +45,7 @@ pub mod subscription;
 pub mod wal;
 
 pub use address::{Address, AddressBook, CommType};
-pub use alert::{Alert, AlertId, IncomingAlert, Urgency};
+pub use alert::{Alert, AlertId, DigestAlert, IncomingAlert, Urgency};
 pub use classify::{Classifier, KeywordField};
 pub use dedup::DuplicateDetector;
 pub use delivery::{

@@ -32,6 +32,11 @@ use tokio::sync::mpsc;
 /// latency between a worker-thread enqueue and the runtime noticing it.
 pub const PUMP_TICK: Duration = Duration::from_millis(1);
 
+/// Under sustained load the pump never sees an idle tick, so it also
+/// drives the host's digest flush every this many submissions — bounding
+/// how stale a due digest window can get while traffic keeps flowing.
+const DIGEST_PUMP_EVERY: u64 = 256;
+
 /// One admitted alert submission on its way to the host.
 #[derive(Debug)]
 pub struct Submission {
@@ -125,10 +130,17 @@ pub async fn pump_into_host<C: Channels + Clone>(
     let clock = RuntimeClock::start();
     let depth_gauge = telemetry.metrics().gauge("gateway.queue_depth");
     let mut report = PumpReport::default();
+    let mut since_digest_pump = 0u64;
     loop {
         let submission = match tokio::time::timeout(PUMP_TICK, intake.rx.recv()).await {
-            Err(_elapsed) => continue, // idle tick: keeps the shim executor alive
-            Ok(None) => break,         // every sender dropped and the queue drained
+            Err(_elapsed) => {
+                // Idle tick: keeps the shim executor alive and drains any
+                // digest windows whose deadline passed.
+                host.pump_digests().await;
+                since_digest_pump = 0;
+                continue;
+            }
+            Ok(None) => break, // every sender dropped and the queue drained
             Ok(Some(submission)) => submission,
         };
         intake.depth.fetch_sub(1, Ordering::Relaxed);
@@ -156,7 +168,13 @@ pub async fn pump_into_host<C: Channels + Clone>(
         } else {
             report.unrouted += 1;
         }
+        since_digest_pump += 1;
+        if since_digest_pump >= DIGEST_PUMP_EVERY {
+            host.pump_digests().await;
+            since_digest_pump = 0;
+        }
     }
+    host.pump_digests().await;
     depth_gauge.set(0);
     report
 }
@@ -178,10 +196,17 @@ pub async fn pump_into_sharded_host(
     let clock = RuntimeClock::start();
     let depth_gauge = telemetry.metrics().gauge("gateway.queue_depth");
     let mut report = PumpReport::default();
+    let mut since_digest_pump = 0u64;
     loop {
         let submission = match tokio::time::timeout(PUMP_TICK, intake.rx.recv()).await {
-            Err(_elapsed) => continue, // idle tick: keeps the shim executor alive
-            Ok(None) => break,         // every sender dropped and the queue drained
+            Err(_elapsed) => {
+                // Idle tick: keeps the shim executor alive and drains any
+                // digest windows whose deadline passed.
+                host.pump_digests().await;
+                since_digest_pump = 0;
+                continue;
+            }
+            Ok(None) => break, // every sender dropped and the queue drained
             Ok(Some(submission)) => submission,
         };
         intake.depth.fetch_sub(1, Ordering::Relaxed);
@@ -209,7 +234,13 @@ pub async fn pump_into_sharded_host(
         } else {
             report.unrouted += 1;
         }
+        since_digest_pump += 1;
+        if since_digest_pump >= DIGEST_PUMP_EVERY {
+            host.pump_digests().await;
+            since_digest_pump = 0;
+        }
     }
+    host.pump_digests().await;
     depth_gauge.set(0);
     report
 }

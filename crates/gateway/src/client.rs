@@ -13,7 +13,7 @@
 //! transport retry.
 
 use crate::proto::{
-    self, Frame, FrameError, Header, NackReason, ProbeStats, WireChannel, HEADER_LEN,
+    self, Frame, FrameError, Header, NackReason, ProbeStats, WireChannel, WireRule, HEADER_LEN,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -54,6 +54,23 @@ pub enum ClientError {
     Frame(FrameError),
     /// The server replied with an unexpected frame.
     Protocol(&'static str),
+    /// The gateway nacked `Unsupported`: it lacks the subsystem this
+    /// request needs (no soft-state store, no rules engine). Permanent —
+    /// the client never retries it, and neither should callers.
+    Unsupported(&'static str),
+    /// The gateway nacked `Rejected`: the request decoded but the rules
+    /// engine refused it (invalid predicate, unknown rule id, per-user
+    /// bound). Permanent — resending the identical request cannot
+    /// succeed.
+    Rejected(&'static str),
+}
+
+impl ClientError {
+    /// True for errors retrying cannot fix: the server understood the
+    /// request and refused it for good.
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, ClientError::Unsupported(_) | ClientError::Rejected(_))
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -63,6 +80,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Frame(e) => write!(f, "frame: {e}"),
             ClientError::Protocol(what) => write!(f, "protocol: {what}"),
+            ClientError::Unsupported(what) => {
+                write!(f, "unsupported by this gateway (permanent): {what}")
+            }
+            ClientError::Rejected(what) => write!(f, "rejected (permanent): {what}"),
         }
     }
 }
@@ -137,7 +158,7 @@ impl GatewayClient {
             source: source.to_string(),
             body: body.to_string(),
         };
-        match self.exchange_with_retry(&request)? {
+        match self.exchange_with_retry(&request, "alert submission")? {
             Frame::Ack { seq: got } if got == seq => Ok(SubmitResult::Accepted),
             Frame::Nack { seq: got, reason, retry_after_ms } if got == seq || got == 0 => {
                 Ok(SubmitResult::Rejected { reason, retry_after_ms })
@@ -150,7 +171,7 @@ impl GatewayClient {
     pub fn probe(&mut self) -> Result<ProbeStats, ClientError> {
         self.seq += 1;
         let nonce = self.seq;
-        match self.exchange_with_retry(&Frame::Probe { nonce })? {
+        match self.exchange_with_retry(&Frame::Probe { nonce }, "probe")? {
             Frame::ProbeReply { nonce: got, stats } if got == nonce => Ok(stats),
             _ => Err(ClientError::Protocol("reply did not match the probe")),
         }
@@ -177,7 +198,7 @@ impl GatewayClient {
             ttl_ms,
             source: source.to_string(),
         };
-        match self.exchange_with_retry(&request)? {
+        match self.exchange_with_retry(&request, "state update (gateway has no store)")? {
             Frame::Ack { seq: got } if got == seq => Ok(SubmitResult::Accepted),
             Frame::Nack { seq: got, reason, retry_after_ms } if got == seq || got == 0 => {
                 Ok(SubmitResult::Rejected { reason, retry_after_ms })
@@ -188,7 +209,7 @@ impl GatewayClient {
 
     /// Reads a soft-state fact back; `None` when it is absent or
     /// expired. A gateway running without a store nacks `Unsupported`,
-    /// surfaced here as a protocol error.
+    /// surfaced as the permanent [`ClientError::Unsupported`].
     pub fn state_get(
         &mut self,
         scope: &str,
@@ -201,16 +222,52 @@ impl GatewayClient {
             scope: scope.to_string(),
             key: key.to_string(),
         };
-        match self.exchange_with_retry(&request)? {
+        match self.exchange_with_retry(&request, "state query (gateway has no store)")? {
             Frame::StateReply { seq: got, found, value, generation, ttl_remaining_ms }
                 if got == seq =>
             {
                 Ok(found.then_some(StateFact { value, generation, ttl_remaining_ms }))
             }
-            Frame::Nack { reason: NackReason::Unsupported, .. } => {
-                Err(ClientError::Protocol("gateway has no soft-state store"))
-            }
             _ => Err(ClientError::Protocol("reply did not match the state query")),
+        }
+    }
+
+    /// Creates (`rule.id == 0`) or replaces a user-owned alert rule,
+    /// returning the stored rule with its engine-assigned id. A gateway
+    /// without a rules engine yields [`ClientError::Unsupported`]; an
+    /// engine refusal (bad predicate, unknown id, per-user bound) yields
+    /// [`ClientError::Rejected`] — both permanent, never retried.
+    pub fn rule_upsert(&mut self, user: &str, rule: &WireRule) -> Result<WireRule, ClientError> {
+        self.seq += 1;
+        let seq = self.seq;
+        let request = Frame::RuleUpsert { seq, user: user.to_string(), rule: rule.clone() };
+        match self.exchange_with_retry(&request, "rule upsert")? {
+            Frame::RuleListReply { seq: got, mut rules } if got == seq && rules.len() == 1 => {
+                Ok(rules.remove(0))
+            }
+            _ => Err(ClientError::Protocol("reply did not match the rule upsert")),
+        }
+    }
+
+    /// Deletes a rule (idempotent: deleting an unknown id still acks).
+    pub fn rule_delete(&mut self, user: &str, rule_id: u64) -> Result<(), ClientError> {
+        self.seq += 1;
+        let seq = self.seq;
+        let request = Frame::RuleDelete { seq, user: user.to_string(), rule_id };
+        match self.exchange_with_retry(&request, "rule delete")? {
+            Frame::Ack { seq: got } if got == seq => Ok(()),
+            _ => Err(ClientError::Protocol("reply did not match the rule delete")),
+        }
+    }
+
+    /// Lists a user's rules, ordered by id.
+    pub fn rule_list(&mut self, user: &str) -> Result<Vec<WireRule>, ClientError> {
+        self.seq += 1;
+        let seq = self.seq;
+        let request = Frame::RuleList { seq, user: user.to_string() };
+        match self.exchange_with_retry(&request, "rule list")? {
+            Frame::RuleListReply { seq: got, rules } if got == seq => Ok(rules),
+            _ => Err(ClientError::Protocol("reply did not match the rule list")),
         }
     }
 
@@ -260,12 +317,25 @@ impl GatewayClient {
     }
 
     /// One request/response exchange, retrying across reconnects on
-    /// connection-level failures (bounded by `max_attempts`).
-    fn exchange_with_retry(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+    /// connection-level failures (bounded by `max_attempts`). Permanent
+    /// nacks (`Unsupported`, `Rejected`) are classified here, centrally,
+    /// so *no* request path ever retries or resends one — they surface
+    /// as typed errors tagged with `what`.
+    fn exchange_with_retry(
+        &mut self,
+        request: &Frame,
+        what: &'static str,
+    ) -> Result<Frame, ClientError> {
         let bytes = proto::encode_to_vec(request);
         let mut last_err = ClientError::Protocol("no attempts configured");
         for _ in 0..self.config.max_attempts.max(1) {
             match self.exchange_once(&bytes) {
+                Ok(Frame::Nack { reason: NackReason::Unsupported, .. }) => {
+                    return Err(ClientError::Unsupported(what));
+                }
+                Ok(Frame::Nack { reason: NackReason::Rejected, .. }) => {
+                    return Err(ClientError::Rejected(what));
+                }
                 Ok(frame) => return Ok(frame),
                 Err(err @ (ClientError::Frame(_) | ClientError::Protocol(_))) => {
                     // The connection decoded garbage: don't trust it.

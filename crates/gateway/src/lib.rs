@@ -7,7 +7,8 @@
 //!
 //! * [`proto`] — a versioned, length-prefixed, CRC-32-checked binary
 //!   frame protocol carrying alert submissions, acks/nacks with reasons,
-//!   and health probes;
+//!   health probes, soft-state facts, and user alert-rule management
+//!   (see [`rulewire`] for the wire ↔ engine conversions);
 //! * [`GatewayServer`] — a `std::net` TCP listener (thread-per-acceptor
 //!   plus a small worker pool; the vendored tokio shim has no `net`, see
 //!   `DESIGN.md` §10) with staged admission control: per-connection
@@ -34,6 +35,7 @@ pub mod admission;
 mod bridge;
 mod client;
 pub mod proto;
+pub mod rulewire;
 mod server;
 
 pub use admission::{RateLimit, TokenBuckets};
@@ -42,5 +44,5 @@ pub use bridge::{
     Submission,
 };
 pub use client::{ClientConfig, ClientError, GatewayClient, StateFact, SubmitResult};
-pub use proto::{Frame, FrameError, NackReason, ProbeStats, WireChannel};
+pub use proto::{Frame, FrameError, NackReason, ProbeStats, WireChannel, WireRule};
 pub use server::{GatewayConfig, GatewayServer};

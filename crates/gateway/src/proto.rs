@@ -98,8 +98,13 @@ pub enum NackReason {
     /// The gateway is shutting down.
     Shutdown,
     /// The gateway cannot serve this frame kind (e.g. a state operation
-    /// on a gateway with no soft-state store attached). Permanent.
+    /// on a gateway with no soft-state store attached, or a rule
+    /// operation with no rules engine). Permanent.
     Unsupported,
+    /// The frame decoded but the rules engine refused the operation
+    /// (invalid predicate, unknown rule id, or per-user bound).
+    /// Permanent: resending the identical request cannot succeed.
+    Rejected,
 }
 
 impl NackReason {
@@ -121,6 +126,7 @@ impl NackReason {
             NackReason::Malformed => 5,
             NackReason::Shutdown => 6,
             NackReason::Unsupported => 7,
+            NackReason::Rejected => 8,
         }
     }
 
@@ -133,6 +139,7 @@ impl NackReason {
             5 => Some(NackReason::Malformed),
             6 => Some(NackReason::Shutdown),
             7 => Some(NackReason::Unsupported),
+            8 => Some(NackReason::Rejected),
             _ => None,
         }
     }
@@ -148,6 +155,7 @@ impl fmt::Display for NackReason {
             NackReason::Malformed => "malformed",
             NackReason::Shutdown => "shutdown",
             NackReason::Unsupported => "unsupported",
+            NackReason::Rejected => "rejected",
         };
         f.write_str(s)
     }
@@ -168,6 +176,37 @@ pub struct ProbeStats {
     /// (`queue_depth / queue_capacity`) and back off *before* being
     /// nacked rather than after.
     pub queue_capacity: u32,
+}
+
+/// A user alert rule as it crosses the wire — a flat mirror of
+/// `simba_rules::RuleSpec` plus the engine-assigned id, kept primitive so
+/// the protocol layer stays self-contained. Conversions to and from the
+/// engine's types live with the server and callers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireRule {
+    /// Engine-assigned rule id; `0` in an upsert asks the engine to
+    /// assign one.
+    pub id: u64,
+    /// Short human name.
+    pub name: String,
+    /// Disabled rules stay stored but never match.
+    pub enabled: bool,
+    /// Severity override: 0 = none, 1 = low, 2 = normal, 3 = critical.
+    pub severity: u8,
+    /// Optional dedupe-key template.
+    pub dedupe: Option<String>,
+    /// Predicate source text.
+    pub predicate: String,
+    /// Action: 0 = deliver, 1 = suppress, 2 = digest.
+    pub action: u8,
+    /// Digest flush window in ms (digest rules; ignored otherwise).
+    pub window_ms: u32,
+    /// Digest count cap, 0 = none (digest rules).
+    pub max_count: u32,
+    /// Exemplar payloads carried by the digest (digest rules).
+    pub max_exemplars: u8,
+    /// Optional digest correlation-key template.
+    pub key: Option<String>,
 }
 
 /// One protocol frame.
@@ -255,6 +294,46 @@ pub enum Frame {
         /// Milliseconds of TTL remaining at reply time.
         ttl_remaining_ms: u32,
     },
+    /// Client → server: create (`rule.id == 0`) or replace a user-owned
+    /// alert rule. Answered with a single-rule [`Frame::RuleListReply`]
+    /// carrying the stored rule (so the client learns the assigned id),
+    /// or a `Nack` (`Unsupported` without a rules engine, `Rejected` for
+    /// invalid predicates / unknown ids / per-user bounds).
+    RuleUpsert {
+        /// Client-assigned sequence number echoed by the reply.
+        seq: u64,
+        /// The owning user.
+        user: String,
+        /// The rule to store.
+        rule: WireRule,
+    },
+    /// Client → server: delete one rule. Answered with [`Frame::Ack`]
+    /// whether or not the rule existed (deletion is idempotent), or a
+    /// `Nack` (`Unsupported` without a rules engine).
+    RuleDelete {
+        /// Client-assigned sequence number echoed by the ack/nack.
+        seq: u64,
+        /// The owning user.
+        user: String,
+        /// The rule id to delete.
+        rule_id: u64,
+    },
+    /// Client → server: list one user's rules. Answered with
+    /// [`Frame::RuleListReply`] (or a `Nack` without a rules engine).
+    RuleList {
+        /// Correlates the reply.
+        seq: u64,
+        /// The owning user.
+        user: String,
+    },
+    /// Server → client: the rules a [`Frame::RuleList`] asked for (or
+    /// the single stored rule after a [`Frame::RuleUpsert`]).
+    RuleListReply {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// The user's rules, ordered by id.
+        rules: Vec<WireRule>,
+    },
 }
 
 impl Frame {
@@ -268,6 +347,10 @@ impl Frame {
             Frame::StateUpdate { .. } => 6,
             Frame::StateQuery { .. } => 7,
             Frame::StateReply { .. } => 8,
+            Frame::RuleUpsert { .. } => 9,
+            Frame::RuleDelete { .. } => 10,
+            Frame::RuleList { .. } => 11,
+            Frame::RuleListReply { .. } => 12,
         }
     }
 }
@@ -339,7 +422,7 @@ impl Header {
             return Err(FrameError::BadVersion(bytes[4]));
         }
         let frame_type = bytes[5];
-        if !(1..=8).contains(&frame_type) {
+        if !(1..=12).contains(&frame_type) {
             return Err(FrameError::UnknownType(frame_type));
         }
         let payload_len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
@@ -349,6 +432,30 @@ impl Header {
         let crc = u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]);
         Ok(Header { frame_type, payload_len, crc })
     }
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_rule(out: &mut Vec<u8>, rule: &WireRule) {
+    out.extend_from_slice(&rule.id.to_le_bytes());
+    put_str(out, &rule.name);
+    out.push(u8::from(rule.enabled));
+    out.push(rule.severity);
+    put_opt_str(out, rule.dedupe.as_deref());
+    put_str(out, &rule.predicate);
+    out.push(rule.action);
+    out.extend_from_slice(&rule.window_ms.to_le_bytes());
+    out.extend_from_slice(&rule.max_count.to_le_bytes());
+    out.push(rule.max_exemplars);
+    put_opt_str(out, rule.key.as_deref());
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -407,6 +514,51 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::Malformed(what))
     }
 
+    fn opt_string(&mut self, what: &'static str) -> Result<Option<String>, FrameError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string(what)?)),
+            _ => Err(FrameError::Malformed(what)),
+        }
+    }
+
+    fn rule(&mut self) -> Result<WireRule, FrameError> {
+        let id = self.u64("rule.id")?;
+        let name = self.string("rule.name")?;
+        let enabled = match self.u8("rule.enabled")? {
+            0 => false,
+            1 => true,
+            _ => return Err(FrameError::Malformed("rule.enabled")),
+        };
+        let severity = self.u8("rule.severity")?;
+        if severity > 3 {
+            return Err(FrameError::Malformed("rule.severity"));
+        }
+        let dedupe = self.opt_string("rule.dedupe")?;
+        let predicate = self.string("rule.predicate")?;
+        let action = self.u8("rule.action")?;
+        if action > 2 {
+            return Err(FrameError::Malformed("rule.action"));
+        }
+        let window_ms = self.u32("rule.window_ms")?;
+        let max_count = self.u32("rule.max_count")?;
+        let max_exemplars = self.u8("rule.max_exemplars")?;
+        let key = self.opt_string("rule.key")?;
+        Ok(WireRule {
+            id,
+            name,
+            enabled,
+            severity,
+            dedupe,
+            predicate,
+            action,
+            window_ms,
+            max_count,
+            max_exemplars,
+            key,
+        })
+    }
+
     fn finish(&self, what: &'static str) -> Result<(), FrameError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -461,6 +613,28 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             put_str(&mut payload, value);
             payload.extend_from_slice(&generation.to_le_bytes());
             payload.extend_from_slice(&ttl_remaining_ms.to_le_bytes());
+        }
+        Frame::RuleUpsert { seq, user, rule } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            put_str(&mut payload, user);
+            put_rule(&mut payload, rule);
+        }
+        Frame::RuleDelete { seq, user, rule_id } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            put_str(&mut payload, user);
+            payload.extend_from_slice(&rule_id.to_le_bytes());
+        }
+        Frame::RuleList { seq, user } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            put_str(&mut payload, user);
+        }
+        Frame::RuleListReply { seq, rules } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            let count = rules.len().min(u16::MAX as usize);
+            payload.extend_from_slice(&(count as u16).to_le_bytes());
+            for rule in &rules[..count] {
+                put_rule(&mut payload, rule);
+            }
         }
     }
     out.extend_from_slice(&MAGIC);
@@ -544,6 +718,32 @@ pub fn decode_payload(header: &Header, payload: &[u8]) -> Result<Frame, FrameErr
             let ttl_remaining_ms = r.u32("state_reply.ttl_remaining")?;
             Frame::StateReply { seq, found, value, generation, ttl_remaining_ms }
         }
+        9 => {
+            let seq = r.u64("rule_upsert.seq")?;
+            let user = r.string("rule_upsert.user")?;
+            let rule = r.rule()?;
+            Frame::RuleUpsert { seq, user, rule }
+        }
+        10 => {
+            let seq = r.u64("rule_delete.seq")?;
+            let user = r.string("rule_delete.user")?;
+            let rule_id = r.u64("rule_delete.rule_id")?;
+            Frame::RuleDelete { seq, user, rule_id }
+        }
+        11 => {
+            let seq = r.u64("rule_list.seq")?;
+            let user = r.string("rule_list.user")?;
+            Frame::RuleList { seq, user }
+        }
+        12 => {
+            let seq = r.u64("rule_list_reply.seq")?;
+            let count = r.u16("rule_list_reply.count")? as usize;
+            let mut rules = Vec::with_capacity(count.min(256));
+            for _ in 0..count {
+                rules.push(r.rule()?);
+            }
+            Frame::RuleListReply { seq, rules }
+        }
         t => return Err(FrameError::UnknownType(t)),
     };
     r.finish("trailing bytes")?;
@@ -620,6 +820,44 @@ mod tests {
                 value: "healthy".into(),
                 generation: 41,
                 ttl_remaining_ms: 12_500,
+            },
+            Frame::RuleUpsert {
+                seq: 13,
+                user: "alice".into(),
+                rule: WireRule {
+                    id: 0,
+                    name: "storm".into(),
+                    enabled: true,
+                    severity: 2,
+                    dedupe: Some("{source}/{body}".into()),
+                    predicate: "source == \"flappy\"".into(),
+                    action: 2,
+                    window_ms: 60_000,
+                    max_count: 100,
+                    max_exemplars: 3,
+                    key: None,
+                },
+            },
+            Frame::RuleDelete { seq: 14, user: "alice".into(), rule_id: 7 },
+            Frame::RuleList { seq: 15, user: "alice".into() },
+            Frame::RuleListReply {
+                seq: 15,
+                rules: vec![
+                    WireRule {
+                        id: 1,
+                        name: "quiet".into(),
+                        enabled: false,
+                        severity: 0,
+                        dedupe: None,
+                        predicate: "any".into(),
+                        action: 1,
+                        window_ms: 0,
+                        max_count: 0,
+                        max_exemplars: 0,
+                        key: Some("{user}/{kind}".into()),
+                    },
+                    WireRule { id: 2, name: "all".into(), enabled: true, ..WireRule::default() },
+                ],
             },
         ];
         for frame in frames {
@@ -738,6 +976,40 @@ mod tests {
                 },
                 Frame::StateQuery { seq, scope, key },
                 Frame::StateReply { seq, found, value, generation, ttl_remaining_ms: ttl_ms },
+            ];
+            for frame in frames {
+                let bytes = encode_to_vec(&frame);
+                let (decoded, consumed) = decode_frame(&bytes).expect("encode -> decode");
+                prop_assert_eq!(decoded, frame);
+                prop_assert_eq!(consumed, bytes.len());
+            }
+        }
+
+        #[test]
+        fn rule_frames_round_trip(
+            seq in proptest::prelude::any::<u64>(),
+            user in "[a-z0-9_.-]{0,24}",
+            id in proptest::prelude::any::<u64>(),
+            name in "\\PC{0,24}",
+            enabled in proptest::prelude::any::<bool>(),
+            severity in 0u8..=3,
+            dedupe in proptest::option::of("\\PC{0,32}"),
+            predicate in "\\PC{0,64}",
+            action in 0u8..=2,
+            window_ms in proptest::prelude::any::<u32>(),
+            max_count in proptest::prelude::any::<u32>(),
+            max_exemplars in proptest::prelude::any::<u8>(),
+            key in proptest::option::of("\\PC{0,32}"),
+        ) {
+            let rule = WireRule {
+                id, name, enabled, severity, dedupe, predicate,
+                action, window_ms, max_count, max_exemplars, key,
+            };
+            let frames = [
+                Frame::RuleUpsert { seq, user: user.clone(), rule: rule.clone() },
+                Frame::RuleDelete { seq, user: user.clone(), rule_id: id },
+                Frame::RuleList { seq, user },
+                Frame::RuleListReply { seq, rules: vec![rule] },
             ];
             for frame in frames {
                 let bytes = encode_to_vec(&frame);

@@ -1,0 +1,116 @@
+//! Conversions between the protocol's flat [`WireRule`] and the rules
+//! engine's [`RuleSpec`] / [`AlertRule`].
+//!
+//! The protocol layer ([`crate::proto`]) stays primitive on purpose —
+//! bytes and strings, no engine types — so the frame set does not chase
+//! the engine's structs. This module is the single place the two shapes
+//! meet; the server uses it to apply `RuleUpsert` frames and the CLI
+//! uses it to render listings.
+
+use crate::proto::WireRule;
+use simba_core::Urgency;
+use simba_rules::{AlertRule, DigestConfig, RuleAction, RuleSpec};
+
+/// Encodes an optional severity override (0 = none, 1..=3 = low..critical).
+pub fn severity_byte(severity: Option<Urgency>) -> u8 {
+    match severity {
+        None => 0,
+        Some(Urgency::Low) => 1,
+        Some(Urgency::Normal) => 2,
+        Some(Urgency::Critical) => 3,
+    }
+}
+
+/// Inverse of [`severity_byte`]; unknown bytes read as no override (the
+/// decoder already rejects anything above 3).
+pub fn severity_from_byte(byte: u8) -> Option<Urgency> {
+    match byte {
+        1 => Some(Urgency::Low),
+        2 => Some(Urgency::Normal),
+        3 => Some(Urgency::Critical),
+        _ => None,
+    }
+}
+
+/// Builds the engine spec a wire rule describes. The digest knobs are
+/// only meaningful when `action == 2`; deliver/suppress rules ignore
+/// them, mirroring how the engine stores actions.
+pub fn spec_of_wire(rule: &WireRule) -> RuleSpec {
+    let action = match rule.action {
+        0 => RuleAction::Deliver,
+        1 => RuleAction::Suppress,
+        _ => RuleAction::Digest(DigestConfig {
+            window_ms: u64::from(rule.window_ms),
+            max_count: rule.max_count,
+            max_exemplars: rule.max_exemplars,
+            key: rule.key.clone(),
+        }),
+    };
+    RuleSpec {
+        name: rule.name.clone(),
+        enabled: rule.enabled,
+        severity: severity_from_byte(rule.severity),
+        dedupe: rule.dedupe.clone(),
+        predicate_src: rule.predicate.clone(),
+        action,
+    }
+}
+
+/// Flattens a stored rule for the wire (digest windows longer than
+/// `u32::MAX` ms — over 49 days — saturate; the engine never needs them).
+pub fn wire_of_rule(rule: &AlertRule) -> WireRule {
+    let (action, window_ms, max_count, max_exemplars, key) = match &rule.spec.action {
+        RuleAction::Deliver => (0, 0, 0, 0, None),
+        RuleAction::Suppress => (1, 0, 0, 0, None),
+        RuleAction::Digest(config) => (
+            2,
+            config.window_ms.min(u64::from(u32::MAX)) as u32,
+            config.max_count,
+            config.max_exemplars,
+            config.key.clone(),
+        ),
+    };
+    WireRule {
+        id: rule.id,
+        name: rule.spec.name.clone(),
+        enabled: rule.spec.enabled,
+        severity: severity_byte(rule.spec.severity),
+        dedupe: rule.spec.dedupe.clone(),
+        predicate: rule.spec.predicate_src.clone(),
+        action,
+        window_ms,
+        max_count,
+        max_exemplars,
+        key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_bytes_round_trip() {
+        for severity in [None, Some(Urgency::Low), Some(Urgency::Normal), Some(Urgency::Critical)]
+        {
+            assert_eq!(severity_from_byte(severity_byte(severity)), severity);
+        }
+    }
+
+    #[test]
+    fn wire_and_spec_round_trip_through_a_compiled_rule() {
+        let mut spec = RuleSpec::digest(
+            "storm",
+            "source == flappy and kind == water",
+            DigestConfig { window_ms: 5_000, max_count: 10, max_exemplars: 2, key: None },
+        );
+        spec.severity = Some(Urgency::Low);
+        spec.dedupe = Some("{source}".into());
+        let rule = AlertRule::compile(3, "ada", spec).expect("compile");
+        let wire = wire_of_rule(&rule);
+        assert_eq!(wire.id, 3);
+        assert_eq!(wire.action, 2);
+        // The round-tripped spec matches the stored (canonicalized) one.
+        assert_eq!(spec_of_wire(&wire), rule.spec);
+    }
+}

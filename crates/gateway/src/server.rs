@@ -24,10 +24,12 @@
 use crate::admission::{RateLimit, TokenBuckets};
 use crate::bridge::{IntakeSender, Submission};
 use crate::proto::{
-    self, Frame, FrameError, Header, NackReason, ProbeStats, HEADER_LEN,
+    self, Frame, FrameError, Header, NackReason, ProbeStats, WireRule, HEADER_LEN,
 };
+use crate::rulewire;
 use simba_core::subscription::UserId;
 use simba_core::Telemetry;
+use simba_rules::SharedRuleEngine;
 use simba_sim::{SimDuration, SimTime};
 use simba_store::SoftStateStore;
 use simba_telemetry::{CounterHandle, Event};
@@ -128,6 +130,9 @@ struct Shared {
     /// Soft-state store for `StateUpdate` / `StateQuery` frames; absent
     /// gateways nack those frames `Unsupported`.
     store: Option<SoftStateStore>,
+    /// Rules engine for `RuleUpsert` / `RuleDelete` / `RuleList` frames;
+    /// absent gateways nack those frames `Unsupported`.
+    rules: Option<SharedRuleEngine>,
 }
 
 impl Shared {
@@ -197,6 +202,21 @@ impl GatewayServer {
         telemetry: Telemetry,
         store: Option<SoftStateStore>,
     ) -> std::io::Result<GatewayServer> {
+        GatewayServer::bind_with_rules(config, intake, telemetry, store, None)
+    }
+
+    /// The full bind: optional soft-state store *and* optional rules
+    /// engine. `Rule*` frames mutate and read the engine (which commits
+    /// rules to its own log before replying); share the same engine with
+    /// the host so submissions are evaluated against the rules clients
+    /// manage here.
+    pub fn bind_with_rules(
+        config: GatewayConfig,
+        intake: IntakeSender,
+        telemetry: Telemetry,
+        store: Option<SoftStateStore>,
+        rules: Option<SharedRuleEngine>,
+    ) -> std::io::Result<GatewayServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
@@ -210,6 +230,7 @@ impl GatewayServer {
             stop: AtomicBool::new(false),
             epoch: Instant::now(),
             store,
+            rules,
         });
 
         let (socket_tx, socket_rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
@@ -425,8 +446,11 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                 state_update(shared, seq, &scope, &key, value, ttl_ms, source)
             }
             Frame::StateQuery { seq, scope, key } => state_query(shared, seq, &scope, &key),
+            Frame::RuleUpsert { seq, user, rule } => rule_upsert(shared, seq, &user, &rule),
+            Frame::RuleDelete { seq, user, rule_id } => rule_delete(shared, seq, &user, rule_id),
+            Frame::RuleList { seq, user } => rule_list(shared, seq, &user),
             Frame::Ack { .. } | Frame::Nack { .. } | Frame::ProbeReply { .. }
-            | Frame::StateReply { .. } => {
+            | Frame::StateReply { .. } | Frame::RuleListReply { .. } => {
                 // Server-to-client frames arriving at the server: a
                 // protocol violation; treat like a decode failure.
                 note_decode_err(shared, &FrameError::Malformed("client sent a server frame"));
@@ -550,6 +574,49 @@ fn state_query(shared: &Shared, seq: u64, scope: &str, key: &str) -> Frame {
             ttl_remaining_ms: 0,
         },
     }
+}
+
+/// Creates or replaces a user rule (nacking `Unsupported` when the
+/// gateway runs without a rules engine). The engine commits the rule to
+/// its log before returning, so the reply — which carries the stored
+/// rule and its assigned id — only describes durable state. Engine
+/// refusals (bad predicate, unknown id, per-user bound) nack `Rejected`,
+/// which clients treat as permanent.
+fn rule_upsert(shared: &Shared, seq: u64, user: &str, rule: &WireRule) -> Frame {
+    let Some(engine) = &shared.rules else {
+        return Frame::Nack { seq, reason: NackReason::Unsupported, retry_after_ms: 0 };
+    };
+    let id = (rule.id != 0).then_some(rule.id);
+    match engine.upsert(user, id, rulewire::spec_of_wire(rule)) {
+        Ok(stored) => {
+            Frame::RuleListReply { seq, rules: vec![rulewire::wire_of_rule(&stored)] }
+        }
+        Err(_) => Frame::Nack { seq, reason: NackReason::Rejected, retry_after_ms: 0 },
+    }
+}
+
+/// Deletes a user rule. Idempotent: deleting an id that does not exist
+/// still acks, so a client retrying across a reconnect cannot fail on
+/// its own earlier success.
+fn rule_delete(shared: &Shared, seq: u64, user: &str, rule_id: u64) -> Frame {
+    let Some(engine) = &shared.rules else {
+        return Frame::Nack { seq, reason: NackReason::Unsupported, retry_after_ms: 0 };
+    };
+    match engine.delete(user, rule_id) {
+        // simba-analyze: allow(durability.ack-before-commit): the engine group-commits the deletion to the rules log before delete() returns
+        Ok(_) => Frame::Ack { seq },
+        Err(_) => Frame::Nack { seq, reason: NackReason::Rejected, retry_after_ms: 0 },
+    }
+}
+
+/// Lists a user's rules, ordered by id. An empty list is a normal
+/// answer, not an error.
+fn rule_list(shared: &Shared, seq: u64, user: &str) -> Frame {
+    let Some(engine) = &shared.rules else {
+        return Frame::Nack { seq, reason: NackReason::Unsupported, retry_after_ms: 0 };
+    };
+    let rules = engine.list(user).iter().map(rulewire::wire_of_rule).collect();
+    Frame::RuleListReply { seq, rules }
 }
 
 fn shed(shared: &Shared, seq: u64, reason: NackReason, retry_after_ms: u32, source: &str) -> Frame {

@@ -7,10 +7,10 @@
 
 use simba_core::subscription::UserId;
 use simba_core::Telemetry;
-use simba_gateway::proto::{self, Frame, NackReason, WireChannel};
+use simba_gateway::proto::{self, Frame, NackReason, WireChannel, WireRule};
 use simba_gateway::{
-    intake, pump_into_host, ClientConfig, GatewayClient, GatewayConfig, GatewayServer, RateLimit,
-    SubmitResult,
+    intake, pump_into_host, ClientConfig, ClientError, GatewayClient, GatewayConfig,
+    GatewayServer, RateLimit, SubmitResult,
 };
 use simba_runtime::{HostConfig, LoopbackChannels, MabHost, SharedChannels};
 use simba_telemetry::RingBufferSink;
@@ -406,21 +406,118 @@ fn state_facts_round_trip_over_tcp() {
     assert!(snap.counter("store.expired") >= 1);
 }
 
-/// A gateway running without a store refuses state frames with an
-/// explicit `Unsupported` nack instead of pretending to hold facts.
+/// Bugfix regression: a gateway running without a store or a rules
+/// engine answers state and rule frames with an `Unsupported` nack, and
+/// the client classifies that as a *permanent* typed error — it must
+/// not resend the request, reconnect, or burn its retry budget the way
+/// it would for a load-shed nack.
 #[test]
-fn storeless_gateway_nacks_state_frames() {
+fn unsupported_nack_is_permanent_and_never_retried() {
     let telemetry = telemetry();
     let (intake_tx, _intake_rx) = intake(256);
     let server =
         GatewayServer::bind(GatewayConfig::default(), intake_tx, telemetry.clone()).unwrap();
+    // A long backoff so any accidental retry loop makes the test
+    // visibly slow and the elapsed-time assertion below fail.
+    let config = ClientConfig {
+        max_attempts: 4,
+        retry_backoff: Duration::from_millis(400),
+        ..ClientConfig::default()
+    };
+    let mut client =
+        GatewayClient::connect(server.local_addr().to_string(), config).unwrap();
+
+    let started = Instant::now();
+    for _ in 0..2 {
+        // Store-less: both state paths fail with the typed error.
+        let put = client.state_put("presence", "alice", "away", 1_000, "wish");
+        assert!(
+            matches!(put, Err(ClientError::Unsupported(_))),
+            "state_put on a store-less gateway: {put:?}"
+        );
+        let get = client.state_get("presence", "alice");
+        assert!(matches!(get, Err(ClientError::Unsupported(_))), "state_get: {get:?}");
+        // Rules-less: every rule operation likewise.
+        let upsert = client.rule_upsert("alice", &WireRule::default());
+        assert!(matches!(upsert, Err(ClientError::Unsupported(_))), "rule_upsert: {upsert:?}");
+        let delete = client.rule_delete("alice", 1);
+        assert!(matches!(delete, Err(ClientError::Unsupported(_))), "rule_delete: {delete:?}");
+        let list = client.rule_list("alice");
+        assert!(matches!(list, Err(ClientError::Unsupported(_))), "rule_list: {list:?}");
+        assert!(list.unwrap_err().is_permanent());
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(400),
+        "a permanent nack must fail fast, not loop through the retry backoff"
+    );
+    assert_eq!(client.reconnects, 0, "permanent nacks must not trigger reconnects");
+    server.shutdown();
+}
+
+/// Rules flow end to end over TCP: upsert assigns an id and persists,
+/// bad predicates are rejected permanently, listing round-trips the
+/// stored shape, and deletion is idempotent.
+#[test]
+fn rule_frames_manage_the_engine_over_tcp() {
+    use simba_rules::{RuleEngine, RulesConfig};
+
+    let telemetry = telemetry();
+    let (intake_tx, _intake_rx) = intake(256);
+    let engine: simba_rules::SharedRuleEngine =
+        Arc::new(RuleEngine::open(RulesConfig::in_memory()).unwrap());
+    let server = GatewayServer::bind_with_rules(
+        GatewayConfig::default(),
+        intake_tx,
+        telemetry.clone(),
+        None,
+        Some(Arc::clone(&engine)),
+    )
+    .unwrap();
     let mut client =
         GatewayClient::connect(server.local_addr().to_string(), ClientConfig::default()).unwrap();
 
-    assert_eq!(
-        client.state_put("presence", "alice", "away", 1_000, "wish").unwrap(),
-        SubmitResult::Rejected { reason: NackReason::Unsupported, retry_after_ms: 0 }
-    );
-    assert!(client.state_get("presence", "alice").is_err());
+    // Create: id 0 asks the engine to assign one.
+    let rule = WireRule {
+        id: 0,
+        name: "storm".into(),
+        enabled: true,
+        severity: 0,
+        dedupe: None,
+        predicate: "source == flappy".into(),
+        action: 2,
+        window_ms: 60_000,
+        max_count: 0,
+        max_exemplars: 3,
+        key: None,
+    };
+    let stored = client.rule_upsert("ada", &rule).unwrap();
+    assert_eq!(stored.id, 1);
+    // The engine canonicalizes predicate text before storing.
+    assert_eq!(stored.predicate, "source == \"flappy\"");
+    assert_eq!(engine.rule_count(), 1);
+
+    // Replace in place: same id, new name.
+    let renamed = WireRule { name: "quieter".into(), ..stored.clone() };
+    let stored = client.rule_upsert("ada", &renamed).unwrap();
+    assert_eq!(stored.id, 1);
+    assert_eq!(stored.name, "quieter");
+
+    // A bad predicate is a permanent rejection, not a retry loop.
+    let bad = WireRule { predicate: "source ==".into(), ..rule.clone() };
+    let err = client.rule_upsert("ada", &bad);
+    assert!(matches!(err, Err(ClientError::Rejected(_))), "bad predicate: {err:?}");
+    assert!(err.unwrap_err().is_permanent());
+
+    // Listing returns the stored shape, ordered by id.
+    let listed = client.rule_list("ada").unwrap();
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0], stored);
+    assert_eq!(client.rule_list("bob").unwrap(), vec![]);
+
+    // Deletion is idempotent: both calls ack.
+    client.rule_delete("ada", 1).unwrap();
+    client.rule_delete("ada", 1).unwrap();
+    assert_eq!(client.rule_list("ada").unwrap(), vec![]);
+    assert_eq!(engine.rule_count(), 0);
     server.shutdown();
 }

@@ -1,0 +1,857 @@
+//! The streaming rule engine: compiled per-user matching, Deliver /
+//! Suppress / Digest decisions, and the windowed storm correlator.
+//!
+//! Rules compile once (at open and on every mutation) into a per-user
+//! index keyed by the exact `source`/`kind` equality constraints their
+//! predicates pin, so the hot path evaluates O(candidate rules), not
+//! O(all rules). When several rules match, the lowest id wins — rule
+//! order is creation order, which users can reason about.
+//!
+//! The correlator absorbs alerts matched by digest rules into per-key
+//! [`PendingDigest`] windows. A window flushes deterministically when
+//! its deadline passes ([`RuleEngine::flush_due`], driven by the pump
+//! tick or the shard timer wheel), when its count cap is reached, or
+//! when a later alert escalates the window's severity. Critical alerts
+//! never wait: they bypass digesting entirely and deliver immediately.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Mutex;
+
+use simba_core::{DigestAlert, IncomingAlert, Urgency};
+use simba_sim::SimTime;
+use simba_telemetry::Telemetry;
+
+use crate::log::{RulesError, RulesLog, RulesLogConfig};
+use crate::predicate::AlertView;
+use crate::rule::{default_correlation_key, expand_template, AlertRule, RuleAction, RuleSpec};
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct RulesConfig {
+    /// Where the rules live (see [`RulesLogConfig`]).
+    pub log: RulesLogConfig,
+    /// How long a dedupe-template key suppresses repeats, in ms.
+    pub dedupe_window_ms: u64,
+    /// Per-user bound on open digest windows; alerts that would open one
+    /// beyond the bound deliver directly instead (never silently drop).
+    pub max_pending_digests_per_user: usize,
+    /// Per-user bound on remembered dedupe keys (oldest evicted first).
+    pub max_dedupe_keys_per_user: usize,
+}
+
+impl Default for RulesConfig {
+    fn default() -> Self {
+        RulesConfig {
+            log: RulesLogConfig::default(),
+            dedupe_window_ms: 60_000,
+            max_pending_digests_per_user: 32,
+            max_dedupe_keys_per_user: 128,
+        }
+    }
+}
+
+impl RulesConfig {
+    /// An in-memory engine (tests, benches, simulation).
+    pub fn in_memory() -> Self {
+        RulesConfig::default()
+    }
+
+    /// A file-backed engine persisting rules under `dir`.
+    pub fn on_disk(dir: impl Into<std::path::PathBuf>) -> Self {
+        RulesConfig { log: RulesLogConfig::on_disk(dir), ..RulesConfig::default() }
+    }
+}
+
+/// Why an alert was suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuppressReason {
+    /// A suppress-rule matched.
+    Rule,
+    /// The matching rule's dedupe-key template expanded to a recently
+    /// seen key.
+    Dedupe,
+}
+
+/// What the engine decided for one alert.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Route the alert onward. `rule` is `None` when no rule matched
+    /// (the default path); `severity` is the rule's override, if any.
+    Deliver {
+        /// The deciding rule's id, if one matched.
+        rule: Option<u64>,
+        /// Severity override to apply before routing.
+        severity: Option<Urgency>,
+    },
+    /// Drop the alert before routing.
+    Suppress {
+        /// The deciding rule.
+        rule: u64,
+        /// Rule action or dedupe-template repeat.
+        reason: SuppressReason,
+    },
+    /// The alert was absorbed into a pending digest window.
+    Digest {
+        /// The deciding rule.
+        rule: u64,
+        /// The window's correlation key.
+        key: String,
+        /// When the window flushes (ms), absent an earlier escalation.
+        deadline_ms: u64,
+        /// A digest the absorption forced out early (count cap reached
+        /// or severity escalated) — deliver it now.
+        flushed: Option<Box<DigestAlert>>,
+    },
+}
+
+impl Decision {
+    /// True for the Deliver variant.
+    pub fn is_deliver(&self) -> bool {
+        matches!(self, Decision::Deliver { .. })
+    }
+}
+
+/// A shareable engine handle: the engine is internally synchronized, so
+/// gateway pumps, shard workers, and the CLI share one `Arc`.
+pub type SharedRuleEngine = std::sync::Arc<RuleEngine>;
+
+/// Builds the [`AlertView`] the predicate language evaluates: `kind` is
+/// the subject line (email) or empty (IM).
+pub fn view_of(alert: &IncomingAlert) -> AlertView<'_> {
+    AlertView { source: &alert.source, kind: &alert.subject, body: &alert.body }
+}
+
+#[derive(Debug)]
+struct PendingDigest {
+    user: String,
+    key: String,
+    source: String,
+    kind: String,
+    count: u64,
+    first: SimTime,
+    last: SimTime,
+    exemplars: Vec<String>,
+    max_exemplars: usize,
+    max_count: u32,
+    urgency: Urgency,
+    deadline_ms: u64,
+    seq: u64,
+}
+
+impl PendingDigest {
+    fn into_digest(self) -> DigestAlert {
+        DigestAlert {
+            user: self.user,
+            key: self.key,
+            source: self.source,
+            kind: self.kind,
+            count: self.count,
+            first: self.first,
+            last: self.last,
+            exemplars: self.exemplars,
+            urgency: self.urgency,
+        }
+    }
+}
+
+/// One user's compiled matcher program: candidate buckets keyed by the
+/// exact source/kind values the predicates pin. Each bucket is sorted by
+/// rule id; evaluation merges the four candidate buckets and picks the
+/// lowest-id match.
+#[derive(Debug, Default)]
+struct UserIndex {
+    /// Rules pinning both source and kind, nested so hot-path lookups
+    /// need no allocation.
+    exact: HashMap<String, HashMap<String, Vec<AlertRule>>>,
+    by_source: HashMap<String, Vec<AlertRule>>,
+    by_kind: HashMap<String, Vec<AlertRule>>,
+    wildcard: Vec<AlertRule>,
+}
+
+impl UserIndex {
+    fn insert(&mut self, rule: AlertRule) {
+        let (source, kind) = rule.predicate.index_keys();
+        let bucket = match (source, kind) {
+            (Some(s), Some(k)) => {
+                self.exact.entry(s.into()).or_default().entry(k.into()).or_default()
+            }
+            (Some(s), None) => self.by_source.entry(s.into()).or_default(),
+            (None, Some(k)) => self.by_kind.entry(k.into()).or_default(),
+            (None, None) => &mut self.wildcard,
+        };
+        bucket.push(rule);
+    }
+
+    fn buckets_mut(&mut self) -> impl Iterator<Item = &mut Vec<AlertRule>> {
+        self.exact
+            .values_mut()
+            .flat_map(HashMap::values_mut)
+            .chain(self.by_source.values_mut())
+            .chain(self.by_kind.values_mut())
+            .chain(std::iter::once(&mut self.wildcard))
+    }
+
+    /// The lowest-id enabled rule whose predicate matches `view`.
+    fn best_match(&self, view: AlertView<'_>) -> Option<&AlertRule> {
+        let mut best: Option<&AlertRule> = None;
+        if let Some(bucket) = self.exact.get(view.source).and_then(|by_kind| by_kind.get(view.kind))
+        {
+            consider(&mut best, bucket, view);
+        }
+        if let Some(bucket) = self.by_source.get(view.source) {
+            consider(&mut best, bucket, view);
+        }
+        if let Some(bucket) = self.by_kind.get(view.kind) {
+            consider(&mut best, bucket, view);
+        }
+        consider(&mut best, &self.wildcard, view);
+        best
+    }
+}
+
+fn consider<'a>(best: &mut Option<&'a AlertRule>, bucket: &'a [AlertRule], view: AlertView<'_>) {
+    for rule in bucket {
+        if best.is_some_and(|b| b.id <= rule.id) {
+            // Buckets are id-sorted: nothing later in this one can win.
+            break;
+        }
+        if rule.matches(view) {
+            *best = Some(rule);
+            break;
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    log: RulesLog,
+    index: HashMap<String, UserIndex>,
+    pending: HashMap<String, PendingDigest>,
+    pending_per_user: HashMap<String, usize>,
+    /// Flush order: (deadline_ms, seq) → correlation key. Stale entries
+    /// (escalated windows) are dropped when popped.
+    deadlines: BTreeMap<(u64, u64), String>,
+    /// Per-user recently seen dedupe keys, oldest first.
+    recent: HashMap<String, VecDeque<(u64, String)>>,
+    seq: u64,
+    dedupe_window_ms: u64,
+    max_pending_per_user: usize,
+    max_dedupe_keys_per_user: usize,
+}
+
+/// The rule engine. Internally synchronized; share via
+/// [`SharedRuleEngine`].
+#[derive(Debug)]
+pub struct RuleEngine {
+    telemetry: Telemetry,
+    inner: Mutex<Inner>,
+}
+
+impl RuleEngine {
+    /// Opens the engine, replaying persisted rules and compiling the
+    /// matcher index.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the rules log cannot be opened or is corrupt.
+    pub fn open(config: RulesConfig) -> Result<RuleEngine, RulesError> {
+        Self::open_with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// [`RuleEngine::open`] with `rules.*` telemetry routed to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the rules log cannot be opened or is corrupt.
+    pub fn open_with_telemetry(
+        config: RulesConfig,
+        telemetry: Telemetry,
+    ) -> Result<RuleEngine, RulesError> {
+        let log = RulesLog::open(config.log)?;
+        let mut inner = Inner {
+            log,
+            index: HashMap::new(),
+            pending: HashMap::new(),
+            pending_per_user: HashMap::new(),
+            deadlines: BTreeMap::new(),
+            recent: HashMap::new(),
+            seq: 0,
+            dedupe_window_ms: config.dedupe_window_ms.max(1),
+            max_pending_per_user: config.max_pending_digests_per_user.max(1),
+            max_dedupe_keys_per_user: config.max_dedupe_keys_per_user.max(1),
+        };
+        rebuild_index(&mut inner);
+        let engine = RuleEngine { telemetry, inner: Mutex::new(inner) };
+        let loaded = engine.with_inner(|i| i.log.len());
+        if loaded > 0 {
+            engine.add("rules.loaded", loaded as u64);
+        }
+        Ok(engine)
+    }
+
+    fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    fn counter(&self, name: &str) {
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter(name).incr();
+        }
+    }
+
+    fn add(&self, name: &str, n: u64) {
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().counter(name).add(n);
+        }
+    }
+
+    fn gauge(&self, name: &str, value: u64) {
+        if self.telemetry.enabled() {
+            self.telemetry.metrics().gauge(name).set(value);
+        }
+    }
+
+    /// Creates (`id: None`) or replaces (`id: Some`) a rule and commits
+    /// it to the rules log before returning — a rule acknowledged is a
+    /// rule that survives restart.
+    ///
+    /// # Errors
+    ///
+    /// See [`RulesLog::upsert`]; rejected mutations count `rules.rejected`.
+    pub fn upsert(&self, user: &str, id: Option<u64>, spec: RuleSpec) -> Result<AlertRule, RulesError> {
+        let result = self.with_inner(|inner| {
+            let rule = inner.log.upsert(user, id, spec)?;
+            // simba-analyze: allow(concurrency.blocking-under-guard): rule mutations are rare control-plane writes; the engine lock is the single-writer discipline and the commit must cover the index rebuild
+            inner.log.commit()?;
+            rebuild_index(inner);
+            Ok(rule)
+        });
+        match &result {
+            Ok(_) => self.counter("rules.upserts"),
+            Err(_) => self.counter("rules.rejected"),
+        }
+        result
+    }
+
+    /// Deletes a rule (committed before returning). Returns whether it
+    /// existed.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on rules-log I/O errors.
+    pub fn delete(&self, user: &str, id: u64) -> Result<bool, RulesError> {
+        let existed = self.with_inner(|inner| {
+            let existed = inner.log.delete(user, id);
+            if existed {
+                // simba-analyze: allow(concurrency.blocking-under-guard): rule mutations are rare control-plane writes; the engine lock is the single-writer discipline
+                inner.log.commit()?;
+                rebuild_index(inner);
+            }
+            Ok::<bool, RulesError>(existed)
+        })?;
+        if existed {
+            self.counter("rules.deletes");
+        }
+        Ok(existed)
+    }
+
+    /// One user's rules, ordered by id.
+    pub fn list(&self, user: &str) -> Vec<AlertRule> {
+        self.with_inner(|inner| inner.log.list(user))
+    }
+
+    /// Total rules across all users.
+    pub fn rule_count(&self) -> usize {
+        self.with_inner(|inner| inner.log.len())
+    }
+
+    /// Open digest windows across all users.
+    pub fn pending_digests(&self) -> usize {
+        self.with_inner(|inner| inner.pending.len())
+    }
+
+    /// The hot path: decides what happens to one alert for `user` at
+    /// `now_ms`. Digest absorption happens inside this call; a returned
+    /// [`Decision::Digest`] means the alert must *not* be routed (its
+    /// content lives in the pending window), except that any
+    /// `flushed` digest it carries must be delivered now.
+    pub fn evaluate(&self, user: &str, alert: &IncomingAlert, now_ms: u64) -> Decision {
+        self.counter("rules.evaluated");
+        let (decision, critical_bypass) = self.with_inner(|inner| {
+            let view = view_of(alert);
+            // Copy the deciding rule's fields out so the index borrow ends
+            // before the correlator mutates `inner`.
+            let Some((rule_id, severity, dedupe, action)) =
+                inner.index.get(user).and_then(|idx| idx.best_match(view)).map(|rule| {
+                    (rule.id, rule.spec.severity, rule.spec.dedupe.clone(), rule.spec.action.clone())
+                })
+            else {
+                return (Decision::Deliver { rule: None, severity: None }, false);
+            };
+            let effective = severity.unwrap_or(alert.urgency);
+
+            // Dedupe-key template: a repeat within the window is noise.
+            if let Some(template) = dedupe {
+                let key = expand_template(&template, user, view);
+                if note_recent(inner, user, key, now_ms) {
+                    return (
+                        Decision::Suppress { rule: rule_id, reason: SuppressReason::Dedupe },
+                        false,
+                    );
+                }
+            }
+
+            match action {
+                RuleAction::Deliver => (Decision::Deliver { rule: Some(rule_id), severity }, false),
+                RuleAction::Suppress => {
+                    (Decision::Suppress { rule: rule_id, reason: SuppressReason::Rule }, false)
+                }
+                RuleAction::Digest(config) => {
+                    if effective >= Urgency::Critical {
+                        // Critical cuts through: never parked in a window.
+                        return (Decision::Deliver { rule: Some(rule_id), severity }, true);
+                    }
+                    let key = match &config.key {
+                        Some(template) => expand_template(template, user, view),
+                        None => default_correlation_key(user, view),
+                    };
+                    (absorb(inner, user, rule_id, &key, &config, view, effective, now_ms), false)
+                }
+            }
+        });
+        match &decision {
+            Decision::Deliver { rule: Some(_), .. } => {
+                self.counter("rules.matched");
+                if critical_bypass {
+                    self.counter("rules.critical_bypass");
+                }
+            }
+            Decision::Deliver { rule: None, .. } => {}
+            Decision::Suppress { reason, .. } => {
+                self.counter("rules.matched");
+                self.counter("rules.suppressed");
+                if *reason == SuppressReason::Dedupe {
+                    self.counter("rules.deduped");
+                }
+            }
+            Decision::Digest { flushed, .. } => {
+                self.counter("rules.matched");
+                self.counter("rules.digest_absorbed");
+                if flushed.is_some() {
+                    self.counter("rules.digest_flushed");
+                    self.counter("rules.digest_escalated");
+                }
+            }
+        }
+        self.gauge("rules.pending_digests", self.pending_digests() as u64);
+        decision
+    }
+
+    /// Flushes every digest window whose deadline has passed. Callers
+    /// (the gateway pump tick, the shard timer wheel) route the returned
+    /// digests as deliveries.
+    pub fn flush_due(&self, now_ms: u64) -> Vec<DigestAlert> {
+        let flushed = self.with_inner(|inner| {
+            let mut out = Vec::new();
+            while let Some((&(deadline, seq), _)) = inner.deadlines.first_key_value() {
+                if deadline > now_ms {
+                    break;
+                }
+                let key = inner.deadlines.remove(&(deadline, seq)).expect("just observed");
+                // Stale entries (escalated windows already flushed, or a
+                // window re-opened under a later seq) are dropped.
+                let Some(pending) = inner.pending.get(&key) else { continue };
+                if pending.seq != seq {
+                    continue;
+                }
+                out.push(remove_pending(inner, &key).expect("pending just observed"));
+            }
+            out
+        });
+        if !flushed.is_empty() {
+            self.add("rules.digest_flushed", flushed.len() as u64);
+            self.gauge("rules.pending_digests", self.pending_digests() as u64);
+        }
+        flushed
+    }
+
+    /// Flushes one window by key if its deadline has passed — the shard
+    /// timer-wheel entry point, where each worker flushes only the keys
+    /// it scheduled. Returns `None` for unknown keys (already escalated)
+    /// or windows whose deadline moved later.
+    pub fn flush_key(&self, key: &str, now_ms: u64) -> Option<DigestAlert> {
+        let flushed = self.with_inner(|inner| {
+            let pending = inner.pending.get(key)?;
+            if pending.deadline_ms > now_ms {
+                return None;
+            }
+            remove_pending(inner, key)
+        });
+        if flushed.is_some() {
+            self.counter("rules.digest_flushed");
+            self.gauge("rules.pending_digests", self.pending_digests() as u64);
+        }
+        flushed
+    }
+
+    /// The earliest pending flush deadline, if any window is open.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.with_inner(|inner| inner.deadlines.first_key_value().map(|((d, _), _)| *d))
+    }
+}
+
+fn rebuild_index(inner: &mut Inner) {
+    let mut index: HashMap<String, UserIndex> = HashMap::new();
+    for rule in inner.log.iter() {
+        index.entry(rule.user.clone()).or_default().insert(rule.clone());
+    }
+    // Buckets id-sorted so best_match can stop at the first hit.
+    for user_index in index.values_mut() {
+        for bucket in user_index.buckets_mut() {
+            bucket.sort_by_key(|r| r.id);
+        }
+    }
+    inner.index = index;
+}
+
+/// Records `key` as recently seen; true when it was already live inside
+/// the dedupe window.
+fn note_recent(inner: &mut Inner, user: &str, key: String, now_ms: u64) -> bool {
+    let window = inner.dedupe_window_ms;
+    let max_keys = inner.max_dedupe_keys_per_user;
+    let recent = inner.recent.entry(user.to_string()).or_default();
+    while let Some((seen, _)) = recent.front() {
+        if now_ms.saturating_sub(*seen) >= window {
+            recent.pop_front();
+        } else {
+            break;
+        }
+    }
+    if recent.iter().any(|(_, k)| *k == key) {
+        return true;
+    }
+    recent.push_back((now_ms, key));
+    while recent.len() > max_keys {
+        recent.pop_front();
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn absorb(
+    inner: &mut Inner,
+    user: &str,
+    rule_id: u64,
+    key: &str,
+    config: &crate::rule::DigestConfig,
+    view: AlertView<'_>,
+    urgency: Urgency,
+    now_ms: u64,
+) -> Decision {
+    if !inner.pending.contains_key(key) {
+        let open_for_user = inner.pending_per_user.get(user).copied().unwrap_or(0);
+        if open_for_user >= inner.max_pending_per_user {
+            // Bounded correlator state: deliver directly rather than
+            // grow without bound or silently drop.
+            return Decision::Deliver { rule: Some(rule_id), severity: None };
+        }
+        inner.seq += 1;
+        let seq = inner.seq;
+        let deadline_ms = now_ms + config.window_ms.max(1);
+        inner.pending.insert(
+            key.to_string(),
+            PendingDigest {
+                user: user.to_string(),
+                key: key.to_string(),
+                source: view.source.to_string(),
+                kind: view.kind.to_string(),
+                count: 0,
+                first: SimTime::from_millis(now_ms),
+                last: SimTime::from_millis(now_ms),
+                exemplars: Vec::new(),
+                max_exemplars: config.max_exemplars as usize,
+                max_count: config.max_count,
+                urgency: Urgency::Low,
+                deadline_ms,
+                seq,
+            },
+        );
+        *inner.pending_per_user.entry(user.to_string()).or_insert(0) += 1;
+        inner.deadlines.insert((deadline_ms, seq), key.to_string());
+    }
+    let pending = inner.pending.get_mut(key).expect("just inserted or present");
+    let escalated = pending.count > 0 && urgency > pending.urgency;
+    pending.count += 1;
+    pending.last = SimTime::from_millis(now_ms);
+    pending.urgency = pending.urgency.max(urgency);
+    if pending.exemplars.len() < pending.max_exemplars {
+        pending.exemplars.push(view.body.to_string());
+    }
+    let capped = pending.max_count > 0 && pending.count >= u64::from(pending.max_count);
+    let deadline_ms = pending.deadline_ms;
+    let flushed = if escalated || capped {
+        remove_pending(inner, key).map(Box::new)
+    } else {
+        None
+    };
+    Decision::Digest { rule: rule_id, key: key.to_string(), deadline_ms, flushed }
+}
+
+fn remove_pending(inner: &mut Inner, key: &str) -> Option<DigestAlert> {
+    let pending = inner.pending.remove(key)?;
+    inner.deadlines.remove(&(pending.deadline_ms, pending.seq));
+    if let Some(open) = inner.pending_per_user.get_mut(&pending.user) {
+        *open = open.saturating_sub(1);
+        if *open == 0 {
+            inner.pending_per_user.remove(&pending.user);
+        }
+    }
+    Some(pending.into_digest())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::DigestConfig;
+
+    fn im(source: &str, body: &str) -> IncomingAlert {
+        IncomingAlert::from_im(source, body, SimTime::ZERO)
+    }
+
+    fn engine() -> RuleEngine {
+        RuleEngine::open(RulesConfig::in_memory()).expect("open")
+    }
+
+    #[test]
+    fn no_rules_means_default_deliver() {
+        let e = engine();
+        assert_eq!(
+            e.evaluate("ada", &im("any", "x"), 0),
+            Decision::Deliver { rule: None, severity: None }
+        );
+    }
+
+    #[test]
+    fn lowest_id_rule_wins_and_severity_overrides() {
+        let e = engine();
+        let mut first = RuleSpec::suppress("quiet", "source == noisy");
+        first.severity = Some(Urgency::Low);
+        let r1 = e.upsert("ada", None, first).unwrap();
+        e.upsert("ada", None, RuleSpec::deliver("later", "source == noisy")).unwrap();
+        assert_eq!(
+            e.evaluate("ada", &im("noisy", "x"), 0),
+            Decision::Suppress { rule: r1.id, reason: SuppressReason::Rule }
+        );
+        // Another user is untouched by ada's rules.
+        assert!(e.evaluate("bob", &im("noisy", "x"), 0).is_deliver());
+
+        let mut sev = RuleSpec::deliver("bump", "source == pager");
+        sev.severity = Some(Urgency::Critical);
+        let r3 = e.upsert("ada", None, sev).unwrap();
+        assert_eq!(
+            e.evaluate("ada", &im("pager", "x"), 0),
+            Decision::Deliver { rule: Some(r3.id), severity: Some(Urgency::Critical) }
+        );
+    }
+
+    #[test]
+    fn dedupe_template_suppresses_repeats_within_window() {
+        let e = RuleEngine::open(RulesConfig { dedupe_window_ms: 1000, ..RulesConfig::in_memory() })
+            .expect("open");
+        let mut spec = RuleSpec::deliver("once", "source == s");
+        spec.dedupe = Some("{source}/{body}".into());
+        let r = e.upsert("ada", None, spec).unwrap();
+        assert!(e.evaluate("ada", &im("s", "same"), 0).is_deliver());
+        assert_eq!(
+            e.evaluate("ada", &im("s", "same"), 500),
+            Decision::Suppress { rule: r.id, reason: SuppressReason::Dedupe }
+        );
+        // A different body is a different key; the old key expires.
+        assert!(e.evaluate("ada", &im("s", "other"), 600).is_deliver());
+        assert!(e.evaluate("ada", &im("s", "same"), 1500).is_deliver());
+    }
+
+    #[test]
+    fn digest_window_collapses_a_burst_and_flushes_on_deadline() {
+        let e = engine();
+        let r = e
+            .upsert(
+                "ada",
+                None,
+                RuleSpec::digest(
+                    "storm",
+                    "source == flappy",
+                    DigestConfig { window_ms: 1000, max_count: 0, max_exemplars: 2, key: None },
+                ),
+            )
+            .unwrap();
+        for i in 0..100u64 {
+            let d = e.evaluate("ada", &im("flappy", &format!("alarm {i}")), i);
+            match d {
+                Decision::Digest { rule, flushed: None, .. } => assert_eq!(rule, r.id),
+                other => panic!("expected absorption, got {other:?}"),
+            }
+        }
+        assert_eq!(e.pending_digests(), 1);
+        assert!(e.flush_due(500).is_empty(), "window not due yet");
+        let flushed = e.flush_due(1000);
+        assert_eq!(flushed.len(), 1);
+        let digest = &flushed[0];
+        assert_eq!(digest.count, 100);
+        assert_eq!(digest.user, "ada");
+        assert_eq!(digest.key, "ada/flappy/");
+        assert_eq!(digest.exemplars, vec!["alarm 0".to_string(), "alarm 1".to_string()]);
+        assert_eq!(digest.first, SimTime::from_millis(0));
+        assert_eq!(digest.last, SimTime::from_millis(99));
+        assert_eq!(e.pending_digests(), 0);
+        assert!(e.flush_due(10_000).is_empty(), "flush is one-shot");
+
+        // The digest renders as a deliverable alert.
+        let incoming = digest.to_incoming();
+        assert!(incoming.subject.contains("100x"));
+        assert!(incoming.body.contains("alarm 0"));
+    }
+
+    #[test]
+    fn critical_cuts_through_digesting() {
+        let e = engine();
+        let r = e
+            .upsert(
+                "ada",
+                None,
+                RuleSpec::digest(
+                    "storm",
+                    "source == flappy",
+                    DigestConfig { window_ms: 1000, ..DigestConfig::default() },
+                ),
+            )
+            .unwrap();
+        e.evaluate("ada", &im("flappy", "noise"), 0);
+        let critical = im("flappy", "FIRE").with_urgency(Urgency::Critical);
+        assert_eq!(
+            e.evaluate("ada", &critical, 10),
+            Decision::Deliver { rule: Some(r.id), severity: None }
+        );
+        // The pending window is untouched by the cut-through.
+        assert_eq!(e.pending_digests(), 1);
+        assert_eq!(e.flush_due(1000)[0].count, 1);
+    }
+
+    #[test]
+    fn severity_escalation_flushes_early() {
+        let e = engine();
+        e.upsert(
+            "ada",
+            None,
+            RuleSpec::digest(
+                "storm",
+                "source == s",
+                DigestConfig { window_ms: 60_000, ..DigestConfig::default() },
+            ),
+        )
+        .unwrap();
+        let low = im("s", "drip").with_urgency(Urgency::Low);
+        e.evaluate("ada", &low, 0);
+        e.evaluate("ada", &low, 1);
+        let normal = im("s", "steady leak");
+        match e.evaluate("ada", &normal, 2) {
+            Decision::Digest { flushed: Some(digest), .. } => {
+                assert_eq!(digest.count, 3);
+                assert_eq!(digest.urgency, Urgency::Normal);
+            }
+            other => panic!("expected escalated flush, got {other:?}"),
+        }
+        assert_eq!(e.pending_digests(), 0);
+        assert!(e.flush_due(100_000).is_empty(), "deadline entry went stale with the flush");
+    }
+
+    #[test]
+    fn count_cap_flushes_early() {
+        let e = engine();
+        e.upsert(
+            "ada",
+            None,
+            RuleSpec::digest(
+                "storm",
+                "source == s",
+                DigestConfig { window_ms: 60_000, max_count: 3, ..DigestConfig::default() },
+            ),
+        )
+        .unwrap();
+        assert!(matches!(e.evaluate("ada", &im("s", "1"), 0), Decision::Digest { flushed: None, .. }));
+        assert!(matches!(e.evaluate("ada", &im("s", "2"), 1), Decision::Digest { flushed: None, .. }));
+        match e.evaluate("ada", &im("s", "3"), 2) {
+            Decision::Digest { flushed: Some(digest), .. } => assert_eq!(digest.count, 3),
+            other => panic!("expected capped flush, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_windows_are_bounded_per_user() {
+        let e = RuleEngine::open(RulesConfig {
+            max_pending_digests_per_user: 2,
+            ..RulesConfig::in_memory()
+        })
+        .expect("open");
+        let r = e
+            .upsert(
+                "ada",
+                None,
+                RuleSpec::digest(
+                    "per-body",
+                    "source == s",
+                    DigestConfig { window_ms: 60_000, key: Some("{user}/{body}".into()), ..DigestConfig::default() },
+                ),
+            )
+            .unwrap();
+        assert!(matches!(e.evaluate("ada", &im("s", "a"), 0), Decision::Digest { .. }));
+        assert!(matches!(e.evaluate("ada", &im("s", "b"), 0), Decision::Digest { .. }));
+        // A third distinct key would exceed the bound: deliver directly.
+        assert_eq!(
+            e.evaluate("ada", &im("s", "c"), 0),
+            Decision::Deliver { rule: Some(r.id), severity: None }
+        );
+        assert_eq!(e.pending_digests(), 2);
+    }
+
+    #[test]
+    fn flush_key_honors_deadline_and_unknown_keys() {
+        let e = engine();
+        e.upsert(
+            "ada",
+            None,
+            RuleSpec::digest(
+                "storm",
+                "source == s",
+                DigestConfig { window_ms: 1000, ..DigestConfig::default() },
+            ),
+        )
+        .unwrap();
+        let key = match e.evaluate("ada", &im("s", "x"), 0) {
+            Decision::Digest { key, .. } => key,
+            other => panic!("{other:?}"),
+        };
+        assert!(e.flush_key(&key, 500).is_none(), "not due yet");
+        assert_eq!(e.flush_key(&key, 1000).map(|d| d.count), Some(1));
+        assert!(e.flush_key(&key, 2000).is_none(), "already flushed");
+        assert!(e.flush_key("ada/other/", 2000).is_none());
+    }
+
+    #[test]
+    fn rules_and_engine_survive_reopen() {
+        let dir = std::env::temp_dir()
+            .join(format!("simba-rules-engine-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let e = RuleEngine::open(RulesConfig::on_disk(&dir)).expect("open");
+            e.upsert("ada", None, RuleSpec::suppress("quiet", "source == noisy")).unwrap();
+        }
+        let e = RuleEngine::open(RulesConfig::on_disk(&dir)).expect("reopen");
+        assert_eq!(e.rule_count(), 1);
+        assert!(matches!(
+            e.evaluate("ada", &im("noisy", "x"), 0),
+            Decision::Suppress { .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

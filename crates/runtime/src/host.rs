@@ -134,6 +134,7 @@ pub struct MabHost<C> {
     store: Option<simba_store::SoftStateStore>,
     sweeper: Option<JoinHandle<()>>,
     ledger: Option<simba_ledger::SharedLedger>,
+    rules: Option<simba_rules::SharedRuleEngine>,
 }
 
 impl<C: Channels + Clone> MabHost<C> {
@@ -155,6 +156,7 @@ impl<C: Channels + Clone> MabHost<C> {
             store: None,
             sweeper: None,
             ledger: None,
+            rules: None,
         };
         (host, notice_rx)
     }
@@ -210,6 +212,25 @@ impl<C: Channels + Clone> MabHost<C> {
     /// The attached delivery ledger, if any.
     pub fn ledger(&self) -> Option<&simba_ledger::SharedLedger> {
         self.ledger.as_ref()
+    }
+
+    /// Attaches a rules engine: every submission for a *hosted* user runs
+    /// through [`simba_rules::RuleEngine::evaluate`] before routing —
+    /// suppress-rules consume the alert, digest-rules absorb it into a
+    /// pending window (drain windows with [`MabHost::pump_digests`]), and
+    /// severity overrides rewrite the alert's urgency. Digest deliveries
+    /// bypass re-evaluation: a flushed digest keeps its original source,
+    /// so running it back through the same digest rule would re-absorb it
+    /// forever.
+    #[must_use]
+    pub fn with_rules(mut self, rules: simba_rules::SharedRuleEngine) -> Self {
+        self.rules = Some(rules);
+        self
+    }
+
+    /// The attached rules engine, if any.
+    pub fn rules(&self) -> Option<&simba_rules::SharedRuleEngine> {
+        self.rules.as_ref()
     }
 
     /// The host's clock (the timeline its sweeper and services measure).
@@ -312,34 +333,96 @@ impl<C: Channels + Clone> MabHost<C> {
 
     /// The routing front door: hands an IM-borne alert to the owning
     /// user's service. Returns `false` (and counts `host.unrouted`) when
-    /// the user is not hosted.
+    /// the user is not hosted. With a rules engine attached, the alert is
+    /// evaluated first — `true` then also covers "consumed by a rule"
+    /// (suppressed, or absorbed into a pending digest window).
     pub async fn submit_im(&self, user: &UserId, alert: IncomingAlert) -> bool {
-        match self.tenants.get(user) {
-            Some(tenant) => {
+        let Some(tenant) = self.tenants.get(user) else {
+            self.note_routed(user, false);
+            return false;
+        };
+        match self.apply_rules(user, alert).await {
+            Some(alert) => {
                 tenant.handle.submit_im_alert(alert).await;
                 self.note_routed(user, true);
-                true
             }
-            None => {
-                self.note_routed(user, false);
-                false
-            }
+            None => self.note_routed(user, true),
         }
+        true
     }
 
     /// Like [`MabHost::submit_im`] for an email-borne alert.
     pub async fn submit_email(&self, user: &UserId, alert: IncomingAlert) -> bool {
-        match self.tenants.get(user) {
-            Some(tenant) => {
+        let Some(tenant) = self.tenants.get(user) else {
+            self.note_routed(user, false);
+            return false;
+        };
+        match self.apply_rules(user, alert).await {
+            Some(alert) => {
                 tenant.handle.submit_email_alert(alert).await;
                 self.note_routed(user, true);
-                true
             }
-            None => {
-                self.note_routed(user, false);
-                false
+            None => self.note_routed(user, true),
+        }
+        true
+    }
+
+    /// Runs one hosted user's alert through the rules engine. `Some` means
+    /// route it (urgency possibly rewritten); `None` means a rule consumed
+    /// it. A digest the absorption forced out early (count cap, severity
+    /// escalation) is delivered inline, bypassing re-evaluation.
+    async fn apply_rules(&self, user: &UserId, mut alert: IncomingAlert) -> Option<IncomingAlert> {
+        let Some(engine) = self.rules.as_ref() else {
+            return Some(alert);
+        };
+        let now_ms = self.clock.now().as_millis();
+        match engine.evaluate(&user.0, &alert, now_ms) {
+            simba_rules::Decision::Deliver { severity, .. } => {
+                if let Some(severity) = severity {
+                    alert.urgency = severity;
+                }
+                Some(alert)
+            }
+            simba_rules::Decision::Suppress { .. } => None,
+            simba_rules::Decision::Digest { flushed, .. } => {
+                if let Some(digest) = flushed {
+                    self.deliver_digest(*digest).await;
+                }
+                None
             }
         }
+    }
+
+    /// Delivers one flushed digest to its owner as an email-borne alert,
+    /// straight to the tenant handle — digests never re-enter evaluation.
+    async fn deliver_digest(&self, digest: simba_core::DigestAlert) -> bool {
+        let user = UserId::new(digest.user.clone());
+        let Some(tenant) = self.tenants.get(&user) else {
+            self.note_routed(&user, false);
+            return false;
+        };
+        tenant.handle.submit_email_alert(digest.to_incoming()).await;
+        self.note_routed(&user, true);
+        true
+    }
+
+    /// Flushes every digest window whose deadline has passed and delivers
+    /// the results. Call this from the runtime's idle tick (the gateway
+    /// pumps do); returns how many digests went out.
+    pub async fn pump_digests(&self) -> usize {
+        let Some(engine) = self.rules.as_ref() else {
+            return 0;
+        };
+        if engine.pending_digests() == 0 {
+            return 0;
+        }
+        let mut delivered = 0;
+        for digest in engine.flush_due(self.clock.now().as_millis()) {
+            if self.deliver_digest(digest).await {
+                delivered += 1;
+            }
+        }
+        delivered
     }
 
     fn note_routed(&self, user: &UserId, routed: bool) {
@@ -632,6 +715,85 @@ mod tests {
             buffered += 1;
         }
         assert_eq!(buffered, 2);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn rules_suppress_and_override_before_routing() {
+        use simba_rules::{RuleEngine, RulesConfig, RuleSpec};
+
+        let engine: simba_rules::SharedRuleEngine =
+            std::sync::Arc::new(RuleEngine::open(RulesConfig::in_memory()).unwrap());
+        engine
+            .upsert("alice", None, RuleSpec::suppress("mute-off", "body contains \"OFF\""))
+            .unwrap();
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+        let (host, mut notices) = MabHost::new(shared, HostConfig::default());
+        let mut host = host.with_rules(engine.clone());
+        host.add_user(UserId::new("alice"), user_config("alice")).unwrap();
+
+        // Suppressed: consumed (submit reports true), never routed.
+        assert!(host.submit_im(&UserId::new("alice"), sensor_alert("Sensor OFF")).await);
+        // Unknown users stay unrouted — rules never absorb their alerts.
+        assert!(!host.submit_im(&UserId::new("mallory"), sensor_alert("Sensor OFF")).await);
+        // Unmatched traffic still flows.
+        assert!(host.submit_im(&UserId::new("alice"), sensor_alert("Sensor ON")).await);
+        loop {
+            if let HostNotice { notice: RuntimeNotice::DeliveryFinished { .. }, .. } =
+                notices.recv().await.unwrap()
+            {
+                break;
+            }
+        }
+        let snap = host.snapshot_user(&UserId::new("alice")).await.unwrap();
+        assert_eq!(snap.stats.deliveries_started, 1, "suppressed alert must not route");
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn digest_windows_flush_through_pump_digests() {
+        use simba_rules::{DigestConfig, RuleEngine, RulesConfig, RuleSpec};
+
+        let engine: simba_rules::SharedRuleEngine =
+            std::sync::Arc::new(RuleEngine::open(RulesConfig::in_memory()).unwrap());
+        engine
+            .upsert(
+                "alice",
+                None,
+                RuleSpec::digest(
+                    "storm",
+                    "source == \"aladdin-gw\"",
+                    DigestConfig { window_ms: 5_000, max_count: 0, max_exemplars: 3, key: None },
+                ),
+            )
+            .unwrap();
+        let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+        let (host, mut notices) = MabHost::new(shared, HostConfig::default());
+        let mut host = host.with_rules(engine.clone());
+        host.add_user(UserId::new("alice"), user_config("alice")).unwrap();
+
+        for round in 0..10 {
+            assert!(host
+                .submit_im(&UserId::new("alice"), sensor_alert(&format!("Sensor {round} ON")))
+                .await);
+        }
+        assert_eq!(engine.pending_digests(), 1);
+        // Before the deadline nothing flushes.
+        assert_eq!(host.pump_digests().await, 0);
+        let before = host.snapshot_user(&UserId::new("alice")).await.unwrap();
+        assert_eq!(before.stats.deliveries_started, 0, "storm must be absorbed");
+
+        tokio::time::sleep(Duration::from_secs(6)).await;
+        assert_eq!(host.pump_digests().await, 1);
+        assert_eq!(engine.pending_digests(), 0);
+        loop {
+            if let HostNotice { notice: RuntimeNotice::DeliveryFinished { .. }, user } =
+                notices.recv().await.unwrap()
+            {
+                assert_eq!(user, UserId::new("alice"));
+                break;
+            }
+        }
+        let after = host.snapshot_user(&UserId::new("alice")).await.unwrap();
+        assert_eq!(after.stats.deliveries_started, 1, "one digest, not ten alerts");
     }
 
     #[tokio::test(start_paused = true)]

@@ -106,6 +106,11 @@ pub struct ShardedHostConfig {
     /// over the same handle performs the sends with retry, backoff, and
     /// idempotency-key dedupe.
     pub ledger: Option<simba_ledger::SharedLedger>,
+    /// When set, every alert for a *registered* user runs through this
+    /// rules engine inside the owning shard worker before it reaches the
+    /// buddy; drive deadline flushes with [`ShardedHost::pump_digests`]
+    /// (the gateway pumps call it on their idle tick).
+    pub rules: Option<simba_rules::SharedRuleEngine>,
 }
 
 impl Default for ShardedHostConfig {
@@ -122,6 +127,7 @@ impl Default for ShardedHostConfig {
             queue_capacity: 1024,
             threads: false,
             ledger: None,
+            rules: None,
         }
     }
 }
@@ -214,6 +220,11 @@ enum ShardMsg {
     Im(UserId, IncomingAlert),
     /// An email-borne alert for a user.
     Email(UserId, IncomingAlert),
+    /// A flushed digest for a user — routed like an email-borne alert
+    /// but *never* re-evaluated against the rules engine (the digest
+    /// keeps its original source, so a by-source digest rule would
+    /// re-absorb it forever).
+    Digest(UserId, IncomingAlert),
     /// An external user acknowledgement for a delivery attempt.
     Ack {
         user: UserId,
@@ -297,6 +308,8 @@ struct ShardHandle {
 /// snapshots and shuts down by fan-out.
 pub struct ShardedHost {
     shards: Vec<ShardHandle>,
+    clock: RuntimeClock,
+    rules: Option<simba_rules::SharedRuleEngine>,
 }
 
 impl ShardedHost {
@@ -354,6 +367,7 @@ impl ShardedHost {
             let retirement_grace = config.retirement_grace;
             let completed_ring = config.completed_ring;
             let worker_ledger = config.ledger.clone();
+            let worker_rules = config.rules.clone();
             let build = move || Worker {
                 rx,
                 depth: worker_depth,
@@ -382,6 +396,7 @@ impl ShardedHost {
                 retirement_grace,
                 completed_ring,
                 ledger: worker_ledger,
+                rules: worker_rules,
             };
             let task = if config.threads {
                 let thread = std::thread::Builder::new()
@@ -394,7 +409,35 @@ impl ShardedHost {
             };
             shards.push(ShardHandle { tx, depth, task });
         }
-        Ok((ShardedHost { shards }, notice_rx))
+        let rules = config.rules.clone();
+        Ok((ShardedHost { shards, clock: RuntimeClock::start(), rules }, notice_rx))
+    }
+
+    /// The attached rules engine, if any.
+    pub fn rules(&self) -> Option<&simba_rules::SharedRuleEngine> {
+        self.rules.as_ref()
+    }
+
+    /// Flushes every digest window whose deadline has passed and routes
+    /// each result to the owning user's shard — as an email-borne alert
+    /// that bypasses re-evaluation. Call from the runtime's idle tick
+    /// (the gateway pumps do); returns how many digests were dispatched.
+    pub async fn pump_digests(&self) -> usize {
+        let Some(engine) = self.rules.as_ref() else {
+            return 0;
+        };
+        if engine.pending_digests() == 0 {
+            return 0;
+        }
+        let mut dispatched = 0;
+        for digest in engine.flush_due(self.clock.now().as_millis()) {
+            let user = UserId::new(digest.user.clone());
+            let shard = shard_of(&user, self.shards.len());
+            if self.send(shard, ShardMsg::Digest(user, digest.to_incoming())).await {
+                dispatched += 1;
+            }
+        }
+        dispatched
     }
 
     /// Worker count.
@@ -596,6 +639,8 @@ struct Worker<C> {
     completed_ring: usize,
     /// Channel attempts go here instead of `channels` when set.
     ledger: Option<simba_ledger::SharedLedger>,
+    /// Registered users' alerts run through this engine before routing.
+    rules: Option<simba_rules::SharedRuleEngine>,
 }
 
 enum Flow {
@@ -702,9 +747,18 @@ impl<C: Channels> Worker<C> {
                 }
             }
             ShardMsg::Im(user, alert) => {
-                self.route(user, MabEvent::AlertByIm(alert), now, staged);
+                if let Some(alert) = self.apply_rules(&user, alert, now, staged) {
+                    self.route(user, MabEvent::AlertByIm(alert), now, staged);
+                }
             }
             ShardMsg::Email(user, alert) => {
+                if let Some(alert) = self.apply_rules(&user, alert, now, staged) {
+                    self.route(user, MabEvent::AlertByEmail(alert), now, staged);
+                }
+            }
+            ShardMsg::Digest(user, alert) => {
+                // Deliberately no apply_rules: digests never re-enter
+                // evaluation.
                 self.route(user, MabEvent::AlertByEmail(alert), now, staged);
             }
             ShardMsg::Ack { user, delivery, attempt } => {
@@ -748,6 +802,43 @@ impl<C: Channels> Worker<C> {
             ShardMsg::Stop(reply) => return Flow::Stop(reply),
         }
         Flow::Continue
+    }
+
+    /// Runs one registered user's alert through the rules engine. `Some`
+    /// means route it (urgency possibly rewritten); `None` means a rule
+    /// consumed it. Unregistered users bypass evaluation so [`Self::route`]
+    /// still counts them unrouted — rules never absorb unhosted traffic.
+    /// A digest forced out early (count cap, severity escalation) is
+    /// routed inline as an email-borne alert, bypassing re-evaluation.
+    fn apply_rules(
+        &mut self,
+        user: &UserId,
+        mut alert: IncomingAlert,
+        now: SimTime,
+        staged: &mut Vec<(UserId, MabCommand)>,
+    ) -> Option<IncomingAlert> {
+        let Some(engine) = self.rules.clone() else {
+            return Some(alert);
+        };
+        if !self.roster.contains_key(user) {
+            return Some(alert);
+        }
+        match engine.evaluate(&user.0, &alert, now.as_millis()) {
+            simba_rules::Decision::Deliver { severity, .. } => {
+                if let Some(severity) = severity {
+                    alert.urgency = severity;
+                }
+                Some(alert)
+            }
+            simba_rules::Decision::Suppress { .. } => None,
+            simba_rules::Decision::Digest { flushed, .. } => {
+                if let Some(digest) = flushed {
+                    let owner = UserId::new(digest.user.clone());
+                    self.route(owner, MabEvent::AlertByEmail(digest.to_incoming()), now, staged);
+                }
+                None
+            }
+        }
     }
 
     /// The routing step: activate (rehydrating if hibernated) and feed.

@@ -387,3 +387,76 @@ async fn im_failure_falls_back_to_email_under_sharding() {
     let snap = host.shutdown().await;
     assert_eq!(snap.unconfirmed, 1);
 }
+
+#[tokio::test(start_paused = true)]
+async fn rules_digest_storm_collapses_inside_the_shard_worker() {
+    use simba_rules::{DigestConfig, RuleEngine, RuleSpec, RulesConfig, SharedRuleEngine};
+
+    let engine: SharedRuleEngine =
+        Arc::new(RuleEngine::open(RulesConfig::in_memory()).unwrap());
+    engine
+        .upsert(
+            "alice",
+            None,
+            RuleSpec::digest(
+                "storm",
+                "source == \"aladdin-gw\"",
+                DigestConfig { window_ms: 5_000, max_count: 0, max_exemplars: 3, key: None },
+            ),
+        )
+        .unwrap();
+    let config = ShardedHostConfig { rules: Some(engine.clone()), ..test_config(2) };
+    let shared = SharedChannels::new(LoopbackChannels::always_ack(Duration::from_millis(50)));
+    let (host, mut notices) =
+        ShardedHost::new(shared, config, factory(), Telemetry::disabled()).unwrap();
+    host.register_many(vec![UserId::new("alice"), UserId::new("bob")]).await;
+
+    // A 50-alert flap for alice plus one ordinary alert for bob.
+    for round in 0..50 {
+        assert!(host.submit_im(&UserId::new("alice"), sensor_alert(&format!("Sensor {round} ON"))).await);
+    }
+    assert!(host.submit_im(&UserId::new("bob"), sensor_alert("Sensor ON")).await);
+
+    // Bob's delivery finishes while alice's storm stays absorbed.
+    let (user, status) = next_finished(&mut notices).await;
+    assert_eq!(user, UserId::new("bob"));
+    assert!(matches!(status, DeliveryStatus::Acked { .. }));
+    assert_eq!(engine.pending_digests(), 1);
+    assert_eq!(host.pump_digests().await, 0, "window not due yet");
+
+    // Past the window, the pump dispatches exactly one digest.
+    tokio::time::sleep(Duration::from_secs(6)).await;
+    assert_eq!(host.pump_digests().await, 1);
+    assert_eq!(engine.pending_digests(), 0);
+    let (user, status) = next_finished(&mut notices).await;
+    assert_eq!(user, UserId::new("alice"));
+    assert!(matches!(status, DeliveryStatus::Acked { .. }));
+
+    let snap = host.shutdown().await;
+    // Two user deliveries plus one digest — never fifty-one.
+    assert_eq!(snap.stats.deliveries_started, 2);
+    assert_eq!(snap.unrouted, 0);
+}
+
+#[tokio::test(start_paused = true)]
+async fn rules_never_absorb_unregistered_users() {
+    use simba_rules::{RuleEngine, RuleSpec, RulesConfig, SharedRuleEngine};
+
+    let engine: SharedRuleEngine =
+        Arc::new(RuleEngine::open(RulesConfig::in_memory()).unwrap());
+    engine
+        .upsert("mallory", None, RuleSpec::suppress("mute", "source == \"aladdin-gw\""))
+        .unwrap();
+    let config = ShardedHostConfig { rules: Some(engine.clone()), ..test_config(2) };
+    let shared = SharedChannels::new(LoopbackChannels::accept_all());
+    let (host, _notices) =
+        ShardedHost::new(shared, config, factory(), Telemetry::disabled()).unwrap();
+    host.register(UserId::new("alice")).await;
+    // Mallory has a suppress rule but no registration: still unrouted.
+    host.submit_im(&UserId::new("mallory"), sensor_alert("Sensor ON")).await;
+    tokio::time::sleep(Duration::from_millis(10)).await;
+    let snap = host.snapshot().await;
+    assert_eq!(snap.unrouted, 1);
+    assert_eq!(snap.stats.received_im, 0);
+    host.shutdown().await;
+}

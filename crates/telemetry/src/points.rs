@@ -90,6 +90,7 @@ pub const SCOPES: &[&str] = &[
     "rejuvenate",
     "store",
     "ledger",
+    "rules",
     // Simulation-harness scopes (fault taxonomy of the paper's Table 2).
     "sanity",
     "power",
@@ -121,6 +122,7 @@ pub const CRATE_SCOPES: &[(&str, &[&str])] = &[
     ("net", &["net"]),
     ("store", &["store"]),
     ("ledger", &["ledger"]),
+    ("rules", &["rules"]),
     ("client", &["client"]),
     ("gateway", &["gateway"]),
     ("xml", &[]),
@@ -219,6 +221,19 @@ pub const POINTS: &[PointDef] = &[
     point!("operator.manual_fix", [Counter], "operator", "sim: faults only a human operator could clear (Table 2)"),
     point!("power.outages", [Counter], "power", "sim: power-loss episodes injected at the MAB's site"),
     point!("rejuvenate.triggered", [Event], "rejuvenate", "the rejuvenation policy decided a proactive restart is due"),
+    point!("rules.critical_bypass", [Counter], "rules", "critical alerts that cut through a digest rule and delivered immediately"),
+    point!("rules.deduped", [Counter], "rules", "alerts suppressed because their dedupe-key template hit a recently seen key"),
+    point!("rules.deletes", [Counter], "rules", "rules removed from the rules log"),
+    point!("rules.digest_absorbed", [Counter], "rules", "alerts absorbed into a pending digest window instead of routed"),
+    point!("rules.digest_escalated", [Counter], "rules", "digest windows flushed early by a count cap or severity escalation"),
+    point!("rules.digest_flushed", [Counter], "rules", "digest alerts flushed to delivery (deadline, cap, or escalation)"),
+    point!("rules.evaluated", [Counter], "rules", "alerts pushed through the rule engine's hot path"),
+    point!("rules.loaded", [Counter], "rules", "rules replayed from the rules log at engine open"),
+    point!("rules.matched", [Counter], "rules", "evaluations where some rule matched (any action)"),
+    point!("rules.pending_digests", [Gauge], "rules", "open digest windows across all users"),
+    point!("rules.rejected", [Counter], "rules", "rule mutations rejected (parse error, per-user bound, unknown id)"),
+    point!("rules.suppressed", [Counter], "rules", "alerts dropped by a suppress rule or dedupe template"),
+    point!("rules.upserts", [Counter], "rules", "rules created or replaced in the rules log"),
     point!("runtime.acks_sent", [Counter], "runtime", "acknowledgements the runtime forwarded to sources"),
     point!("runtime.deliveries_finished", [Counter], "runtime", "delivery state machines driven to completion"),
     point!("runtime.delivery_finished", [Event], "runtime", "one delivery state machine completed, with its outcome"),

@@ -19,6 +19,8 @@
 //! * [`runtime`] — tokio-based live runtime.
 //! * [`ledger`] — durable delivery ledger: leased work queue with retry,
 //!   backoff, and idempotency keys.
+//! * [`rules`] — user-owned alert rules: predicate matching, streaming
+//!   evaluation, and storm correlation into digest alerts.
 //! * [`telemetry`] — structured events + metrics spine (see
 //!   `README.md` § Observability).
 //!
@@ -33,6 +35,7 @@ pub use simba_core as core;
 pub use simba_gateway as gateway;
 pub use simba_ledger as ledger;
 pub use simba_net as net;
+pub use simba_rules as rules;
 pub use simba_runtime as runtime;
 pub use simba_sim as sim;
 pub use simba_sources as sources;
