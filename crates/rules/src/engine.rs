@@ -7,8 +7,11 @@
 //! O(all rules). When several rules match, the lowest id wins — rule
 //! order is creation order, which users can reason about.
 //!
-//! The correlator absorbs alerts matched by digest rules into per-key
-//! [`PendingDigest`] windows. A window flushes deterministically when
+//! The correlator absorbs alerts matched by digest rules into
+//! [`PendingDigest`] windows keyed per user and correlation key — the
+//! owning user always scopes the window, so a custom key template
+//! without `{user}` cannot collide two users' bursts. A window flushes
+//! deterministically when
 //! its deadline passes ([`RuleEngine::flush_due`], driven by the pump
 //! tick or the shard timer wheel), when its count cap is reached, or
 //! when a later alert escalates the window's severity. Critical alerts
@@ -226,11 +229,16 @@ fn consider<'a>(best: &mut Option<&'a AlertRule>, bucket: &'a [AlertRule], view:
 struct Inner {
     log: RulesLog,
     index: HashMap<String, UserIndex>,
-    pending: HashMap<String, PendingDigest>,
-    pending_per_user: HashMap<String, usize>,
-    /// Flush order: (deadline_ms, seq) → correlation key. Stale entries
-    /// (escalated windows) are dropped when popped.
-    deadlines: BTreeMap<(u64, u64), String>,
+    /// Open digest windows, user → correlation key → window. Nesting by
+    /// user means a custom key template without `{user}` can never
+    /// collide two users into one window (which would leak one user's
+    /// exemplars into the other's digest and lose their alerts).
+    pending: HashMap<String, HashMap<String, PendingDigest>>,
+    /// Total open windows across users (the `pending` leaf count).
+    pending_total: usize,
+    /// Flush order: (deadline_ms, seq) → (user, correlation key). Stale
+    /// entries (escalated windows) are dropped when popped.
+    deadlines: BTreeMap<(u64, u64), (String, String)>,
     /// Per-user recently seen dedupe keys, oldest first.
     recent: HashMap<String, VecDeque<(u64, String)>>,
     seq: u64,
@@ -272,7 +280,7 @@ impl RuleEngine {
             log,
             index: HashMap::new(),
             pending: HashMap::new(),
-            pending_per_user: HashMap::new(),
+            pending_total: 0,
             deadlines: BTreeMap::new(),
             recent: HashMap::new(),
             seq: 0,
@@ -367,7 +375,7 @@ impl RuleEngine {
 
     /// Open digest windows across all users.
     pub fn pending_digests(&self) -> usize {
-        self.with_inner(|inner| inner.pending.len())
+        self.with_inner(|inner| inner.pending_total)
     }
 
     /// The hot path: decides what happens to one alert for `user` at
@@ -389,15 +397,20 @@ impl RuleEngine {
                 return (Decision::Deliver { rule: None, severity: None }, false);
             };
             let effective = severity.unwrap_or(alert.urgency);
+            let critical = effective >= Urgency::Critical;
 
-            // Dedupe-key template: a repeat within the window is noise.
+            // Dedupe-key template: a repeat within the window is noise —
+            // but critical alerts always cut through, so they are never
+            // suppressed as repeats (and do not charge the window).
             if let Some(template) = dedupe {
-                let key = expand_template(&template, user, view);
-                if note_recent(inner, user, key, now_ms) {
-                    return (
-                        Decision::Suppress { rule: rule_id, reason: SuppressReason::Dedupe },
-                        false,
-                    );
+                if !critical {
+                    let key = expand_template(&template, user, view);
+                    if note_recent(inner, user, key, now_ms) {
+                        return (
+                            Decision::Suppress { rule: rule_id, reason: SuppressReason::Dedupe },
+                            false,
+                        );
+                    }
                 }
             }
 
@@ -407,7 +420,7 @@ impl RuleEngine {
                     (Decision::Suppress { rule: rule_id, reason: SuppressReason::Rule }, false)
                 }
                 RuleAction::Digest(config) => {
-                    if effective >= Urgency::Critical {
+                    if critical {
                         // Critical cuts through: never parked in a window.
                         return (Decision::Deliver { rule: Some(rule_id), severity }, true);
                     }
@@ -415,7 +428,10 @@ impl RuleEngine {
                         Some(template) => expand_template(template, user, view),
                         None => default_correlation_key(user, view),
                     };
-                    (absorb(inner, user, rule_id, &key, &config, view, effective, now_ms), false)
+                    (
+                        absorb(inner, user, rule_id, &key, &config, view, severity, effective, now_ms),
+                        false,
+                    )
                 }
             }
         });
@@ -457,14 +473,17 @@ impl RuleEngine {
                 if deadline > now_ms {
                     break;
                 }
-                let key = inner.deadlines.remove(&(deadline, seq)).expect("just observed");
+                let (user, key) = inner.deadlines.remove(&(deadline, seq)).expect("just observed");
                 // Stale entries (escalated windows already flushed, or a
                 // window re-opened under a later seq) are dropped.
-                let Some(pending) = inner.pending.get(&key) else { continue };
+                let Some(pending) = inner.pending.get(&user).and_then(|open| open.get(&key))
+                else {
+                    continue;
+                };
                 if pending.seq != seq {
                     continue;
                 }
-                out.push(remove_pending(inner, &key).expect("pending just observed"));
+                out.push(remove_pending(inner, &user, &key).expect("pending just observed"));
             }
             out
         });
@@ -475,17 +494,17 @@ impl RuleEngine {
         flushed
     }
 
-    /// Flushes one window by key if its deadline has passed — the shard
-    /// timer-wheel entry point, where each worker flushes only the keys
-    /// it scheduled. Returns `None` for unknown keys (already escalated)
-    /// or windows whose deadline moved later.
-    pub fn flush_key(&self, key: &str, now_ms: u64) -> Option<DigestAlert> {
+    /// Flushes one of `user`'s windows by key if its deadline has passed
+    /// — the shard timer-wheel entry point, where each worker flushes
+    /// only the keys it scheduled. Returns `None` for unknown keys
+    /// (already escalated) or windows whose deadline moved later.
+    pub fn flush_key(&self, user: &str, key: &str, now_ms: u64) -> Option<DigestAlert> {
         let flushed = self.with_inner(|inner| {
-            let pending = inner.pending.get(key)?;
+            let pending = inner.pending.get(user)?.get(key)?;
             if pending.deadline_ms > now_ms {
                 return None;
             }
-            remove_pending(inner, key)
+            remove_pending(inner, user, key)
         });
         if flushed.is_some() {
             self.counter("rules.digest_flushed");
@@ -545,20 +564,22 @@ fn absorb(
     key: &str,
     config: &crate::rule::DigestConfig,
     view: AlertView<'_>,
+    severity: Option<Urgency>,
     urgency: Urgency,
     now_ms: u64,
 ) -> Decision {
-    if !inner.pending.contains_key(key) {
-        let open_for_user = inner.pending_per_user.get(user).copied().unwrap_or(0);
+    let open_for_user = inner.pending.get(user).map_or(0, HashMap::len);
+    if !inner.pending.get(user).is_some_and(|open| open.contains_key(key)) {
         if open_for_user >= inner.max_pending_per_user {
-            // Bounded correlator state: deliver directly rather than
-            // grow without bound or silently drop.
-            return Decision::Deliver { rule: Some(rule_id), severity: None };
+            // Bounded correlator state: deliver directly (keeping the
+            // rule's severity override, like the critical-bypass path)
+            // rather than grow without bound or silently drop.
+            return Decision::Deliver { rule: Some(rule_id), severity };
         }
         inner.seq += 1;
         let seq = inner.seq;
         let deadline_ms = now_ms + config.window_ms.max(1);
-        inner.pending.insert(
+        inner.pending.entry(user.to_string()).or_default().insert(
             key.to_string(),
             PendingDigest {
                 user: user.to_string(),
@@ -576,10 +597,14 @@ fn absorb(
                 seq,
             },
         );
-        *inner.pending_per_user.entry(user.to_string()).or_insert(0) += 1;
-        inner.deadlines.insert((deadline_ms, seq), key.to_string());
+        inner.pending_total += 1;
+        inner.deadlines.insert((deadline_ms, seq), (user.to_string(), key.to_string()));
     }
-    let pending = inner.pending.get_mut(key).expect("just inserted or present");
+    let pending = inner
+        .pending
+        .get_mut(user)
+        .and_then(|open| open.get_mut(key))
+        .expect("just inserted or present");
     let escalated = pending.count > 0 && urgency > pending.urgency;
     pending.count += 1;
     pending.last = SimTime::from_millis(now_ms);
@@ -590,22 +615,21 @@ fn absorb(
     let capped = pending.max_count > 0 && pending.count >= u64::from(pending.max_count);
     let deadline_ms = pending.deadline_ms;
     let flushed = if escalated || capped {
-        remove_pending(inner, key).map(Box::new)
+        remove_pending(inner, user, key).map(Box::new)
     } else {
         None
     };
     Decision::Digest { rule: rule_id, key: key.to_string(), deadline_ms, flushed }
 }
 
-fn remove_pending(inner: &mut Inner, key: &str) -> Option<DigestAlert> {
-    let pending = inner.pending.remove(key)?;
-    inner.deadlines.remove(&(pending.deadline_ms, pending.seq));
-    if let Some(open) = inner.pending_per_user.get_mut(&pending.user) {
-        *open = open.saturating_sub(1);
-        if *open == 0 {
-            inner.pending_per_user.remove(&pending.user);
-        }
+fn remove_pending(inner: &mut Inner, user: &str, key: &str) -> Option<DigestAlert> {
+    let open = inner.pending.get_mut(user)?;
+    let pending = open.remove(key)?;
+    if open.is_empty() {
+        inner.pending.remove(user);
     }
+    inner.pending_total -= 1;
+    inner.deadlines.remove(&(pending.deadline_ms, pending.seq));
     Some(pending.into_digest())
 }
 
@@ -831,10 +855,81 @@ mod tests {
             Decision::Digest { key, .. } => key,
             other => panic!("{other:?}"),
         };
-        assert!(e.flush_key(&key, 500).is_none(), "not due yet");
-        assert_eq!(e.flush_key(&key, 1000).map(|d| d.count), Some(1));
-        assert!(e.flush_key(&key, 2000).is_none(), "already flushed");
-        assert!(e.flush_key("ada/other/", 2000).is_none());
+        assert!(e.flush_key("ada", &key, 500).is_none(), "not due yet");
+        assert_eq!(e.flush_key("ada", &key, 1000).map(|d| d.count), Some(1));
+        assert!(e.flush_key("ada", &key, 2000).is_none(), "already flushed");
+        assert!(e.flush_key("ada", "ada/other/", 2000).is_none());
+        assert!(e.flush_key("bob", &key, 2000).is_none(), "wrong user never flushes");
+    }
+
+    #[test]
+    fn custom_key_templates_never_collide_across_users() {
+        // A key template without {user} must still scope windows per
+        // user: bob's burst may not be absorbed into ada's window.
+        let e = engine();
+        for user in ["ada", "bob"] {
+            e.upsert(
+                user,
+                None,
+                RuleSpec::digest(
+                    "storm",
+                    "source == s",
+                    DigestConfig { window_ms: 1000, key: Some("{source}".into()), ..DigestConfig::default() },
+                ),
+            )
+            .unwrap();
+        }
+        assert!(matches!(e.evaluate("ada", &im("s", "from ada"), 0), Decision::Digest { .. }));
+        assert!(matches!(e.evaluate("bob", &im("s", "from bob"), 1), Decision::Digest { .. }));
+        assert_eq!(e.pending_digests(), 2, "one window per user despite identical keys");
+        let mut flushed = e.flush_due(1000);
+        flushed.sort_by(|a, b| a.user.cmp(&b.user));
+        assert_eq!(flushed.len(), 2);
+        assert_eq!((flushed[0].user.as_str(), flushed[0].count), ("ada", 1));
+        assert_eq!(flushed[0].exemplars, vec!["from ada".to_string()]);
+        assert_eq!((flushed[1].user.as_str(), flushed[1].count), ("bob", 1));
+        assert_eq!(flushed[1].exemplars, vec!["from bob".to_string()]);
+    }
+
+    #[test]
+    fn critical_is_never_dedupe_suppressed() {
+        let e = engine();
+        let mut spec = RuleSpec::deliver("once", "source == s");
+        spec.dedupe = Some("{source}".into());
+        let r = e.upsert("ada", None, spec).unwrap();
+        assert!(e.evaluate("ada", &im("s", "first"), 0).is_deliver());
+        // A normal repeat is noise, but a critical repeat cuts through.
+        let critical = im("s", "FIRE").with_urgency(Urgency::Critical);
+        assert_eq!(
+            e.evaluate("ada", &critical, 10),
+            Decision::Deliver { rule: Some(r.id), severity: None }
+        );
+        assert_eq!(
+            e.evaluate("ada", &im("s", "repeat"), 20),
+            Decision::Suppress { rule: r.id, reason: SuppressReason::Dedupe }
+        );
+    }
+
+    #[test]
+    fn bound_overflow_delivery_keeps_severity_override() {
+        let e = RuleEngine::open(RulesConfig {
+            max_pending_digests_per_user: 1,
+            ..RulesConfig::in_memory()
+        })
+        .expect("open");
+        let mut spec = RuleSpec::digest(
+            "per-body",
+            "source == s",
+            DigestConfig { window_ms: 60_000, key: Some("{user}/{body}".into()), ..DigestConfig::default() },
+        );
+        spec.severity = Some(Urgency::Low);
+        let r = e.upsert("ada", None, spec).unwrap();
+        assert!(matches!(e.evaluate("ada", &im("s", "a"), 0), Decision::Digest { .. }));
+        assert_eq!(
+            e.evaluate("ada", &im("s", "b"), 0),
+            Decision::Deliver { rule: Some(r.id), severity: Some(Urgency::Low) },
+            "overflow delivery carries the rule's severity override"
+        );
     }
 
     #[test]

@@ -194,9 +194,14 @@ impl RulesLog {
                 valid_len += line.len();
                 continue;
             }
+            if !complete {
+                // Torn tail: even a record whose payload parses must not
+                // touch in-memory state — it is about to be truncated
+                // from disk, and memory must equal durable state.
+                break;
+            }
             match self.replay_line(trimmed, lineno + 1) {
-                Ok(()) if complete => valid_len += line.len(),
-                Ok(()) => break, // parses but unterminated: torn tail
+                Ok(()) => valid_len += line.len(),
                 Err(e) if is_last && tolerate_tail => {
                     let _ = e;
                     break;
@@ -622,6 +627,33 @@ mod tests {
         std::fs::write(&path, content).unwrap();
         let err = RulesLog::open(RulesLogConfig::on_disk(&dir)).unwrap_err();
         assert!(matches!(err, WalError::Corrupt { .. }), "got {err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_but_parseable_tail_is_not_applied() {
+        let dir = temp_dir("torn-parseable");
+        let mut log = RulesLog::open(RulesLogConfig::on_disk(&dir)).unwrap();
+        log.upsert("ada", None, RuleSpec::deliver("keep", "any")).unwrap();
+        log.commit().unwrap();
+        drop(log);
+
+        // A record whose payload survived a crash intact but lost its
+        // trailing newline: CRC-valid and parseable, still torn — it
+        // must be truncated without ever reaching in-memory state.
+        let payload = "1\tU\tada\t9\ttorn\t1\t-\t0\tany\td";
+        let line = format!("{:08x}\t{payload}", crc32(payload.as_bytes()));
+        let path = segment_path(&dir, 0);
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(line.as_bytes()).unwrap();
+        }
+        let log = RulesLog::open(RulesLogConfig::on_disk(&dir)).unwrap();
+        assert_eq!(log.len(), 1, "torn record is not live in memory");
+        assert!(log.get("ada", 9).is_none());
+        drop(log);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(!content.contains("torn"), "torn record truncated from disk");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
